@@ -1,0 +1,449 @@
+//! Dense full-softmax trainer — the TensorFlow-CPU baseline stand-in.
+//!
+//! The paper's "TF FullSoftmax" baselines (§5) train the identical
+//! architecture but compute the *entire* output layer every sample: full
+//! logits, full softmax, and a full `output_dim x hidden` gradient update.
+//! This module reproduces that cost profile with the same SIMD substrate
+//! SLIDE uses, so the measured SLIDE-vs-dense gap isolates the algorithmic
+//! difference (LSH sampling) rather than framework overheads.
+
+use slide_core::{
+    relu_backward_mask, softmax_into, EvalMode, LayerParams, Precision, SparseInputLayer,
+    ThreadPool,
+};
+use slide_data::{precision_at_k, top_k_indices, Dataset, EpochBatches, MeanMetric};
+use slide_mem::ParamLayout;
+use slide_simd::AdamStep;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Configuration for the dense baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenseConfig {
+    /// Sparse input dimensionality.
+    pub input_dim: usize,
+    /// Hidden width (single hidden layer, like the paper's architecture).
+    pub hidden: usize,
+    /// Output dimensionality.
+    pub output_dim: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// ADAM base learning rate.
+    pub learning_rate: f32,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl Default for DenseConfig {
+    fn default() -> Self {
+        DenseConfig {
+            input_dim: 1024,
+            hidden: 128,
+            output_dim: 1024,
+            batch_size: 256,
+            learning_rate: 1e-4,
+            threads: 0,
+            seed: 0xDE25E,
+        }
+    }
+}
+
+struct DenseScratch {
+    h: Vec<f32>,
+    dh: Vec<f32>,
+    logits: Vec<f32>,
+    probs: Vec<f32>,
+    touched: Vec<u32>,
+    loss: MeanMetric,
+    metric: MeanMetric,
+}
+
+#[derive(Clone, Copy)]
+struct Slots {
+    base: *mut DenseScratch,
+    len: usize,
+}
+unsafe impl Send for Slots {}
+unsafe impl Sync for Slots {}
+
+impl Slots {
+    /// # Safety
+    ///
+    /// Each worker id must be used by one thread at a time.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut DenseScratch {
+        assert!(i < self.len);
+        &mut *self.base.add(i)
+    }
+}
+
+/// The dense full-softmax baseline trainer.
+///
+/// # Examples
+///
+/// ```
+/// use slide_baseline::{DenseBaseline, DenseConfig};
+/// use slide_data::{generate_synthetic, SynthConfig};
+///
+/// let data = generate_synthetic(&SynthConfig {
+///     feature_dim: 64, label_dim: 16, n_train: 128, n_test: 32, ..Default::default()
+/// });
+/// let mut baseline = DenseBaseline::new(DenseConfig {
+///     input_dim: 64, hidden: 8, output_dim: 16, batch_size: 32, threads: 1,
+///     ..Default::default()
+/// });
+/// let stats = baseline.train_epoch(&data.train, 0);
+/// assert!(stats.0 > 0.0 && stats.1.is_finite());
+/// ```
+pub struct DenseBaseline {
+    config: DenseConfig,
+    input: SparseInputLayer,
+    output: LayerParams,
+    pool: ThreadPool,
+    scratches: Vec<DenseScratch>,
+    touched_in: Vec<u32>,
+    adam_t: u64,
+    batch_stamp: u32,
+    total_train_seconds: f64,
+}
+
+impl DenseBaseline {
+    /// Build the baseline network (same initialization scheme as SLIDE).
+    pub fn new(config: DenseConfig) -> Self {
+        let threads = if config.threads > 0 {
+            config.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        };
+        let input = SparseInputLayer::new(
+            config.input_dim,
+            config.hidden,
+            ParamLayout::Coalesced,
+            Precision::Fp32,
+            config.seed,
+        );
+        let output = LayerParams::new(
+            config.output_dim,
+            config.hidden,
+            config.output_dim,
+            ParamLayout::Coalesced,
+            Precision::Fp32,
+            config.seed ^ 0x0707,
+        );
+        let scratches = (0..threads)
+            .map(|_| DenseScratch {
+                h: vec![0.0; config.hidden],
+                dh: vec![0.0; config.hidden],
+                logits: Vec::with_capacity(config.output_dim),
+                probs: Vec::with_capacity(config.output_dim),
+                touched: Vec::new(),
+                loss: MeanMetric::new(),
+                metric: MeanMetric::new(),
+            })
+            .collect();
+        DenseBaseline {
+            config,
+            input,
+            output,
+            pool: ThreadPool::new(threads),
+            scratches,
+            touched_in: Vec::new(),
+            adam_t: 0,
+            batch_stamp: 0,
+            total_train_seconds: 0.0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DenseConfig {
+        &self.config
+    }
+
+    /// Total learnable parameters.
+    pub fn num_parameters(&self) -> u64 {
+        self.input.params().num_parameters() + self.output.num_parameters()
+    }
+
+    /// Cumulative training seconds so far.
+    pub fn total_train_seconds(&self) -> f64 {
+        self.total_train_seconds
+    }
+
+    /// Train one shuffled epoch; returns `(seconds, mean_loss)`.
+    pub fn train_epoch(&mut self, data: &Dataset, epoch: u64) -> (f64, f64) {
+        assert_eq!(data.feature_dim(), self.config.input_dim);
+        assert_eq!(data.label_dim(), self.config.output_dim);
+        for s in &mut self.scratches {
+            s.loss = MeanMetric::new();
+        }
+        let start = Instant::now();
+        let plan = EpochBatches::new(data.len(), self.config.batch_size, epoch, 0x7EA1);
+        for batch in plan.iter() {
+            self.train_batch(data, batch);
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        self.total_train_seconds += seconds;
+        let mut loss = MeanMetric::new();
+        for s in &self.scratches {
+            loss.merge(s.loss);
+        }
+        (seconds, loss.mean())
+    }
+
+    fn train_batch(&mut self, data: &Dataset, indices: &[u32]) {
+        if indices.is_empty() {
+            return;
+        }
+        self.adam_t += 1;
+        self.batch_stamp = self.batch_stamp.wrapping_add(1).max(1);
+        let stamp = self.batch_stamp;
+        let scale = 1.0 / indices.len() as f32;
+        let slots = Slots {
+            base: self.scratches.as_mut_ptr(),
+            len: self.scratches.len(),
+        };
+        let input = &self.input;
+        let output = &self.output;
+        let n_out = self.config.output_dim;
+        let cursor = AtomicUsize::new(0);
+        self.pool.run(&|worker| {
+            // SAFETY: distinct worker ids.
+            let scratch = unsafe { slots.get(worker) };
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= indices.len() {
+                    break;
+                }
+                let idx = indices[i] as usize;
+                let x = data.features(idx);
+                let labels = data.labels(idx);
+                if labels.is_empty() {
+                    continue;
+                }
+                input.forward(x, &mut scratch.h);
+
+                // Full logits + softmax (the dense cost the paper avoids).
+                scratch.logits.clear();
+                for r in 0..n_out {
+                    // SAFETY: HOGWILD contract.
+                    let z = unsafe { output.w_dot(r, &scratch.h) } + output.bias_at(r);
+                    scratch.logits.push(z);
+                }
+                let log_z = softmax_into(&scratch.logits, &mut scratch.probs);
+                let t = 1.0 / labels.len() as f32;
+                let mut loss = 0.0;
+                for &l in labels {
+                    loss += t * (log_z - scratch.logits[l as usize]);
+                }
+                scratch.loss.push(loss);
+
+                // Full dense backward.
+                scratch.dh.fill(0.0);
+                for r in 0..n_out {
+                    let mut delta = scratch.probs[r];
+                    if labels.contains(&(r as u32)) {
+                        delta -= t;
+                    }
+                    // SAFETY: HOGWILD contract.
+                    unsafe {
+                        output.grad_axpy(r, delta * scale, &scratch.h);
+                        output.grad_bias_add(r, delta * scale);
+                        output.w_axpy_into(r, delta, &mut scratch.dh);
+                    }
+                }
+                relu_backward_mask(&scratch.h, &mut scratch.dh);
+                let mut touched = std::mem::take(&mut scratch.touched);
+                input.backward(x, &scratch.dh, scale, stamp, &mut touched);
+                scratch.touched = touched;
+            }
+        });
+
+        let step = AdamStep::bias_corrected(self.config.learning_rate, 0.9, 0.999, 1e-8, self.adam_t);
+        // Full output update: every row, flat arena sweep in parallel chunks.
+        let total = n_out * self.config.hidden;
+        let chunk = 16 * 1024;
+        let n_chunks = total.div_ceil(chunk);
+        self.pool.parallel_for(n_chunks, 1, &|c| {
+            let start = c * chunk;
+            let len = chunk.min(total - start);
+            // SAFETY: disjoint flat spans.
+            unsafe { output.adam_flat_span(start, len, step) };
+        });
+        // SAFETY: workers parked.
+        unsafe { output.adam_bias_full(step) };
+
+        // Input layer: sparse rows seen this batch.
+        self.touched_in.clear();
+        for s in &mut self.scratches {
+            self.touched_in.append(&mut s.touched);
+        }
+        let rows_in = &self.touched_in;
+        let in_params = self.input.params();
+        self.pool.parallel_for(rows_in.len(), 32, &|i| {
+            // SAFETY: duplicate-free list, distinct rows.
+            unsafe { in_params.adam_row(rows_in[i] as usize, step) };
+        });
+        // SAFETY: workers parked.
+        unsafe { in_params.adam_bias_full(step) };
+    }
+
+    /// Evaluate P@k over (up to `max_samples` of) a dataset.
+    pub fn evaluate(&mut self, data: &Dataset, k: usize, max_samples: Option<usize>) -> f64 {
+        let n = max_samples.unwrap_or(usize::MAX).min(data.len());
+        if n == 0 {
+            return 0.0;
+        }
+        for s in &mut self.scratches {
+            s.metric = MeanMetric::new();
+        }
+        let slots = Slots {
+            base: self.scratches.as_mut_ptr(),
+            len: self.scratches.len(),
+        };
+        let input = &self.input;
+        let output = &self.output;
+        let n_out = self.config.output_dim;
+        let cursor = AtomicUsize::new(0);
+        self.pool.run(&|worker| {
+            // SAFETY: distinct worker ids.
+            let scratch = unsafe { slots.get(worker) };
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let labels = data.labels(i);
+                if labels.is_empty() {
+                    continue;
+                }
+                input.forward(data.features(i), &mut scratch.h);
+                scratch.logits.clear();
+                for r in 0..n_out {
+                    // SAFETY: HOGWILD contract.
+                    let z = unsafe { output.w_dot(r, &scratch.h) } + output.bias_at(r);
+                    scratch.logits.push(z);
+                }
+                let topk = top_k_indices(&scratch.logits, k);
+                let p = if topk.len() < k {
+                    0.0
+                } else {
+                    precision_at_k(&topk, labels, k)
+                };
+                scratch.metric.push(p);
+            }
+        });
+        let mut metric = MeanMetric::new();
+        for s in &self.scratches {
+            metric.merge(s.metric);
+        }
+        metric.mean()
+    }
+
+    /// Train with per-epoch evaluation, returning a Figure 6-style curve.
+    pub fn run_convergence(
+        &mut self,
+        train: &Dataset,
+        test: &Dataset,
+        epochs: u32,
+        eval_samples: Option<usize>,
+    ) -> slide_core::ConvergenceLog {
+        let mut log = slide_core::ConvergenceLog::default();
+        let mut elapsed = 0.0;
+        for epoch in 0..epochs {
+            let (seconds, mean_loss) = self.train_epoch(train, epoch as u64);
+            elapsed += seconds;
+            let p1 = self.evaluate(test, 1, eval_samples);
+            log.points.push(slide_core::ConvergencePoint {
+                epoch: epoch + 1,
+                elapsed_seconds: elapsed,
+                epoch_seconds: seconds,
+                p_at_1: p1,
+                mean_loss,
+            });
+        }
+        log
+    }
+}
+
+/// Marker so callers can speak about baseline eval symmetrically with
+/// [`slide_core::EvalMode`]; the dense baseline is always exact.
+pub const DENSE_EVAL_MODE: EvalMode = EvalMode::Exact;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_data::{generate_synthetic, SynthConfig};
+
+    fn tiny() -> slide_data::SynthDataset {
+        generate_synthetic(&SynthConfig {
+            feature_dim: 128,
+            label_dim: 32,
+            n_train: 400,
+            n_test: 100,
+            proto_nnz: 10,
+            keep_fraction: 0.8,
+            noise_nnz: 2,
+            labels_per_sample: 1,
+            zipf_exponent: 0.4,
+            seed: 5,
+        })
+    }
+
+    fn baseline(threads: usize) -> DenseBaseline {
+        DenseBaseline::new(DenseConfig {
+            input_dim: 128,
+            hidden: 16,
+            output_dim: 32,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            threads,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn learns_synthetic_task() {
+        let data = tiny();
+        let mut b = baseline(2);
+        let before = b.evaluate(&data.test, 1, None);
+        for epoch in 0..8 {
+            b.train_epoch(&data.train, epoch);
+        }
+        let after = b.evaluate(&data.test, 1, None);
+        assert!(after > before + 0.25, "dense baseline: {before:.3} -> {after:.3}");
+    }
+
+    #[test]
+    fn parameter_count_matches_formula() {
+        let b = baseline(1);
+        assert_eq!(
+            b.num_parameters(),
+            slide_data::model_parameters(128, 16, 32)
+        );
+    }
+
+    #[test]
+    fn convergence_log_shape() {
+        let data = tiny();
+        let mut b = baseline(2);
+        let log = b.run_convergence(&data.train, &data.test, 2, Some(50));
+        assert_eq!(log.points.len(), 2);
+        assert!(log.points[1].elapsed_seconds >= log.points[0].elapsed_seconds);
+        assert!(b.total_train_seconds() > 0.0);
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let data = tiny();
+        let mut b = baseline(1);
+        let (_, first) = b.train_epoch(&data.train, 0);
+        let mut last = first;
+        for epoch in 1..10 {
+            let (_, l) = b.train_epoch(&data.train, epoch);
+            last = l;
+        }
+        assert!(last < first * 0.9, "loss {first:.4} -> {last:.4}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Baselines for the SLIDE reproduction — the comparison points of §5:
+//!
+//! * [`DenseBaseline`] — a dense full-softmax trainer (the "TF FullSoftmax"
+//!   CPU stand-in) sharing SLIDE's SIMD substrate so the measured gap
+//!   isolates the LSH-sampling algorithm,
+//! * [`DeviceModel`] — the analytic V100 epoch-time model (the only
+//!   *modeled* number in the reproduction; everything CPU-side is measured),
+//! * [`Method`] and the `naive_slide` / `optimized_slide_*` presets — the
+//!   named configurations of Figure 6 / Table 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use slide_baseline::{DeviceModel, Method};
+//!
+//! let v100 = DeviceModel::v100();
+//! let secs = v100.epoch_seconds(103_000_000, 490_449, 1024);
+//! assert!(secs > 0.0);
+//! assert_eq!(Method::all().len(), 5);
+//! ```
+
+mod dense;
+mod device_model;
+mod presets;
+mod sampled;
+
+pub use dense::{DenseBaseline, DenseConfig, DENSE_EVAL_MODE};
+pub use device_model::DeviceModel;
+pub use presets::{naive_slide, optimized_slide_clx, optimized_slide_cpx, Method};
+pub use sampled::{SampledSoftmaxBaseline, SampledSoftmaxConfig};

@@ -1,0 +1,118 @@
+//! Named configurations matching the paper's §5 method lineup, so every
+//! harness/bench refers to the same objects:
+//!
+//! * **Optimized SLIDE** — coalesced memory, SIMD auto, fp32 or bf16,
+//! * **Naive SLIDE** — the original implementation's profile: fragmented
+//!   memory and scalar kernels,
+//! * CLX/CPX-style variants — bf16 off/on (the only per-machine difference
+//!   our single-host reproduction can express besides thread count).
+
+use slide_core::{NetworkConfig, Precision};
+use slide_simd::{SimdLevel, SimdPolicy};
+
+/// The method lineup of Figure 6 / Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// TensorFlow full-softmax stand-in on the V100 device model.
+    TfV100,
+    /// TensorFlow full-softmax stand-in on this CPU.
+    TfCpu,
+    /// Original SLIDE: fragmented memory, scalar kernels, fp32.
+    NaiveSlide,
+    /// Optimized SLIDE without bf16 (the paper's CLX configuration).
+    OptimizedSlideClx,
+    /// Optimized SLIDE with bf16 activations+weights (the CPX configuration).
+    OptimizedSlideCpx,
+}
+
+impl Method {
+    /// Display name matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::TfV100 => "TF FullSoftmax, V100 (modeled)",
+            Method::TfCpu => "TF FullSoftmax, CPU",
+            Method::NaiveSlide => "Naive SLIDE",
+            Method::OptimizedSlideClx => "Optimized SLIDE (CLX-like: AVX-512, fp32)",
+            Method::OptimizedSlideCpx => "Optimized SLIDE (CPX-like: AVX-512 + BF16)",
+        }
+    }
+
+    /// All methods in the paper's presentation order.
+    pub fn all() -> [Method; 5] {
+        [
+            Method::TfV100,
+            Method::TfCpu,
+            Method::NaiveSlide,
+            Method::OptimizedSlideClx,
+            Method::OptimizedSlideCpx,
+        ]
+    }
+}
+
+/// Rewrite a network config into the **Naive SLIDE** profile (fragmented
+/// data + parameters, fp32) and return the SIMD policy it must run under
+/// (scalar — the original SLIDE had no explicit vectorization).
+pub fn naive_slide(config: &mut NetworkConfig) -> SimdPolicy {
+    config.memory.coalesced_params = false;
+    config.memory.coalesced_data = false;
+    config.precision = Precision::Fp32;
+    SimdPolicy::Force(SimdLevel::Scalar)
+}
+
+/// Rewrite a network config into the **Optimized SLIDE (CLX)** profile:
+/// coalesced memory, fp32 (CLX has AVX-512 but no bf16).
+pub fn optimized_slide_clx(config: &mut NetworkConfig) -> SimdPolicy {
+    config.memory.coalesced_params = true;
+    config.memory.coalesced_data = true;
+    config.precision = Precision::Fp32;
+    SimdPolicy::Auto
+}
+
+/// Rewrite a network config into the **Optimized SLIDE (CPX)** profile:
+/// coalesced memory, bf16 weights + activations.
+pub fn optimized_slide_cpx(config: &mut NetworkConfig) -> SimdPolicy {
+    config.memory.coalesced_params = true;
+    config.memory.coalesced_data = true;
+    config.precision = Precision::Bf16Both;
+    SimdPolicy::Auto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_produce_valid_configs() {
+        for f in [naive_slide, optimized_slide_clx, optimized_slide_cpx] {
+            let mut cfg = NetworkConfig::standard(100, 16, 50);
+            let _policy = f(&mut cfg);
+            assert!(cfg.validate().is_ok(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn naive_is_fragmented_and_scalar() {
+        let mut cfg = NetworkConfig::standard(100, 16, 50);
+        let policy = naive_slide(&mut cfg);
+        assert!(!cfg.memory.coalesced_params);
+        assert!(!cfg.memory.coalesced_data);
+        assert_eq!(policy, SimdPolicy::Force(SimdLevel::Scalar));
+    }
+
+    #[test]
+    fn cpx_uses_bf16_clx_does_not() {
+        let mut clx = NetworkConfig::standard(100, 16, 50);
+        let mut cpx = NetworkConfig::standard(100, 16, 50);
+        optimized_slide_clx(&mut clx);
+        optimized_slide_cpx(&mut cpx);
+        assert_eq!(clx.precision, Precision::Fp32);
+        assert_eq!(cpx.precision, Precision::Bf16Both);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Method::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

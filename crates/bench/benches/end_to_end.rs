@@ -1,0 +1,69 @@
+//! End-to-end training-step benchmarks: one full batch (forward + HOGWILD
+//! backward + sparse ADAM) under the naive and optimized configurations —
+//! the microscopic version of Table 2's per-epoch comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slide_bench::Workload;
+use slide_core::{Network, Trainer};
+use slide_simd::SimdPolicy;
+use std::time::Duration;
+
+fn bench_train_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_batch_amazon_sim");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+
+    let w = Workload::Amazon670k;
+    let (train, _test) = w.dataset(1);
+    let indices: Vec<u32> = (0..w.batch_size() as u32).collect();
+
+    let variants: Vec<(&str, Box<dyn Fn(&mut slide_core::NetworkConfig) -> SimdPolicy>)> = vec![
+        ("optimized", Box::new(slide_baseline::optimized_slide_clx)),
+        ("optimized_bf16", Box::new(slide_baseline::optimized_slide_cpx)),
+        ("naive", Box::new(slide_baseline::naive_slide)),
+    ];
+    for (name, preset) in variants {
+        let mut cfg = w.network_config(train.feature_dim(), train.label_dim());
+        let policy = preset(&mut cfg);
+        slide_simd::set_policy(policy);
+        let mut trainer = Trainer::new(
+            Network::new(cfg).expect("valid config"),
+            w.trainer_config(),
+        )
+        .expect("valid trainer");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| trainer.train_batch(&train, &indices))
+        });
+        slide_simd::set_policy(SimdPolicy::Auto);
+    }
+    g.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.sample_size(10);
+
+    let w = Workload::Amazon670k;
+    let (train, test) = w.dataset(1);
+    let cfg = w.network_config(train.feature_dim(), train.label_dim());
+    let mut trainer = Trainer::new(
+        Network::new(cfg).expect("valid config"),
+        w.trainer_config(),
+    )
+    .expect("valid trainer");
+    trainer.train_epoch(&train, 0);
+
+    g.bench_function("sampled_lsh_200", |b| {
+        b.iter(|| trainer.evaluate(&test, 1, slide_core::EvalMode::Sampled, Some(200)))
+    });
+    g.bench_function("exact_full_200", |b| {
+        b.iter(|| trainer.evaluate(&test, 1, slide_core::EvalMode::Exact, Some(200)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_train_batch, bench_evaluate);
+criterion_main!(benches);

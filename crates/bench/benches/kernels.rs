@@ -1,0 +1,177 @@
+//! Kernel micro-benchmarks: the vectorization story of §4.2–§4.4 at the
+//! instruction level — scalar vs AVX2 vs AVX-512 for every hot kernel
+//! (Figures 2–5's operations), plus the bf16 kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use slide_simd::{
+    adam_step_f32, add_f32, argmax_f32, axpy_f32, bf16, dot_f32, set_policy, AdamStep, SimdLevel,
+    SimdPolicy,
+};
+use std::time::Duration;
+
+const HIDDEN: usize = 128; // the paper's hidden width: one Algorithm 1 dot
+const FLAT: usize = 1 << 16; // a flat ADAM sweep segment
+
+fn levels() -> Vec<(&'static str, SimdPolicy)> {
+    let mut v = vec![("scalar", SimdPolicy::Force(SimdLevel::Scalar))];
+    if slide_simd::detected_level() >= SimdLevel::Avx2 {
+        v.push(("avx2", SimdPolicy::Force(SimdLevel::Avx2)));
+    }
+    if slide_simd::detected_level() >= SimdLevel::Avx512 {
+        v.push(("avx512", SimdPolicy::Force(SimdLevel::Avx512)));
+    }
+    v
+}
+
+fn vecs(n: usize) -> (Vec<f32>, Vec<f32>) {
+    (
+        (0..n).map(|i| (i as f32 * 0.37).sin()).collect(),
+        (0..n).map(|i| (i as f32 * 0.73).cos()).collect(),
+    )
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot_row_major_alg1");
+    g.measurement_time(Duration::from_millis(700));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(20);
+    let (a, b) = vecs(HIDDEN);
+    for (name, policy) in levels() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |bch, &p| {
+            set_policy(p);
+            bch.iter(|| dot_f32(black_box(&a), black_box(&b)));
+            set_policy(SimdPolicy::Auto);
+        });
+    }
+    g.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("axpy_col_major_alg2");
+    g.measurement_time(Duration::from_millis(700));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(20);
+    let (x, mut y) = vecs(HIDDEN);
+    for (name, policy) in levels() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |bch, &p| {
+            set_policy(p);
+            bch.iter(|| axpy_f32(black_box(1.001), black_box(&x), black_box(&mut y)));
+            set_policy(SimdPolicy::Auto);
+        });
+    }
+    g.finish();
+}
+
+fn bench_simd_add(c: &mut Criterion) {
+    // Figure 2's illustrative pairwise add, at cache-resident size.
+    let mut g = c.benchmark_group("simd_add_fig2");
+    g.measurement_time(Duration::from_millis(700));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(20);
+    let (x, mut y) = vecs(4096);
+    for (name, policy) in levels() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |bch, &p| {
+            set_policy(p);
+            bch.iter(|| add_f32(black_box(&x), black_box(&mut y)));
+            set_policy(SimdPolicy::Auto);
+        });
+    }
+    g.finish();
+}
+
+fn bench_adam(c: &mut Criterion) {
+    // Figure 3: the fused flat ADAM sweep.
+    let mut g = c.benchmark_group("adam_step_fig3");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(15);
+    let (grad, mut w) = vecs(FLAT);
+    let mut m = vec![0.01_f32; FLAT];
+    let mut v = vec![0.02_f32; FLAT];
+    let step = AdamStep::bias_corrected(1e-3, 0.9, 0.999, 1e-8, 10);
+    for (name, policy) in levels() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |bch, &p| {
+            set_policy(p);
+            bch.iter(|| {
+                adam_step_f32(
+                    black_box(&mut w),
+                    black_box(&mut m),
+                    black_box(&mut v),
+                    black_box(&grad),
+                    step,
+                )
+            });
+            set_policy(SimdPolicy::Auto);
+        });
+    }
+    g.finish();
+}
+
+fn bench_argmax(c: &mut Criterion) {
+    // The DWTA bin reduction (§4.3.3).
+    let mut g = c.benchmark_group("argmax_dwta_bins");
+    g.measurement_time(Duration::from_millis(700));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(20);
+    let (x, _) = vecs(2048);
+    for (name, policy) in levels() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |bch, &p| {
+            set_policy(p);
+            bch.iter(|| argmax_f32(black_box(&x)));
+            set_policy(SimdPolicy::Auto);
+        });
+    }
+    g.finish();
+}
+
+fn bench_bf16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bf16_kernels");
+    g.measurement_time(Duration::from_millis(700));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(20);
+    let (x, _) = vecs(HIDDEN);
+    let mut wq = vec![0u16; HIDDEN];
+    bf16::f32_to_bf16_slice(&x, &mut wq);
+    let (big, _) = vecs(FLAT);
+    let mut bigq = vec![0u16; FLAT];
+
+    g.bench_function("narrow_64k", |b| {
+        b.iter(|| bf16::f32_to_bf16_slice(black_box(&big), black_box(&mut bigq)))
+    });
+    let mut wide = vec![0f32; FLAT];
+    g.bench_function("widen_64k", |b| {
+        b.iter(|| bf16::bf16_to_f32_slice(black_box(&bigq), black_box(&mut wide)))
+    });
+    g.bench_function("dot_bf16_128", |b| {
+        b.iter(|| bf16::dot_bf16_f32(black_box(&wq), black_box(&x)))
+    });
+    g.bench_function("dot_f32_128_reference", |b| {
+        b.iter(|| dot_f32(black_box(&x), black_box(&x)))
+    });
+    let mut m = vec![0.01_f32; FLAT];
+    let mut v = vec![0.02_f32; FLAT];
+    let step = AdamStep::bias_corrected(1e-3, 0.9, 0.999, 1e-8, 10);
+    g.bench_function("adam_bf16_64k", |b| {
+        b.iter(|| {
+            bf16::adam_step_bf16(
+                black_box(&mut bigq),
+                black_box(&mut m),
+                black_box(&mut v),
+                black_box(&big),
+                step,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dot,
+    bench_axpy,
+    bench_simd_add,
+    bench_adam,
+    bench_argmax,
+    bench_bf16
+);
+criterion_main!(benches);

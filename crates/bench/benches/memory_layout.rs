@@ -1,0 +1,138 @@
+//! Memory-layout micro-benchmarks (§4.1): coalesced vs fragmented storage
+//! for batch data and layer parameters, isolated from the training loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slide_mem::{FragmentedBatch, FragmentedParams, ParamArena, SparseBatch};
+use std::time::Duration;
+
+const INSTANCES: usize = 1024;
+const NNZ: usize = 64;
+const ROWS: usize = 4096;
+const COLS: usize = 128;
+
+fn make_batches() -> (SparseBatch, FragmentedBatch) {
+    let mut c = SparseBatch::with_capacity(INSTANCES, INSTANCES * NNZ);
+    let mut f = FragmentedBatch::new();
+    for i in 0..INSTANCES {
+        let idx: Vec<u32> = (0..NNZ as u32).map(|j| (i as u32 * 13 + j * 97) % 100_000).collect();
+        let val: Vec<f32> = (0..NNZ).map(|j| (j as f32 * 0.3).sin()).collect();
+        c.push(&idx, &val);
+        f.push(&idx, &val);
+    }
+    (c, f)
+}
+
+fn bench_batch_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_scan_4_1");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(20);
+    let (coalesced, fragmented) = make_batches();
+    g.bench_function("coalesced", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..coalesced.len() {
+                let inst = coalesced.get(i);
+                for (_, v) in inst.iter() {
+                    acc += v;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("fragmented", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..fragmented.len() {
+                let inst = fragmented.get(i);
+                for (_, v) in inst.iter() {
+                    acc += v;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_param_rows(c: &mut Criterion) {
+    // Random-order row dots, the output layer's access pattern: the arena
+    // keeps neighbouring neurons on shared cache lines, per-neuron boxes
+    // do not.
+    let mut g = c.benchmark_group("param_row_dot_4_1");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(15);
+    let init = |r: usize, col: usize| ((r * 31 + col * 7) % 97) as f32 * 0.01;
+    let arena = ParamArena::from_fn(ROWS, COLS, init);
+    let fragmented = FragmentedParams::from_fn(ROWS, COLS, init);
+    let x: Vec<f32> = (0..COLS).map(|i| (i as f32 * 0.37).cos()).collect();
+    // A batch-like active pattern: pseudo-random with locality clusters.
+    let order: Vec<usize> = (0..ROWS)
+        .map(|i| (i.wrapping_mul(2654435761)) % ROWS)
+        .collect();
+
+    g.bench_function("arena", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &r in &order {
+                acc += slide_simd::dot_f32(arena.row(r), black_box(&x));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("fragmented", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &r in &order {
+                acc += slide_simd::dot_f32(fragmented.row(r), black_box(&x));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_flat_adam_vs_rows(c: &mut Criterion) {
+    // Figure 3's point: one 1-D sweep over the arena beats row-at-a-time
+    // calls even when both are vectorized.
+    let mut g = c.benchmark_group("adam_flat_vs_rows");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(15);
+    let n = ROWS * COLS;
+    let mut w = vec![0.5f32; n];
+    let mut m = vec![0.01f32; n];
+    let mut v = vec![0.02f32; n];
+    let grad = vec![0.001f32; n];
+    let step = slide_simd::AdamStep::bias_corrected(1e-3, 0.9, 0.999, 1e-8, 5);
+    g.bench_function("flat_1d", |b| {
+        b.iter(|| {
+            slide_simd::adam_step_f32(
+                black_box(&mut w),
+                black_box(&mut m),
+                black_box(&mut v),
+                black_box(&grad),
+                step,
+            )
+        })
+    });
+    g.bench_function("row_by_row", |b| {
+        b.iter(|| {
+            for r in 0..ROWS {
+                let s = r * COLS;
+                slide_simd::adam_step_f32(
+                    black_box(&mut w[s..s + COLS]),
+                    black_box(&mut m[s..s + COLS]),
+                    black_box(&mut v[s..s + COLS]),
+                    black_box(&grad[s..s + COLS]),
+                    step,
+                );
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_scan, bench_param_rows, bench_flat_adam_vs_rows);
+criterion_main!(benches);

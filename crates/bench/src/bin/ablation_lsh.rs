@@ -1,0 +1,142 @@
+//! LSH design-choice ablations beyond the paper's headline tables: table
+//! count `L`, bucket policy (FIFO vs reservoir), and full vs incremental
+//! rebuilds (§2's delete/re-add path) — the design decisions DESIGN.md
+//! flags for ablation.
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin ablation_lsh
+//! ```
+
+use slide_bench::{epochs, fmt_secs, print_table, run_slide, scale, Workload};
+use slide_core::{Network, RebuildMode, Trainer};
+use slide_hash::BucketPolicy;
+use slide_simd::SimdPolicy;
+
+fn main() {
+    let scale = scale();
+    let n_epochs = epochs(6);
+    let w = Workload::Amazon670k;
+    let (train, test) = w.dataset(scale);
+    println!(
+        "LSH design ablations on {}; SLIDE_SCALE={scale}, epochs={n_epochs}",
+        w.name()
+    );
+
+    // --- Sweep L (number of tables): recall vs cost ---
+    let mut rows = Vec::new();
+    for l in [4usize, 8, 16, 24, 48] {
+        let mut cfg = w.network_config(train.feature_dim(), train.label_dim());
+        cfg.lsh.tables = l;
+        let r = run_slide(
+            cfg,
+            w.trainer_config(),
+            SimdPolicy::Auto,
+            None,
+            &train,
+            &test,
+            n_epochs,
+            300,
+        );
+        rows.push(vec![
+            format!("L = {l}"),
+            fmt_secs(r.epoch_seconds),
+            format!("{:.3}", r.p_at_1),
+        ]);
+    }
+    print_table(
+        "Sweep: number of hash tables L (K=6 DWTA)",
+        &["Tables", "s/epoch", "P@1"],
+        &rows,
+        &[10, 10, 7],
+    );
+
+    // --- Multiprobe: trade probes per table against table count ---
+    let mut rows = Vec::new();
+    for (l, probes) in [(24usize, 1usize), (12, 2), (6, 4), (24, 2)] {
+        let mut cfg = w.network_config(train.feature_dim(), train.label_dim());
+        cfg.lsh.tables = l;
+        cfg.lsh.probes = probes;
+        let r = run_slide(
+            cfg,
+            w.trainer_config(),
+            SimdPolicy::Auto,
+            None,
+            &train,
+            &test,
+            n_epochs,
+            300,
+        );
+        rows.push(vec![
+            format!("L = {l}, probes = {probes}"),
+            fmt_secs(r.epoch_seconds),
+            format!("{:.3}", r.p_at_1),
+        ]);
+    }
+    print_table(
+        "Multiprobe: fewer tables x more probes (extension)",
+        &["Configuration", "s/epoch", "P@1"],
+        &rows,
+        &[22, 10, 7],
+    );
+
+    // --- Bucket policy: FIFO vs reservoir ---
+    let mut rows = Vec::new();
+    for (name, policy) in [("reservoir", BucketPolicy::Reservoir), ("fifo", BucketPolicy::Fifo)] {
+        let mut cfg = w.network_config(train.feature_dim(), train.label_dim());
+        cfg.lsh.policy = policy;
+        let r = run_slide(
+            cfg,
+            w.trainer_config(),
+            SimdPolicy::Auto,
+            None,
+            &train,
+            &test,
+            n_epochs,
+            300,
+        );
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(r.epoch_seconds),
+            format!("{:.3}", r.p_at_1),
+        ]);
+    }
+    print_table(
+        "Bucket policy (full buckets keep a uniform sample vs newest)",
+        &["Policy", "s/epoch", "P@1"],
+        &rows,
+        &[10, 10, 7],
+    );
+
+    // --- Rebuild mode: full vs incremental, with rebuild-phase timing ---
+    let mut rows = Vec::new();
+    for (name, mode) in [
+        ("full rebuild", RebuildMode::Full),
+        ("incremental (delete/re-add)", RebuildMode::Incremental),
+    ] {
+        let cfg = w.network_config(train.feature_dim(), train.label_dim());
+        let mut tc = w.trainer_config();
+        tc.rebuild.mode = mode;
+        let mut trainer =
+            Trainer::new(Network::new(cfg).expect("valid config"), tc).expect("valid trainer");
+        let mut secs = 0.0;
+        let mut rebuild_secs = 0.0;
+        for epoch in 0..n_epochs {
+            let stats = trainer.train_epoch(&train, epoch as u64);
+            secs += stats.seconds;
+            rebuild_secs += stats.phases.rebuild;
+        }
+        let p1 = trainer.evaluate(&test, 1, slide_core::EvalMode::Exact, Some(300));
+        rows.push(vec![
+            name.to_string(),
+            fmt_secs(secs / n_epochs as f64),
+            format!("{:.1}ms", rebuild_secs / n_epochs as f64 * 1e3),
+            format!("{p1:.3}"),
+        ]);
+    }
+    print_table(
+        "Rebuild strategy (§2 delete/re-add vs full rebuild)",
+        &["Strategy", "s/epoch", "rebuild/epoch", "P@1"],
+        &rows,
+        &[29, 10, 14, 7],
+    );
+}

@@ -1,0 +1,131 @@
+//! **§5.7** — impact of the memory optimizations: toggle data coalescing and
+//! parameter coalescing independently, then reproduce the paper's accounting
+//! ("overall speedup minus the AVX and bf16 contributions is the memory
+//! win").
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin ablation_memory
+//! ```
+
+use slide_bench::{epochs, fmt_secs, print_table, run_slide, scale, Workload};
+use slide_core::Precision;
+use slide_simd::{SimdLevel, SimdPolicy};
+
+fn main() {
+    let scale = scale();
+    let n_epochs = epochs(8);
+    let w = Workload::Amazon670k;
+    let (train, test) = w.dataset(scale);
+    println!(
+        "Reproducing §5.7 (impact of memory optimizations) on {}; \
+         SLIDE_SCALE={scale}, epochs={n_epochs}",
+        w.name()
+    );
+
+    let combos = [
+        ("coalesced data + params (optimized)", true, true),
+        ("coalesced params only", false, true),
+        ("coalesced data only", true, false),
+        ("fragmented both (naive layout)", false, false),
+    ];
+    let mut times = Vec::new();
+    for (label, data_c, param_c) in combos {
+        let mut cfg = w.network_config(train.feature_dim(), train.label_dim());
+        cfg.memory.coalesced_data = data_c;
+        cfg.memory.coalesced_params = param_c;
+        let r = run_slide(
+            cfg,
+            w.trainer_config(),
+            SimdPolicy::Auto,
+            None,
+            &train,
+            &test,
+            n_epochs,
+            300,
+        );
+        times.push((label, r));
+    }
+    let optimized = times[0].1.epoch_seconds;
+    let rows: Vec<Vec<String>> = times
+        .iter()
+        .map(|(label, r)| {
+            vec![
+                label.to_string(),
+                fmt_secs(r.epoch_seconds),
+                format!("{:.2}x", r.epoch_seconds / optimized),
+                format!("{:.3}", r.p_at_1),
+            ]
+        })
+        .collect();
+    print_table(
+        "Memory-layout ablation (Amazon-670K sim)",
+        &["Layout", "s/epoch", "vs optimized", "P@1"],
+        &rows,
+        &[38, 10, 13, 7],
+    );
+
+    // The paper's §5.7 accounting: total = naive/optimized; AVX and bf16
+    // contributions measured separately; memory gets the remainder.
+    let mut naive_cfg = w.network_config(train.feature_dim(), train.label_dim());
+    let policy = slide_baseline::naive_slide(&mut naive_cfg);
+    let naive_full = run_slide(
+        naive_cfg,
+        w.trainer_config(),
+        policy,
+        None,
+        &train,
+        &test,
+        n_epochs,
+        300,
+    );
+    let scalar_coalesced = run_slide(
+        w.network_config(train.feature_dim(), train.label_dim()),
+        w.trainer_config(),
+        SimdPolicy::Force(SimdLevel::Scalar),
+        None,
+        &train,
+        &test,
+        n_epochs,
+        300,
+    );
+    let avx_coalesced = run_slide(
+        w.network_config(train.feature_dim(), train.label_dim()),
+        w.trainer_config(),
+        SimdPolicy::Auto,
+        None,
+        &train,
+        &test,
+        n_epochs,
+        300,
+    );
+    let bf16 = run_slide(
+        w.network_config(train.feature_dim(), train.label_dim()),
+        w.trainer_config(),
+        SimdPolicy::Auto,
+        Some(Precision::Bf16Both),
+        &train,
+        &test,
+        n_epochs,
+        300,
+    );
+
+    let total = naive_full.epoch_seconds / bf16.epoch_seconds;
+    let avx_gain = scalar_coalesced.epoch_seconds / avx_coalesced.epoch_seconds;
+    let bf16_gain = avx_coalesced.epoch_seconds / bf16.epoch_seconds;
+    let memory_gain = total / (avx_gain * bf16_gain);
+    println!("\n§5.7 accounting (all measured):");
+    println!("  total speedup, naive -> fully optimized : {total:.2}x");
+    println!("  AVX-512 contribution                    : {avx_gain:.2}x");
+    println!("  BF16 contribution                       : {bf16_gain:.2}x");
+    println!("  memory-optimization remainder           : {memory_gain:.2}x");
+    println!(
+        "\nPaper: overall 2–7x; AVX+bf16 combined ≈1.7x; memory provides the rest."
+    );
+    println!(
+        "Scale caveat: the paper's models (100–340MB) dwarf its 36–39MB L3 caches, \
+         so fragmentation costs DRAM round-trips. At SLIDE_SCALE=1 our model fits \
+         in cache and the layout axis is nearly neutral; raise SLIDE_SCALE until \
+         the parameter+optimizer state exceeds this host's L3 to recover the \
+         paper's regime (SLIDE_SCALE>=4 on a ~100MB-L3 machine)."
+    );
+}

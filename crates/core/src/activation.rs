@@ -1,0 +1,109 @@
+//! Activation functions and the sampled-softmax loss pieces.
+
+/// In-place ReLU.
+#[inline]
+pub fn relu(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Zero the gradient entries whose forward activation was clamped by ReLU.
+/// `act` is the *post*-activation vector (zero exactly where clamped).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn relu_backward_mask(act: &[f32], grad: &mut [f32]) {
+    assert_eq!(act.len(), grad.len(), "relu_backward_mask: length mismatch");
+    for i in 0..act.len() {
+        if act[i] <= 0.0 {
+            grad[i] = 0.0;
+        }
+    }
+}
+
+/// Numerically stable softmax: writes probabilities for `logits` into
+/// `probs` and returns the log-partition `log Σ exp(z - max) + max` (used to
+/// compute cross-entropy without a second pass).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn softmax_into(logits: &[f32], probs: &mut Vec<f32>) -> f32 {
+    assert!(!logits.is_empty(), "softmax_into: empty logits");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    probs.clear();
+    probs.reserve(logits.len());
+    let mut sum = 0.0_f32;
+    for &z in logits {
+        let e = (z - max).exp();
+        sum += e;
+        probs.push(e);
+    }
+    let inv = 1.0 / sum;
+    for p in probs.iter_mut() {
+        *p *= inv;
+    }
+    sum.ln() + max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut x = vec![-1.0, 0.0, 2.5];
+        relu(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn relu_mask_zeroes_clamped_grads() {
+        let act = vec![0.0, 3.0, 0.0, 1.0];
+        let mut grad = vec![9.0, 9.0, 9.0, 9.0];
+        relu_backward_mask(&act, &mut grad);
+        assert_eq!(grad, vec![0.0, 9.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn softmax_probabilities_sum_to_one() {
+        let logits = vec![1.0, 2.0, 3.0];
+        let mut probs = Vec::new();
+        softmax_into(&logits, &mut probs);
+        let total: f32 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(probs[2] > probs[1] && probs[1] > probs[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        softmax_into(&[1.0, 2.0], &mut a);
+        softmax_into(&[1001.0, 1002.0], &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        // Huge logits do not overflow.
+        let mut c = Vec::new();
+        softmax_into(&[1e30, 1e30], &mut c);
+        assert!((c[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_partition_gives_cross_entropy() {
+        // CE of class i = logZ - z_i.
+        let logits = vec![0.5, 1.5, -0.5];
+        let mut probs = Vec::new();
+        let log_z = softmax_into(&logits, &mut probs);
+        for i in 0..3 {
+            let ce = log_z - logits[i];
+            assert!((ce + probs[i].ln() - 0.0).abs() < 1e-5 || (ce - (-probs[i].ln())).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Binary model checkpointing.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! magic  u32 = 0x511D_E5CB
+//! version u32 = 1
+//! n_layers u32
+//! per layer: rows u64, cols u64, units u64
+//! per layer: the LayerParams::export_into payload (weights, bias, moments)
+//! ```
+//!
+//! The checkpoint stores weights widened to f32 regardless of the runtime
+//! precision mode — bf16 → f32 → bf16 is lossless — so a model trained in
+//! one precision mode can be reloaded into another for comparison.
+
+use crate::network::Network;
+use bytes::{Buf, BufMut};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: u32 = 0x511D_E5CB;
+const VERSION: u32 = 1;
+
+/// Error restoring a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural mismatch (bad magic, wrong shapes, truncation).
+    Format(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error on checkpoint: {e}"),
+            CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serialize a network's learnable + optimizer state.
+///
+/// A mutable reference works too (`save_checkpoint(&net, &mut writer)`).
+///
+/// # Errors
+///
+/// Propagates writer I/O errors.
+pub fn save_checkpoint<W: Write>(network: &Network, mut writer: W) -> io::Result<()> {
+    let params: Vec<_> = layer_params(network);
+    let mut buf = Vec::with_capacity(
+        16 + params.iter().map(|p| p.export_len() + 24).sum::<usize>(),
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in &params {
+        buf.put_u64_le(p.rows() as u64);
+        buf.put_u64_le(p.cols() as u64);
+        buf.put_u64_le(p.units() as u64);
+    }
+    for p in &params {
+        p.export_into(&mut buf);
+    }
+    writer.write_all(&buf)
+}
+
+/// Restore a network's state from a checkpoint written by
+/// [`save_checkpoint`]. The network must have the same architecture; hash
+/// tables are rebuilt from the restored weights.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] on a shape/magic mismatch and
+/// [`CheckpointError::Io`] on read failure.
+pub fn load_checkpoint<R: Read>(network: &mut Network, mut reader: R) -> Result<(), CheckpointError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    if buf.remaining() < 12 {
+        return Err(CheckpointError::Format("header truncated".into()));
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let n_layers = buf.get_u32_le() as usize;
+    {
+        let params = layer_params(network);
+        if n_layers != params.len() {
+            return Err(CheckpointError::Format(format!(
+                "layer count mismatch: checkpoint {n_layers}, network {}",
+                params.len()
+            )));
+        }
+        if buf.remaining() < n_layers * 24 {
+            return Err(CheckpointError::Format("shape table truncated".into()));
+        }
+        let mut shapes = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            shapes.push((
+                buf.get_u64_le() as usize,
+                buf.get_u64_le() as usize,
+                buf.get_u64_le() as usize,
+            ));
+        }
+        for (p, &(rows, cols, units)) in params.iter().zip(&shapes) {
+            if p.rows() != rows || p.cols() != cols || p.units() != units {
+                return Err(CheckpointError::Format(format!(
+                    "shape mismatch: checkpoint {rows}x{cols}/{units}, network {}x{}/{}",
+                    p.rows(),
+                    p.cols(),
+                    p.units()
+                )));
+            }
+        }
+    }
+    for p in layer_params_mut(network) {
+        p.import_from(&mut buf).map_err(CheckpointError::Format)?;
+    }
+    network.output().rebuild_serial();
+    Ok(())
+}
+
+fn layer_params(network: &Network) -> Vec<&crate::params::LayerParams> {
+    let mut v = vec![network.input().params()];
+    v.extend(network.hidden_layers().iter().map(|l| l.params()));
+    v.push(network.output().params());
+    v
+}
+
+fn layer_params_mut(network: &mut Network) -> Vec<&mut crate::params::LayerParams> {
+    let (input, hidden, output) = network.layers_mut();
+    let mut v = vec![input.params_mut()];
+    v.extend(hidden.iter_mut().map(|l| l.params_mut()));
+    v.push(output.params_mut());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LshConfig, NetworkConfig, Precision};
+    use slide_mem::SparseVecRef;
+
+    fn config() -> NetworkConfig {
+        let mut cfg = NetworkConfig::standard(64, 12, 32);
+        cfg.hidden_dims = vec![12, 8];
+        cfg.lsh = LshConfig {
+            tables: 6,
+            key_bits: 4,
+            min_active: 8,
+            ..Default::default()
+        };
+        cfg
+    }
+
+    fn perturb(net: &Network) {
+        // Make the state distinctive before saving.
+        let mut scratch = net.make_scratch();
+        let idx = [1u32, 30];
+        let val = [1.0f32, -2.0];
+        for t in 1..10 {
+            net.train_sample(SparseVecRef::new(&idx, &val), &[3], &mut scratch, 1.0, t, 0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_predictions() {
+        let net = Network::new(config()).unwrap();
+        perturb(&net);
+        let mut bytes = Vec::new();
+        save_checkpoint(&net, &mut bytes).unwrap();
+
+        let mut restored = Network::new(config()).unwrap();
+        load_checkpoint(&mut restored, &bytes[..]).unwrap();
+
+        let mut s1 = net.make_scratch();
+        let mut s2 = restored.make_scratch();
+        let idx = [5u32, 20];
+        let val = [0.5f32, 1.5];
+        let x = SparseVecRef::new(&idx, &val);
+        assert_eq!(
+            net.predict(x, 5, &mut s1, true, 0),
+            restored.predict(x, 5, &mut s2, true, 0)
+        );
+        // Weights bit-identical.
+        for r in 0..32 {
+            assert_eq!(
+                net.output().params().row_f32(r),
+                restored.output().params().row_f32(r)
+            );
+        }
+    }
+
+    #[test]
+    fn bf16_checkpoint_roundtrips_into_fp32_network() {
+        let mut cfg = config();
+        cfg.precision = Precision::Bf16Both;
+        let net = Network::new(cfg).unwrap();
+        perturb(&net);
+        let mut bytes = Vec::new();
+        save_checkpoint(&net, &mut bytes).unwrap();
+
+        let mut fp32 = Network::new(config()).unwrap();
+        load_checkpoint(&mut fp32, &bytes[..]).unwrap();
+        for r in 0..32 {
+            assert_eq!(
+                net.output().params().row_f32(r),
+                fp32.output().params().row_f32(r)
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let net = Network::new(config()).unwrap();
+        let mut bytes = Vec::new();
+        save_checkpoint(&net, &mut bytes).unwrap();
+        let mut other_cfg = config();
+        other_cfg.output_dim = 33;
+        let mut other = Network::new(other_cfg).unwrap();
+        match load_checkpoint(&mut other, &bytes[..]) {
+            Err(CheckpointError::Format(msg)) => assert!(msg.contains("mismatch"), "{msg}"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut net = Network::new(config()).unwrap();
+        let err = load_checkpoint(&mut net, &b"nope"[..]).unwrap_err();
+        assert!(err.to_string().contains("invalid checkpoint"));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let net = Network::new(config()).unwrap();
+        let mut bytes = Vec::new();
+        save_checkpoint(&net, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        let mut other = Network::new(config()).unwrap();
+        assert!(load_checkpoint(&mut other, &bytes[..]).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! A persistent worker pool — the OpenMP-parallel-for stand-in.
+//!
+//! The paper's implementation relies on OpenMP's long-lived worker threads
+//! (§2, §4.1.1); spawning fresh threads per batch would bury SLIDE's
+//! sub-millisecond per-batch compute in thread start-up latency. This pool
+//! keeps `n` workers parked on a condition variable and runs *borrowed*
+//! closures: `run` does not return until every worker has finished, which is
+//! what makes handing the closure to the workers by raw pointer sound.
+
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+type Job = *const (dyn Fn(usize) + Sync + 'static);
+
+struct PoolShared {
+    /// Current job pointer + generation; guarded by `lock`.
+    job: Mutex<(Option<Job>, u64)>,
+    start: Condvar,
+    done_lock: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+// SAFETY: the raw job pointer is only dereferenced while `run` blocks, so the
+// referent outlives every use (see `run`).
+unsafe impl Send for PoolShared {}
+unsafe impl Sync for PoolShared {}
+
+/// A fixed-size pool of parked worker threads executing borrowed closures.
+///
+/// # Examples
+///
+/// ```
+/// use slide_core::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.run(&|worker_id| {
+///     assert!(worker_id < 4);
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 4);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// Spawn `workers` parked threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            job: Mutex::new((None, 0)),
+            start: Condvar::new(),
+            done_lock: Mutex::new(0),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("slide-worker-{id}"))
+                    .spawn(move || worker_loop(id, &shared))
+                    .expect("spawn slide worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `f(worker_id)` once on every worker concurrently, blocking
+    /// until all calls return.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics on the caller if any worker's closure panicked.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        // Publish the job. The pointer stays valid because we do not return
+        // until every worker reports done; the lifetime erasure below is
+        // sound for the same reason.
+        let ptr: *const (dyn Fn(usize) + Sync) = f;
+        // SAFETY: same-layout fat-pointer transmute, erasing the borrow
+        // lifetime; the referent outlives all uses (we block below).
+        let job: Job = unsafe { std::mem::transmute(ptr) };
+        {
+            let mut guard = self.shared.job.lock();
+            guard.0 = Some(job);
+            guard.1 = guard.1.wrapping_add(1);
+            self.shared.start.notify_all();
+        }
+        // Wait for all workers.
+        let mut done = self.shared.done_lock.lock();
+        while *done < self.workers {
+            self.shared.done.wait(&mut done);
+        }
+        *done = 0;
+        drop(done);
+        // Clear the job pointer so nothing dangles between runs.
+        self.shared.job.lock().0 = None;
+        if self.shared.panicked.swap(false, Ordering::SeqCst) {
+            panic!("ThreadPool: a worker closure panicked");
+        }
+    }
+
+    /// Parallel loop over `0..n`: workers pull `grain`-sized index chunks
+    /// from a shared counter (dynamic load balancing, like OpenMP's
+    /// `schedule(dynamic)` which SLIDE uses for its skewed workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grain == 0`, and re-panics if `f` panics on any worker.
+    pub fn parallel_for(&self, n: usize, grain: usize, f: &(dyn Fn(usize) + Sync)) {
+        assert!(grain > 0, "ThreadPool::parallel_for: grain must be positive");
+        if n == 0 {
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        self.run(&|_worker| loop {
+            let start = cursor.fetch_add(grain, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + grain).min(n);
+            for i in start..end {
+                f(i);
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake everyone so they observe shutdown.
+        {
+            let mut job = self.shared.job.lock();
+            job.1 = job.1.wrapping_add(1);
+            self.shared.start.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(worker_id: usize, shared: &PoolShared) {
+    let mut seen_gen = 0u64;
+    loop {
+        let job: Option<Job> = {
+            let mut guard = shared.job.lock();
+            while guard.1 == seen_gen && !shared.shutdown.load(Ordering::SeqCst) {
+                shared.start.wait(&mut guard);
+            }
+            seen_gen = guard.1;
+            guard.0
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(job) = job {
+            // SAFETY: `run` blocks until all workers signal done, so the
+            // closure behind `job` is alive for the duration of this call.
+            let f = unsafe { &*job };
+            if catch_unwind(AssertUnwindSafe(|| f(worker_id))).is_err() {
+                shared.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut done = shared.done_lock.lock();
+            *done += 1;
+            if *done >= 1 {
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_worker_runs_once() {
+        let pool = ThreadPool::new(6);
+        let mask = AtomicU64::new(0);
+        pool.run(&|id| {
+            mask.fetch_or(1 << id, Ordering::SeqCst);
+        });
+        assert_eq!(mask.load(Ordering::SeqCst), 0b111111);
+    }
+
+    #[test]
+    fn reusable_across_many_runs() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(&|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn parallel_for_covers_all_indices() {
+        let pool = ThreadPool::new(4);
+        let n = 10_007;
+        let flags: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(n, 64, &|i| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_is_noop() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(0, 8, &|_| panic!("should not run"));
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|id| {
+                if id == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let counter = AtomicUsize::new(0);
+        pool.run(&|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let counter = AtomicUsize::new(0);
+        pool.run(&|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-worker scratch state: every allocation a HOGWILD worker needs is made
+//! once and reused across batches, so the steady-state training loop is
+//! allocation-free (a §4.1 requirement — allocator churn would re-fragment
+//! the memory the batch/arena layouts just coalesced).
+
+use slide_data::MeanMetric;
+use slide_hash::LshScratch;
+
+/// O(1)-reset membership filter over `0..n` using generation stamps.
+///
+/// # Examples
+///
+/// ```
+/// use slide_core::StampSet;
+/// let mut set = StampSet::new(10);
+/// set.begin();
+/// assert!(set.insert(3));
+/// assert!(!set.insert(3));
+/// set.begin(); // new generation: everything forgotten in O(1)
+/// assert!(set.insert(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StampSet {
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl StampSet {
+    /// Create a filter over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        StampSet {
+            stamp: vec![0; n],
+            gen: 0,
+        }
+    }
+
+    /// Start a new (empty) generation.
+    pub fn begin(&mut self) {
+        if self.gen == u32::MAX {
+            self.stamp.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    /// Insert `id`; returns `true` if it was not yet present this generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let slot = &mut self.stamp[id as usize];
+        if *slot == self.gen {
+            false
+        } else {
+            *slot = self.gen;
+            true
+        }
+    }
+
+    /// Whether `id` is present this generation.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.stamp[id as usize] == self.gen
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.stamp.len()
+    }
+}
+
+/// All mutable state one worker thread owns during training/evaluation.
+#[derive(Debug)]
+pub struct WorkerScratch {
+    /// Activation buffer per hidden layer (sized to that layer's width).
+    pub acts: Vec<Vec<f32>>,
+    /// Gradient buffer per hidden layer activation.
+    pub grads: Vec<Vec<f32>>,
+    /// LSH scratch for the output layer's family.
+    pub lsh: LshScratch,
+    /// Table keys buffer (`L` entries).
+    pub keys: Vec<u32>,
+    /// Raw candidates from table queries (with duplicates).
+    pub candidates: Vec<u32>,
+    /// Deduplicated active set for the current sample.
+    pub active: Vec<u32>,
+    /// Active-set dedup filter over output neurons.
+    pub dedup: StampSet,
+    /// Logits over the active set.
+    pub logits: Vec<f32>,
+    /// Softmax probabilities over the active set.
+    pub probs: Vec<f32>,
+    /// Output rows this worker first-touched in the current batch.
+    pub touched_out: Vec<u32>,
+    /// Input-feature rows this worker first-touched in the current batch.
+    pub touched_in: Vec<u32>,
+    /// Per-worker loss accumulator for the current epoch.
+    pub loss: MeanMetric,
+    /// Per-worker metric accumulator for evaluation.
+    pub metric: MeanMetric,
+    /// Scratch for widening bf16 rows during table rebuilds.
+    pub widen: Vec<f32>,
+}
+
+impl WorkerScratch {
+    /// Allocate scratch for a network with the given hidden widths, output
+    /// size, and LSH family.
+    pub fn new(hidden_dims: &[usize], output_dim: usize, family: &slide_hash::LshFamily) -> Self {
+        WorkerScratch {
+            acts: hidden_dims.iter().map(|&d| vec![0.0; d]).collect(),
+            grads: hidden_dims.iter().map(|&d| vec![0.0; d]).collect(),
+            lsh: family.make_scratch(),
+            keys: vec![0; family.tables()],
+            candidates: Vec::with_capacity(1024),
+            active: Vec::with_capacity(1024),
+            dedup: StampSet::new(output_dim),
+            logits: Vec::with_capacity(1024),
+            probs: Vec::with_capacity(1024),
+            touched_out: Vec::with_capacity(1024),
+            touched_in: Vec::with_capacity(1024),
+            loss: MeanMetric::new(),
+            metric: MeanMetric::new(),
+            widen: vec![0.0; hidden_dims.last().copied().unwrap_or(0)],
+        }
+    }
+}
+
+/// Sendable pointer to a slice of worker scratches; each worker dereferences
+/// only its own index, so access is disjoint.
+#[derive(Clone, Copy)]
+pub(crate) struct ScratchSlots {
+    base: *mut WorkerScratch,
+    len: usize,
+}
+
+unsafe impl Send for ScratchSlots {}
+unsafe impl Sync for ScratchSlots {}
+
+impl ScratchSlots {
+    pub(crate) fn new(scratches: &mut [WorkerScratch]) -> Self {
+        ScratchSlots {
+            base: scratches.as_mut_ptr(),
+            len: scratches.len(),
+        }
+    }
+
+    /// Exclusive access to worker `i`'s scratch.
+    ///
+    /// # Safety
+    ///
+    /// Each index must be used by at most one thread at a time (the pool
+    /// hands every worker a distinct id), and the backing slice must outlive
+    /// the parallel section.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get(&self, i: usize) -> &mut WorkerScratch {
+        assert!(i < self.len, "ScratchSlots: worker index out of range");
+        &mut *self.base.add(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_hash::{DwtaConfig, LshFamily};
+
+    #[test]
+    fn stamp_set_semantics() {
+        let mut s = StampSet::new(5);
+        s.begin();
+        assert!(s.insert(0));
+        assert!(s.contains(0));
+        assert!(!s.contains(1));
+        assert!(!s.insert(0));
+        s.begin();
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert_eq!(s.universe(), 5);
+    }
+
+    #[test]
+    fn stamp_set_generation_wrap_resets() {
+        let mut s = StampSet::new(3);
+        s.gen = u32::MAX - 1;
+        s.begin(); // gen == MAX
+        assert!(s.insert(1));
+        s.begin(); // wrap path
+        assert!(!s.contains(1));
+        assert!(s.insert(1));
+    }
+
+    #[test]
+    fn scratch_sizes_follow_network_shape() {
+        let family = LshFamily::dwta(DwtaConfig {
+            dim: 16,
+            key_bits: 5,
+            tables: 7,
+            bin_size: 8,
+            seed: 1,
+        });
+        let s = WorkerScratch::new(&[32, 16], 1000, &family);
+        assert_eq!(s.acts.len(), 2);
+        assert_eq!(s.acts[0].len(), 32);
+        assert_eq!(s.grads[1].len(), 16);
+        assert_eq!(s.keys.len(), 7);
+        assert_eq!(s.dedup.universe(), 1000);
+        assert_eq!(s.widen.len(), 16);
+    }
+}

@@ -1,0 +1,152 @@
+//! Evaluation metrics: Precision@k, the paper's accuracy measure
+//! ("P@1" throughout §5).
+
+/// Precision@k of a ranked prediction list against a true label set: the
+/// fraction of the top `k` predictions that are true labels.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `predictions.len() < k`.
+///
+/// # Examples
+///
+/// ```
+/// use slide_data::precision_at_k;
+/// assert_eq!(precision_at_k(&[5, 2, 9], &[2, 7], 1), 0.0);
+/// assert_eq!(precision_at_k(&[5, 2, 9], &[2, 7], 2), 0.5);
+/// ```
+pub fn precision_at_k(predictions: &[u32], true_labels: &[u32], k: usize) -> f32 {
+    assert!(k > 0, "precision_at_k: k must be positive");
+    assert!(
+        predictions.len() >= k,
+        "precision_at_k: need at least k predictions"
+    );
+    let hits = predictions[..k]
+        .iter()
+        .filter(|p| true_labels.contains(p))
+        .count();
+    hits as f32 / k as f32
+}
+
+/// Streaming mean of a per-sample metric (e.g. P@1 over a test set).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanMetric {
+    sum: f64,
+    count: u64,
+}
+
+impl MeanMetric {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, value: f32) {
+        self.sum += value as f64;
+        self.count += 1;
+    }
+
+    /// Current mean (0.0 if nothing was pushed).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Merge another accumulator (for per-thread partial metrics).
+    pub fn merge(&mut self, other: MeanMetric) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// Indices of the `k` largest values (ties broken toward lower index),
+/// O(n·k) — used on SLIDE's *active set* scores where k is 1 or 5 and n is
+/// the active-set size, so this beats a full sort.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<u32> {
+    assert!(k > 0, "top_k_indices: k must be positive");
+    let k = k.min(scores.len());
+    let mut top: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        if top.len() < k || s > top.last().expect("non-empty").0 {
+            let pos = top.partition_point(|&(v, _)| v >= s);
+            top.insert(pos, (s, i as u32));
+            if top.len() > k {
+                top.pop();
+            }
+        }
+    }
+    top.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_at_1_is_hit_or_miss() {
+        assert_eq!(precision_at_k(&[3], &[3, 4], 1), 1.0);
+        assert_eq!(precision_at_k(&[5], &[3, 4], 1), 0.0);
+    }
+
+    #[test]
+    fn p_at_k_counts_fraction() {
+        assert_eq!(precision_at_k(&[1, 2, 3, 4], &[2, 4, 9], 4), 0.5);
+        assert_eq!(precision_at_k(&[1, 2], &[], 2), 0.0);
+    }
+
+    #[test]
+    fn mean_metric_accumulates_and_merges() {
+        let mut m = MeanMetric::new();
+        assert_eq!(m.mean(), 0.0);
+        m.push(1.0);
+        m.push(0.0);
+        assert!((m.mean() - 0.5).abs() < 1e-12);
+        let mut other = MeanMetric::new();
+        other.push(1.0);
+        other.push(1.0);
+        m.merge(other);
+        assert!((m.mean() - 0.75).abs() < 1e-12);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let scores = [0.1, 5.0, 3.0, 4.0, -1.0];
+        assert_eq!(top_k_indices(&scores, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&scores, 1), vec![1]);
+    }
+
+    #[test]
+    fn top_k_handles_short_input_and_ties() {
+        assert_eq!(top_k_indices(&[2.0], 5), vec![0]);
+        // Ties: first index wins the earlier rank.
+        assert_eq!(top_k_indices(&[7.0, 7.0, 1.0], 2), vec![0, 1]);
+        assert_eq!(top_k_indices(&[], 2), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_on_random_input() {
+        let scores: Vec<f32> = (0..200).map(|i| ((i * 137 % 97) as f32) * 0.37).collect();
+        let mut full: Vec<u32> = (0..200u32).collect();
+        full.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        assert_eq!(top_k_indices(&scores, 10), full[..10].to_vec());
+    }
+}

@@ -1,0 +1,169 @@
+//! Dataset splitting utilities: seeded train/validation carving and
+//! subsampling. The real XC files ship fixed train/test splits; downstream
+//! users still need validation folds and fast-iteration subsets.
+
+use crate::dataset::Dataset;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn copy_samples(ds: &Dataset, indices: &[u32]) -> Dataset {
+    let mut out = Dataset::new(ds.feature_dim(), ds.label_dim());
+    for &i in indices {
+        let x = ds.features(i as usize);
+        out.push(x.indices, x.values, ds.labels(i as usize));
+    }
+    out
+}
+
+/// Split a dataset into `(train, holdout)` with `holdout_fraction` of the
+/// samples (rounded down, at least 1 when the fraction is positive and the
+/// dataset non-empty) going to the holdout, shuffled under `seed`.
+///
+/// # Panics
+///
+/// Panics if `holdout_fraction` is outside `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use slide_data::{generate_synthetic, train_holdout_split, SynthConfig};
+/// let data = generate_synthetic(&SynthConfig { n_train: 100, n_test: 10, ..Default::default() });
+/// let (train, val) = train_holdout_split(&data.train, 0.2, 7);
+/// assert_eq!(train.len() + val.len(), 100);
+/// assert_eq!(val.len(), 20);
+/// ```
+pub fn train_holdout_split(ds: &Dataset, holdout_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&holdout_fraction),
+        "train_holdout_split: holdout_fraction in [0, 1)"
+    );
+    let mut order: Vec<u32> = (0..ds.len() as u32).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+    let mut n_holdout = (ds.len() as f64 * holdout_fraction) as usize;
+    if holdout_fraction > 0.0 && n_holdout == 0 && !ds.is_empty() {
+        n_holdout = 1;
+    }
+    let (holdout_idx, train_idx) = order.split_at(n_holdout);
+    (copy_samples(ds, train_idx), copy_samples(ds, holdout_idx))
+}
+
+/// Uniformly subsample `n` samples (all of them if `n >= len`), shuffled
+/// under `seed` — for quick experiments against large files.
+pub fn subsample(ds: &Dataset, n: usize, seed: u64) -> Dataset {
+    let mut order: Vec<u32> = (0..ds.len() as u32).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+    order.truncate(n);
+    copy_samples(ds, &order)
+}
+
+/// `k`-fold partition: returns `k` (train, validation) pairs covering every
+/// sample exactly once as validation.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > ds.len()`.
+pub fn k_folds(ds: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "k_folds: k must be at least 2");
+    assert!(k <= ds.len(), "k_folds: k exceeds dataset size");
+    let mut order: Vec<u32> = (0..ds.len() as u32).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+    let fold_size = ds.len().div_ceil(k);
+    let mut out = Vec::with_capacity(k);
+    for f in 0..k {
+        let start = f * fold_size;
+        let end = ((f + 1) * fold_size).min(ds.len());
+        let val_idx = &order[start..end];
+        let train_idx: Vec<u32> = order[..start]
+            .iter()
+            .chain(&order[end..])
+            .copied()
+            .collect();
+        out.push((copy_samples(ds, &train_idx), copy_samples(ds, val_idx)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut ds = Dataset::new(100, 10);
+        for i in 0..n {
+            ds.push(&[i as u32 % 100], &[i as f32], &[(i % 10) as u32]);
+        }
+        ds
+    }
+
+    #[test]
+    fn holdout_split_partitions_exactly() {
+        let ds = toy(50);
+        let (train, val) = train_holdout_split(&ds, 0.3, 3);
+        assert_eq!(train.len(), 35);
+        assert_eq!(val.len(), 15);
+        // Every sample appears exactly once across the two splits (values
+        // are unique per sample in `toy`).
+        let mut seen: Vec<f32> = Vec::new();
+        for ds in [&train, &val] {
+            for i in 0..ds.len() {
+                seen.push(ds.features(i).values[0]);
+            }
+        }
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn holdout_split_is_seeded() {
+        let ds = toy(30);
+        let (a, _) = train_holdout_split(&ds, 0.5, 9);
+        let (b, _) = train_holdout_split(&ds, 0.5, 9);
+        let (c, _) = train_holdout_split(&ds, 0.5, 10);
+        let sig = |d: &Dataset| (0..d.len()).map(|i| d.features(i).values[0]).collect::<Vec<_>>();
+        assert_eq!(sig(&a), sig(&b));
+        assert_ne!(sig(&a), sig(&c));
+    }
+
+    #[test]
+    fn tiny_positive_fraction_still_holds_out_one() {
+        let ds = toy(5);
+        let (train, val) = train_holdout_split(&ds, 0.01, 1);
+        assert_eq!(val.len(), 1);
+        assert_eq!(train.len(), 4);
+        let (train, val) = train_holdout_split(&ds, 0.0, 1);
+        assert_eq!(val.len(), 0);
+        assert_eq!(train.len(), 5);
+    }
+
+    #[test]
+    fn subsample_bounds() {
+        let ds = toy(20);
+        assert_eq!(subsample(&ds, 7, 1).len(), 7);
+        assert_eq!(subsample(&ds, 100, 1).len(), 20);
+        assert_eq!(subsample(&ds, 0, 1).len(), 0);
+    }
+
+    #[test]
+    fn k_folds_cover_everything_once() {
+        let ds = toy(23);
+        let folds = k_folds(&ds, 4, 5);
+        assert_eq!(folds.len(), 4);
+        let mut vals: Vec<f32> = Vec::new();
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 23);
+            for i in 0..val.len() {
+                vals.push(val.features(i).values[0]);
+            }
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, (0..23).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn k_folds_rejects_k1() {
+        k_folds(&toy(10), 1, 0);
+    }
+}

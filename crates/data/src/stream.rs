@@ -1,0 +1,231 @@
+//! Streaming XC-format reader: iterate samples without materializing the
+//! whole dataset. The paper's Text8 split is 13.6M samples — at that scale a
+//! downstream user wants to stream epochs from disk and keep only the model
+//! in memory.
+
+use crate::svm::ParseDatasetError;
+use std::io::BufRead;
+
+/// One streamed sample: owned sparse features and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedSample {
+    /// Sorted non-zero feature indices.
+    pub indices: Vec<u32>,
+    /// Matching values.
+    pub values: Vec<f32>,
+    /// Sorted, deduplicated label ids.
+    pub labels: Vec<u32>,
+}
+
+/// Streaming reader over an XC-format source.
+///
+/// # Examples
+///
+/// ```
+/// use slide_data::XcReader;
+/// let text = "2 10 4\n1,3 0:1.0 5:2.5\n2 7:0.5\n";
+/// let mut reader = XcReader::new(text.as_bytes()).unwrap();
+/// assert_eq!(reader.num_samples(), 2);
+/// let first = reader.next().unwrap().unwrap();
+/// assert_eq!(first.labels, vec![1, 3]);
+/// assert_eq!(reader.count(), 1); // one sample left
+/// ```
+#[derive(Debug)]
+pub struct XcReader<R: BufRead> {
+    lines: std::io::Lines<R>,
+    num_samples: usize,
+    feature_dim: usize,
+    label_dim: usize,
+    line_no: usize,
+    yielded: usize,
+}
+
+impl<R: BufRead> XcReader<R> {
+    /// Open a reader, consuming and validating the header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDatasetError`] on I/O failure or a malformed header.
+    pub fn new(reader: R) -> Result<Self, ParseDatasetError> {
+        let mut lines = reader.lines();
+        let header = lines.next().ok_or(ParseDatasetError::Malformed {
+            line: 1,
+            reason: "missing header line".into(),
+        })??;
+        let mut parts = header.split_whitespace();
+        let mut dim = |name: &str| -> Result<usize, ParseDatasetError> {
+            parts
+                .next()
+                .ok_or_else(|| ParseDatasetError::Malformed {
+                    line: 1,
+                    reason: format!("header missing {name}"),
+                })?
+                .parse()
+                .map_err(|_| ParseDatasetError::Malformed {
+                    line: 1,
+                    reason: format!("header {name} is not an integer"),
+                })
+        };
+        let num_samples = dim("num_samples")?;
+        let feature_dim = dim("num_features")?;
+        let label_dim = dim("num_labels")?;
+        if feature_dim == 0 || label_dim == 0 {
+            return Err(ParseDatasetError::Malformed {
+                line: 1,
+                reason: "zero feature or label dimension".into(),
+            });
+        }
+        Ok(XcReader {
+            lines,
+            num_samples,
+            feature_dim,
+            label_dim,
+            line_no: 1,
+            yielded: 0,
+        })
+    }
+
+    /// Samples promised by the header.
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// Feature-space dimensionality from the header.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Label-space dimensionality from the header.
+    pub fn label_dim(&self) -> usize {
+        self.label_dim
+    }
+
+    fn parse_line(&self, line: &str) -> Result<Option<StreamedSample>, ParseDatasetError> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Ok(None);
+        }
+        let malformed = |reason: String| ParseDatasetError::Malformed {
+            line: self.line_no,
+            reason,
+        };
+        let mut labels = Vec::new();
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut fields = trimmed.split_whitespace();
+        let first = fields.next().expect("non-empty");
+        let feature_fields: Box<dyn Iterator<Item = &str>> = if first.contains(':') {
+            Box::new(std::iter::once(first).chain(fields))
+        } else {
+            for tok in first.split(',').filter(|t| !t.is_empty()) {
+                let l: u32 = tok
+                    .parse()
+                    .map_err(|_| malformed(format!("bad label '{tok}'")))?;
+                if l as usize >= self.label_dim {
+                    return Err(malformed(format!("label {l} >= {}", self.label_dim)));
+                }
+                labels.push(l);
+            }
+            Box::new(fields)
+        };
+        for pair in feature_fields {
+            let (idx, val) = pair
+                .split_once(':')
+                .ok_or_else(|| malformed(format!("expected idx:val, got '{pair}'")))?;
+            let idx: u32 = idx
+                .parse()
+                .map_err(|_| malformed(format!("bad feature index '{idx}'")))?;
+            if idx as usize >= self.feature_dim {
+                return Err(malformed(format!("feature index {idx} >= {}", self.feature_dim)));
+            }
+            let val: f32 = val
+                .parse()
+                .map_err(|_| malformed(format!("bad feature value '{val}'")))?;
+            indices.push(idx);
+            values.push(val);
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        Ok(Some(StreamedSample {
+            indices,
+            values,
+            labels,
+        }))
+    }
+}
+
+impl<R: BufRead> Iterator for XcReader<R> {
+    type Item = Result<StreamedSample, ParseDatasetError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(e.into())),
+            };
+            self.line_no += 1;
+            match self.parse_line(&line) {
+                Ok(Some(sample)) => {
+                    self.yielded += 1;
+                    return Some(Ok(sample));
+                }
+                Ok(None) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: &str = "3 100 50\n1,2 5:1.5 10:2.0\n\n0 3:0.5\n7,7,3\n";
+
+    #[test]
+    fn streams_all_samples() {
+        let reader = XcReader::new(DATA.as_bytes()).unwrap();
+        assert_eq!(reader.num_samples(), 3);
+        assert_eq!(reader.feature_dim(), 100);
+        assert_eq!(reader.label_dim(), 50);
+        let samples: Vec<_> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].labels, vec![1, 2]);
+        assert_eq!(samples[0].indices, vec![5, 10]);
+        assert_eq!(samples[1].values, vec![0.5]);
+        assert_eq!(samples[2].labels, vec![3, 7], "deduped");
+        assert!(samples[2].indices.is_empty());
+    }
+
+    #[test]
+    fn matches_batch_parser() {
+        let streamed: Vec<_> = XcReader::new(DATA.as_bytes())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let batch = crate::parse_xc(DATA.as_bytes()).unwrap();
+        assert_eq!(streamed.len(), batch.len());
+        for (i, s) in streamed.iter().enumerate() {
+            assert_eq!(s.indices, batch.features(i).indices);
+            assert_eq!(s.values, batch.features(i).values);
+            assert_eq!(s.labels, batch.labels(i));
+        }
+    }
+
+    #[test]
+    fn bad_lines_surface_errors_with_position() {
+        let mut reader = XcReader::new("2 10 5\n0 1:1.0\n0 z:1\n".as_bytes()).unwrap();
+        assert!(reader.next().unwrap().is_ok());
+        match reader.next().unwrap() {
+            Err(ParseDatasetError::Malformed { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_errors_propagate() {
+        assert!(XcReader::new("".as_bytes()).is_err());
+        assert!(XcReader::new("1 0 5\n".as_bytes()).is_err());
+        assert!(XcReader::new("x 10 5\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Extreme-classification dataset file format (the XMLRepository / libsvm
+//! dialect used by Amazon-670K and WikiLSHTC-325K).
+//!
+//! Header line: `num_samples num_features num_labels`.
+//! Sample lines: `l1,l2,...  idx:val idx:val ...` — comma-separated label
+//! ids, then whitespace-separated `feature:value` pairs.
+//!
+//! With these routines the real datasets from Bhatia et al.'s repository
+//! drop into the benchmark harness unchanged; the synthetic generators cover
+//! the offline case.
+
+use crate::dataset::Dataset;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error parsing an XC-format dataset.
+#[derive(Debug)]
+pub enum ParseDatasetError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with 1-based line number and explanation.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseDatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDatasetError::Io(e) => write!(f, "i/o error reading dataset: {e}"),
+            ParseDatasetError::Malformed { line, reason } => {
+                write!(f, "malformed dataset at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseDatasetError::Io(e) => Some(e),
+            ParseDatasetError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseDatasetError {
+    fn from(e: io::Error) -> Self {
+        ParseDatasetError::Io(e)
+    }
+}
+
+fn malformed(line: usize, reason: impl Into<String>) -> ParseDatasetError {
+    ParseDatasetError::Malformed {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Parse an XC-format dataset from a buffered reader.
+///
+/// A mutable reference works too (`parse_xc(&mut reader)`).
+///
+/// # Errors
+///
+/// Returns [`ParseDatasetError`] on I/O failure, a bad header, out-of-range
+/// indices, or malformed `idx:val` pairs. Samples with no labels are kept
+/// (they occur in the real datasets); empty feature lists are kept too.
+///
+/// # Examples
+///
+/// ```
+/// let text = "2 10 4\n1,3 0:1.0 5:2.5\n2 7:0.5\n";
+/// let ds = slide_data::parse_xc(text.as_bytes()).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.labels(0), &[1, 3]);
+/// assert_eq!(ds.features(1).indices, &[7]);
+/// ```
+pub fn parse_xc<R: BufRead>(reader: R) -> Result<Dataset, ParseDatasetError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| malformed(1, "missing header line"))??;
+    let mut parts = header.split_whitespace();
+    let mut next_dim = |name: &str| -> Result<usize, ParseDatasetError> {
+        parts
+            .next()
+            .ok_or_else(|| malformed(1, format!("header missing {name}")))?
+            .parse::<usize>()
+            .map_err(|_| malformed(1, format!("header {name} is not an integer")))
+    };
+    let n_samples = next_dim("num_samples")?;
+    let feature_dim = next_dim("num_features")?;
+    let label_dim = next_dim("num_labels")?;
+    if feature_dim == 0 || label_dim == 0 {
+        return Err(malformed(1, "zero feature or label dimension"));
+    }
+
+    let mut ds = Dataset::new(feature_dim, label_dim);
+    let mut labels: Vec<u32> = Vec::new();
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        labels.clear();
+        indices.clear();
+        values.clear();
+        let mut fields = trimmed.split_whitespace();
+        let first = fields.next().expect("non-empty line has a field");
+        // The first field is the label list unless it contains ':' (no-label
+        // sample whose first field is already a feature).
+        let feature_fields: Box<dyn Iterator<Item = &str>> = if first.contains(':') {
+            Box::new(std::iter::once(first).chain(fields))
+        } else {
+            for tok in first.split(',').filter(|t| !t.is_empty()) {
+                let l: u32 = tok
+                    .parse()
+                    .map_err(|_| malformed(line_no, format!("bad label '{tok}'")))?;
+                if l as usize >= label_dim {
+                    return Err(malformed(line_no, format!("label {l} >= {label_dim}")));
+                }
+                labels.push(l);
+            }
+            Box::new(fields)
+        };
+        for pair in feature_fields {
+            let (idx, val) = pair
+                .split_once(':')
+                .ok_or_else(|| malformed(line_no, format!("expected idx:val, got '{pair}'")))?;
+            let idx: u32 = idx
+                .parse()
+                .map_err(|_| malformed(line_no, format!("bad feature index '{idx}'")))?;
+            if idx as usize >= feature_dim {
+                return Err(malformed(
+                    line_no,
+                    format!("feature index {idx} >= {feature_dim}"),
+                ));
+            }
+            let val: f32 = val
+                .parse()
+                .map_err(|_| malformed(line_no, format!("bad feature value '{val}'")))?;
+            indices.push(idx);
+            values.push(val);
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        ds.push(&indices, &values, &labels);
+    }
+    if ds.len() != n_samples {
+        return Err(malformed(
+            1,
+            format!("header promised {n_samples} samples, found {}", ds.len()),
+        ));
+    }
+    Ok(ds)
+}
+
+/// Write a dataset in XC format.
+///
+/// A mutable reference works too (`write_xc(&mut writer, &ds)`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_xc<W: Write>(mut writer: W, ds: &Dataset) -> io::Result<()> {
+    writeln!(
+        writer,
+        "{} {} {}",
+        ds.len(),
+        ds.feature_dim(),
+        ds.label_dim()
+    )?;
+    for i in 0..ds.len() {
+        let labels: Vec<String> = ds.labels(i).iter().map(|l| l.to_string()).collect();
+        write!(writer, "{}", labels.join(","))?;
+        for (idx, val) in ds.features(i).iter() {
+            write!(writer, " {idx}:{val}")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let text = "3 100 50\n1,2 5:1.5 10:2.0\n0 3:0.5\n7,7,3 \n";
+        let ds = parse_xc(text.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.labels(0), &[1, 2]);
+        assert_eq!(ds.features(0).indices, &[5, 10]);
+        assert_eq!(ds.features(0).values, &[1.5, 2.0]);
+        assert_eq!(ds.labels(1), &[0]);
+        // Duplicate labels deduped, empty feature list kept.
+        assert_eq!(ds.labels(2), &[3, 7]);
+        assert_eq!(ds.features(2).nnz(), 0);
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let mut ds = Dataset::new(64, 16);
+        ds.push(&[1, 8], &[0.25, 4.0], &[2, 9]);
+        ds.push(&[], &[], &[0]);
+        let mut buf = Vec::new();
+        write_xc(&mut buf, &ds).unwrap();
+        let back = parse_xc(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.labels(0), ds.labels(0));
+        assert_eq!(back.features(0).indices, ds.features(0).indices);
+        assert_eq!(back.features(0).values, ds.features(0).values);
+    }
+
+    #[test]
+    fn header_errors() {
+        assert!(matches!(
+            parse_xc("".as_bytes()),
+            Err(ParseDatasetError::Malformed { line: 1, .. })
+        ));
+        assert!(parse_xc("2 x 5\n".as_bytes()).is_err());
+        assert!(parse_xc("1 0 5\n".as_bytes()).is_err());
+        // Wrong sample count.
+        assert!(parse_xc("2 10 5\n0 1:1.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn line_errors_carry_line_numbers() {
+        let res = parse_xc("1 10 5\n0 bad_pair\n".as_bytes());
+        match res {
+            Err(ParseDatasetError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(parse_xc("1 10 5\n0 10:1.0\n".as_bytes()).is_err());
+        assert!(parse_xc("1 10 5\n5 1:1.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn no_label_lines_starting_with_feature() {
+        let ds = parse_xc("1 10 5\n3:0.5 4:0.25\n".as_bytes()).unwrap();
+        assert_eq!(ds.labels(0), &[] as &[u32]);
+        assert_eq!(ds.features(0).indices, &[3, 4]);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let ds = parse_xc("1 10 5\n\n0 1:1.0\n\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = parse_xc("1 10 5\n0 z:1\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+}

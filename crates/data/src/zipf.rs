@@ -1,0 +1,131 @@
+//! Zipf (power-law) sampling — the frequency profile of both extreme-
+//! classification label spaces and natural-language vocabularies, which is
+//! what makes the paper's workloads "extreme": a few head classes dominate
+//! while a long tail stays rare.
+
+use rand::Rng;
+
+/// A Zipf distribution over `{0, 1, ..., n-1}` with exponent `s`:
+/// `P(k) ∝ 1 / (k+1)^s`. Sampling is O(log n) via binary search on a
+/// precomputed CDF.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use slide_data::Zipf;
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let draw = zipf.sample(&mut rng);
+/// assert!(draw < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the CDF for `n` outcomes with exponent `s >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf: n must be positive");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf: exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0_f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        let norm = total;
+        for c in cdf.iter_mut() {
+            *c /= norm;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of outcomes.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one outcome.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of outcome `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.n()`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range_and_head_heavy() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50]);
+        // Head should dominate heavily at s=1.2.
+        assert!(counts[0] as f64 / 20_000.0 > 0.15, "head mass {}", counts[0]);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let zipf = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((zipf.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let zipf = Zipf::new(57, 0.8);
+        let total: f64 = (0..57).map(|k| zipf.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let zipf = Zipf::new(1000, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..50).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..50).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let zipf = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(zipf.sample(&mut rng), 0);
+        assert!((zipf.pmf(0) - 1.0).abs() < 1e-12);
+    }
+}

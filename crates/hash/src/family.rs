@@ -1,0 +1,162 @@
+//! Runtime-selected LSH family: SLIDE picks DWTA or SimHash per layer based
+//! on the workload (DWTA for Amazon-670K/WikiLSH-325K, SimHash for Text8).
+
+use crate::dwta::{DwtaConfig, DwtaHash, DwtaScratch};
+use crate::srp::{SimHash, SimHashConfig, SimHashScratch};
+use slide_mem::SparseVecRef;
+
+/// An LSH family instance: either densified winner-take-all or signed random
+/// projection, behind one dispatching API so layers are family-agnostic.
+#[derive(Debug, Clone)]
+pub enum LshFamily {
+    /// Densified winner-take-all (§4.3.3).
+    Dwta(DwtaHash),
+    /// Signed random projection / SimHash.
+    Srp(SimHash),
+}
+
+/// Reusable scratch matching the family that created it.
+#[derive(Debug, Clone)]
+pub enum LshScratch {
+    /// Scratch for [`LshFamily::Dwta`].
+    Dwta(DwtaScratch),
+    /// Scratch for [`LshFamily::Srp`].
+    Srp(SimHashScratch),
+}
+
+impl LshFamily {
+    /// Build a DWTA family.
+    pub fn dwta(config: DwtaConfig) -> Self {
+        LshFamily::Dwta(DwtaHash::new(config))
+    }
+
+    /// Build a SimHash family.
+    pub fn simhash(config: SimHashConfig) -> Self {
+        LshFamily::Srp(SimHash::new(config))
+    }
+
+    /// Number of tables (`L`).
+    pub fn tables(&self) -> usize {
+        match self {
+            LshFamily::Dwta(h) => h.tables(),
+            LshFamily::Srp(h) => h.tables(),
+        }
+    }
+
+    /// Bits per table key (`K`).
+    pub fn key_bits(&self) -> u32 {
+        match self {
+            LshFamily::Dwta(h) => h.key_bits(),
+            LshFamily::Srp(h) => h.key_bits(),
+        }
+    }
+
+    /// Input dimensionality this family hashes.
+    pub fn dim(&self) -> usize {
+        match self {
+            LshFamily::Dwta(h) => h.dim(),
+            LshFamily::Srp(h) => h.dim(),
+        }
+    }
+
+    /// Allocate scratch of the matching variant.
+    pub fn make_scratch(&self) -> LshScratch {
+        match self {
+            LshFamily::Dwta(h) => LshScratch::Dwta(h.make_scratch()),
+            LshFamily::Srp(h) => LshScratch::Srp(h.make_scratch()),
+        }
+    }
+
+    /// Compute the `L` table keys for a dense input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch variant does not match the family, the input
+    /// length differs from [`LshFamily::dim`], or `keys_out.len()` differs
+    /// from [`LshFamily::tables`].
+    pub fn keys_dense(&self, x: &[f32], scratch: &mut LshScratch, keys_out: &mut [u32]) {
+        match (self, scratch) {
+            (LshFamily::Dwta(h), LshScratch::Dwta(s)) => h.keys_dense(x, s, keys_out),
+            (LshFamily::Srp(h), LshScratch::Srp(s)) => h.keys_dense(x, s, keys_out),
+            _ => panic!("LshFamily: scratch variant mismatch"),
+        }
+    }
+
+    /// Compute the `L` table keys for a sparse input.
+    ///
+    /// # Panics
+    ///
+    /// As [`LshFamily::keys_dense`].
+    pub fn keys_sparse(
+        &self,
+        x: SparseVecRef<'_>,
+        scratch: &mut LshScratch,
+        keys_out: &mut [u32],
+    ) {
+        match (self, scratch) {
+            (LshFamily::Dwta(h), LshScratch::Dwta(s)) => h.keys_sparse(x, s, keys_out),
+            (LshFamily::Srp(h), LshScratch::Srp(s)) => h.keys_sparse(x, s, keys_out),
+            _ => panic!("LshFamily: scratch variant mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let cfg = DwtaConfig {
+            dim: 64,
+            key_bits: 6,
+            tables: 8,
+            bin_size: 16,
+            seed: 11,
+        };
+        let direct = DwtaHash::new(cfg);
+        let fam = LshFamily::dwta(cfg);
+        let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.3).sin()).collect();
+        let mut ds = direct.make_scratch();
+        let mut fs = fam.make_scratch();
+        let mut dk = vec![0u32; 8];
+        let mut fk = vec![0u32; 8];
+        direct.keys_dense(&x, &mut ds, &mut dk);
+        fam.keys_dense(&x, &mut fs, &mut fk);
+        assert_eq!(dk, fk);
+        assert_eq!(fam.tables(), 8);
+        assert_eq!(fam.key_bits(), 6);
+        assert_eq!(fam.dim(), 64);
+    }
+
+    #[test]
+    fn srp_variant_dispatches() {
+        let fam = LshFamily::simhash(SimHashConfig {
+            dim: 16,
+            key_bits: 5,
+            tables: 4,
+            seed: 2,
+        });
+        let mut scratch = fam.make_scratch();
+        let mut keys = vec![0u32; 4];
+        let x: Vec<f32> = (0..16).map(|i| i as f32 - 8.0).collect();
+        fam.keys_dense(&x, &mut scratch, &mut keys);
+        assert!(keys.iter().all(|&k| k < 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch variant mismatch")]
+    fn mismatched_scratch_panics() {
+        let dwta = LshFamily::dwta(DwtaConfig {
+            dim: 8,
+            ..Default::default()
+        });
+        let srp = LshFamily::simhash(SimHashConfig {
+            dim: 8,
+            ..Default::default()
+        });
+        let mut wrong = srp.make_scratch();
+        let mut keys = vec![0u32; dwta.tables()];
+        dwta.keys_dense(&[0.0; 8], &mut wrong, &mut keys);
+    }
+}

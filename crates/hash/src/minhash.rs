@@ -1,0 +1,268 @@
+//! MinHash — the classic LSH family for *set* (binary presence) data,
+//! provided alongside DWTA/SimHash because extreme-classification features
+//! are often binary bags of tokens where Jaccard similarity is the natural
+//! metric. (The original SLIDE codebase ships a WTA/DWTA/SRP/MinHash family
+//! menu; we match it.)
+//!
+//! Each elementary hash is `min` over the input's indices of a universal
+//! hash of the index; `K` of them concatenate into a table key. Values are
+//! ignored — MinHash sees the support set only.
+
+use crate::mix::mix3;
+use slide_mem::SparseVecRef;
+
+/// Configuration for a [`MinHash`] family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinHashConfig {
+    /// Input dimensionality (indices must be `< dim`).
+    pub dim: usize,
+    /// Bits per table key `K`; each elementary min-hash contributes
+    /// `bits_per_hash` of them.
+    pub key_bits: u32,
+    /// Bits taken from each elementary min-hash (1..=key_bits).
+    pub bits_per_hash: u32,
+    /// Number of tables `L`.
+    pub tables: usize,
+    /// Seed for the universal hash family.
+    pub seed: u64,
+}
+
+impl Default for MinHashConfig {
+    fn default() -> Self {
+        MinHashConfig {
+            dim: 128,
+            key_bits: 6,
+            bits_per_hash: 3,
+            tables: 50,
+            seed: 0x3121_4A58,
+        }
+    }
+}
+
+/// Reusable scratch for [`MinHash`] (currently stateless; kept for API
+/// symmetry with the other families).
+#[derive(Debug, Clone, Default)]
+pub struct MinHashScratch {}
+
+/// The MinHash LSH family over index sets.
+///
+/// # Examples
+///
+/// ```
+/// use slide_hash::{MinHash, MinHashConfig};
+/// use slide_mem::SparseVecRef;
+///
+/// let mh = MinHash::new(MinHashConfig { dim: 1000, tables: 8, ..Default::default() });
+/// let mut scratch = mh.make_scratch();
+/// let mut keys = vec![0u32; 8];
+/// let idx = [3u32, 77, 450];
+/// let val = [1.0f32, 1.0, 1.0];
+/// mh.keys_sparse(SparseVecRef::new(&idx, &val), &mut scratch, &mut keys);
+/// assert!(keys.iter().all(|&k| k < 64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinHash {
+    config: MinHashConfig,
+    hashes_per_table: usize,
+}
+
+impl MinHash {
+    /// Build the family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_bits` is 0 or > 24, `bits_per_hash` is 0 or exceeds
+    /// `key_bits`, or `dim`/`tables` is 0.
+    pub fn new(config: MinHashConfig) -> Self {
+        assert!(config.key_bits > 0 && config.key_bits <= 24);
+        assert!(
+            config.bits_per_hash > 0 && config.bits_per_hash <= config.key_bits,
+            "MinHash: bits_per_hash must be in 1..=key_bits"
+        );
+        assert!(config.dim > 0, "MinHash: dim must be positive");
+        assert!(config.tables > 0, "MinHash: tables must be positive");
+        let hashes_per_table = config.key_bits.div_ceil(config.bits_per_hash) as usize;
+        MinHash {
+            config,
+            hashes_per_table,
+        }
+    }
+
+    /// The configuration this family was built with.
+    pub fn config(&self) -> &MinHashConfig {
+        &self.config
+    }
+
+    /// Number of tables (`L`).
+    pub fn tables(&self) -> usize {
+        self.config.tables
+    }
+
+    /// Bits per table key (`K`).
+    pub fn key_bits(&self) -> u32 {
+        self.config.key_bits
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Elementary min-hashes concatenated per key.
+    pub fn hashes_per_table(&self) -> usize {
+        self.hashes_per_table
+    }
+
+    /// Allocate scratch (stateless, for API symmetry).
+    pub fn make_scratch(&self) -> MinHashScratch {
+        MinHashScratch::default()
+    }
+
+    /// Compute the `L` table keys for a sparse input (values ignored; the
+    /// support set defines the hash). Empty inputs hash to key 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys_out.len() != self.tables()`.
+    pub fn keys_sparse(
+        &self,
+        x: SparseVecRef<'_>,
+        _scratch: &mut MinHashScratch,
+        keys_out: &mut [u32],
+    ) {
+        assert_eq!(
+            keys_out.len(),
+            self.config.tables,
+            "MinHash: keys_out length must equal tables()"
+        );
+        let mask = (1u64 << self.config.key_bits) - 1;
+        let hash_mask = (1u64 << self.config.bits_per_hash) - 1;
+        for (t, key) in keys_out.iter_mut().enumerate() {
+            let mut bits: u64 = 0;
+            for h in 0..self.hashes_per_table {
+                let hash_id = (t * self.hashes_per_table + h) as u64;
+                let mut best = u64::MAX;
+                for &idx in x.indices {
+                    let v = mix3(self.config.seed, hash_id, idx as u64);
+                    if v < best {
+                        best = v;
+                    }
+                }
+                let code = if best == u64::MAX { 0 } else { best & hash_mask };
+                bits = (bits << self.config.bits_per_hash) | code;
+            }
+            *key = (bits & mask) as u32;
+        }
+    }
+
+    /// Compute keys for a dense vector: the support set is every coordinate
+    /// with a non-zero value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()` or `keys_out.len() != self.tables()`.
+    pub fn keys_dense(&self, x: &[f32], scratch: &mut MinHashScratch, keys_out: &mut [u32]) {
+        assert_eq!(x.len(), self.config.dim, "MinHash: dense input dim mismatch");
+        let indices: Vec<u32> = (0..x.len() as u32)
+            .filter(|&i| x[i as usize] != 0.0)
+            .collect();
+        let values = vec![1.0_f32; indices.len()];
+        self.keys_sparse(SparseVecRef::new(&indices, &values), scratch, keys_out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family(dim: usize, tables: usize) -> MinHash {
+        MinHash::new(MinHashConfig {
+            dim,
+            key_bits: 6,
+            bits_per_hash: 3,
+            tables,
+            seed: 11,
+        })
+    }
+
+    fn keys_of(h: &MinHash, idx: &[u32]) -> Vec<u32> {
+        let vals = vec![1.0_f32; idx.len()];
+        let mut scratch = h.make_scratch();
+        let mut keys = vec![0u32; h.tables()];
+        h.keys_sparse(SparseVecRef::new(idx, &vals), &mut scratch, &mut keys);
+        keys
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let h = family(10_000, 16);
+        let idx = [5u32, 900, 7777];
+        assert_eq!(keys_of(&h, &idx), keys_of(&h, &idx));
+        assert!(keys_of(&h, &idx).iter().all(|&k| k < 64));
+    }
+
+    #[test]
+    fn values_are_ignored() {
+        let h = family(100, 8);
+        let idx = [1u32, 50, 99];
+        let a = {
+            let mut scratch = h.make_scratch();
+            let mut keys = vec![0u32; 8];
+            h.keys_sparse(SparseVecRef::new(&idx, &[1.0, 1.0, 1.0]), &mut scratch, &mut keys);
+            keys
+        };
+        let b = {
+            let mut scratch = h.make_scratch();
+            let mut keys = vec![0u32; 8];
+            h.keys_sparse(SparseVecRef::new(&idx, &[9.0, -3.0, 0.5]), &mut scratch, &mut keys);
+            keys
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jaccard_similar_sets_collide_more() {
+        let h = family(10_000, 256);
+        let base: Vec<u32> = (0..60).map(|i| i * 37).collect();
+        // High-Jaccard variant: drop 6 elements.
+        let similar: Vec<u32> = base[..54].to_vec();
+        // Low-Jaccard set: disjoint support.
+        let dissimilar: Vec<u32> = (0..60).map(|i| i * 37 + 13).collect();
+        let kb = keys_of(&h, &base);
+        let ks = keys_of(&h, &similar);
+        let kd = keys_of(&h, &dissimilar);
+        let collide = |a: &[u32], b: &[u32]| a.iter().zip(b).filter(|(x, y)| x == y).count();
+        let sim = collide(&kb, &ks);
+        let dis = collide(&kb, &kd);
+        assert!(sim > dis + 10, "similar {sim} vs dissimilar {dis}");
+    }
+
+    #[test]
+    fn empty_set_hashes_to_zero_keys() {
+        let h = family(100, 4);
+        assert_eq!(keys_of(&h, &[]), vec![0; 4]);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let h = family(32, 8);
+        let mut dense = vec![0.0_f32; 32];
+        for i in [1usize, 7, 30] {
+            dense[i] = 2.0;
+        }
+        let mut scratch = h.make_scratch();
+        let mut dense_keys = vec![0u32; 8];
+        h.keys_dense(&dense, &mut scratch, &mut dense_keys);
+        assert_eq!(dense_keys, keys_of(&h, &[1, 7, 30]));
+    }
+
+    #[test]
+    #[should_panic(expected = "bits_per_hash")]
+    fn invalid_bits_per_hash_panics() {
+        MinHash::new(MinHashConfig {
+            bits_per_hash: 9,
+            key_bits: 6,
+            ..Default::default()
+        });
+    }
+}

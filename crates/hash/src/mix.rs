@@ -1,0 +1,74 @@
+//! Fast, deterministic integer mixers used as the universal hash family
+//! behind DWTA index mapping, densification probing, SimHash sign bits, and
+//! reservoir sampling. All derived from the SplitMix64 finalizer, which has
+//! full avalanche and costs a handful of cycles.
+
+/// SplitMix64 finalizer: bijective 64-bit avalanche mix.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mix a seed with one value.
+#[inline]
+pub fn mix2(seed: u64, a: u64) -> u64 {
+    mix64(seed ^ mix64(a))
+}
+
+/// Mix a seed with two values.
+#[inline]
+pub fn mix3(seed: u64, a: u64, b: u64) -> u64 {
+    mix64(seed ^ mix64(a).wrapping_add(mix64(b).rotate_left(17)))
+}
+
+/// Map a 64-bit hash onto `[0, n)` without modulo bias (Lemire reduction).
+#[inline]
+pub fn reduce(h: u64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (((h as u128) * (n as u128)) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_eq!(mix2(1, 2), mix2(1, 2));
+        assert_eq!(mix3(1, 2, 3), mix3(1, 2, 3));
+    }
+
+    #[test]
+    fn mix_differs_across_inputs_and_seeds() {
+        assert_ne!(mix2(1, 2), mix2(1, 3));
+        assert_ne!(mix2(1, 2), mix2(2, 2));
+        assert_ne!(mix3(1, 2, 3), mix3(1, 3, 2));
+    }
+
+    #[test]
+    fn reduce_stays_in_range_and_spreads() {
+        let n = 97;
+        let mut counts = vec![0usize; n];
+        for i in 0..97_000u64 {
+            let r = reduce(mix64(i), n);
+            assert!(r < n);
+            counts[r] += 1;
+        }
+        // Each cell expects ~1000; allow generous slack.
+        assert!(counts.iter().all(|&c| c > 700 && c < 1300), "{counts:?}");
+    }
+
+    #[test]
+    fn avalanche_flips_about_half_the_bits() {
+        let mut total = 0u32;
+        for i in 0..1000u64 {
+            total += (mix64(i) ^ mix64(i ^ 1)).count_ones();
+        }
+        let avg = total as f64 / 1000.0;
+        assert!((24.0..40.0).contains(&avg), "avg flipped bits {avg}");
+    }
+}

@@ -1,0 +1,377 @@
+//! Multi-table LSH bucket storage — the structure queried on every SLIDE
+//! forward pass and updated after every gradient step (§2, Figure 1).
+//!
+//! `L` tables, each with `2^K` buckets of neuron ids ("pointers only" in the
+//! paper's figure). Buckets are bounded; when full, either FIFO-evict or
+//! reservoir-sample — both policies exist in the original SLIDE code and are
+//! exposed here for ablation.
+
+use crate::mix::{mix3, reduce};
+
+/// What to do when inserting into a full bucket.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum BucketPolicy {
+    /// Evict the oldest entry (ring-buffer semantics).
+    Fifo,
+    /// Keep a uniform sample of everything ever inserted (SLIDE's default).
+    #[default]
+    Reservoir,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    items: Vec<u32>,
+    /// Total insertions ever attempted (drives reservoir sampling).
+    arrivals: u64,
+}
+
+/// A set of `L` LSH tables with `2^K` bounded buckets each.
+///
+/// # Examples
+///
+/// ```
+/// use slide_hash::{BucketPolicy, LshTables};
+///
+/// let mut tables = LshTables::new(4, 6, 128, BucketPolicy::Reservoir, 42);
+/// tables.insert(&[1, 2, 3, 4], 99); // neuron 99's key in each of the 4 tables
+/// let mut out = Vec::new();
+/// tables.query_into(&[1, 2, 3, 4], &mut out);
+/// assert!(out.contains(&99));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LshTables {
+    tables: Vec<Vec<Bucket>>,
+    key_bits: u32,
+    bucket_cap: usize,
+    policy: BucketPolicy,
+    seed: u64,
+}
+
+/// Occupancy statistics, used by tests and the bench harness to sanity-check
+/// hash quality.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TableStats {
+    /// Total ids stored across all tables.
+    pub stored: usize,
+    /// Buckets holding at least one id.
+    pub occupied_buckets: usize,
+    /// Total buckets across all tables.
+    pub total_buckets: usize,
+    /// Largest single bucket.
+    pub max_bucket: usize,
+}
+
+impl LshTables {
+    /// Create `tables` empty tables of `2^key_bits` buckets, each bounded to
+    /// `bucket_cap` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables == 0`, `key_bits == 0` or `key_bits > 24`, or
+    /// `bucket_cap == 0`.
+    pub fn new(
+        tables: usize,
+        key_bits: u32,
+        bucket_cap: usize,
+        policy: BucketPolicy,
+        seed: u64,
+    ) -> Self {
+        assert!(tables > 0, "LshTables: need at least one table");
+        assert!(key_bits > 0 && key_bits <= 24, "LshTables: key_bits 1..=24");
+        assert!(bucket_cap > 0, "LshTables: bucket_cap must be positive");
+        let buckets = 1usize << key_bits;
+        LshTables {
+            tables: (0..tables)
+                .map(|_| vec![Bucket::default(); buckets])
+                .collect(),
+            key_bits,
+            bucket_cap,
+            policy,
+            seed,
+        }
+    }
+
+    /// Number of tables (`L`).
+    pub fn tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Bits per key (`K`); each table has `2^K` buckets.
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    /// Maximum ids per bucket.
+    pub fn bucket_cap(&self) -> usize {
+        self.bucket_cap
+    }
+
+    /// The eviction policy in use.
+    pub fn policy(&self) -> BucketPolicy {
+        self.policy
+    }
+
+    /// Insert `id` into bucket `keys[t]` of every table `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != self.tables()` or any key is `>= 2^K`.
+    pub fn insert(&mut self, keys: &[u32], id: u32) {
+        assert_eq!(keys.len(), self.tables.len(), "LshTables: keys per table");
+        for (t, &key) in keys.iter().enumerate() {
+            let bucket = &mut self.tables[t][key as usize];
+            bucket.arrivals += 1;
+            if bucket.items.len() < self.bucket_cap {
+                bucket.items.push(id);
+            } else {
+                match self.policy {
+                    BucketPolicy::Fifo => {
+                        bucket.items.remove(0);
+                        bucket.items.push(id);
+                    }
+                    BucketPolicy::Reservoir => {
+                        // Uniform reservoir: replace a random slot with
+                        // probability cap/arrivals, deterministically derived
+                        // from (table, key, arrivals).
+                        let r = reduce(
+                            mix3(
+                                self.seed ^ (t as u64) << 32,
+                                key as u64,
+                                bucket.arrivals,
+                            ),
+                            bucket.arrivals as usize,
+                        );
+                        if r < self.bucket_cap {
+                            bucket.items[r] = id;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove `id` from bucket `keys[t]` of every table `t` (no-op for
+    /// tables where it is absent). Used when a neuron's weights change enough
+    /// that it must move buckets ("deleted from the current bucket and
+    /// re-added", §2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != self.tables()`.
+    pub fn remove(&mut self, keys: &[u32], id: u32) {
+        assert_eq!(keys.len(), self.tables.len(), "LshTables: keys per table");
+        for (t, &key) in keys.iter().enumerate() {
+            let bucket = &mut self.tables[t][key as usize];
+            if let Some(pos) = bucket.items.iter().position(|&x| x == id) {
+                bucket.items.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Append the contents of bucket `keys[t]` of every table to `out`
+    /// (duplicates across tables are *not* removed here — the active-set
+    /// builder deduplicates with a stamp array).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != self.tables()`.
+    pub fn query_into(&self, keys: &[u32], out: &mut Vec<u32>) {
+        assert_eq!(keys.len(), self.tables.len(), "LshTables: keys per table");
+        for (t, &key) in keys.iter().enumerate() {
+            out.extend_from_slice(&self.tables[t][key as usize].items);
+        }
+    }
+
+    /// Multiprobe query: besides bucket `keys[t]`, also probe the buckets
+    /// whose keys differ in one low-order bit, visiting up to `probes`
+    /// buckets per table in total. Multiprobe trades extra bucket reads for
+    /// fewer tables at equal recall (Lv et al. 2007) — an ablation knob on
+    /// top of the paper's plain `L`-table query.
+    ///
+    /// `probes == 1` is identical to [`LshTables::query_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys.len() != self.tables()` or `probes == 0`.
+    pub fn query_multiprobe_into(&self, keys: &[u32], probes: usize, out: &mut Vec<u32>) {
+        assert_eq!(keys.len(), self.tables.len(), "LshTables: keys per table");
+        assert!(probes > 0, "LshTables: probes must be positive");
+        let max_extra = (probes - 1).min(self.key_bits as usize);
+        for (t, &key) in keys.iter().enumerate() {
+            out.extend_from_slice(&self.tables[t][key as usize].items);
+            for bit in 0..max_extra {
+                let neighbour = key ^ (1 << bit);
+                out.extend_from_slice(&self.tables[t][neighbour as usize].items);
+            }
+        }
+    }
+
+    /// Contents of one bucket (test/inspection hook).
+    pub fn bucket(&self, table: usize, key: u32) -> &[u32] {
+        &self.tables[table][key as usize].items
+    }
+
+    /// Remove every id from every bucket (rebuild prologue).
+    pub fn clear(&mut self) {
+        for table in &mut self.tables {
+            for bucket in table.iter_mut() {
+                bucket.items.clear();
+                bucket.arrivals = 0;
+            }
+        }
+    }
+
+    /// Occupancy statistics across all tables.
+    pub fn stats(&self) -> TableStats {
+        let mut s = TableStats::default();
+        for table in &self.tables {
+            for bucket in table {
+                s.total_buckets += 1;
+                if !bucket.items.is_empty() {
+                    s.occupied_buckets += 1;
+                }
+                s.stored += bucket.items.len();
+                s.max_bucket = s.max_bucket.max(bucket.items.len());
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let mut t = LshTables::new(3, 4, 16, BucketPolicy::Reservoir, 1);
+        t.insert(&[1, 2, 3], 7);
+        t.insert(&[1, 0, 3], 8);
+        let mut out = Vec::new();
+        t.query_into(&[1, 2, 3], &mut out);
+        assert!(out.contains(&7));
+        assert!(out.contains(&8)); // shares bucket 1 in table 0 and 3 in table 2
+        assert_eq!(out.iter().filter(|&&x| x == 7).count(), 3);
+    }
+
+    #[test]
+    fn remove_deletes_from_every_table() {
+        let mut t = LshTables::new(2, 4, 16, BucketPolicy::Fifo, 1);
+        t.insert(&[5, 9], 42);
+        t.remove(&[5, 9], 42);
+        let mut out = Vec::new();
+        t.query_into(&[5, 9], &mut out);
+        assert!(out.is_empty());
+        // Removing again is a no-op.
+        t.remove(&[5, 9], 42);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let mut t = LshTables::new(1, 2, 3, BucketPolicy::Fifo, 1);
+        for id in 0..5 {
+            t.insert(&[1], id);
+        }
+        assert_eq!(t.bucket(0, 1), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn bucket_cap_is_respected_under_both_policies() {
+        for policy in [BucketPolicy::Fifo, BucketPolicy::Reservoir] {
+            let mut t = LshTables::new(1, 3, 4, policy, 9);
+            for id in 0..100 {
+                t.insert(&[5], id);
+            }
+            assert!(t.bucket(0, 5).len() <= 4, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn reservoir_keeps_late_and_early_items() {
+        // A uniform reservoir over 1..=2000 should retain some items beyond
+        // the first `cap` arrivals (FIFO-of-first would not).
+        let mut t = LshTables::new(1, 1, 32, BucketPolicy::Reservoir, 123);
+        for id in 0..2000 {
+            t.insert(&[0], id);
+        }
+        let items = t.bucket(0, 0);
+        assert_eq!(items.len(), 32);
+        assert!(
+            items.iter().any(|&id| id >= 1000),
+            "reservoir never replaced: {items:?}"
+        );
+        let mean = items.iter().map(|&x| x as f64).sum::<f64>() / 32.0;
+        assert!(
+            (300.0..1700.0).contains(&mean),
+            "reservoir badly skewed, mean={mean}"
+        );
+    }
+
+    #[test]
+    fn multiprobe_one_equals_plain_query() {
+        let mut t = LshTables::new(3, 4, 16, BucketPolicy::Reservoir, 5);
+        for id in 0..40 {
+            t.insert(&[id % 16, (id + 1) % 16, (id + 2) % 16], id);
+        }
+        let keys = [3u32, 7, 11];
+        let mut plain = Vec::new();
+        let mut multi = Vec::new();
+        t.query_into(&keys, &mut plain);
+        t.query_multiprobe_into(&keys, 1, &mut multi);
+        assert_eq!(plain, multi);
+    }
+
+    #[test]
+    fn multiprobe_returns_superset_from_neighbour_buckets() {
+        let mut t = LshTables::new(1, 4, 16, BucketPolicy::Reservoir, 5);
+        t.insert(&[0b0101], 1); // exact bucket
+        t.insert(&[0b0100], 2); // hamming-1 neighbour (bit 0)
+        t.insert(&[0b0111], 3); // hamming-1 neighbour (bit 1)
+        t.insert(&[0b1101], 4); // hamming-1 neighbour (bit 3) — beyond 3 probes
+        let mut out = Vec::new();
+        t.query_multiprobe_into(&[0b0101], 3, &mut out);
+        assert!(out.contains(&1));
+        assert!(out.contains(&2));
+        assert!(out.contains(&3));
+        assert!(!out.contains(&4), "bit 3 flip needs probes >= 4");
+        // Probes capped by key-bits: huge probe counts are safe.
+        let mut all = Vec::new();
+        t.query_multiprobe_into(&[0b0101], 100, &mut all);
+        assert!(all.contains(&4));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut t = LshTables::new(2, 3, 8, BucketPolicy::Reservoir, 5);
+        for id in 0..20 {
+            t.insert(&[id % 8, (id + 1) % 8], id);
+        }
+        assert!(t.stats().stored > 0);
+        t.clear();
+        let s = t.stats();
+        assert_eq!(s.stored, 0);
+        assert_eq!(s.occupied_buckets, 0);
+        assert_eq!(s.total_buckets, 16);
+    }
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut t = LshTables::new(2, 2, 8, BucketPolicy::Fifo, 5);
+        t.insert(&[0, 1], 1);
+        t.insert(&[0, 2], 2);
+        let s = t.stats();
+        assert_eq!(s.stored, 4);
+        assert_eq!(s.occupied_buckets, 3); // table0/bucket0 (x2), table1/bucket1, table1/bucket2
+        assert_eq!(s.max_bucket, 2);
+        assert_eq!(s.total_buckets, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "keys per table")]
+    fn wrong_key_count_panics() {
+        let mut t = LshTables::new(2, 2, 8, BucketPolicy::Fifo, 5);
+        t.insert(&[0], 1);
+    }
+}

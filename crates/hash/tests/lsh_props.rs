@@ -1,0 +1,117 @@
+//! Property tests for the LSH substrate: table bookkeeping invariants and
+//! hash determinism/range guarantees on arbitrary inputs.
+
+use proptest::prelude::*;
+use slide_hash::{
+    BucketPolicy, DwtaConfig, DwtaHash, LshTables, SimHash, SimHashConfig,
+};
+use slide_mem::SparseVecRef;
+
+fn sparse_input(dim: u32) -> impl Strategy<Value = (Vec<u32>, Vec<f32>)> {
+    prop::collection::btree_set(0..dim, 0..40).prop_map(|set| {
+        let idx: Vec<u32> = set.into_iter().collect();
+        let val: Vec<f32> = idx.iter().map(|&i| ((i % 13) as f32) - 6.0 + 0.5).collect();
+        (idx, val)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dwta_keys_always_in_range((idx, val) in sparse_input(2048), seed in any::<u64>()) {
+        let h = DwtaHash::new(DwtaConfig { dim: 2048, key_bits: 7, tables: 16, bin_size: 8, seed });
+        let mut scratch = h.make_scratch();
+        let mut keys = vec![0u32; 16];
+        h.keys_sparse(SparseVecRef::new(&idx, &val), &mut scratch, &mut keys);
+        for k in keys {
+            prop_assert!(k < 128);
+        }
+    }
+
+    #[test]
+    fn dwta_is_a_function((idx, val) in sparse_input(512)) {
+        let h = DwtaHash::new(DwtaConfig { dim: 512, key_bits: 6, tables: 8, bin_size: 16, seed: 5 });
+        let mut s1 = h.make_scratch();
+        let mut s2 = h.make_scratch();
+        let mut k1 = vec![0u32; 8];
+        let mut k2 = vec![0u32; 8];
+        let x = SparseVecRef::new(&idx, &val);
+        h.keys_sparse(x, &mut s1, &mut k1);
+        h.keys_sparse(x, &mut s2, &mut k2);
+        prop_assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn simhash_keys_always_in_range((idx, val) in sparse_input(4096), seed in any::<u64>()) {
+        let h = SimHash::new(SimHashConfig { dim: 4096, key_bits: 9, tables: 12, seed });
+        let mut scratch = h.make_scratch();
+        let mut keys = vec![0u32; 12];
+        h.keys_sparse(SparseVecRef::new(&idx, &val), &mut scratch, &mut keys);
+        for k in keys {
+            prop_assert!(k < 512);
+        }
+    }
+
+    #[test]
+    fn tables_query_returns_inserted_id(
+        ids in prop::collection::btree_set(0u32..10_000, 1..50),
+        seed in any::<u64>(),
+    ) {
+        let mut tables = LshTables::new(4, 6, 1024, BucketPolicy::Reservoir, seed);
+        let key_of = |id: u32, t: u64| (slide_hash::mix::mix2(seed ^ t, id as u64) % 64) as u32;
+        for &id in &ids {
+            let keys: Vec<u32> = (0..4).map(|t| key_of(id, t)).collect();
+            tables.insert(&keys, id);
+        }
+        // Bucket cap 1024 > #ids, so every id must be retrievable.
+        for &id in &ids {
+            let keys: Vec<u32> = (0..4).map(|t| key_of(id, t)).collect();
+            let mut out = Vec::new();
+            tables.query_into(&keys, &mut out);
+            prop_assert!(out.contains(&id));
+        }
+        let stats = tables.stats();
+        prop_assert_eq!(stats.stored, ids.len() * 4);
+    }
+
+    #[test]
+    fn tables_remove_then_query_is_empty_of_id(
+        ids in prop::collection::btree_set(0u32..1000, 1..30),
+    ) {
+        let mut tables = LshTables::new(3, 5, 512, BucketPolicy::Fifo, 9);
+        let key_of = |id: u32, t: u64| (slide_hash::mix::mix2(t, id as u64) % 32) as u32;
+        for &id in &ids {
+            let keys: Vec<u32> = (0..3).map(|t| key_of(id, t)).collect();
+            tables.insert(&keys, id);
+        }
+        let victim = *ids.iter().next().unwrap();
+        let victim_keys: Vec<u32> = (0..3).map(|t| key_of(victim, t)).collect();
+        tables.remove(&victim_keys, victim);
+        let mut out = Vec::new();
+        tables.query_into(&victim_keys, &mut out);
+        prop_assert!(!out.contains(&victim));
+        // Everyone else is still present.
+        for &id in ids.iter().filter(|&&i| i != victim) {
+            let keys: Vec<u32> = (0..3).map(|t| key_of(id, t)).collect();
+            let mut out = Vec::new();
+            tables.query_into(&keys, &mut out);
+            prop_assert!(out.contains(&id));
+        }
+    }
+
+    #[test]
+    fn bucket_never_exceeds_cap(
+        inserts in prop::collection::vec((0u32..8, 0u32..100_000), 0..300),
+        policy_fifo in any::<bool>(),
+    ) {
+        let policy = if policy_fifo { BucketPolicy::Fifo } else { BucketPolicy::Reservoir };
+        let mut tables = LshTables::new(1, 3, 5, policy, 77);
+        for (key, id) in inserts {
+            tables.insert(&[key], id);
+        }
+        for key in 0..8u32 {
+            prop_assert!(tables.bucket(0, key).len() <= 5);
+        }
+    }
+}

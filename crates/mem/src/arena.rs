@@ -1,0 +1,484 @@
+//! Per-layer parameter storage: the paper's "parameter memory fragmentation"
+//! fix (§4.1, "Removing Parameter Memory Fragmentation").
+//!
+//! In the original SLIDE every neuron owned its own heap-allocated weight
+//! vector, scattering a layer's parameters across DRAM. The optimized layout
+//! reserves *one big chunk of contiguous memory* per layer so that when one
+//! thread faults neuron ν's weights into cache, neighbouring neurons ride
+//! along for other threads. Both layouts are implemented here for the §5.7
+//! ablation:
+//!
+//! * [`ParamArena`] — one contiguous [`HogwildArray`] holding all rows,
+//! * [`FragmentedParams`] — one boxed slice per neuron (the naive layout),
+//! * [`ParamStore`] — runtime selector used by the layers,
+//! * [`ParamArenaBf16`] — contiguous `u16` rows for bf16-stored weights
+//!   (§4.4 mode 1).
+
+use crate::hogwild::{HogwildArray, HogwildPtr};
+
+/// How a layer lays out its parameters in memory — the §5.7 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParamLayout {
+    /// One contiguous arena per layer (optimized SLIDE).
+    #[default]
+    Coalesced,
+    /// One allocation per neuron (naive SLIDE).
+    Fragmented,
+}
+
+/// A dense `rows x cols` parameter matrix in one contiguous, cache-aligned
+/// allocation, shareable across HOGWILD workers.
+///
+/// Row `r` (a neuron's weight vector) occupies `[r*cols, (r+1)*cols)` of the
+/// flat buffer, so Algorithm 1's inner products stream contiguous memory.
+///
+/// # Examples
+///
+/// ```
+/// use slide_mem::ParamArena;
+/// let mut arena = ParamArena::zeroed(4, 8);
+/// arena.row_mut(2)[0] = 1.0;
+/// assert_eq!(arena.row(2)[0], 1.0);
+/// assert_eq!(arena.flat().len(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParamArena {
+    buf: HogwildArray<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl ParamArena {
+    /// Allocate a zeroed `rows x cols` arena.
+    pub fn zeroed(rows: usize, cols: usize) -> Self {
+        ParamArena {
+            buf: HogwildArray::zeroed(rows * cols),
+            rows,
+            cols,
+        }
+    }
+
+    /// Allocate and initialize each element with `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut arena = Self::zeroed(rows, cols);
+        let flat = arena.buf.as_mut_slice();
+        for r in 0..rows {
+            for c in 0..cols {
+                flat[r * cols + c] = f(r, c);
+            }
+        }
+        arena
+    }
+
+    /// Number of rows (neurons).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (weights per neuron).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shared read view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "ParamArena: row {r} out of {}", self.rows);
+        &self.buf.as_slice()[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Exclusive view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "ParamArena: row {r} out of {}", self.rows);
+        let cols = self.cols;
+        &mut self.buf.as_mut_slice()[r * cols..(r + 1) * cols]
+    }
+
+    /// The whole matrix as one flat slice (enables the paper's "2D loop to
+    /// 1D loop" ADAM vectorization, Figure 3).
+    pub fn flat(&self) -> &[f32] {
+        self.buf.as_slice()
+    }
+
+    /// Exclusive flat view.
+    pub fn flat_mut(&mut self) -> &mut [f32] {
+        self.buf.as_mut_slice()
+    }
+
+    /// HOGWILD view for worker threads.
+    pub fn ptr(&self) -> HogwildPtr<f32> {
+        self.buf.ptr()
+    }
+}
+
+/// The naive per-neuron layout: each row is its own boxed allocation.
+///
+/// Deliberately pessimal (it exists to be measured against): rows are
+/// allocated individually, and interleaved spacer allocations prevent the
+/// allocator from coincidentally packing rows contiguously — reproducing the
+/// fragmentation of a long-lived training process.
+#[derive(Debug)]
+pub struct FragmentedParams {
+    rows_data: Vec<Box<[f32]>>,
+    row_ptrs: Vec<*mut f32>,
+    cols: usize,
+}
+
+// SAFETY: row pointers target heap blocks owned by `rows_data`, which lives
+// exactly as long as the struct; access follows the HOGWILD contract.
+unsafe impl Send for FragmentedParams {}
+unsafe impl Sync for FragmentedParams {}
+
+impl FragmentedParams {
+    /// Allocate zeroed per-neuron rows.
+    pub fn zeroed(rows: usize, cols: usize) -> Self {
+        Self::from_fn(rows, cols, |_, _| 0.0)
+    }
+
+    /// Allocate and initialize each element with `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut rows_data = Vec::with_capacity(rows);
+        let mut spacers: Vec<Box<[u8]>> = Vec::new();
+        for r in 0..rows {
+            let row: Box<[f32]> = (0..cols).map(|c| f(r, c)).collect();
+            rows_data.push(row);
+            // Spacer allocations scatter successive rows across the heap the
+            // way a real fragmented process would.
+            if r % 4 == 0 {
+                spacers.push(vec![0u8; 96 + (r % 7) * 32].into_boxed_slice());
+            }
+        }
+        drop(spacers);
+        let row_ptrs = rows_data.iter_mut().map(|b| b.as_mut_ptr()).collect();
+        FragmentedParams {
+            rows_data,
+            row_ptrs,
+            cols,
+        }
+    }
+
+    /// Number of rows (neurons).
+    pub fn rows(&self) -> usize {
+        self.rows_data.len()
+    }
+
+    /// Number of columns (weights per neuron).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shared read view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.rows_data[r]
+    }
+
+    /// Exclusive view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.rows_data[r]
+    }
+
+    /// Racy HOGWILD view of row `r` for worker threads.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`HogwildPtr::row_mut`]: the struct must outlive the
+    /// slice and concurrent overlap follows the benign-race model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub unsafe fn row_racy<'a>(&self, r: usize) -> &'a mut [f32] {
+        std::slice::from_raw_parts_mut(self.row_ptrs[r], self.cols)
+    }
+}
+
+impl Clone for FragmentedParams {
+    fn clone(&self) -> Self {
+        let mut rows_data: Vec<Box<[f32]>> =
+            self.rows_data.iter().map(|r| r.clone()).collect();
+        let row_ptrs = rows_data.iter_mut().map(|b| b.as_mut_ptr()).collect();
+        FragmentedParams {
+            rows_data,
+            row_ptrs,
+            cols: self.cols,
+        }
+    }
+}
+
+/// Runtime-selected f32 parameter storage. Layers hold one of these for
+/// weights and one per optimizer moment, so a single config flag flips the
+/// whole network between the paper's naive and optimized memory layouts.
+#[derive(Debug, Clone)]
+pub enum ParamStore {
+    /// Contiguous arena (optimized).
+    Arena(ParamArena),
+    /// Per-neuron allocations (naive).
+    Fragmented(FragmentedParams),
+}
+
+impl ParamStore {
+    /// Allocate zeroed storage in the requested layout.
+    pub fn zeroed(layout: ParamLayout, rows: usize, cols: usize) -> Self {
+        match layout {
+            ParamLayout::Coalesced => ParamStore::Arena(ParamArena::zeroed(rows, cols)),
+            ParamLayout::Fragmented => {
+                ParamStore::Fragmented(FragmentedParams::zeroed(rows, cols))
+            }
+        }
+    }
+
+    /// Allocate and initialize with `f(row, col)` in the requested layout.
+    pub fn from_fn(
+        layout: ParamLayout,
+        rows: usize,
+        cols: usize,
+        f: impl FnMut(usize, usize) -> f32,
+    ) -> Self {
+        match layout {
+            ParamLayout::Coalesced => ParamStore::Arena(ParamArena::from_fn(rows, cols, f)),
+            ParamLayout::Fragmented => {
+                ParamStore::Fragmented(FragmentedParams::from_fn(rows, cols, f))
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            ParamStore::Arena(a) => a.rows(),
+            ParamStore::Fragmented(f) => f.rows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            ParamStore::Arena(a) => a.cols(),
+            ParamStore::Fragmented(f) => f.cols(),
+        }
+    }
+
+    /// Which layout this store uses.
+    pub fn layout(&self) -> ParamLayout {
+        match self {
+            ParamStore::Arena(_) => ParamLayout::Coalesced,
+            ParamStore::Fragmented(_) => ParamLayout::Fragmented,
+        }
+    }
+
+    /// Shared read view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        match self {
+            ParamStore::Arena(a) => a.row(r),
+            ParamStore::Fragmented(f) => f.row(r),
+        }
+    }
+
+    /// Exclusive view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        match self {
+            ParamStore::Arena(a) => a.row_mut(r),
+            ParamStore::Fragmented(f) => f.row_mut(r),
+        }
+    }
+
+    /// Racy HOGWILD view of row `r`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`HogwildPtr::row_mut`].
+    #[inline]
+    pub unsafe fn row_racy<'a>(&self, r: usize) -> &'a mut [f32] {
+        match self {
+            ParamStore::Arena(a) => {
+                let cols = a.cols();
+                a.ptr().row_mut(r, cols)
+            }
+            ParamStore::Fragmented(f) => f.row_racy(r),
+        }
+    }
+
+    /// Flat contiguous view, available only for the arena layout (used by
+    /// the 1-D vectorized ADAM sweep; fragmented storage must go row by row).
+    pub fn flat(&self) -> Option<&[f32]> {
+        match self {
+            ParamStore::Arena(a) => Some(a.flat()),
+            ParamStore::Fragmented(_) => None,
+        }
+    }
+}
+
+/// A dense `rows x cols` matrix of bf16 bit patterns in one contiguous
+/// allocation — weight storage for the paper's §4.4 mode 1 ("BF16 for both
+/// activations and weights").
+#[derive(Debug, Clone)]
+pub struct ParamArenaBf16 {
+    buf: HogwildArray<u16>,
+    rows: usize,
+    cols: usize,
+}
+
+impl ParamArenaBf16 {
+    /// Allocate a zeroed `rows x cols` bf16 arena (0u16 is bf16 +0.0).
+    pub fn zeroed(rows: usize, cols: usize) -> Self {
+        ParamArenaBf16 {
+            buf: HogwildArray::zeroed(rows * cols),
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows (neurons).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (weights per neuron).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shared read view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[u16] {
+        assert!(r < self.rows, "ParamArenaBf16: row {r} out of {}", self.rows);
+        &self.buf.as_slice()[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Exclusive view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [u16] {
+        assert!(r < self.rows, "ParamArenaBf16: row {r} out of {}", self.rows);
+        let cols = self.cols;
+        &mut self.buf.as_mut_slice()[r * cols..(r + 1) * cols]
+    }
+
+    /// Flat view of all rows.
+    pub fn flat(&self) -> &[u16] {
+        self.buf.as_slice()
+    }
+
+    /// Exclusive flat view.
+    pub fn flat_mut(&mut self) -> &mut [u16] {
+        self.buf.as_mut_slice()
+    }
+
+    /// HOGWILD view for worker threads.
+    pub fn ptr(&self) -> HogwildPtr<u16> {
+        self.buf.ptr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_rows_are_contiguous() {
+        let arena = ParamArena::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(arena.row(1), &[4.0, 5.0, 6.0, 7.0]);
+        let flat = arena.flat();
+        assert_eq!(flat.len(), 12);
+        // Row i starts exactly cols elements after row i-1: contiguity.
+        assert_eq!(flat[4], arena.row(1)[0]);
+        assert_eq!(
+            arena.row(0).as_ptr() as usize + 4 * 4,
+            arena.row(1).as_ptr() as usize
+        );
+    }
+
+    #[test]
+    fn fragmented_rows_match_arena_values() {
+        let arena = ParamArena::from_fn(5, 3, |r, c| (r + c) as f32);
+        let frag = FragmentedParams::from_fn(5, 3, |r, c| (r + c) as f32);
+        for r in 0..5 {
+            assert_eq!(arena.row(r), frag.row(r), "row {r}");
+        }
+        assert_eq!(frag.rows(), 5);
+        assert_eq!(frag.cols(), 3);
+    }
+
+    #[test]
+    fn fragmented_rows_are_not_contiguous() {
+        let frag = FragmentedParams::zeroed(8, 16);
+        let mut contiguous_pairs = 0;
+        for r in 1..8 {
+            let prev_end = frag.row(r - 1).as_ptr() as usize + 16 * 4;
+            if frag.row(r).as_ptr() as usize == prev_end {
+                contiguous_pairs += 1;
+            }
+        }
+        // The spacer allocations should break most adjacency.
+        assert!(contiguous_pairs < 7, "rows unexpectedly all contiguous");
+    }
+
+    #[test]
+    fn param_store_dispatches_layouts() {
+        for layout in [ParamLayout::Coalesced, ParamLayout::Fragmented] {
+            let mut store = ParamStore::from_fn(layout, 4, 2, |r, _| r as f32);
+            assert_eq!(store.layout(), layout);
+            assert_eq!(store.rows(), 4);
+            assert_eq!(store.cols(), 2);
+            assert_eq!(store.row(3), &[3.0, 3.0]);
+            store.row_mut(3)[1] = 9.0;
+            assert_eq!(store.row(3), &[3.0, 9.0]);
+            unsafe { store.row_racy(0)[0] = 5.0 };
+            assert_eq!(store.row(0)[0], 5.0);
+            assert_eq!(store.flat().is_some(), layout == ParamLayout::Coalesced);
+        }
+    }
+
+    #[test]
+    fn fragmented_clone_rebuilds_pointers() {
+        let frag = FragmentedParams::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let clone = frag.clone();
+        // Values equal but storage independent.
+        for r in 0..3 {
+            assert_eq!(frag.row(r), clone.row(r));
+            assert_ne!(frag.row(r).as_ptr(), clone.row(r).as_ptr());
+        }
+        unsafe { clone.row_racy(1)[0] = 99.0 };
+        assert_eq!(clone.row(1)[0], 99.0);
+        assert_ne!(frag.row(1)[0], 99.0);
+    }
+
+    #[test]
+    fn bf16_arena_roundtrips() {
+        let mut arena = ParamArenaBf16::zeroed(2, 3);
+        arena.row_mut(1).copy_from_slice(&[1, 2, 3]);
+        assert_eq!(arena.row(1), &[1, 2, 3]);
+        assert_eq!(arena.row(0), &[0, 0, 0]);
+        assert_eq!(arena.flat().len(), 6);
+        unsafe { arena.ptr().set(0, 7) };
+        assert_eq!(arena.row(0)[0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn arena_row_out_of_bounds_panics() {
+        ParamArena::zeroed(2, 2).row(2);
+    }
+}

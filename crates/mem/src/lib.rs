@@ -1,0 +1,49 @@
+//! Memory-coalescing substrate for the SLIDE reproduction.
+//!
+//! §4.1 of "Accelerating SLIDE Deep Learning on Modern CPUs" attributes the
+//! largest share of its 2–7x speedup to removing two kinds of memory
+//! fragmentation. This crate implements both the optimized and the naive
+//! layouts so the ablations can measure the difference:
+//!
+//! | Paper concept | Optimized type | Naive type |
+//! |---|---|---|
+//! | Data memory (batch of sparse instances) | [`SparseBatch`] | [`FragmentedBatch`] |
+//! | Parameter memory (layer weights/moments) | [`ParamArena`] | [`FragmentedParams`] |
+//!
+//! plus the shared-memory primitives both builds rely on:
+//!
+//! * [`AlignedVec`] — 64-byte-aligned fixed buffers (cache-line/AVX-512
+//!   friendly),
+//! * [`HogwildArray`] / [`HogwildPtr`] — lock-free shared parameter views for
+//!   HOGWILD-style batch parallelism,
+//! * [`ParamArenaBf16`] — contiguous bf16 weight storage for §4.4 mode 1,
+//! * [`IndexBatch`] — coalesced multi-hot label sets.
+//!
+//! # Examples
+//!
+//! ```
+//! use slide_mem::{ParamLayout, ParamStore, SparseBatch};
+//!
+//! // One contiguous buffer for the whole batch (optimized layout).
+//! let mut batch = SparseBatch::new();
+//! batch.push(&[0, 3], &[1.0, 2.0]);
+//! batch.push(&[1], &[3.0]);
+//! assert_eq!(batch.flat_values(), &[1.0, 2.0, 3.0]);
+//!
+//! // One contiguous arena for a layer's weights.
+//! let weights = ParamStore::zeroed(ParamLayout::Coalesced, 16, 8);
+//! assert!(weights.flat().is_some());
+//! ```
+
+mod aligned;
+mod arena;
+mod hogwild;
+mod sparse;
+
+pub use aligned::{AlignedVec, Pod, BUFFER_ALIGN};
+pub use arena::{FragmentedParams, ParamArena, ParamArenaBf16, ParamLayout, ParamStore};
+pub use hogwild::{HogwildArray, HogwildPtr};
+pub use sparse::{
+    clear_densified, densify_into, BatchStore, FragmentedBatch, IndexBatch, SparseBatch,
+    SparseVecRef,
+};

@@ -1,0 +1,105 @@
+//! Concurrency stress tests for the HOGWILD substrate: many threads racing
+//! on shared buffers must preserve the benign-race contract — no crashes,
+//! disjoint writes always land exactly, and racy accumulation loses only a
+//! bounded fraction of updates.
+
+use slide_mem::{HogwildArray, ParamArena};
+
+#[test]
+fn disjoint_row_writes_land_exactly_under_contention() {
+    let rows = 64;
+    let cols = 256;
+    let arena = ParamArena::zeroed(rows, cols);
+    let threads = 8;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let arena = &arena;
+            s.spawn(move || {
+                // Each thread owns rows where row % threads == t.
+                for r in (t..rows).step_by(threads) {
+                    let cols_ = arena.cols();
+                    // SAFETY: rows are partitioned across threads.
+                    let row = unsafe { arena.ptr().row_mut(r, cols_) };
+                    for (c, slot) in row.iter_mut().enumerate() {
+                        *slot = (r * cols + c) as f32;
+                    }
+                }
+            });
+        }
+    });
+    for r in 0..rows {
+        for (c, &v) in arena.row(r).iter().enumerate() {
+            assert_eq!(v, (r * cols + c) as f32, "row {r} col {c}");
+        }
+    }
+}
+
+#[test]
+fn racy_accumulation_loses_only_a_bounded_fraction() {
+    // All threads hammer the same slots with `+= 1.0`. Races may drop
+    // updates (that is HOGWILD's contract) but the result must stay within
+    // a plausible band — catching e.g. torn pointers or wrong indexing.
+    let arr = HogwildArray::<f32>::zeroed(8);
+    let threads = 8;
+    let per_thread = 10_000u32;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let arr = &arr;
+            s.spawn(move || {
+                let p = arr.ptr();
+                for i in 0..per_thread {
+                    // SAFETY: benign-race contract.
+                    unsafe { p.add((i % 8) as usize, 1.0) };
+                }
+            });
+        }
+    });
+    let total: f32 = arr.as_slice().iter().sum();
+    let expect = (threads * per_thread) as f32;
+    assert!(total <= expect + 0.5, "total {total} exceeds writes {expect}");
+    assert!(
+        total >= expect * 0.10,
+        "lost more than 90% of updates: {total} of {expect}"
+    );
+}
+
+#[test]
+fn concurrent_readers_see_consistent_rows_after_quiescence() {
+    let arena = ParamArena::from_fn(32, 64, |r, c| (r * 64 + c) as f32);
+    std::thread::scope(|s| {
+        for _ in 0..6 {
+            let arena = &arena;
+            s.spawn(move || {
+                for r in 0..32 {
+                    let row = arena.row(r);
+                    assert_eq!(row[0], (r * 64) as f32);
+                    assert_eq!(row[63], (r * 64 + 63) as f32);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn hogwild_ptr_is_shareable_across_threads() {
+    let arr = HogwildArray::<f32>::zeroed(1024);
+    let ptr = arr.ptr();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                // SAFETY: quarters are disjoint.
+                let quarter = unsafe { ptr.slice_mut(t * 256, 256) };
+                quarter.fill(t as f32 + 1.0);
+                quarter[0]
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..4 {
+        assert!(arr.as_slice()[t * 256..(t + 1) * 256]
+            .iter()
+            .all(|&v| v == t as f32 + 1.0));
+    }
+}

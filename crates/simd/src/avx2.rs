@@ -1,0 +1,226 @@
+//! AVX2 + FMA (256-bit, 8-lane) kernel implementations.
+//!
+//! These mirror the AVX-512 paths at half register width, providing a useful
+//! middle tier on hosts without AVX-512 and a second point for the Table 4
+//! style ISA ablation.
+//!
+//! # Safety
+//!
+//! Every function here is `#[target_feature(enable = "avx2,fma")]` and must
+//! only be called after `is_x86_feature_detected!("avx2")` and `("fma")`
+//! succeed; the dispatcher in [`crate::kernels`] guarantees this.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use crate::kernels::AdamStep;
+use core::arch::x86_64::*;
+
+const LANES: usize = 8;
+
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn hsum256(v: __m256) -> f32 {
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let lo = _mm256_castps256_ps128(v);
+    let sum4 = _mm_add_ps(lo, hi);
+    let shuf = _mm_movehdup_ps(sum4);
+    let sum2 = _mm_add_ps(sum4, shuf);
+    let hi2 = _mm_movehl_ps(shuf, sum2);
+    let sum1 = _mm_add_ss(sum2, hi2);
+    _mm_cvtss_f32(sum1)
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 2 * LANES <= n {
+        let x0 = _mm256_loadu_ps(pa.add(i));
+        let y0 = _mm256_loadu_ps(pb.add(i));
+        acc0 = _mm256_fmadd_ps(x0, y0, acc0);
+        let x1 = _mm256_loadu_ps(pa.add(i + LANES));
+        let y1 = _mm256_loadu_ps(pb.add(i + LANES));
+        acc1 = _mm256_fmadd_ps(x1, y1, acc1);
+        i += 2 * LANES;
+    }
+    while i + LANES <= n {
+        let x = _mm256_loadu_ps(pa.add(i));
+        let y = _mm256_loadu_ps(pb.add(i));
+        acc0 = _mm256_fmadd_ps(x, y, acc0);
+        i += LANES;
+    }
+    let mut total = hsum256(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        total += *pa.add(i) * *pb.add(i);
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let va = _mm256_set1_ps(alpha);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let xv = _mm256_loadu_ps(px.add(i));
+        let yv = _mm256_loadu_ps(py.add(i));
+        _mm256_storeu_ps(py.add(i), _mm256_fmadd_ps(va, xv, yv));
+        i += LANES;
+    }
+    while i < n {
+        *py.add(i) += alpha * *px.add(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn scale(alpha: f32, x: &mut [f32]) {
+    let n = x.len();
+    let px = x.as_mut_ptr();
+    let va = _mm256_set1_ps(alpha);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let xv = _mm256_loadu_ps(px.add(i));
+        _mm256_storeu_ps(px.add(i), _mm256_mul_ps(va, xv));
+        i += LANES;
+    }
+    while i < n {
+        *px.add(i) *= alpha;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn add(x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let xv = _mm256_loadu_ps(px.add(i));
+        let yv = _mm256_loadu_ps(py.add(i));
+        _mm256_storeu_ps(py.add(i), _mm256_add_ps(xv, yv));
+        i += LANES;
+    }
+    while i < n {
+        *py.add(i) += *px.add(i);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn sum(x: &[f32]) -> f32 {
+    let n = x.len();
+    let px = x.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + LANES <= n {
+        acc = _mm256_add_ps(acc, _mm256_loadu_ps(px.add(i)));
+        i += LANES;
+    }
+    let mut total = hsum256(acc);
+    while i < n {
+        total += *px.add(i);
+        i += 1;
+    }
+    total
+}
+
+/// Vectorized first-wins argmax. Lane-wise strict `>` keeps the earliest
+/// index within a lane; the horizontal pass breaks cross-lane ties by index.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn argmax(x: &[f32]) -> Option<(usize, f32)> {
+    let n = x.len();
+    if n == 0 {
+        return None;
+    }
+    if n < LANES {
+        return crate::scalar::argmax(x);
+    }
+    let px = x.as_ptr();
+    let mut best = _mm256_set1_ps(f32::NEG_INFINITY);
+    let mut best_idx = _mm256_setzero_si256();
+    let mut cur_idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    let stride = _mm256_set1_epi32(LANES as i32);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let v = _mm256_loadu_ps(px.add(i));
+        let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(v, best);
+        best = _mm256_blendv_ps(best, v, gt);
+        best_idx = _mm256_blendv_epi8(best_idx, cur_idx, _mm256_castps_si256(gt));
+        cur_idx = _mm256_add_epi32(cur_idx, stride);
+        i += LANES;
+    }
+    let mut vals = [0.0_f32; LANES];
+    let mut idxs = [0_i32; LANES];
+    _mm256_storeu_ps(vals.as_mut_ptr(), best);
+    _mm256_storeu_si256(idxs.as_mut_ptr() as *mut __m256i, best_idx);
+    let mut best_v = f32::NEG_INFINITY;
+    let mut best_i = 0usize;
+    let mut found = false;
+    for lane in 0..LANES {
+        let (v, ix) = (vals[lane], idxs[lane] as usize);
+        if v > best_v || (v == best_v && found && ix < best_i) {
+            best_v = v;
+            best_i = ix;
+            found = true;
+        } else if !found && v == f32::NEG_INFINITY && ix == 0 {
+            // lane never matched anything (all-NaN column); keep defaults
+        }
+    }
+    if !found {
+        // Entire vector body was NaN; fall back to scalar semantics.
+        return crate::scalar::argmax(x);
+    }
+    while i < n {
+        let v = *px.add(i);
+        if v > best_v {
+            best_v = v;
+            best_i = i;
+        }
+        i += 1;
+    }
+    Some((best_i, best_v))
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn adam_step(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], step: AdamStep) {
+    debug_assert_eq!(w.len(), m.len());
+    debug_assert_eq!(w.len(), v.len());
+    debug_assert_eq!(w.len(), g.len());
+    let n = w.len();
+    let (pw, pm, pv, pg) = (w.as_mut_ptr(), m.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
+    let vb1 = _mm256_set1_ps(step.beta1);
+    let vb2 = _mm256_set1_ps(step.beta2);
+    let vo1 = _mm256_set1_ps(1.0 - step.beta1);
+    let vo2 = _mm256_set1_ps(1.0 - step.beta2);
+    let vlr = _mm256_set1_ps(step.lr_t);
+    let veps = _mm256_set1_ps(step.eps);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let gv = _mm256_loadu_ps(pg.add(i));
+        let mv = _mm256_fmadd_ps(vb1, _mm256_loadu_ps(pm.add(i)), _mm256_mul_ps(vo1, gv));
+        let g2 = _mm256_mul_ps(gv, gv);
+        let vv = _mm256_fmadd_ps(vb2, _mm256_loadu_ps(pv.add(i)), _mm256_mul_ps(vo2, g2));
+        _mm256_storeu_ps(pm.add(i), mv);
+        _mm256_storeu_ps(pv.add(i), vv);
+        let denom = _mm256_add_ps(_mm256_sqrt_ps(vv), veps);
+        let upd = _mm256_div_ps(_mm256_mul_ps(vlr, mv), denom);
+        let wv = _mm256_sub_ps(_mm256_loadu_ps(pw.add(i)), upd);
+        _mm256_storeu_ps(pw.add(i), wv);
+        i += LANES;
+    }
+    if i < n {
+        crate::scalar::adam_step(&mut w[i..], &mut m[i..], &mut v[i..], &g[i..], step);
+    }
+}

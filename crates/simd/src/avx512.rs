@@ -1,0 +1,237 @@
+//! AVX-512F (512-bit, 16-lane) kernel implementations — the paper's target
+//! ISA (§4.2–§4.3).
+//!
+//! Tails are handled with AVX-512 write/read masks (`__mmask16`), so even
+//! ragged row lengths stay on the vector unit; this matters for SLIDE because
+//! hidden widths (128, 200) are not always multiples of 64 floats.
+//!
+//! # Safety
+//!
+//! Every function is `#[target_feature(enable = "avx512f")]` and must only be
+//! called after `is_x86_feature_detected!("avx512f")` succeeds; the dispatcher
+//! in [`crate::kernels`] guarantees this.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use crate::kernels::AdamStep;
+use core::arch::x86_64::*;
+
+const LANES: usize = 16;
+
+#[inline]
+fn tail_mask(r: usize) -> __mmask16 {
+    debug_assert!(r < LANES);
+    ((1u32 << r) - 1) as __mmask16
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm512_setzero_ps();
+    let mut acc1 = _mm512_setzero_ps();
+    let mut acc2 = _mm512_setzero_ps();
+    let mut acc3 = _mm512_setzero_ps();
+    let mut i = 0usize;
+    while i + 4 * LANES <= n {
+        acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i)), _mm512_loadu_ps(pb.add(i)), acc0);
+        acc1 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(i + LANES)),
+            _mm512_loadu_ps(pb.add(i + LANES)),
+            acc1,
+        );
+        acc2 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(i + 2 * LANES)),
+            _mm512_loadu_ps(pb.add(i + 2 * LANES)),
+            acc2,
+        );
+        acc3 = _mm512_fmadd_ps(
+            _mm512_loadu_ps(pa.add(i + 3 * LANES)),
+            _mm512_loadu_ps(pb.add(i + 3 * LANES)),
+            acc3,
+        );
+        i += 4 * LANES;
+    }
+    while i + LANES <= n {
+        acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(pa.add(i)), _mm512_loadu_ps(pb.add(i)), acc0);
+        i += LANES;
+    }
+    if i < n {
+        let k = tail_mask(n - i);
+        let x = _mm512_maskz_loadu_ps(k, pa.add(i));
+        let y = _mm512_maskz_loadu_ps(k, pb.add(i));
+        acc0 = _mm512_fmadd_ps(x, y, acc0);
+    }
+    let acc = _mm512_add_ps(_mm512_add_ps(acc0, acc1), _mm512_add_ps(acc2, acc3));
+    _mm512_reduce_add_ps(acc)
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let va = _mm512_set1_ps(alpha);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let xv = _mm512_loadu_ps(px.add(i));
+        let yv = _mm512_loadu_ps(py.add(i));
+        _mm512_storeu_ps(py.add(i), _mm512_fmadd_ps(va, xv, yv));
+        i += LANES;
+    }
+    if i < n {
+        let k = tail_mask(n - i);
+        let xv = _mm512_maskz_loadu_ps(k, px.add(i));
+        let yv = _mm512_maskz_loadu_ps(k, py.add(i));
+        _mm512_mask_storeu_ps(py.add(i), k, _mm512_fmadd_ps(va, xv, yv));
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn scale(alpha: f32, x: &mut [f32]) {
+    let n = x.len();
+    let px = x.as_mut_ptr();
+    let va = _mm512_set1_ps(alpha);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let xv = _mm512_loadu_ps(px.add(i));
+        _mm512_storeu_ps(px.add(i), _mm512_mul_ps(va, xv));
+        i += LANES;
+    }
+    if i < n {
+        let k = tail_mask(n - i);
+        let xv = _mm512_maskz_loadu_ps(k, px.add(i));
+        _mm512_mask_storeu_ps(px.add(i), k, _mm512_mul_ps(va, xv));
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn add(x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let xv = _mm512_loadu_ps(px.add(i));
+        let yv = _mm512_loadu_ps(py.add(i));
+        _mm512_storeu_ps(py.add(i), _mm512_add_ps(xv, yv));
+        i += LANES;
+    }
+    if i < n {
+        let k = tail_mask(n - i);
+        let xv = _mm512_maskz_loadu_ps(k, px.add(i));
+        let yv = _mm512_maskz_loadu_ps(k, py.add(i));
+        _mm512_mask_storeu_ps(py.add(i), k, _mm512_add_ps(xv, yv));
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub unsafe fn sum(x: &[f32]) -> f32 {
+    let n = x.len();
+    let px = x.as_ptr();
+    let mut acc = _mm512_setzero_ps();
+    let mut i = 0usize;
+    while i + LANES <= n {
+        acc = _mm512_add_ps(acc, _mm512_loadu_ps(px.add(i)));
+        i += LANES;
+    }
+    if i < n {
+        let k = tail_mask(n - i);
+        acc = _mm512_add_ps(acc, _mm512_maskz_loadu_ps(k, px.add(i)));
+    }
+    _mm512_reduce_add_ps(acc)
+}
+
+/// Vectorized first-wins argmax (the reduction at the heart of DWTA hashing,
+/// §4.3.3): strict `>` per lane keeps the earliest index within a lane, and
+/// the horizontal pass breaks cross-lane value ties toward the smaller index.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn argmax(x: &[f32]) -> Option<(usize, f32)> {
+    let n = x.len();
+    if n == 0 {
+        return None;
+    }
+    if n < LANES {
+        return crate::scalar::argmax(x);
+    }
+    let px = x.as_ptr();
+    let mut best = _mm512_set1_ps(f32::NEG_INFINITY);
+    let mut best_idx = _mm512_setzero_si512();
+    let mut cur_idx = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+    let stride = _mm512_set1_epi32(LANES as i32);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let v = _mm512_loadu_ps(px.add(i));
+        let gt = _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, best);
+        best = _mm512_mask_blend_ps(gt, best, v);
+        best_idx = _mm512_mask_blend_epi32(gt, best_idx, cur_idx);
+        cur_idx = _mm512_add_epi32(cur_idx, stride);
+        i += LANES;
+    }
+    let mut vals = [0.0_f32; LANES];
+    let mut idxs = [0_i32; LANES];
+    _mm512_storeu_ps(vals.as_mut_ptr(), best);
+    _mm512_storeu_si512(idxs.as_mut_ptr() as *mut __m512i, best_idx);
+    let mut best_v = f32::NEG_INFINITY;
+    let mut best_i = 0usize;
+    let mut found = false;
+    for lane in 0..LANES {
+        let (v, ix) = (vals[lane], idxs[lane] as usize);
+        if v > best_v || (found && v == best_v && ix < best_i) {
+            best_v = v;
+            best_i = ix;
+            found = true;
+        }
+    }
+    if !found {
+        // Vector body was all NaN / -inf; defer to scalar for exact semantics.
+        return crate::scalar::argmax(x);
+    }
+    while i < n {
+        let v = *px.add(i);
+        if v > best_v {
+            best_v = v;
+            best_i = i;
+        }
+        i += 1;
+    }
+    Some((best_i, best_v))
+}
+
+/// Fused ADAM update (§4.3.1, Figure 3): one linear pass over the weight,
+/// momentum, velocity, and gradient arrays in 16-lane steps.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn adam_step(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], step: AdamStep) {
+    debug_assert_eq!(w.len(), m.len());
+    debug_assert_eq!(w.len(), v.len());
+    debug_assert_eq!(w.len(), g.len());
+    let n = w.len();
+    let (pw, pm, pv, pg) = (w.as_mut_ptr(), m.as_mut_ptr(), v.as_mut_ptr(), g.as_ptr());
+    let vb1 = _mm512_set1_ps(step.beta1);
+    let vb2 = _mm512_set1_ps(step.beta2);
+    let vo1 = _mm512_set1_ps(1.0 - step.beta1);
+    let vo2 = _mm512_set1_ps(1.0 - step.beta2);
+    let vlr = _mm512_set1_ps(step.lr_t);
+    let veps = _mm512_set1_ps(step.eps);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let gv = _mm512_loadu_ps(pg.add(i));
+        let mv = _mm512_fmadd_ps(vb1, _mm512_loadu_ps(pm.add(i)), _mm512_mul_ps(vo1, gv));
+        let g2 = _mm512_mul_ps(gv, gv);
+        let vv = _mm512_fmadd_ps(vb2, _mm512_loadu_ps(pv.add(i)), _mm512_mul_ps(vo2, g2));
+        _mm512_storeu_ps(pm.add(i), mv);
+        _mm512_storeu_ps(pv.add(i), vv);
+        let denom = _mm512_add_ps(_mm512_sqrt_ps(vv), veps);
+        let upd = _mm512_div_ps(_mm512_mul_ps(vlr, mv), denom);
+        let wv = _mm512_sub_ps(_mm512_loadu_ps(pw.add(i)), upd);
+        _mm512_storeu_ps(pw.add(i), wv);
+        i += LANES;
+    }
+    if i < n {
+        crate::scalar::adam_step(&mut w[i..], &mut m[i..], &mut v[i..], &g[i..], step);
+    }
+}

@@ -1,0 +1,61 @@
+//! Runtime-dispatched SIMD kernels for the SLIDE reproduction.
+//!
+//! This crate is the *vectorization substrate* described in §4.2–§4.4 of
+//! "Accelerating SLIDE Deep Learning on Modern CPUs" (MLSys 2021). It provides
+//! the handful of flat-array kernels that dominate SLIDE's runtime:
+//!
+//! * [`dot_f32`] — the inner product of Algorithm 1 (dense input, row-major
+//!   weights, sparse/dense output),
+//! * [`axpy_f32`] — the scaled accumulate of Algorithm 2 (sparse input,
+//!   column-major weights, dense output),
+//! * [`adam_step_f32`] — the fused ADAM parameter update of §4.3.1,
+//! * [`argmax_f32`] / reductions — used by DWTA hashing (§4.3.3) and P@1,
+//! * the [`bf16`] module — software brain-float16 (§4.4) with vectorized
+//!   slice conversions and bf16-weight kernels.
+//!
+//! Every public kernel picks an implementation at runtime from
+//! [`SimdLevel::Scalar`], [`SimdLevel::Avx2`], or [`SimdLevel::Avx512`]
+//! depending on what the host supports, and can be forced lower with
+//! [`set_policy`] — this is the switch behind the paper's Table 4
+//! ("Impact of AVX-512") ablation. On non-x86_64 targets only the scalar
+//! path is compiled.
+//!
+//! # Examples
+//!
+//! ```
+//! let x = vec![1.0_f32; 64];
+//! let w = vec![0.5_f32; 64];
+//! assert_eq!(slide_simd::dot_f32(&x, &w), 32.0);
+//!
+//! // Reproduce the paper's "AVX-512 off" configuration:
+//! slide_simd::set_policy(slide_simd::SimdPolicy::Force(slide_simd::SimdLevel::Scalar));
+//! assert_eq!(slide_simd::effective_level(), slide_simd::SimdLevel::Scalar);
+//! slide_simd::set_policy(slide_simd::SimdPolicy::Auto);
+//! ```
+
+pub mod bf16;
+mod extra;
+mod kernels;
+mod policy;
+pub(crate) mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx512;
+
+pub use bf16::Bf16;
+pub use extra::{norm_sq_f32, scale_add_f32, sub_f32};
+pub use kernels::{
+    add_f32, adam_step_f32, argmax_f32, axpy_f32, dot_f32, scale_f32, sum_f32, AdamStep,
+};
+pub use policy::{detected_level, effective_level, policy, set_policy, SimdLevel, SimdPolicy};
+
+/// Number of bytes in a cache line on the target platforms (CLX/CPX: 64).
+///
+/// Used by `slide-mem` to align parameter arenas and batch buffers so that
+/// SIMD loads do not split lines.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// Number of f32 lanes in one AVX-512 register (the paper's "16 at a time").
+pub const AVX512_LANES_F32: usize = 16;

@@ -1,0 +1,150 @@
+//! Portable scalar reference implementations of every kernel.
+//!
+//! These are the semantics against which the AVX2/AVX-512 paths are tested,
+//! and the "Naive SLIDE"/"without AVX-512" code path of the paper's Table 4.
+//! They are written as simple indexed loops; we deliberately do *not* rely on
+//! the auto-vectorizer-friendly iterator forms so that forcing
+//! `SimdLevel::Scalar` measures honest scalar throughput.
+
+use crate::kernels::AdamStep;
+
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0_f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+#[inline]
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+#[inline]
+pub fn add(x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        y[i] += x[i];
+    }
+}
+
+#[inline]
+pub fn sum(x: &[f32]) -> f32 {
+    let mut acc = 0.0_f32;
+    for &v in x {
+        acc += v;
+    }
+    acc
+}
+
+/// First-wins argmax: returns the smallest index attaining the maximum.
+/// NaN values never win a comparison.
+#[inline]
+pub fn argmax(x: &[f32]) -> Option<(usize, f32)> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = f32::NEG_INFINITY;
+    let mut best_idx = 0usize;
+    let mut seen_finite = false;
+    for (i, &v) in x.iter().enumerate() {
+        if v > best || !seen_finite && !v.is_nan() {
+            best = v;
+            best_idx = i;
+            seen_finite = true;
+        }
+    }
+    Some((best_idx, best))
+}
+
+#[inline]
+pub fn adam_step(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], step: AdamStep) {
+    debug_assert_eq!(w.len(), m.len());
+    debug_assert_eq!(w.len(), v.len());
+    debug_assert_eq!(w.len(), g.len());
+    let AdamStep {
+        lr_t,
+        beta1,
+        beta2,
+        eps,
+    } = step;
+    let one_minus_b1 = 1.0 - beta1;
+    let one_minus_b2 = 1.0 - beta2;
+    for i in 0..w.len() {
+        let gi = g[i];
+        let mi = beta1 * m[i] + one_minus_b1 * gi;
+        let vi = beta2 * v[i] + one_minus_b2 * gi * gi;
+        m[i] = mi;
+        v[i] = vi;
+        w[i] -= lr_t * mi / (vi.sqrt() + eps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn argmax_first_wins_on_ties() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), Some((1, 5.0)));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[-3.0]), Some((0, -3.0)));
+    }
+
+    #[test]
+    fn argmax_ignores_nan() {
+        assert_eq!(argmax(&[f32::NAN, 2.0, 1.0]), Some((1, 2.0)));
+        // All-NaN input: index 0 reported with NEG_INFINITY sentinel never set,
+        // falls back to first element position.
+        let (idx, _) = argmax(&[f32::NAN, f32::NAN]).unwrap();
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn adam_single_step_matches_formula() {
+        let mut w = vec![1.0_f32];
+        let mut m = vec![0.0_f32];
+        let mut v = vec![0.0_f32];
+        let g = vec![0.5_f32];
+        let step = AdamStep {
+            lr_t: 0.1,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        };
+        adam_step(&mut w, &mut m, &mut v, &g, step);
+        let mi = 0.1 * 0.5_f32;
+        let vi = 0.001 * 0.25_f32;
+        let expect = 1.0 - 0.1 * mi / (vi.sqrt() + 1e-8);
+        assert!((w[0] - expect).abs() < 1e-5, "w={} expect={}", w[0], expect);
+        assert!((m[0] - mi).abs() < 1e-7);
+        // `1.0 - beta2` in f32 differs from the 0.001 literal by ~1e-9.
+        assert!((v[0] - vi).abs() < 1e-8);
+    }
+}

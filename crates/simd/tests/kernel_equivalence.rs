@@ -1,0 +1,160 @@
+//! Property-based equivalence tests: every SIMD tier must agree with the
+//! scalar reference on arbitrary inputs, and bf16 narrowing must satisfy its
+//! IEEE contract.
+
+use proptest::prelude::*;
+use slide_simd::{
+    adam_step_f32, argmax_f32, axpy_f32, bf16, dot_f32, set_policy, sum_f32, AdamStep, Bf16,
+    SimdLevel, SimdPolicy,
+};
+
+/// Tests in this binary mutate the process-wide SIMD policy; serialize them.
+fn policy_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    set_policy(SimdPolicy::Force(level));
+    let r = f();
+    set_policy(SimdPolicy::Auto);
+    r
+}
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e3_f32..1e3_f32, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dot_levels_agree(a in finite_vec(300), seed in any::<u64>()) {
+        let _g = policy_lock();
+        let b: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ((seed.wrapping_add(i as u64) % 2001) as f32 / 1000.0) - 1.0)
+            .collect();
+        let reference = with_level(SimdLevel::Scalar, || dot_f32(&a, &b));
+        for level in [SimdLevel::Avx2, SimdLevel::Avx512] {
+            let got = with_level(level, || dot_f32(&a, &b));
+            let tol = 1e-2_f32.max(reference.abs() * 1e-4);
+            prop_assert!((got - reference).abs() <= tol, "{level:?}: {got} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn axpy_levels_agree(x in finite_vec(300), alpha in -10.0_f32..10.0) {
+        let _g = policy_lock();
+        let y0: Vec<f32> = x.iter().map(|v| v * 0.3 + 1.0).collect();
+        let mut expect = y0.clone();
+        with_level(SimdLevel::Scalar, || axpy_f32(alpha, &x, &mut expect));
+        for level in [SimdLevel::Avx2, SimdLevel::Avx512] {
+            let mut y = y0.clone();
+            with_level(level, || axpy_f32(alpha, &x, &mut y));
+            for i in 0..x.len() {
+                prop_assert!((y[i] - expect[i]).abs() <= 1e-2, "{level:?} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_levels_agree(x in finite_vec(400)) {
+        let _g = policy_lock();
+        let reference = with_level(SimdLevel::Scalar, || sum_f32(&x));
+        for level in [SimdLevel::Avx2, SimdLevel::Avx512] {
+            let got = with_level(level, || sum_f32(&x));
+            prop_assert!((got - reference).abs() <= 0.05 * (x.len().max(1) as f32));
+        }
+    }
+
+    #[test]
+    fn argmax_levels_agree_exactly(x in finite_vec(400)) {
+        let _g = policy_lock();
+        let reference = with_level(SimdLevel::Scalar, || argmax_f32(&x));
+        for level in [SimdLevel::Avx2, SimdLevel::Avx512] {
+            let got = with_level(level, || argmax_f32(&x));
+            prop_assert_eq!(got, reference, "{:?}", level);
+        }
+    }
+
+    #[test]
+    fn adam_levels_agree(g in finite_vec(200), t in 1u64..1000) {
+        let _g = policy_lock();
+        let n = g.len();
+        let w0: Vec<f32> = g.iter().map(|v| v * 0.5 - 0.1).collect();
+        let m0 = vec![0.01_f32; n];
+        let v0 = vec![0.02_f32; n];
+        let step = AdamStep::bias_corrected(1e-3, 0.9, 0.999, 1e-8, t);
+        let (mut we, mut me, mut ve) = (w0.clone(), m0.clone(), v0.clone());
+        with_level(SimdLevel::Scalar, || adam_step_f32(&mut we, &mut me, &mut ve, &g, step));
+        for level in [SimdLevel::Avx2, SimdLevel::Avx512] {
+            let (mut w, mut m, mut v) = (w0.clone(), m0.clone(), v0.clone());
+            with_level(level, || adam_step_f32(&mut w, &mut m, &mut v, &g, step));
+            for i in 0..n {
+                prop_assert!((w[i] - we[i]).abs() <= 1e-3, "{level:?} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_roundtrip_relative_error(x in -1e30_f32..1e30) {
+        let back = Bf16::from_f32(x).to_f32();
+        if x.abs() > f32::MIN_POSITIVE {
+            let rel = ((back - x) / x).abs();
+            prop_assert!(rel <= 1.0 / 256.0, "x={x} back={back} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn bf16_narrowing_is_monotone(a in -1e6_f32..1e6, b in -1e6_f32..1e6) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Bf16::from_f32(lo).to_f32() <= Bf16::from_f32(hi).to_f32());
+    }
+
+    #[test]
+    fn bf16_widening_is_exact(bits in any::<u16>()) {
+        // Every bf16 value is exactly representable in f32, so narrowing a
+        // widened value must be the identity (NaN payloads excepted).
+        let x = Bf16::from_bits(bits).to_f32();
+        if !x.is_nan() {
+            prop_assert_eq!(Bf16::from_f32(x).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn bf16_slice_conversion_matches_scalar_type(x in finite_vec(200)) {
+        let _g = policy_lock();
+        let mut narrowed = vec![0u16; x.len()];
+        bf16::f32_to_bf16_slice(&x, &mut narrowed);
+        for i in 0..x.len() {
+            prop_assert_eq!(narrowed[i], Bf16::from_f32(x[i]).to_bits(), "i={}", i);
+        }
+        let mut widened = vec![0f32; x.len()];
+        bf16::bf16_to_f32_slice(&narrowed, &mut widened);
+        for i in 0..x.len() {
+            prop_assert_eq!(widened[i], Bf16::from_bits(narrowed[i]).to_f32());
+        }
+    }
+
+    #[test]
+    fn bf16_dot_approximates_f32_dot(x in finite_vec(200)) {
+        let _g = policy_lock();
+        let w: Vec<f32> = x.iter().map(|v| v * 0.25 + 0.5).collect();
+        let mut wq = vec![0u16; w.len()];
+        bf16::f32_to_bf16_slice(&w, &mut wq);
+        let exact = dot_f32(&w, &x);
+        let approx = bf16::dot_bf16_f32(&wq, &x);
+        // Each weight is off by at most 2^-9 relative; the dot inherits that
+        // plus accumulation noise.
+        let budget: f32 = w
+            .iter()
+            .zip(&x)
+            .map(|(wi, xi)| (wi * xi).abs())
+            .sum::<f32>()
+            / 128.0
+            + 1.0;
+        prop_assert!((approx - exact).abs() <= budget, "{approx} vs {exact}");
+    }
+}

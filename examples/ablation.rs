@@ -1,0 +1,105 @@
+//! Ablation tour: flip each of the paper's optimization axes one at a time
+//! (memory coalescing §4.1, AVX-512 §4.2, BF16 §4.4) on one workload and
+//! print the per-epoch cost of losing it.
+//!
+//! ```sh
+//! cargo run --release --example ablation
+//! ```
+
+use slide::{
+    generate_synthetic, set_policy, EvalMode, Network, NetworkConfig, Precision, SimdLevel,
+    SimdPolicy, SynthConfig, Trainer, TrainerConfig,
+};
+
+struct Variant {
+    name: &'static str,
+    coalesced: bool,
+    policy: SimdPolicy,
+    precision: Precision,
+}
+
+fn main() {
+    let data = generate_synthetic(&SynthConfig {
+        feature_dim: 4096,
+        label_dim: 8192,
+        n_train: 8_000,
+        n_test: 1_000,
+        ..Default::default()
+    });
+
+    let variants = [
+        Variant {
+            name: "full optimizations (coalesced + AVX + bf16)",
+            coalesced: true,
+            policy: SimdPolicy::Auto,
+            precision: Precision::Bf16Both,
+        },
+        Variant {
+            name: "fp32 (no bf16)",
+            coalesced: true,
+            policy: SimdPolicy::Auto,
+            precision: Precision::Fp32,
+        },
+        Variant {
+            name: "no AVX-512 (scalar kernels)",
+            coalesced: true,
+            policy: SimdPolicy::Force(SimdLevel::Scalar),
+            precision: Precision::Fp32,
+        },
+        Variant {
+            name: "fragmented memory (naive layout)",
+            coalesced: false,
+            policy: SimdPolicy::Auto,
+            precision: Precision::Fp32,
+        },
+        Variant {
+            name: "naive SLIDE (fragmented + scalar)",
+            coalesced: false,
+            policy: SimdPolicy::Force(SimdLevel::Scalar),
+            precision: Precision::Fp32,
+        },
+    ];
+
+    println!(
+        "{:<48} {:>10} {:>8} {:>9}",
+        "variant", "s/epoch", "P@1", "slowdown"
+    );
+    let mut reference = 0.0_f64;
+    for v in &variants {
+        let mut cfg = NetworkConfig::standard(4096, 128, 8192);
+        cfg.lsh.tables = 24;
+        cfg.lsh.key_bits = 6;
+        cfg.lsh.min_active = 96;
+        cfg.memory.coalesced_params = v.coalesced;
+        cfg.memory.coalesced_data = v.coalesced;
+        cfg.precision = v.precision;
+        set_policy(v.policy);
+        let mut trainer = Trainer::new(
+            Network::new(cfg).expect("valid config"),
+            TrainerConfig {
+                batch_size: 128,
+                learning_rate: 1e-3,
+                ..Default::default()
+            },
+        )
+        .expect("valid trainer");
+        let mut secs = 0.0;
+        let epochs = 3;
+        for epoch in 0..epochs {
+            secs += trainer.train_epoch(&data.train, epoch).seconds;
+        }
+        secs /= epochs as f64;
+        let p1 = trainer.evaluate(&data.test, 1, EvalMode::Exact, Some(300));
+        if reference == 0.0 {
+            reference = secs;
+        }
+        println!(
+            "{:<48} {:>10.3} {:>8.3} {:>8.2}x",
+            v.name,
+            secs,
+            p1,
+            secs / reference
+        );
+    }
+    set_policy(SimdPolicy::Auto);
+}

@@ -1,0 +1,76 @@
+//! NLP workload (Text8 stand-in): word2vec skip-gram training with SimHash
+//! sampling — the paper's §5.1/§5.3 Text8 configuration (hidden 200,
+//! SimHash K=9, window 2), at laptop scale.
+//!
+//! ```sh
+//! cargo run --release --example text8_word2vec
+//! ```
+
+use slide::{
+    generate_text, EvalMode, HashFamilyKind, Network, NetworkConfig, TextConfig, Trainer,
+    TrainerConfig,
+};
+
+fn main() {
+    let cfg = TextConfig::text8_scaled(1);
+    let data = generate_text(&cfg);
+    println!(
+        "Text8 (sim): vocab {}, corpus {} tokens, {} skip-gram samples (window {})",
+        cfg.vocab,
+        data.corpus.len(),
+        data.train.len(),
+        cfg.window
+    );
+
+    // word2vec: one-hot input, hidden 200 (the embedding), vocab-sized
+    // multi-hot softmax sampled with SimHash (paper: K=9, L=50).
+    let mut net_cfg = NetworkConfig::standard(cfg.vocab, 200, cfg.vocab);
+    net_cfg.lsh.family = HashFamilyKind::SimHash;
+    net_cfg.lsh.key_bits = 9;
+    net_cfg.lsh.tables = 50;
+    net_cfg.lsh.min_active = 128;
+    let network = Network::new(net_cfg).expect("valid config");
+    println!("model: {} parameters (embedding + output)", network.num_parameters());
+
+    let mut trainer = Trainer::new(
+        network,
+        TrainerConfig {
+            batch_size: 512, // the paper's Text8 batch size
+            learning_rate: 1e-3,
+            ..Default::default()
+        },
+    )
+    .expect("valid trainer");
+
+    println!("{:>5} {:>10} {:>10} {:>8}", "epoch", "loss", "time(s)", "P@1");
+    for epoch in 0..5 {
+        let stats = trainer.train_epoch(&data.train, epoch);
+        let p1 = trainer.evaluate(&data.test, 1, EvalMode::Exact, Some(400));
+        println!(
+            "{:>5} {:>10.4} {:>10.3} {:>8.3}",
+            epoch + 1,
+            stats.mean_loss,
+            stats.seconds,
+            p1
+        );
+    }
+
+    // The embedding rows of related words should be closer than unrelated
+    // ones after training: probe one head word and its planted collocate.
+    let w = 3u32;
+    let collocate = slide::data::collocate(&cfg, w, 0);
+    let unrelated = (w + cfg.vocab as u32 / 2) % cfg.vocab as u32;
+    let emb = |word: u32| trainer.network().input().params().row_f32(word as usize);
+    let cos = |a: &[f32], b: &[f32]| {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-12)
+    };
+    let (e_w, e_c, e_u) = (emb(w), emb(collocate), emb(unrelated));
+    println!(
+        "embedding cosine: word↔collocate {:.3}, word↔unrelated {:.3}",
+        cos(&e_w, &e_c),
+        cos(&e_w, &e_u)
+    );
+}

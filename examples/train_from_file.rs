@@ -1,0 +1,78 @@
+//! File-based workflow: write a dataset in the XC/libsvm dialect the real
+//! Amazon-670K ships in, parse it back, train, and round-trip a model
+//! checkpoint — the full downstream-user path.
+//!
+//! ```sh
+//! cargo run --release --example train_from_file
+//! ```
+
+use slide::{
+    generate_synthetic, load_checkpoint, parse_xc, save_checkpoint, write_xc, EvalMode, Network,
+    NetworkConfig, SynthConfig, Trainer, TrainerConfig,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("slide_example");
+    std::fs::create_dir_all(&dir)?;
+    let data_path = dir.join("train.txt");
+    let ckpt_path = dir.join("model.slide");
+
+    // 1. Materialize a dataset to disk in the XC repository format.
+    let synth = generate_synthetic(&SynthConfig {
+        feature_dim: 1024,
+        label_dim: 512,
+        n_train: 3_000,
+        n_test: 600,
+        ..Default::default()
+    });
+    write_xc(BufWriter::new(File::create(&data_path)?), &synth.train)?;
+    println!("wrote {} samples to {}", synth.train.len(), data_path.display());
+
+    // 2. Parse it back the way a user would load the real Amazon-670K file.
+    let train = parse_xc(BufReader::new(File::open(&data_path)?))?;
+    println!(
+        "parsed: {} samples, {} features, {} labels, avg nnz {:.1}",
+        train.len(),
+        train.feature_dim(),
+        train.label_dim(),
+        train.avg_nnz()
+    );
+
+    // 3. Train.
+    let mut cfg = NetworkConfig::standard(1024, 64, 512);
+    cfg.lsh.tables = 16;
+    cfg.lsh.key_bits = 5;
+    cfg.lsh.min_active = 64;
+    let mut trainer = Trainer::new(
+        Network::new(cfg.clone()).expect("valid config"),
+        TrainerConfig {
+            batch_size: 128,
+            learning_rate: 1e-3,
+            ..Default::default()
+        },
+    )
+    .expect("valid trainer");
+    for epoch in 0..4 {
+        let stats = trainer.train_epoch(&train, epoch);
+        println!("epoch {}: loss {:.4} ({:.2}s)", epoch + 1, stats.mean_loss, stats.seconds);
+    }
+    let p1 = trainer.evaluate(&synth.test, 1, EvalMode::Exact, None);
+    println!("trained P@1 = {p1:.3}");
+
+    // 4. Checkpoint and restore into a fresh network.
+    save_checkpoint(trainer.network(), BufWriter::new(File::create(&ckpt_path)?))?;
+    println!(
+        "checkpoint: {} bytes at {}",
+        std::fs::metadata(&ckpt_path)?.len(),
+        ckpt_path.display()
+    );
+    let mut restored = Network::new(cfg).expect("valid config");
+    load_checkpoint(&mut restored, BufReader::new(File::open(&ckpt_path)?))?;
+    let mut verifier = Trainer::new(restored, TrainerConfig::default()).expect("valid trainer");
+    let p1_restored = verifier.evaluate(&synth.test, 1, EvalMode::Exact, None);
+    println!("restored P@1 = {p1_restored:.3} (must match)");
+    assert!((p1 - p1_restored).abs() < 1e-9);
+    Ok(())
+}

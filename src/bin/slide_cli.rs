@@ -1,0 +1,24 @@
+//! `slide_cli` — generate workloads, train, and evaluate SLIDE models from
+//! the command line. See `slide_cli help`.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        println!("{}", slide::cli::usage());
+        return;
+    }
+    let args = match slide::cli::CliArgs::parse(raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match slide::cli::run(&args) {
+        Ok(report) => print!("{report}{}", if report.ends_with('\n') { "" } else { "\n" }),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: the full train→evaluate→checkpoint cycle
+//! through the public facade, across the paper's configuration matrix.
+
+use slide::{
+    generate_synthetic, load_checkpoint, save_checkpoint, EvalMode, Network, NetworkConfig,
+    Precision, SynthConfig, Trainer, TrainerConfig,
+};
+
+fn dataset() -> slide::data::SynthDataset {
+    generate_synthetic(&SynthConfig {
+        feature_dim: 512,
+        label_dim: 128,
+        n_train: 1_200,
+        n_test: 300,
+        proto_nnz: 14,
+        keep_fraction: 0.8,
+        noise_nnz: 3,
+        labels_per_sample: 1,
+        zipf_exponent: 0.5,
+        seed: 77,
+    })
+}
+
+fn network(precision: Precision, coalesced: bool) -> Network {
+    let mut cfg = NetworkConfig::standard(512, 32, 128);
+    cfg.lsh.tables = 16;
+    cfg.lsh.key_bits = 5;
+    cfg.lsh.min_active = 32;
+    cfg.precision = precision;
+    cfg.memory.coalesced_params = coalesced;
+    cfg.memory.coalesced_data = coalesced;
+    Network::new(cfg).expect("valid config")
+}
+
+fn trainer(net: Network) -> Trainer {
+    let mut tc = TrainerConfig {
+        batch_size: 64,
+        learning_rate: 2e-3,
+        threads: 4,
+        ..Default::default()
+    };
+    tc.rebuild.initial_period = 8;
+    Trainer::new(net, tc).expect("valid trainer")
+}
+
+fn train_and_score(net: Network, epochs: u32, data: &slide::data::SynthDataset) -> f64 {
+    let mut t = trainer(net);
+    for epoch in 0..epochs {
+        t.train_epoch(&data.train, epoch as u64);
+    }
+    t.evaluate(&data.test, 1, EvalMode::Exact, None)
+}
+
+#[test]
+fn optimized_slide_learns_well_above_chance() {
+    let data = dataset();
+    let p1 = train_and_score(network(Precision::Fp32, true), 8, &data);
+    // Chance is ~1/128 with a Zipf head bump; require a large margin.
+    assert!(p1 > 0.35, "P@1 {p1:.3}");
+}
+
+#[test]
+fn naive_and_optimized_layouts_reach_similar_accuracy() {
+    // The §4.1 memory layouts change speed, not semantics.
+    let data = dataset();
+    let optimized = train_and_score(network(Precision::Fp32, true), 6, &data);
+    let naive = train_and_score(network(Precision::Fp32, false), 6, &data);
+    assert!(optimized > 0.3, "optimized P@1 {optimized:.3}");
+    assert!(naive > 0.3, "naive P@1 {naive:.3}");
+    assert!(
+        (optimized - naive).abs() < 0.2,
+        "layouts diverged: {optimized:.3} vs {naive:.3}"
+    );
+}
+
+#[test]
+fn bf16_modes_cost_little_accuracy() {
+    // Table 3's premise: bf16 speeds things up without wrecking quality on
+    // the XC workloads.
+    let data = dataset();
+    let fp32 = train_and_score(network(Precision::Fp32, true), 6, &data);
+    let bf16_act = train_and_score(network(Precision::Bf16Activations, true), 6, &data);
+    let bf16_both = train_and_score(network(Precision::Bf16Both, true), 6, &data);
+    assert!(fp32 > 0.3);
+    assert!(bf16_act > fp32 - 0.15, "bf16-act P@1 {bf16_act:.3} vs {fp32:.3}");
+    assert!(bf16_both > fp32 - 0.2, "bf16-both P@1 {bf16_both:.3} vs {fp32:.3}");
+}
+
+#[test]
+fn simd_levels_do_not_change_learning() {
+    // Table 4's premise: AVX changes time, not accuracy. (Floating-point
+    // summation order differs, so exact equality is not expected.)
+    let data = dataset();
+    slide::set_policy(slide::SimdPolicy::Force(slide::SimdLevel::Scalar));
+    let scalar = train_and_score(network(Precision::Fp32, true), 5, &data);
+    slide::set_policy(slide::SimdPolicy::Auto);
+    let vector = train_and_score(network(Precision::Fp32, true), 5, &data);
+    assert!(scalar > 0.3, "scalar P@1 {scalar:.3}");
+    assert!(vector > 0.3, "vector P@1 {vector:.3}");
+    assert!((scalar - vector).abs() < 0.2);
+}
+
+#[test]
+fn checkpoint_roundtrip_through_facade() {
+    let data = dataset();
+    let mut t = trainer(network(Precision::Fp32, true));
+    for epoch in 0..3 {
+        t.train_epoch(&data.train, epoch);
+    }
+    let p1 = t.evaluate(&data.test, 1, EvalMode::Exact, None);
+
+    let mut bytes = Vec::new();
+    save_checkpoint(t.network(), &mut bytes).unwrap();
+    let mut restored = network(Precision::Fp32, true);
+    load_checkpoint(&mut restored, &bytes[..]).unwrap();
+    let mut t2 = trainer(restored);
+    let p1_restored = t2.evaluate(&data.test, 1, EvalMode::Exact, None);
+    assert!((p1 - p1_restored).abs() < 1e-9, "{p1} vs {p1_restored}");
+}
+
+#[test]
+fn training_continues_after_checkpoint_restore() {
+    let data = dataset();
+    let mut t = trainer(network(Precision::Fp32, true));
+    for epoch in 0..2 {
+        t.train_epoch(&data.train, epoch);
+    }
+    let mut bytes = Vec::new();
+    save_checkpoint(t.network(), &mut bytes).unwrap();
+
+    let mut restored = network(Precision::Fp32, true);
+    load_checkpoint(&mut restored, &bytes[..]).unwrap();
+    let mut t2 = trainer(restored);
+    let before = t2.evaluate(&data.test, 1, EvalMode::Exact, None);
+    for epoch in 2..6 {
+        t2.train_epoch(&data.train, epoch);
+    }
+    let after = t2.evaluate(&data.test, 1, EvalMode::Exact, None);
+    assert!(
+        after >= before - 0.02,
+        "resumed training regressed: {before:.3} -> {after:.3}"
+    );
+}
+
+#[test]
+fn thread_counts_agree_on_quality() {
+    // HOGWILD races must not change where training lands (statistically).
+    let data = dataset();
+    let score_with = |threads: usize| {
+        let mut tc = TrainerConfig {
+            batch_size: 64,
+            learning_rate: 2e-3,
+            threads,
+            ..Default::default()
+        };
+        tc.rebuild.initial_period = 8;
+        let mut t = Trainer::new(network(Precision::Fp32, true), tc).unwrap();
+        for epoch in 0..6 {
+            t.train_epoch(&data.train, epoch);
+        }
+        t.evaluate(&data.test, 1, EvalMode::Exact, None)
+    };
+    let single = score_with(1);
+    let many = score_with(8);
+    assert!(single > 0.3 && many > 0.3, "single {single:.3} many {many:.3}");
+    assert!((single - many).abs() < 0.2);
+}
