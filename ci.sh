@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate for the slide-rs workspace. Run from the repo root:
+#
+#   ./ci.sh          # full gate: fmt, clippy, release build, tests, docs
+#   ./ci.sh quick    # skip the release build (debug build + tests only)
+#
+# Everything here must pass before merging. The clippy gate is -D warnings
+# with NO repo-wide allowlist: the workspace is warning-clean, and any
+# intentional exception must be a commented inline #[allow] at the site
+# (grep for `allow(clippy` to audit the current ones).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --all-targets --all-features -- -D warnings"
+cargo clippy --all-targets --all-features -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+    step "cargo build --release"
+    cargo build --release
+fi
+
+step "cargo test -q"
+cargo test -q
+
+step "cargo test --doc -q"
+cargo test --doc -q
+
+step "cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+step "OK — all gates passed"

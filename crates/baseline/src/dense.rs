@@ -115,7 +115,9 @@ impl DenseBaseline {
         let threads = if config.threads > 0 {
             config.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         };
         let input = SparseInputLayer::new(
             config.input_dim,
@@ -260,7 +262,8 @@ impl DenseBaseline {
             }
         });
 
-        let step = AdamStep::bias_corrected(self.config.learning_rate, 0.9, 0.999, 1e-8, self.adam_t);
+        let step =
+            AdamStep::bias_corrected(self.config.learning_rate, 0.9, 0.999, 1e-8, self.adam_t);
         // Full output update: every row, flat arena sweep in parallel chunks.
         let total = n_out * self.config.hidden;
         let chunk = 16 * 1024;
@@ -412,7 +415,10 @@ mod tests {
             b.train_epoch(&data.train, epoch);
         }
         let after = b.evaluate(&data.test, 1, None);
-        assert!(after > before + 0.25, "dense baseline: {before:.3} -> {after:.3}");
+        assert!(
+            after > before + 0.25,
+            "dense baseline: {before:.3} -> {after:.3}"
+        );
     }
 
     #[test]

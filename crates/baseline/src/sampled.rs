@@ -123,7 +123,9 @@ impl SampledSoftmaxBaseline {
         let threads = if config.threads > 0 {
             config.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         };
         let input = SparseInputLayer::new(
             config.input_dim,
@@ -249,7 +251,8 @@ impl SampledSoftmaxBaseline {
                 }
                 let mut attempt = 0u64;
                 while scratch.active.len() < labels.len() + negatives {
-                    let r = reduce(mix3(seed, salt_base | i as u64, attempt), n_out as usize) as u32;
+                    let r =
+                        reduce(mix3(seed, salt_base | i as u64, attempt), n_out as usize) as u32;
                     attempt += 1;
                     if scratch.seen[r as usize] != scratch.seen_gen {
                         scratch.seen[r as usize] = scratch.seen_gen;
@@ -291,7 +294,8 @@ impl SampledSoftmaxBaseline {
             }
         });
 
-        let step = AdamStep::bias_corrected(self.config.learning_rate, 0.9, 0.999, 1e-8, self.adam_t);
+        let step =
+            AdamStep::bias_corrected(self.config.learning_rate, 0.9, 0.999, 1e-8, self.adam_t);
         self.touched_out.clear();
         self.touched_in.clear();
         for s in &mut self.scratches {
@@ -409,7 +413,10 @@ mod tests {
             b.train_epoch(&data.train, epoch);
         }
         let after = b.evaluate(&data.test, 1, None);
-        assert!(after > before + 0.2, "sampled softmax: {before:.3} -> {after:.3}");
+        assert!(
+            after > before + 0.2,
+            "sampled softmax: {before:.3} -> {after:.3}"
+        );
     }
 
     #[test]

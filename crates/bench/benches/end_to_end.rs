@@ -8,6 +8,9 @@ use slide_core::{Network, Trainer};
 use slide_simd::SimdPolicy;
 use std::time::Duration;
 
+/// A named preset: mutates the config and returns the SIMD policy to force.
+type Preset = Box<dyn Fn(&mut slide_core::NetworkConfig) -> SimdPolicy>;
+
 fn bench_train_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("train_batch_amazon_sim");
     g.measurement_time(Duration::from_secs(2));
@@ -18,20 +21,21 @@ fn bench_train_batch(c: &mut Criterion) {
     let (train, _test) = w.dataset(1);
     let indices: Vec<u32> = (0..w.batch_size() as u32).collect();
 
-    let variants: Vec<(&str, Box<dyn Fn(&mut slide_core::NetworkConfig) -> SimdPolicy>)> = vec![
+    let variants: Vec<(&str, Preset)> = vec![
         ("optimized", Box::new(slide_baseline::optimized_slide_clx)),
-        ("optimized_bf16", Box::new(slide_baseline::optimized_slide_cpx)),
+        (
+            "optimized_bf16",
+            Box::new(slide_baseline::optimized_slide_cpx),
+        ),
         ("naive", Box::new(slide_baseline::naive_slide)),
     ];
     for (name, preset) in variants {
         let mut cfg = w.network_config(train.feature_dim(), train.label_dim());
         let policy = preset(&mut cfg);
         slide_simd::set_policy(policy);
-        let mut trainer = Trainer::new(
-            Network::new(cfg).expect("valid config"),
-            w.trainer_config(),
-        )
-        .expect("valid trainer");
+        let mut trainer =
+            Trainer::new(Network::new(cfg).expect("valid config"), w.trainer_config())
+                .expect("valid trainer");
         g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             b.iter(|| trainer.train_batch(&train, &indices))
         });
@@ -49,11 +53,8 @@ fn bench_evaluate(c: &mut Criterion) {
     let w = Workload::Amazon670k;
     let (train, test) = w.dataset(1);
     let cfg = w.network_config(train.feature_dim(), train.label_dim());
-    let mut trainer = Trainer::new(
-        Network::new(cfg).expect("valid config"),
-        w.trainer_config(),
-    )
-    .expect("valid trainer");
+    let mut trainer = Trainer::new(Network::new(cfg).expect("valid config"), w.trainer_config())
+        .expect("valid trainer");
     trainer.train_epoch(&train, 0);
 
     g.bench_function("sampled_lsh_200", |b| {

@@ -109,7 +109,11 @@ fn bench_rebuild(c: &mut Criterion) {
         seed: 1,
     });
     let rows: Vec<Vec<f32>> = (0..8192)
-        .map(|r| (0..128).map(|col| ((r * 31 + col * 7) % 97) as f32 * 0.01).collect())
+        .map(|r| {
+            (0..128)
+                .map(|col| ((r * 31 + col * 7) % 97) as f32 * 0.01)
+                .collect()
+        })
         .collect();
     let mut scratch = h.make_scratch();
     let mut keys = vec![0u32; 24];
@@ -123,5 +127,11 @@ fn bench_rebuild(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dwta, bench_simhash, bench_tables, bench_rebuild);
+criterion_group!(
+    benches,
+    bench_dwta,
+    bench_simhash,
+    bench_tables,
+    bench_rebuild
+);
 criterion_main!(benches);

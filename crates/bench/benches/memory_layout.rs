@@ -14,7 +14,9 @@ fn make_batches() -> (SparseBatch, FragmentedBatch) {
     let mut c = SparseBatch::with_capacity(INSTANCES, INSTANCES * NNZ);
     let mut f = FragmentedBatch::new();
     for i in 0..INSTANCES {
-        let idx: Vec<u32> = (0..NNZ as u32).map(|j| (i as u32 * 13 + j * 97) % 100_000).collect();
+        let idx: Vec<u32> = (0..NNZ as u32)
+            .map(|j| (i as u32 * 13 + j * 97) % 100_000)
+            .collect();
         let val: Vec<f32> = (0..NNZ).map(|j| (j as f32 * 0.3).sin()).collect();
         c.push(&idx, &val);
         f.push(&idx, &val);
@@ -134,5 +136,10 @@ fn bench_flat_adam_vs_rows(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_batch_scan, bench_param_rows, bench_flat_adam_vs_rows);
+criterion_group!(
+    benches,
+    bench_batch_scan,
+    bench_param_rows,
+    bench_flat_adam_vs_rows
+);
 criterion_main!(benches);

@@ -81,7 +81,10 @@ fn main() {
 
     // --- Bucket policy: FIFO vs reservoir ---
     let mut rows = Vec::new();
-    for (name, policy) in [("reservoir", BucketPolicy::Reservoir), ("fifo", BucketPolicy::Fifo)] {
+    for (name, policy) in [
+        ("reservoir", BucketPolicy::Reservoir),
+        ("fifo", BucketPolicy::Fifo),
+    ] {
         let mut cfg = w.network_config(train.feature_dim(), train.label_dim());
         cfg.lsh.policy = policy;
         let r = run_slide(

@@ -118,9 +118,7 @@ fn main() {
     println!("  AVX-512 contribution                    : {avx_gain:.2}x");
     println!("  BF16 contribution                       : {bf16_gain:.2}x");
     println!("  memory-optimization remainder           : {memory_gain:.2}x");
-    println!(
-        "\nPaper: overall 2–7x; AVX+bf16 combined ≈1.7x; memory provides the rest."
-    );
+    println!("\nPaper: overall 2–7x; AVX+bf16 combined ≈1.7x; memory provides the rest.");
     println!(
         "Scale caveat: the paper's models (100–340MB) dwarf its 36–39MB L3 caches, \
          so fragmentation costs DRAM round-trips. At SLIDE_SCALE=1 our model fits \

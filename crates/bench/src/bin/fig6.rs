@@ -88,8 +88,18 @@ fn main() {
 
         let dense = dense_curve(w, &train, &test, n_epochs);
         let v100 = v100_curve(w, &train, &dense);
-        summary.push((Method::TfV100, v100.avg_epoch_seconds(), v100.final_p_at_1(), true));
-        summary.push((Method::TfCpu, dense.avg_epoch_seconds(), dense.final_p_at_1(), false));
+        summary.push((
+            Method::TfV100,
+            v100.avg_epoch_seconds(),
+            v100.final_p_at_1(),
+            true,
+        ));
+        summary.push((
+            Method::TfCpu,
+            dense.avg_epoch_seconds(),
+            dense.final_p_at_1(),
+            false,
+        ));
         curves.push((Method::TfV100, v100));
         curves.push((Method::TfCpu, dense));
 
@@ -109,7 +119,11 @@ fn main() {
             .map(|(m, secs, p1, modeled)| {
                 vec![
                     m.label().to_string(),
-                    format!("{}{}", fmt_secs(*secs), if *modeled { " [model]" } else { "" }),
+                    format!(
+                        "{}{}",
+                        fmt_secs(*secs),
+                        if *modeled { " [model]" } else { "" }
+                    ),
                     format!("{p1:.3}"),
                 ]
             })

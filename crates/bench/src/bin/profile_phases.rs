@@ -46,6 +46,9 @@ fn profile(
     )
 }
 
+/// A named preset: mutates the config and returns the SIMD policy to force.
+type Preset = fn(&mut slide_core::NetworkConfig) -> SimdPolicy;
+
 fn main() {
     let scale = scale();
     let n_epochs = epochs(4);
@@ -53,7 +56,7 @@ fn main() {
 
     for w in Workload::all() {
         let (train, _test) = w.dataset(scale);
-        let presets: [(&str, fn(&mut slide_core::NetworkConfig) -> SimdPolicy); 3] = [
+        let presets: [(&str, Preset); 3] = [
             ("optimized (CLX)", slide_baseline::optimized_slide_clx),
             ("optimized+bf16 (CPX)", slide_baseline::optimized_slide_cpx),
             ("naive", slide_baseline::naive_slide),
@@ -65,7 +68,11 @@ fn main() {
             rows.push(vec![
                 name.to_string(),
                 format!("{:.0}ms", total * 1e3),
-                format!("{:.0}ms ({})", p.forward_backward * 1e3, pct(p.forward_backward)),
+                format!(
+                    "{:.0}ms ({})",
+                    p.forward_backward * 1e3,
+                    pct(p.forward_backward)
+                ),
                 format!("{:.0}ms ({})", p.optimizer * 1e3, pct(p.optimizer)),
                 format!("{:.1}ms", p.batch_build * 1e3),
                 format!("{:.1}ms", p.rebuild * 1e3),
@@ -73,7 +80,14 @@ fn main() {
         }
         print_table(
             &format!("Phase breakdown: {}", w.name()),
-            &["Variant", "epoch", "fwd/bwd", "ADAM", "batch copy", "rebuild"],
+            &[
+                "Variant",
+                "epoch",
+                "fwd/bwd",
+                "ADAM",
+                "batch copy",
+                "rebuild",
+            ],
             &rows,
             &[22, 8, 16, 16, 11, 9],
         );

@@ -13,7 +13,13 @@ fn main() {
     println!("Reproducing Table 1 (dataset statistics); SLIDE_SCALE={scale}");
 
     let header = [
-        "Dataset", "Feature Dim", "Sparsity", "Label Dim", "Train", "Test", "# Params",
+        "Dataset",
+        "Feature Dim",
+        "Sparsity",
+        "Label Dim",
+        "Train",
+        "Test",
+        "# Params",
     ];
     let mut rows = Vec::new();
     for w in Workload::all() {

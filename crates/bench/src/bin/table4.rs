@@ -19,9 +19,7 @@ fn paper_slowdown(w: Workload) -> &'static str {
 fn main() {
     let scale = scale();
     let n_epochs = epochs(8);
-    println!(
-        "Reproducing Table 4 (impact of AVX-512); SLIDE_SCALE={scale}, epochs={n_epochs}"
-    );
+    println!("Reproducing Table 4 (impact of AVX-512); SLIDE_SCALE={scale}, epochs={n_epochs}");
     println!(
         "host SIMD capability: {} (policy forced per row)",
         slide_simd::detected_level()

@@ -237,11 +237,8 @@ pub fn run_dense(
 /// Model the V100 epoch time for this workload at our scale, carrying the
 /// dense baseline's accuracy (same algorithm, different device).
 pub fn model_v100(workload: Workload, train: &Dataset, dense_p1: f64) -> RunResult {
-    let params = slide_data::model_parameters(
-        train.feature_dim(),
-        workload.hidden(),
-        train.label_dim(),
-    );
+    let params =
+        slide_data::model_parameters(train.feature_dim(), workload.hidden(), train.label_dim());
     let secs = DeviceModel::v100().epoch_seconds(params, train.len(), workload.batch_size());
     RunResult {
         epoch_seconds: secs,
@@ -270,17 +267,44 @@ pub fn run_method(
         Method::NaiveSlide => {
             let mut cfg = net_cfg;
             let policy = slide_baseline::naive_slide(&mut cfg);
-            run_slide(cfg, trainer_cfg, policy, None, train, test, n_epochs, eval_samples)
+            run_slide(
+                cfg,
+                trainer_cfg,
+                policy,
+                None,
+                train,
+                test,
+                n_epochs,
+                eval_samples,
+            )
         }
         Method::OptimizedSlideClx => {
             let mut cfg = net_cfg;
             let policy = slide_baseline::optimized_slide_clx(&mut cfg);
-            run_slide(cfg, trainer_cfg, policy, None, train, test, n_epochs, eval_samples)
+            run_slide(
+                cfg,
+                trainer_cfg,
+                policy,
+                None,
+                train,
+                test,
+                n_epochs,
+                eval_samples,
+            )
         }
         Method::OptimizedSlideCpx => {
             let mut cfg = net_cfg;
             let policy = slide_baseline::optimized_slide_cpx(&mut cfg);
-            run_slide(cfg, trainer_cfg, policy, None, train, test, n_epochs, eval_samples)
+            run_slide(
+                cfg,
+                trainer_cfg,
+                policy,
+                None,
+                train,
+                test,
+                n_epochs,
+                eval_samples,
+            )
         }
     }
 }

@@ -103,7 +103,9 @@ mod tests {
         let log_z = softmax_into(&logits, &mut probs);
         for i in 0..3 {
             let ce = log_z - logits[i];
-            assert!((ce + probs[i].ln() - 0.0).abs() < 1e-5 || (ce - (-probs[i].ln())).abs() < 1e-5);
+            assert!(
+                (ce + probs[i].ln() - 0.0).abs() < 1e-5 || (ce - (-probs[i].ln())).abs() < 1e-5
+            );
         }
     }
 }

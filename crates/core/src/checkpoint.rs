@@ -64,9 +64,8 @@ impl From<io::Error> for CheckpointError {
 /// Propagates writer I/O errors.
 pub fn save_checkpoint<W: Write>(network: &Network, mut writer: W) -> io::Result<()> {
     let params: Vec<_> = layer_params(network);
-    let mut buf = Vec::with_capacity(
-        16 + params.iter().map(|p| p.export_len() + 24).sum::<usize>(),
-    );
+    let mut buf =
+        Vec::with_capacity(16 + params.iter().map(|p| p.export_len() + 24).sum::<usize>());
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(params.len() as u32);
@@ -89,7 +88,10 @@ pub fn save_checkpoint<W: Write>(network: &Network, mut writer: W) -> io::Result
 ///
 /// Returns [`CheckpointError::Format`] on a shape/magic mismatch and
 /// [`CheckpointError::Io`] on read failure.
-pub fn load_checkpoint<R: Read>(network: &mut Network, mut reader: R) -> Result<(), CheckpointError> {
+pub fn load_checkpoint<R: Read>(
+    network: &mut Network,
+    mut reader: R,
+) -> Result<(), CheckpointError> {
     let mut raw = Vec::new();
     reader.read_to_end(&mut raw)?;
     let mut buf = &raw[..];

@@ -7,7 +7,8 @@ use slide_hash::BucketPolicy;
 use slide_mem::ParamLayout;
 
 /// Numeric precision mode — the three columns of the paper's Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Precision {
     /// Everything in f32 ("Without BF16").
     #[default]
@@ -21,7 +22,8 @@ pub enum Precision {
 }
 
 /// Which LSH family samples the output layer.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum HashFamilyKind {
     /// Densified winner-take-all (used for Amazon-670K / WikiLSH-325K),
     /// with the given WTA bin width (power of two).
@@ -35,7 +37,8 @@ pub enum HashFamilyKind {
 
 /// LSH sampling parameters for the output layer (paper §5.3: `K`, `L`, and
 /// per-dataset family choice).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LshConfig {
     /// Hash family.
     pub family: HashFamilyKind,
@@ -73,7 +76,8 @@ impl Default for LshConfig {
 }
 
 /// How hash tables are brought back in sync with drifted weights.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RebuildMode {
     /// Clear every table and re-insert every neuron (parallel two-phase).
     #[default]
@@ -92,7 +96,8 @@ pub enum RebuildMode {
 /// Hash-table rebuild schedule (§2: tables are refreshed as weights drift;
 /// SLIDE grows the interval exponentially because early weights change fast
 /// and late weights change slowly).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RebuildSchedule {
     /// Batches before the first rebuild.
     pub initial_period: u32,
@@ -120,7 +125,8 @@ impl Default for RebuildSchedule {
 }
 
 /// Memory-layout switches — the §4.1 / §5.7 optimization axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemoryConfig {
     /// Contiguous per-layer parameter arenas vs per-neuron allocations.
     pub coalesced_params: bool,
@@ -149,7 +155,8 @@ impl MemoryConfig {
 }
 
 /// Full architecture + engineering configuration of a SLIDE network.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetworkConfig {
     /// Sparse input dimensionality (feature space).
     pub input_dim: usize,
@@ -215,11 +222,9 @@ impl NetworkConfig {
             }
         }
         if self.precision == Precision::Bf16Both && !self.memory.coalesced_params {
-            return Err(
-                "bf16 weight storage requires coalesced parameter arenas \
+            return Err("bf16 weight storage requires coalesced parameter arenas \
                  (the naive fragmented layout is an fp32-era configuration)"
-                    .into(),
-            );
+                .into());
         }
         Ok(())
     }
@@ -227,7 +232,8 @@ impl NetworkConfig {
 
 /// Learning-rate schedule applied on top of the base rate (the paper trains
 /// at a constant 1e-4; schedules are an extension for downstream users).
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LrSchedule {
     /// Constant base rate (the paper's setting).
     #[default]
@@ -309,7 +315,8 @@ impl LrSchedule {
 }
 
 /// Optimizer + loop parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainerConfig {
     /// Mini-batch size (paper: 1024 / 256 / 512 per dataset).
     pub batch_size: usize,
@@ -369,7 +376,7 @@ impl TrainerConfig {
         if self.batch_size == 0 {
             return Err("batch_size must be positive".into());
         }
-        if !(self.learning_rate > 0.0) {
+        if self.learning_rate <= 0.0 || self.learning_rate.is_nan() {
             return Err("learning_rate must be positive".into());
         }
         self.lr_schedule.validate()?;
@@ -423,11 +430,15 @@ mod tests {
 
     #[test]
     fn trainer_validation_catches_bad_optimizer() {
-        let mut t = TrainerConfig::default();
-        t.batch_size = 0;
+        let mut t = TrainerConfig {
+            batch_size: 0,
+            ..Default::default()
+        };
         assert!(t.validate().is_err());
-        t = TrainerConfig::default();
-        t.beta1 = 1.0;
+        t = TrainerConfig {
+            beta1: 1.0,
+            ..Default::default()
+        };
         assert!(t.validate().is_err());
         t = TrainerConfig::default();
         t.rebuild.growth = 0.5;
@@ -436,8 +447,10 @@ mod tests {
 
     #[test]
     fn effective_threads_resolves_zero() {
-        let mut t = TrainerConfig::default();
-        t.threads = 3;
+        let mut t = TrainerConfig {
+            threads: 3,
+            ..Default::default()
+        };
         assert_eq!(t.effective_threads(), 3);
         t.threads = 0;
         assert!(t.effective_threads() >= 1);
@@ -463,7 +476,10 @@ mod tests {
         };
         assert!((cosine.lr_at(base, 0) - 1.0).abs() < 1e-6);
         assert!((cosine.lr_at(base, 10) - 0.1).abs() < 1e-6);
-        assert!((cosine.lr_at(base, 20) - 0.1).abs() < 1e-6, "clamped past horizon");
+        assert!(
+            (cosine.lr_at(base, 20) - 0.1).abs() < 1e-6,
+            "clamped past horizon"
+        );
         let mid = cosine.lr_at(base, 5);
         assert!((0.5..0.6).contains(&mid), "midpoint {mid}");
     }
@@ -471,12 +487,37 @@ mod tests {
     #[test]
     fn lr_schedule_validation() {
         assert!(LrSchedule::Constant.validate().is_ok());
-        assert!(LrSchedule::StepDecay { every_epochs: 0, factor: 0.5 }.validate().is_err());
-        assert!(LrSchedule::StepDecay { every_epochs: 1, factor: 1.5 }.validate().is_err());
-        assert!(LrSchedule::Cosine { total_epochs: 0, min_factor: 0.5 }.validate().is_err());
-        assert!(LrSchedule::Cosine { total_epochs: 5, min_factor: 2.0 }.validate().is_err());
-        let mut tc = TrainerConfig::default();
-        tc.lr_schedule = LrSchedule::StepDecay { every_epochs: 0, factor: 0.5 };
+        assert!(LrSchedule::StepDecay {
+            every_epochs: 0,
+            factor: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::StepDecay {
+            every_epochs: 1,
+            factor: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::Cosine {
+            total_epochs: 0,
+            min_factor: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::Cosine {
+            total_epochs: 5,
+            min_factor: 2.0
+        }
+        .validate()
+        .is_err());
+        let tc = TrainerConfig {
+            lr_schedule: LrSchedule::StepDecay {
+                every_epochs: 0,
+                factor: 0.5,
+            },
+            ..Default::default()
+        };
         assert!(tc.validate().is_err());
     }
 

@@ -64,7 +64,11 @@ impl SparseInputLayer {
     /// Panics if `out.len()` differs from the hidden width or a feature
     /// index is out of range.
     pub fn forward(&self, x: SparseVecRef<'_>, out: &mut [f32]) {
-        assert_eq!(out.len(), self.params.units(), "SparseInputLayer: out width");
+        assert_eq!(
+            out.len(),
+            self.params.units(),
+            "SparseInputLayer: out width"
+        );
         out.copy_from_slice(self.params.bias_slice());
         for (j, v) in x.iter() {
             // SAFETY: HOGWILD contract — the layer outlives the call.
@@ -323,7 +327,8 @@ impl SampledOutputLayer {
             let r = r as usize;
             self.params.widen_row_into(r, &mut scratch.widen);
             let widen = std::mem::take(&mut scratch.widen);
-            self.family.keys_dense(&widen, &mut scratch.lsh, &mut new_keys);
+            self.family
+                .keys_dense(&widen, &mut scratch.lsh, &mut new_keys);
             scratch.widen = widen;
             let old = &mut cache[r * l..(r + 1) * l];
             if old != &new_keys[..] {
@@ -352,7 +357,8 @@ impl SampledOutputLayer {
     /// deterministic random padding up to `min_active` (capped at
     /// `max_active` when configured).
     pub fn select_active(&self, h: &[f32], labels: &[u32], scratch: &mut WorkerScratch, salt: u64) {
-        self.family.keys_dense(h, &mut scratch.lsh, &mut scratch.keys);
+        self.family
+            .keys_dense(h, &mut scratch.lsh, &mut scratch.keys);
         scratch.candidates.clear();
         {
             let tables = self.tables.read();
@@ -401,6 +407,7 @@ impl SampledOutputLayer {
     ///
     /// Returns the sample's cross-entropy loss. Samples with no labels
     /// return 0 and touch nothing.
+    #[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's full argument list
     pub fn train_sample(
         &self,
         h: &[f32],
@@ -517,10 +524,10 @@ mod tests {
         let x: Vec<f32> = (0..6).map(|i| i as f32 * 0.2 - 0.5).collect();
         let mut out = vec![0.0; 3];
         layer.forward(&x, &mut out);
-        for r in 0..3 {
+        for (r, &o) in out.iter().enumerate() {
             let w = layer.params().row_f32(r);
             let pre: f32 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
-            assert!((out[r] - pre.max(0.0)).abs() < 1e-5);
+            assert!((o - pre.max(0.0)).abs() < 1e-5);
         }
     }
 

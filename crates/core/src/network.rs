@@ -218,7 +218,8 @@ impl Network {
         let result = if exact {
             self.output.predict_topk_full(&acts[last], k, scratch)
         } else {
-            self.output.predict_topk_sampled(&acts[last], k, scratch, salt)
+            self.output
+                .predict_topk_sampled(&acts[last], k, scratch, salt)
         };
         scratch.acts = acts;
         result

@@ -277,8 +277,12 @@ impl LayerParams {
     ///
     /// Spans processed concurrently must be disjoint.
     pub unsafe fn adam_flat_span(&self, start: usize, len: usize, step: AdamStep) -> bool {
-        let (WeightStorage::F32(ParamStore::Arena(w)), ParamStore::Arena(m), ParamStore::Arena(v), ParamStore::Arena(g)) =
-            (&self.weights, &self.m_w, &self.v_w, &self.grad_w)
+        let (
+            WeightStorage::F32(ParamStore::Arena(w)),
+            ParamStore::Arena(m),
+            ParamStore::Arena(v),
+            ParamStore::Arena(g),
+        ) = (&self.weights, &self.m_w, &self.v_w, &self.grad_w)
         else {
             return false;
         };
@@ -295,7 +299,10 @@ impl LayerParams {
     pub fn supports_flat_adam(&self) -> bool {
         matches!(
             (&self.weights, &self.grad_w),
-            (WeightStorage::F32(ParamStore::Arena(_)), ParamStore::Arena(_))
+            (
+                WeightStorage::F32(ParamStore::Arena(_)),
+                ParamStore::Arena(_)
+            )
         )
     }
 
@@ -475,7 +482,7 @@ mod tests {
             let p = params(precision, ParamLayout::Coalesced);
             let before = p.row_f32(2);
             unsafe {
-                p.grad_axpy(2, 1.0, &vec![1.0f32; 32]);
+                p.grad_axpy(2, 1.0, &[1.0f32; 32]);
                 p.adam_row(2, AdamStep::bias_corrected(0.01, 0.9, 0.999, 1e-8, 1));
             }
             let after = p.row_f32(2);
@@ -517,7 +524,9 @@ mod tests {
         let step = AdamStep::bias_corrected(0.05, 0.9, 0.999, 1e-8, 3);
         unsafe {
             for r in 0..8 {
-                let g: Vec<f32> = (0..32).map(|c| ((r * 32 + c) as f32 * 0.01) - 1.0).collect();
+                let g: Vec<f32> = (0..32)
+                    .map(|c| ((r * 32 + c) as f32 * 0.01) - 1.0)
+                    .collect();
                 a.grad_axpy(r, 1.0, &g);
                 b.grad_axpy(r, 1.0, &g);
             }
@@ -539,7 +548,9 @@ mod tests {
     fn fragmented_layout_rejects_flat_adam() {
         let p = params(Precision::Fp32, ParamLayout::Fragmented);
         assert!(!p.supports_flat_adam());
-        assert!(!unsafe { p.adam_flat_span(0, 8, AdamStep::bias_corrected(0.1, 0.9, 0.999, 1e-8, 1)) });
+        assert!(!unsafe {
+            p.adam_flat_span(0, 8, AdamStep::bias_corrected(0.1, 0.9, 0.999, 1e-8, 1))
+        });
     }
 
     #[test]

@@ -126,7 +126,10 @@ impl ThreadPool {
     ///
     /// Panics if `grain == 0`, and re-panics if `f` panics on any worker.
     pub fn parallel_for(&self, n: usize, grain: usize, f: &(dyn Fn(usize) + Sync)) {
-        assert!(grain > 0, "ThreadPool::parallel_for: grain must be positive");
+        assert!(
+            grain > 0,
+            "ThreadPool::parallel_for: grain must be positive"
+        );
         if n == 0 {
             return;
         }

@@ -68,7 +68,8 @@ pub struct EpochStats {
 }
 
 /// One point of a Figure 6 convergence curve.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConvergencePoint {
     /// Epoch index (1-based after the epoch completes).
     pub epoch: u32,
@@ -83,7 +84,8 @@ pub struct ConvergencePoint {
 }
 
 /// A whole convergence curve: the series plotted in Figure 6.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConvergenceLog {
     /// Curve points in epoch order.
     pub points: Vec<ConvergencePoint>,
@@ -250,7 +252,12 @@ impl Trainer {
             .lr_schedule
             .lr_at(self.config.learning_rate, epoch);
         let start = Instant::now();
-        let plan = EpochBatches::new(data.len(), self.config.batch_size, epoch, self.config.shuffle_seed);
+        let plan = EpochBatches::new(
+            data.len(),
+            self.config.batch_size,
+            epoch,
+            self.config.shuffle_seed,
+        );
         let mut batches = 0u32;
         for batch in plan.iter() {
             self.train_batch(data, batch);
@@ -306,8 +313,7 @@ impl Trainer {
                 }
                 let x = store.get(i);
                 let labels = data.labels(indices[i] as usize);
-                let loss =
-                    net.train_sample(x, labels, scratch, scale, stamp, salt_base | i as u64);
+                let loss = net.train_sample(x, labels, scratch, scale, stamp, salt_base | i as u64);
                 scratch.loss.push(loss);
             }
         });
@@ -630,7 +636,10 @@ mod tests {
         let sampled = t.evaluate(&data.test, 1, EvalMode::Sampled, None);
         // LSH inference can only miss retrievals; it should stay in the same
         // ballpark once tables are warm.
-        assert!(sampled > exact * 0.5, "sampled {sampled:.3} vs exact {exact:.3}");
+        assert!(
+            sampled > exact * 0.5,
+            "sampled {sampled:.3} vs exact {exact:.3}"
+        );
     }
 
     #[test]
@@ -784,7 +793,9 @@ mod tests {
         let r = 7usize;
         unsafe {
             for c in 0..net.output().params().cols() {
-                net.output().params().nudge_weight(r, c, ((c % 5) as f32) * 3.0 - 6.0);
+                net.output()
+                    .params()
+                    .nudge_weight(r, c, ((c % 5) as f32) * 3.0 - 6.0);
             }
         }
         let mut scratch = net.make_scratch();

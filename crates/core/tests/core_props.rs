@@ -78,8 +78,8 @@ proptest! {
         let mut scratch = net.make_scratch();
         let loss = net.train_sample(x, &[label], &mut scratch, 0.0, 1, 0);
         prop_assert!(loss.is_finite() && loss >= 0.0);
-        for r in 0..40 {
-            prop_assert_eq!(&net.output().params().row_f32(r), &before[r], "row {}", r);
+        for (r, row_before) in before.iter().enumerate() {
+            prop_assert_eq!(&net.output().params().row_f32(r), row_before, "row {}", r);
         }
         prop_assert_eq!(net.input().params().row_f32(indices[0] as usize), in_before);
     }

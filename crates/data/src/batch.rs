@@ -66,7 +66,10 @@ impl EpochBatches {
 /// Materialize the samples of one batch into fresh coalesced buffers.
 /// Useful for harnesses that want an owned batch; the trainer itself reads
 /// straight from the dataset through the index slice.
-pub fn materialize_batch(ds: &Dataset, batch: &[u32]) -> (slide_mem::SparseBatch, slide_mem::IndexBatch) {
+pub fn materialize_batch(
+    ds: &Dataset,
+    batch: &[u32],
+) -> (slide_mem::SparseBatch, slide_mem::IndexBatch) {
     let mut feats = slide_mem::SparseBatch::with_capacity(batch.len(), batch.len() * 8);
     let mut labels = slide_mem::IndexBatch::new();
     for &i in batch {
@@ -92,7 +95,7 @@ mod tests {
     #[test]
     fn covers_every_sample_exactly_once() {
         let plan = EpochBatches::new(103, 16, 3, 9);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for batch in plan.iter() {
             for &i in batch {
                 assert!(!seen[i as usize], "duplicate {i}");

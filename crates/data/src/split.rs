@@ -121,7 +121,11 @@ mod tests {
         let (a, _) = train_holdout_split(&ds, 0.5, 9);
         let (b, _) = train_holdout_split(&ds, 0.5, 9);
         let (c, _) = train_holdout_split(&ds, 0.5, 10);
-        let sig = |d: &Dataset| (0..d.len()).map(|i| d.features(i).values[0]).collect::<Vec<_>>();
+        let sig = |d: &Dataset| {
+            (0..d.len())
+                .map(|i| d.features(i).values[0])
+                .collect::<Vec<_>>()
+        };
         assert_eq!(sig(&a), sig(&b));
         assert_ne!(sig(&a), sig(&c));
     }

@@ -4,7 +4,8 @@ use crate::dataset::Dataset;
 
 /// The Table 1 row for one workload: dimensions, sparsity, split sizes, and
 /// the parameter count of the paper's standard architecture on it.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DatasetStats {
     /// Workload name (e.g. "Amazon-670K (sim)").
     pub name: String,
@@ -34,11 +35,7 @@ impl DatasetStats {
             label_dim: train.label_dim(),
             train_size: train.len(),
             test_size: test.len(),
-            model_parameters: model_parameters(
-                train.feature_dim(),
-                hidden_dim,
-                train.label_dim(),
-            ),
+            model_parameters: model_parameters(train.feature_dim(), hidden_dim, train.label_dim()),
         }
     }
 

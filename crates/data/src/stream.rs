@@ -136,7 +136,10 @@ impl<R: BufRead> XcReader<R> {
                 .parse()
                 .map_err(|_| malformed(format!("bad feature index '{idx}'")))?;
             if idx as usize >= self.feature_dim {
-                return Err(malformed(format!("feature index {idx} >= {}", self.feature_dim)));
+                return Err(malformed(format!(
+                    "feature index {idx} >= {}",
+                    self.feature_dim
+                )));
             }
             let val: f32 = val
                 .parse()

@@ -33,7 +33,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative or non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf: n must be positive");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf: exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf: exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0_f64;
         for k in 0..n {
@@ -89,7 +92,11 @@ mod tests {
         assert!(counts[0] > counts[10]);
         assert!(counts[0] > counts[50]);
         // Head should dominate heavily at s=1.2.
-        assert!(counts[0] as f64 / 20_000.0 > 0.15, "head mass {}", counts[0]);
+        assert!(
+            counts[0] as f64 / 20_000.0 > 0.15,
+            "head mass {}",
+            counts[0]
+        );
     }
 
     #[test]

@@ -175,7 +175,12 @@ impl DwtaHash {
     /// # Panics
     ///
     /// Panics if `keys_out.len() != self.tables()` or an index is `>= dim`.
-    pub fn keys_sparse(&self, x: SparseVecRef<'_>, scratch: &mut DwtaScratch, keys_out: &mut [u32]) {
+    pub fn keys_sparse(
+        &self,
+        x: SparseVecRef<'_>,
+        scratch: &mut DwtaScratch,
+        keys_out: &mut [u32],
+    ) {
         self.scatter(
             |rep, f| {
                 for (pos, &idx) in x.indices.iter().enumerate() {
@@ -194,7 +199,11 @@ impl DwtaHash {
     ///
     /// Panics if `x.len() != self.dim()` or `keys_out.len() != self.tables()`.
     pub fn keys_dense(&self, x: &[f32], scratch: &mut DwtaScratch, keys_out: &mut [u32]) {
-        assert_eq!(x.len(), self.config.dim, "DwtaHash: dense input dim mismatch");
+        assert_eq!(
+            x.len(),
+            self.config.dim,
+            "DwtaHash: dense input dim mismatch"
+        );
         self.scatter(
             |rep, f| {
                 for (idx, &v) in x.iter().enumerate() {
@@ -260,7 +269,7 @@ impl DwtaHash {
         // Densify empty bins by probing other bins with a universal hash
         // chain (Chen & Shrivastava 2018).
         let key_mask = (1u64 << self.config.key_bits) - 1;
-        for t in 0..self.config.tables {
+        for (t, key_out) in keys_out.iter_mut().enumerate().take(self.config.tables) {
             let mut key: u64 = 0;
             for j in 0..self.bins_per_table {
                 let b = t * self.bins_per_table + j;
@@ -271,7 +280,7 @@ impl DwtaHash {
                 };
                 key = (key << self.bits_per_bin) | code as u64;
             }
-            keys_out[t] = (key & key_mask) as u32;
+            *key_out = (key & key_mask) as u32;
         }
     }
 

@@ -87,12 +87,7 @@ impl LshFamily {
     /// # Panics
     ///
     /// As [`LshFamily::keys_dense`].
-    pub fn keys_sparse(
-        &self,
-        x: SparseVecRef<'_>,
-        scratch: &mut LshScratch,
-        keys_out: &mut [u32],
-    ) {
+    pub fn keys_sparse(&self, x: SparseVecRef<'_>, scratch: &mut LshScratch, keys_out: &mut [u32]) {
         match (self, scratch) {
             (LshFamily::Dwta(h), LshScratch::Dwta(s)) => h.keys_sparse(x, s, keys_out),
             (LshFamily::Srp(h), LshScratch::Srp(s)) => h.keys_sparse(x, s, keys_out),

@@ -148,7 +148,11 @@ impl MinHash {
                         best = v;
                     }
                 }
-                let code = if best == u64::MAX { 0 } else { best & hash_mask };
+                let code = if best == u64::MAX {
+                    0
+                } else {
+                    best & hash_mask
+                };
                 bits = (bits << self.config.bits_per_hash) | code;
             }
             *key = (bits & mask) as u32;
@@ -162,7 +166,11 @@ impl MinHash {
     ///
     /// Panics if `x.len() != self.dim()` or `keys_out.len() != self.tables()`.
     pub fn keys_dense(&self, x: &[f32], scratch: &mut MinHashScratch, keys_out: &mut [u32]) {
-        assert_eq!(x.len(), self.config.dim, "MinHash: dense input dim mismatch");
+        assert_eq!(
+            x.len(),
+            self.config.dim,
+            "MinHash: dense input dim mismatch"
+        );
         let indices: Vec<u32> = (0..x.len() as u32)
             .filter(|&i| x[i as usize] != 0.0)
             .collect();
@@ -208,13 +216,21 @@ mod tests {
         let a = {
             let mut scratch = h.make_scratch();
             let mut keys = vec![0u32; 8];
-            h.keys_sparse(SparseVecRef::new(&idx, &[1.0, 1.0, 1.0]), &mut scratch, &mut keys);
+            h.keys_sparse(
+                SparseVecRef::new(&idx, &[1.0, 1.0, 1.0]),
+                &mut scratch,
+                &mut keys,
+            );
             keys
         };
         let b = {
             let mut scratch = h.make_scratch();
             let mut keys = vec![0u32; 8];
-            h.keys_sparse(SparseVecRef::new(&idx, &[9.0, -3.0, 0.5]), &mut scratch, &mut keys);
+            h.keys_sparse(
+                SparseVecRef::new(&idx, &[9.0, -3.0, 0.5]),
+                &mut scratch,
+                &mut keys,
+            );
             keys
         };
         assert_eq!(a, b);

@@ -126,7 +126,11 @@ impl SimHash {
     ///
     /// Panics if `x.len() != self.dim()` or `keys_out.len() != self.tables()`.
     pub fn keys_dense(&self, x: &[f32], scratch: &mut SimHashScratch, keys_out: &mut [u32]) {
-        assert_eq!(x.len(), self.config.dim, "SimHash: dense input dim mismatch");
+        assert_eq!(
+            x.len(),
+            self.config.dim,
+            "SimHash: dense input dim mismatch"
+        );
         scratch.acc.fill(0.0);
         for (idx, &v) in x.iter().enumerate() {
             if v != 0.0 {
@@ -194,9 +198,18 @@ mod tests {
         let h = family(1000, 16);
         let idx = [1u32, 500, 999];
         let val = [1.0f32, -2.0, 0.5];
-        assert_eq!(keys_sparse_of(&h, &idx, &val), keys_sparse_of(&h, &idx, &val));
-        let h2 = SimHash::new(SimHashConfig { seed: 4, ..*h.config() });
-        assert_ne!(keys_sparse_of(&h, &idx, &val), keys_sparse_of(&h2, &idx, &val));
+        assert_eq!(
+            keys_sparse_of(&h, &idx, &val),
+            keys_sparse_of(&h, &idx, &val)
+        );
+        let h2 = SimHash::new(SimHashConfig {
+            seed: 4,
+            ..*h.config()
+        });
+        assert_ne!(
+            keys_sparse_of(&h, &idx, &val),
+            keys_sparse_of(&h2, &idx, &val)
+        );
     }
 
     #[test]
@@ -227,7 +240,10 @@ mod tests {
             })
             .collect();
         let scaled: Vec<f32> = val.iter().map(|v| v * 4.0).collect();
-        assert_eq!(keys_sparse_of(&h, &idx, &val), keys_sparse_of(&h, &idx, &scaled));
+        assert_eq!(
+            keys_sparse_of(&h, &idx, &val),
+            keys_sparse_of(&h, &idx, &scaled)
+        );
     }
 
     #[test]
@@ -270,6 +286,10 @@ mod tests {
         for w in 0..100u32 {
             distinct.insert(keys_sparse_of(&h, &[w], &[1.0]));
         }
-        assert!(distinct.len() > 90, "only {} distinct key sets", distinct.len());
+        assert!(
+            distinct.len() > 90,
+            "only {} distinct key sets",
+            distinct.len()
+        );
     }
 }

@@ -9,9 +9,8 @@
 use crate::mix::{mix3, reduce};
 
 /// What to do when inserting into a full bucket.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BucketPolicy {
     /// Evict the oldest entry (ring-buffer semantics).
     Fifo,
@@ -136,11 +135,7 @@ impl LshTables {
                         // probability cap/arrivals, deterministically derived
                         // from (table, key, arrivals).
                         let r = reduce(
-                            mix3(
-                                self.seed ^ (t as u64) << 32,
-                                key as u64,
-                                bucket.arrivals,
-                            ),
+                            mix3(self.seed ^ (t as u64) << 32, key as u64, bucket.arrivals),
                             bucket.arrivals as usize,
                         );
                         if r < self.bucket_cap {

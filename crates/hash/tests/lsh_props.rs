@@ -2,9 +2,7 @@
 //! hash determinism/range guarantees on arbitrary inputs.
 
 use proptest::prelude::*;
-use slide_hash::{
-    BucketPolicy, DwtaConfig, DwtaHash, LshTables, SimHash, SimHashConfig,
-};
+use slide_hash::{BucketPolicy, DwtaConfig, DwtaHash, LshTables, SimHash, SimHashConfig};
 use slide_mem::SparseVecRef;
 
 fn sparse_input(dim: u32) -> impl Strategy<Value = (Vec<u32>, Vec<f32>)> {

@@ -209,8 +209,7 @@ impl FragmentedParams {
 
 impl Clone for FragmentedParams {
     fn clone(&self) -> Self {
-        let mut rows_data: Vec<Box<[f32]>> =
-            self.rows_data.iter().map(|r| r.clone()).collect();
+        let mut rows_data: Vec<Box<[f32]>> = self.rows_data.to_vec();
         let row_ptrs = rows_data.iter_mut().map(|b| b.as_mut_ptr()).collect();
         FragmentedParams {
             rows_data,
@@ -236,9 +235,7 @@ impl ParamStore {
     pub fn zeroed(layout: ParamLayout, rows: usize, cols: usize) -> Self {
         match layout {
             ParamLayout::Coalesced => ParamStore::Arena(ParamArena::zeroed(rows, cols)),
-            ParamLayout::Fragmented => {
-                ParamStore::Fragmented(FragmentedParams::zeroed(rows, cols))
-            }
+            ParamLayout::Fragmented => ParamStore::Fragmented(FragmentedParams::zeroed(rows, cols)),
         }
     }
 
@@ -361,7 +358,11 @@ impl ParamArenaBf16 {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[u16] {
-        assert!(r < self.rows, "ParamArenaBf16: row {r} out of {}", self.rows);
+        assert!(
+            r < self.rows,
+            "ParamArenaBf16: row {r} out of {}",
+            self.rows
+        );
         &self.buf.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -371,7 +372,11 @@ impl ParamArenaBf16 {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [u16] {
-        assert!(r < self.rows, "ParamArenaBf16: row {r} out of {}", self.rows);
+        assert!(
+            r < self.rows,
+            "ParamArenaBf16: row {r} out of {}",
+            self.rows
+        );
         let cols = self.cols;
         &mut self.buf.as_mut_slice()[r * cols..(r + 1) * cols]
     }

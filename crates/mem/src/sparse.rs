@@ -55,7 +55,10 @@ impl<'a> SparseVecRef<'a> {
 
     /// Iterate `(index, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + 'a {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Whether indices are strictly increasing.
@@ -438,11 +441,8 @@ mod tests {
     fn fragmented_matches_coalesced_views() {
         let mut c = SparseBatch::new();
         let mut f = FragmentedBatch::new();
-        let data: &[(&[u32], &[f32])] = &[
-            (&[0, 2, 4], &[1.0, 2.0, 3.0]),
-            (&[1], &[5.0]),
-            (&[], &[]),
-        ];
+        let data: &[(&[u32], &[f32])] =
+            &[(&[0, 2, 4], &[1.0, 2.0, 3.0]), (&[1], &[5.0]), (&[], &[])];
         for (i, v) in data {
             c.push(i, v);
             f.push(i, v);

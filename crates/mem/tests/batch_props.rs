@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use slide_mem::{
-    densify_into, clear_densified, AlignedVec, FragmentedBatch, IndexBatch, ParamArena,
+    clear_densified, densify_into, AlignedVec, FragmentedBatch, IndexBatch, ParamArena,
     ParamLayout, ParamStore, SparseBatch, SparseVecRef,
 };
 

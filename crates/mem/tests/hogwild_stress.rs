@@ -56,7 +56,10 @@ fn racy_accumulation_loses_only_a_bounded_fraction() {
     });
     let total: f32 = arr.as_slice().iter().sum();
     let expect = (threads * per_thread) as f32;
-    assert!(total <= expect + 0.5, "total {total} exceeds writes {expect}");
+    assert!(
+        total <= expect + 0.5,
+        "total {total} exceeds writes {expect}"
+    );
     assert!(
         total >= expect * 0.10,
         "lost more than 90% of updates: {total} of {expect}"

@@ -254,10 +254,7 @@ mod x86 {
         let lsb = _mm512_and_si512(_mm512_srli_epi32::<16>(bits), _mm512_set1_epi32(1));
         let bias = _mm512_add_epi32(lsb, _mm512_set1_epi32(0x7FFF));
         let rounded = _mm512_srli_epi32::<16>(_mm512_add_epi32(bits, bias));
-        let nan_bits = _mm512_or_si512(
-            _mm512_srli_epi32::<16>(bits),
-            _mm512_set1_epi32(0x40),
-        );
+        let nan_bits = _mm512_or_si512(_mm512_srli_epi32::<16>(bits), _mm512_set1_epi32(0x40));
         let sel = _mm512_mask_blend_epi32(nan, rounded, nan_bits);
         _mm512_cvtepi32_epi16(sel)
     }
@@ -421,17 +418,29 @@ mod tests {
     #[test]
     fn known_rne_cases() {
         // 0x3F80_8000 is exactly halfway between 0x3F80 and 0x3F81: ties to even (down).
-        assert_eq!(Bf16::from_f32(f32::from_bits(0x3F80_8000)).to_bits(), 0x3F80);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(0x3F80_8000)).to_bits(),
+            0x3F80
+        );
         // 0x3F81_8000 halfway between 0x3F81 and 0x3F82: ties to even (up).
-        assert_eq!(Bf16::from_f32(f32::from_bits(0x3F81_8000)).to_bits(), 0x3F82);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(0x3F81_8000)).to_bits(),
+            0x3F82
+        );
         // Just above halfway rounds up.
-        assert_eq!(Bf16::from_f32(f32::from_bits(0x3F80_8001)).to_bits(), 0x3F81);
+        assert_eq!(
+            Bf16::from_f32(f32::from_bits(0x3F80_8001)).to_bits(),
+            0x3F81
+        );
     }
 
     #[test]
     fn special_values_preserved() {
         assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
-        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(
+            Bf16::from_f32(f32::NEG_INFINITY).to_f32(),
+            f32::NEG_INFINITY
+        );
         assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
         assert_eq!(Bf16::from_f32(-0.0).to_bits(), 0x8000);
     }
@@ -516,7 +525,10 @@ mod tests {
             f32_to_bf16_slice(&wf, &mut w);
             let a = with_level(crate::SimdLevel::Scalar, || dot_bf16_f32(&w, &x));
             let b = with_level(crate::SimdLevel::Avx512, || dot_bf16_f32(&w, &x));
-            assert!((a - b).abs() <= 1e-3 * (n.max(1) as f32), "n={n}: {a} vs {b}");
+            assert!(
+                (a - b).abs() <= 1e-3 * (n.max(1) as f32),
+                "n={n}: {a} vs {b}"
+            );
         }
     }
 

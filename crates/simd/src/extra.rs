@@ -162,8 +162,8 @@ mod tests {
             with_level(SimdLevel::Scalar, || sub_f32(&x, &mut a));
             with_level(SimdLevel::Avx512, || sub_f32(&x, &mut b));
             assert_eq!(a, b, "n={n}");
-            for i in 0..n {
-                assert!((a[i] - 1.0).abs() < 1e-6);
+            for v in &a {
+                assert!((v - 1.0).abs() < 1e-6);
             }
         }
     }

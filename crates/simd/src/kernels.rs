@@ -133,11 +133,7 @@ pub fn add_f32(x: &[f32], y: &mut [f32]) {
 /// Horizontal sum of a slice.
 #[inline]
 pub fn sum_f32(x: &[f32]) -> f32 {
-    dispatch!(
-        scalar::sum(x),
-        crate::avx2::sum(x),
-        crate::avx512::sum(x)
-    )
+    dispatch!(scalar::sum(x), crate::avx2::sum(x), crate::avx512::sum(x))
 }
 
 /// First-wins argmax: smallest index attaining the maximum value, or `None`
@@ -215,7 +211,9 @@ mod tests {
             .collect()
     }
 
-    const SIZES: &[usize] = &[0, 1, 3, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 127, 128, 1000];
+    const SIZES: &[usize] = &[
+        0, 1, 3, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 127, 128, 1000,
+    ];
 
     #[test]
     fn dot_all_levels_agree() {
@@ -330,8 +328,14 @@ mod tests {
         for &n in SIZES {
             let g = pseudo_random(n, 9);
             let w0 = pseudo_random(n, 10);
-            let m0 = pseudo_random(n, 11).iter().map(|v| v.abs()).collect::<Vec<_>>();
-            let v0 = pseudo_random(n, 12).iter().map(|v| v.abs()).collect::<Vec<_>>();
+            let m0 = pseudo_random(n, 11)
+                .iter()
+                .map(|v| v.abs())
+                .collect::<Vec<_>>();
+            let v0 = pseudo_random(n, 12)
+                .iter()
+                .map(|v| v.abs())
+                .collect::<Vec<_>>();
             let step = AdamStep::bias_corrected(1e-3, 0.9, 0.999, 1e-8, 7);
             let (mut we, mut me, mut ve) = (w0.clone(), m0.clone(), v0.clone());
             with_level(SimdLevel::Scalar, || {

@@ -47,7 +47,7 @@ pub(crate) mod avx512;
 pub use bf16::Bf16;
 pub use extra::{norm_sq_f32, scale_add_f32, sub_f32};
 pub use kernels::{
-    add_f32, adam_step_f32, argmax_f32, axpy_f32, dot_f32, scale_f32, sum_f32, AdamStep,
+    adam_step_f32, add_f32, argmax_f32, axpy_f32, dot_f32, scale_f32, sum_f32, AdamStep,
 };
 pub use policy::{detected_level, effective_level, policy, set_policy, SimdLevel, SimdPolicy};
 

@@ -49,19 +49,14 @@ impl std::fmt::Display for SimdLevel {
 }
 
 /// Process-wide dispatch policy for all kernels in this crate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SimdPolicy {
     /// Use the best level the host supports (the default).
+    #[default]
     Auto,
     /// Never dispatch above the given level, even if the host supports more.
     /// `Force(Scalar)` is the paper's "without AVX-512" configuration.
     Force(SimdLevel),
-}
-
-impl Default for SimdPolicy {
-    fn default() -> Self {
-        SimdPolicy::Auto
-    }
 }
 
 const POLICY_AUTO: u8 = 0;

@@ -68,7 +68,11 @@ fn main() {
         let (seconds, loss) = dense.train_epoch(&data.train, epoch as u64);
         dense_epoch_time += seconds;
         let p1 = dense.evaluate(&data.test, 1, Some(400));
-        println!("epoch {}: {:.3}s  loss {loss:.4}  P@1 {p1:.3}", epoch + 1, seconds);
+        println!(
+            "epoch {}: {:.3}s  loss {loss:.4}  P@1 {p1:.3}",
+            epoch + 1,
+            seconds
+        );
     }
     dense_epoch_time /= epochs as f64;
 

@@ -49,7 +49,10 @@ fn main() {
     )
     .expect("valid trainer config");
 
-    println!("{:>5} {:>10} {:>10} {:>8}", "epoch", "loss", "time(s)", "P@1");
+    println!(
+        "{:>5} {:>10} {:>10} {:>8}",
+        "epoch", "loss", "time(s)", "P@1"
+    );
     for epoch in 0..6 {
         let stats = trainer.train_epoch(&data.train, epoch);
         let p1 = trainer.evaluate(&data.test, 1, EvalMode::Exact, Some(500));

@@ -30,7 +30,10 @@ fn main() {
     net_cfg.lsh.tables = 50;
     net_cfg.lsh.min_active = 128;
     let network = Network::new(net_cfg).expect("valid config");
-    println!("model: {} parameters (embedding + output)", network.num_parameters());
+    println!(
+        "model: {} parameters (embedding + output)",
+        network.num_parameters()
+    );
 
     let mut trainer = Trainer::new(
         network,
@@ -42,7 +45,10 @@ fn main() {
     )
     .expect("valid trainer");
 
-    println!("{:>5} {:>10} {:>10} {:>8}", "epoch", "loss", "time(s)", "P@1");
+    println!(
+        "{:>5} {:>10} {:>10} {:>8}",
+        "epoch", "loss", "time(s)", "P@1"
+    );
     for epoch in 0..5 {
         let stats = trainer.train_epoch(&data.train, epoch);
         let p1 = trainer.evaluate(&data.test, 1, EvalMode::Exact, Some(400));

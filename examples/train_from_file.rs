@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     });
     write_xc(BufWriter::new(File::create(&data_path)?), &synth.train)?;
-    println!("wrote {} samples to {}", synth.train.len(), data_path.display());
+    println!(
+        "wrote {} samples to {}",
+        synth.train.len(),
+        data_path.display()
+    );
 
     // 2. Parse it back the way a user would load the real Amazon-670K file.
     let train = parse_xc(BufReader::new(File::open(&data_path)?))?;
@@ -56,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .expect("valid trainer");
     for epoch in 0..4 {
         let stats = trainer.train_epoch(&train, epoch);
-        println!("epoch {}: loss {:.4} ({:.2}s)", epoch + 1, stats.mean_loss, stats.seconds);
+        println!(
+            "epoch {}: loss {:.4} ({:.2}s)",
+            epoch + 1,
+            stats.mean_loss,
+            stats.seconds
+        );
     }
     let p1 = trainer.evaluate(&synth.test, 1, EvalMode::Exact, None);
     println!("trained P@1 = {p1:.3}");

@@ -1,0 +1,303 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness: the 0.5
+//! API subset the `slide-bench` benches use ([`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`]/[`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim via a path dependency. It is a *functional*
+//! harness, not a statistical one: each benchmark is warmed up, calibrated,
+//! then timed for the configured measurement window, and a single
+//! `name: mean time/iter` line is printed. There is no outlier analysis,
+//! HTML report, or saved baseline. Passing `--test` (as `cargo test
+//! --benches` does) runs every closure once and skips timing. Swap the path
+//! dependency back to crates.io `criterion` for real statistics; no source
+//! changes are needed.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Harness entry point: owns defaults and creates groups.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line flags (`--test` switches to run-once mode; other
+    /// flags are accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            measurement_time: None,
+            warm_up_time: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let (mt, wt, n, tm) = (
+            self.measurement_time,
+            self.warm_up_time,
+            self.sample_size,
+            self.test_mode,
+        );
+        run_one(name, mt, wt, n, tm, f);
+        self
+    }
+
+    /// Print the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (in the shim: a floor on timed iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set how long to measure each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Set how long to warm up each benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Declare throughput for reporting (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark `f` with an explicit input reference.
+    pub fn bench_with_input<I, D: fmt::Display, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput declaration (reporting only; ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier: a function name, optionally with a parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (for ids that vary within one named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Mean seconds per iteration measured by the last `iter` call.
+    mean_secs: f64,
+}
+
+enum BenchMode {
+    /// Run the closure exactly once (test mode).
+    Once,
+    /// Warm up for the duration, then time for the second duration, running
+    /// at least the given number of iterations.
+    Timed(Duration, Duration, usize),
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly with the configured budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::Once => {
+                black_box(f());
+                self.mean_secs = 0.0;
+            }
+            BenchMode::Timed(warm, measure, min_iters) => {
+                // Warm-up doubles as calibration for the batch size.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < warm {
+                    black_box(f());
+                    warm_iters += 1;
+                }
+                let per_iter = warm.as_secs_f64() / warm_iters.max(1) as f64;
+                let target_iters = ((measure.as_secs_f64() / per_iter.max(1e-9)) as u64)
+                    .clamp(min_iters.max(1) as u64, 100_000_000);
+                let start = Instant::now();
+                for _ in 0..target_iters {
+                    black_box(f());
+                }
+                self.mean_secs = start.elapsed().as_secs_f64() / target_iters as f64;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        mode: if test_mode {
+            BenchMode::Once
+        } else {
+            BenchMode::Timed(warm_up_time, measurement_time, sample_size)
+        },
+        mean_secs: 0.0,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{label}: ok (test mode)");
+    } else {
+        println!("{label}: {}", fmt_time(bencher.mean_secs));
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Declare a benchmark group function from `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main()` from one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(2),
+            ..Criterion::default()
+        };
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("avx2").to_string(), "avx2");
+    }
+}

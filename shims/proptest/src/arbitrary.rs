@@ -1,0 +1,69 @@
+//! `any::<T>()` and the [`Arbitrary`] trait.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the entire domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite-only, magnitude-spread: upstream's any::<f32> includes
+        // NaN/inf behind flags; the workspace only uses finite ranges, so
+        // keep this simple and finite.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.below(61) as i32 - 30) as f64;
+        (mantissa * exp.exp2()) as f32
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.below(121) as i32 - 60) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::new(rng.next_u64() as usize)
+    }
+}

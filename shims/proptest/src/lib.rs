@@ -1,0 +1,138 @@
+//! Minimal offline stand-in for `proptest`: the 1.x API subset this
+//! workspace's property tests use — the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, [`Strategy`](strategy::Strategy) +
+//! `prop_map`, range and tuple
+//! strategies, `prop::collection::{vec, btree_set}`, `any::<T>()`,
+//! `prop::sample::Index`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim via a path dependency. It runs each property
+//! the configured number of cases with inputs drawn from a deterministic
+//! per-test RNG (seeded from the test's name, so failures reproduce on
+//! re-run). There is **no shrinking**: a failing case reports its raw
+//! inputs via the panic message instead of a minimized one. Swap the path
+//! dependency back to crates.io `proptest` for shrinking and persistence;
+//! no source changes are needed.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface the property tests use.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of upstream's `prop::` module tree.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Assert inside a property; reports the condition on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Define property tests: each `#[test] fn name(pat in strategy, ...)` item
+/// becomes a regular `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(#[test] fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    let ($($p,)+) =
+                        ($($crate::strategy::Strategy::generate(&$s, &mut rng),)+);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in -2.0f32..2.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0u32..50, 0u32..50), d in doubled()) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(d % 2, 0);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(0u32..100, 3..10),
+            s in prop::collection::btree_set(0u32..1000, 1..8),
+        ) {
+            prop_assert!((3..10).contains(&v.len()), "len {}", v.len());
+            prop_assert!(!s.is_empty() && s.len() < 8);
+        }
+
+        #[test]
+        fn index_always_valid(i in any::<prop::sample::Index>(), len in 1usize..100) {
+            prop_assert!(i.index(len) < len);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        let mut c = crate::test_runner::TestRng::from_name("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}

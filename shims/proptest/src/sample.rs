@@ -1,0 +1,23 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// A length-agnostic index: drawn once, projected onto any slice length via
+/// [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Wrap a raw draw.
+    pub fn new(raw: usize) -> Self {
+        Index(raw)
+    }
+
+    /// Project onto `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}

@@ -1,0 +1,190 @@
+//! Minimal offline stand-in for the `rand` crate, exposing the subset of the
+//! 0.8 API this workspace uses: [`rngs::SmallRng`], [`SeedableRng`],
+//! [`Rng::gen`]/[`Rng::gen_bool`]/[`Rng::gen_range`], and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim via a path dependency (see the workspace
+//! `Cargo.toml`). The generator is SplitMix64 — deterministic under
+//! [`SeedableRng::seed_from_u64`], statistically solid for test workloads,
+//! and *not* a drop-in bitstream match for upstream `SmallRng`. Swap the
+//! path dependency back to crates.io `rand` to restore upstream behavior;
+//! no source changes are needed.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, matching the rand 0.8 entry point used here.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling conveniences layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its "standard" distribution (uniform in
+    /// `[0, 1)` for floats, uniform over all values for integers/bool).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(&mut RngDyn(self))
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        f64::sample_standard(&mut RngDyn(self)) < p
+    }
+
+    /// Uniform draw from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
+    fn gen_range<T: UniformSample>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(&mut RngDyn(self), range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Object-safe view of any [`RngCore`], so `Rng`'s generic methods can be
+/// called on unsized (`dyn`/generic `?Sized`) receivers.
+struct RngDyn<'a, R: RngCore + ?Sized>(&'a mut R);
+
+impl<R: RngCore + ?Sized> RngCore for RngDyn<'_, R> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Types drawable by [`Rng::gen`].
+pub trait StandardSample {
+    /// Draw one value from the type's standard distribution.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types drawable by [`Rng::gen_range`].
+pub trait UniformSample: Sized {
+    /// Draw uniformly from `range` (half-open).
+    fn sample_range<R: RngCore>(rng: &mut R, range: core::ops::Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: core::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is < 2^-64 for every span used in this
+                // workspace; acceptable for a test/bench shim.
+                let off = (rng.next_u64() as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: core::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let u = f64::sample_standard(rng) as $t;
+                range.start + u * (range.end - range.start)
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let a: Vec<u32> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..16).map(|_| r.gen_range(0..1000u32)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..16).map(|_| r.gen_range(0..1000u32)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..40_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 40_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut SmallRng::seed_from_u64(3));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,22 @@
+//! Minimal offline stand-in for the `serde` crate: re-exports **no-op**
+//! `Serialize`/`Deserialize` derive macros (from the sibling `serde_derive`
+//! shim) plus empty marker traits of the same names.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim via a path dependency. Its sole job is to
+//! let the `serde` cargo feature of `slide-hash`/`slide-data`/`slide-core`
+//! *compile* offline: `#[derive(serde::Serialize, serde::Deserialize)]`
+//! expands to nothing, so no serialization actually happens and nothing in
+//! the workspace may rely on it at runtime. Swap the path dependency back
+//! to crates.io `serde` (with the `derive` feature) to get real impls; no
+//! source changes are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; the shim derive generates no
+/// impls, so this is never implemented by derived types.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`; the shim derive generates
+/// no impls, so this is never implemented by derived types.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` shim: `Serialize` and
+//! `Deserialize` expand to nothing, so `#[derive(serde::Serialize)]`
+//! compiles without generating impls. See the `serde` shim's crate docs for
+//! the rationale and the swap-back procedure.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input and emits no impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input and emits no impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -85,7 +85,10 @@ impl CliArgs {
 
     /// String option with default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Required string option.
@@ -165,7 +168,11 @@ fn build_network_config(args: &CliArgs, ds: &Dataset) -> Result<NetworkConfig, C
         "none" => Precision::Fp32,
         "activations" => Precision::Bf16Activations,
         "both" => Precision::Bf16Both,
-        other => return Err(CliError(format!("--bf16 expects none|activations|both, got '{other}'"))),
+        other => {
+            return Err(CliError(format!(
+                "--bf16 expects none|activations|both, got '{other}'"
+            )))
+        }
     };
     if args.get_flag("naive") {
         cfg.memory.coalesced_data = false;
@@ -217,10 +224,12 @@ pub fn cmd_gen(args: &CliArgs) -> Result<String, CliError> {
 /// Propagates flag, parse, and I/O errors.
 pub fn cmd_train(args: &CliArgs) -> Result<String, CliError> {
     let data_path = args.require_str("data")?;
-    let train: Dataset = parse_xc(BufReader::new(File::open(&data_path)?))
-        .map_err(|e| CliError(e.to_string()))?;
+    let train: Dataset =
+        parse_xc(BufReader::new(File::open(&data_path)?)).map_err(|e| CliError(e.to_string()))?;
     let test = match args.options.get("test") {
-        Some(p) => Some(parse_xc(BufReader::new(File::open(p)?)).map_err(|e| CliError(e.to_string()))?),
+        Some(p) => {
+            Some(parse_xc(BufReader::new(File::open(p)?)).map_err(|e| CliError(e.to_string()))?)
+        }
         None => None,
     };
     let cfg = build_network_config(args, &train)?;
@@ -268,8 +277,8 @@ pub fn cmd_train(args: &CliArgs) -> Result<String, CliError> {
 pub fn cmd_eval(args: &CliArgs) -> Result<String, CliError> {
     let data_path = args.require_str("data")?;
     let ckpt_path = args.require_str("checkpoint")?;
-    let data: Dataset = parse_xc(BufReader::new(File::open(&data_path)?))
-        .map_err(|e| CliError(e.to_string()))?;
+    let data: Dataset =
+        parse_xc(BufReader::new(File::open(&data_path)?)).map_err(|e| CliError(e.to_string()))?;
     let cfg = build_network_config(args, &data)?;
     let mut network = Network::new(cfg).map_err(CliError)?;
     load_checkpoint(&mut network, BufReader::new(File::open(&ckpt_path)?))
@@ -311,7 +320,8 @@ mod tests {
 
     #[test]
     fn parse_command_and_options() {
-        let args = CliArgs::parse(["train", "--data", "x.txt", "--epochs", "3", "--naive"]).unwrap();
+        let args =
+            CliArgs::parse(["train", "--data", "x.txt", "--epochs", "3", "--naive"]).unwrap();
         assert_eq!(args.command, "train");
         assert_eq!(args.require_str("data").unwrap(), "x.txt");
         assert_eq!(args.get_usize("epochs", 1).unwrap(), 3);
@@ -366,11 +376,7 @@ mod tests {
             n_test: 50,
             ..Default::default()
         });
-        write_xc(
-            BufWriter::new(File::create(&data).unwrap()),
-            &synth.train,
-        )
-        .unwrap();
+        write_xc(BufWriter::new(File::create(&data).unwrap()), &synth.train).unwrap();
 
         let train_args = CliArgs::parse([
             "train",

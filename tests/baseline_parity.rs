@@ -58,7 +58,10 @@ fn slide_matches_dense_accuracy() {
     }
     let dense_p1 = dense.evaluate(&data.test, 1, None);
 
-    assert!(dense_p1 > 0.35, "dense baseline failed to learn: {dense_p1:.3}");
+    assert!(
+        dense_p1 > 0.35,
+        "dense baseline failed to learn: {dense_p1:.3}"
+    );
     assert!(
         slide_p1 > dense_p1 - 0.15,
         "SLIDE accuracy fell too far below dense: {slide_p1:.3} vs {dense_p1:.3}"

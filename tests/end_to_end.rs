@@ -82,8 +82,14 @@ fn bf16_modes_cost_little_accuracy() {
     let bf16_act = train_and_score(network(Precision::Bf16Activations, true), 6, &data);
     let bf16_both = train_and_score(network(Precision::Bf16Both, true), 6, &data);
     assert!(fp32 > 0.3);
-    assert!(bf16_act > fp32 - 0.15, "bf16-act P@1 {bf16_act:.3} vs {fp32:.3}");
-    assert!(bf16_both > fp32 - 0.2, "bf16-both P@1 {bf16_both:.3} vs {fp32:.3}");
+    assert!(
+        bf16_act > fp32 - 0.15,
+        "bf16-act P@1 {bf16_act:.3} vs {fp32:.3}"
+    );
+    assert!(
+        bf16_both > fp32 - 0.2,
+        "bf16-both P@1 {bf16_both:.3} vs {fp32:.3}"
+    );
 }
 
 #[test]
@@ -162,6 +168,9 @@ fn thread_counts_agree_on_quality() {
     };
     let single = score_with(1);
     let many = score_with(8);
-    assert!(single > 0.3 && many > 0.3, "single {single:.3} many {many:.3}");
+    assert!(
+        single > 0.3 && many > 0.3,
+        "single {single:.3} many {many:.3}"
+    );
     assert!((single - many).abs() < 0.2);
 }
