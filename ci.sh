@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # CI gate for the slide-rs workspace. Run from the repo root:
 #
-#   ./ci.sh          # full gate: fmt, clippy, release build, tests, docs
-#   ./ci.sh quick    # skip the release build (debug build + tests only)
+#   ./ci.sh            # full gate: fmt, clippy, release build, tests, docs
+#   ./ci.sh full       # same, explicitly
+#   ./ci.sh quick      # skip the release build (debug build + tests only)
+#   ./ci.sh smoke      # release-build + run the experiment binaries with
+#                      # tiny configs (seconds, not minutes) to catch bin rot
+#
+# SLIDE_SIMD={auto|scalar|avx2|avx512} forces the global SimdPolicy inside
+# every test/binary process (the env hook in slide_simd::policy), so the
+# scalar and AVX2 dispatch paths are gate-tested, not just whatever the host
+# auto-detects. The GitHub Actions workflow runs the matrix
+# SLIDE_SIMD x {quick,full}; locally an unset SLIDE_SIMD means auto.
 #
 # Everything here must pass before merging. The clippy gate is -D warnings
 # with NO repo-wide allowlist: the workspace is warning-clean, and any
@@ -11,7 +20,54 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+MODE="${1:-full}"
+case "$MODE" in
+    full|quick|smoke) ;;
+    *)
+        echo "usage: ./ci.sh [full|quick|smoke]" >&2
+        exit 2
+        ;;
+esac
+
+SIMD="${SLIDE_SIMD:-auto}"
+case "$SIMD" in
+    auto|scalar|avx2|avx512) ;;
+    *)
+        echo "ci.sh: invalid SLIDE_SIMD='$SIMD' (want auto|scalar|avx2|avx512)" >&2
+        exit 2
+        ;;
+esac
+export SLIDE_SIMD="$SIMD"
+
 step() { printf '\n==> %s\n' "$*"; }
+
+echo "ci.sh mode=$MODE SLIDE_SIMD=$SLIDE_SIMD"
+
+if [[ "$MODE" == "smoke" ]]; then
+    # Experiment-binary smoke gate: every binary must still start, run a
+    # tiny configuration, and (where applicable) emit its artifact.
+    step "cargo build --release -p slide-bench --bins"
+    cargo build --release -p slide-bench --bins
+
+    step "smoke: table1"
+    SLIDE_SCALE=1 ./target/release/table1 > /dev/null
+
+    step "smoke: profile_phases (1 epoch)"
+    SLIDE_SCALE=1 SLIDE_EPOCHS=1 ./target/release/profile_phases > /dev/null
+
+    step "smoke: serve_bench (tiny closed+open load)"
+    SMOKE_JSON="$(mktemp -t BENCH_serve_smoke.XXXXXX.json)"
+    SLIDE_SCALE=1 SLIDE_EPOCHS=1 SLIDE_SERVE_MS=500 SLIDE_CLIENTS=4 \
+        SLIDE_JSON_OUT="$SMOKE_JSON" ./target/release/serve_bench > /dev/null
+    grep -q '"p99"' "$SMOKE_JSON" || {
+        echo "serve_bench smoke: $SMOKE_JSON missing latency percentiles" >&2
+        exit 1
+    }
+    rm -f "$SMOKE_JSON"
+
+    step "OK — smoke gates passed"
+    exit 0
+fi
 
 step "cargo fmt --check"
 cargo fmt --check
@@ -19,7 +75,7 @@ cargo fmt --check
 step "cargo clippy --all-targets --all-features -- -D warnings"
 cargo clippy --all-targets --all-features -- -D warnings
 
-if [[ "${1:-}" != "quick" ]]; then
+if [[ "$MODE" != "quick" ]]; then
     step "cargo build --release"
     cargo build --release
 fi

@@ -1,0 +1,115 @@
+//! Serving-path micro-benchmarks: the frozen single-query inference cost
+//! (the floor every batching decision builds on) and the micro-batcher's
+//! round-trip overhead at batch size 1 vs a coalesced batch — i.e. what the
+//! queue + dispatch machinery costs relative to raw `predict_sparse`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slide_core::{LshConfig, Network, NetworkConfig};
+use slide_mem::SparseVecRef;
+use slide_serve::{BatchConfig, BatchingServer, FrozenNetwork};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_network() -> Network {
+    let mut cfg = NetworkConfig::standard(4096, 128, 8192);
+    cfg.lsh = LshConfig {
+        tables: 16,
+        key_bits: 6,
+        min_active: 128,
+        ..Default::default()
+    };
+    Network::new(cfg).unwrap()
+}
+
+fn queries(n: usize, dim: usize) -> Vec<(Vec<u32>, Vec<f32>)> {
+    (0..n)
+        .map(|s| {
+            let mut idx: Vec<u32> = (0..24).map(|j| ((s * 131 + j * 61) % dim) as u32).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            let val = idx.iter().map(|&i| 0.5 + (i % 5) as f32 * 0.2).collect();
+            (idx, val)
+        })
+        .collect()
+}
+
+fn bench_predict_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frozen_predict");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    let frozen = FrozenNetwork::freeze(&bench_network());
+    let qs = queries(256, frozen.input_dim());
+    g.bench_function("predict_sparse_single_thread", |b| {
+        let mut scratch = frozen.make_scratch();
+        let mut s = 0usize;
+        b.iter(|| {
+            let (idx, val) = &qs[s % qs.len()];
+            s += 1;
+            black_box(frozen.predict_sparse(SparseVecRef::new(idx, val), 5, &mut scratch, s as u64))
+        })
+    });
+    g.bench_function("predict_full_single_thread", |b| {
+        let mut scratch = frozen.make_scratch();
+        let mut s = 0usize;
+        b.iter(|| {
+            let (idx, val) = &qs[s % qs.len()];
+            s += 1;
+            black_box(frozen.predict_full(SparseVecRef::new(idx, val), 5, &mut scratch))
+        })
+    });
+    g.finish();
+}
+
+fn bench_server_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_roundtrip");
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g.sample_size(20);
+    let qs = queries(256, 4096);
+
+    // One blocking caller: every request rides its own batch — this prices
+    // the queue/dispatch/wakeup machinery itself.
+    let server = Arc::new(
+        BatchingServer::start(
+            FrozenNetwork::freeze(&bench_network()),
+            BatchConfig {
+                max_batch: 32,
+                max_wait: Duration::from_micros(50),
+                queue_cap: 1024,
+                threads: 2,
+            },
+        )
+        .unwrap(),
+    );
+    g.bench_function("single_caller_batch_of_1", |b| {
+        let mut s = 0usize;
+        b.iter(|| {
+            let (idx, val) = &qs[s % qs.len()];
+            s += 1;
+            black_box(server.predict(idx, val, 5).unwrap())
+        })
+    });
+
+    // Four concurrent callers: requests coalesce, amortizing dispatch.
+    g.bench_function("four_callers_coalesced", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for c in 0..4usize {
+                    let server = Arc::clone(&server);
+                    let qs = &qs;
+                    scope.spawn(move || {
+                        for s in 0..8usize {
+                            let (idx, val) = &qs[(c * 64 + s) % qs.len()];
+                            black_box(server.predict(idx, val, 5).unwrap());
+                        }
+                    });
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict_sparse, bench_server_roundtrip);
+criterion_main!(benches);

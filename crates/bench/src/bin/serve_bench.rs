@@ -1,0 +1,265 @@
+//! Serving benchmark: throughput and tail latency of the `slide-serve`
+//! micro-batching pipeline over a frozen snapshot of a trained network,
+//! under two load disciplines (see EXPERIMENTS.md §"Serving"):
+//!
+//! * **closed-loop** — N clients submit back-to-back; measures the system's
+//!   capacity (requests never queue behind an arrival schedule, so latency
+//!   here is the batching + compute cost under full load);
+//! * **open-loop** — arrivals follow a fixed-rate schedule independent of
+//!   completions (set to a fraction of the measured closed-loop capacity),
+//!   which is how production tail latency must be measured: a slow batch
+//!   cannot throttle the offered load, so queueing delay shows up in p99.
+//!
+//! Queries are drawn Zipf-distributed over the synthetic test split — the
+//! same head-heavy profile as the label space, i.e. hot queries repeat — and
+//! one snapshot hot-swap lands mid-run in each phase. Writes
+//! `BENCH_serve.json` next to the stdout report.
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin serve_bench
+//! SLIDE_SERVE_MS=5000 SLIDE_CLIENTS=16 cargo run -p slide-bench --release --bin serve_bench
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use slide_bench::{epochs, scale, Workload};
+use slide_core::{Network, Trainer};
+use slide_data::{Dataset, Zipf};
+use slide_serve::{
+    bench_report_json, phase_json, BatchConfig, BatchingServer, BenchMeta, FrozenNetwork,
+    ServeStats,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
+/// One benchmark phase's outcome plus its offered-load metadata.
+struct PhaseResult {
+    mode: &'static str,
+    offered_qps: Option<f64>,
+    stats: ServeStats,
+}
+
+/// Drive `clients` closed-loop threads for `duration`, publishing
+/// `swap_snapshot` halfway through (the snapshot is frozen *before* the
+/// phase so training cost never pollutes the measurement window).
+fn run_closed(
+    server: &Arc<BatchingServer>,
+    swap_snapshot: FrozenNetwork,
+    test: &Dataset,
+    clients: usize,
+    duration: Duration,
+    k: usize,
+) -> PhaseResult {
+    server.reset_stats();
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let server = Arc::clone(server);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let zipf = Zipf::new(test.len(), 0.9);
+                let mut rng = SmallRng::seed_from_u64(0xC105ED ^ c as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let x = test.features(zipf.sample(&mut rng));
+                    server
+                        .predict(x.indices, x.values, k)
+                        .expect("closed-loop request failed");
+                }
+            });
+        }
+        std::thread::sleep(duration / 2);
+        server.publish(swap_snapshot);
+        std::thread::sleep(duration / 2);
+        stop.store(true, Ordering::Relaxed);
+    });
+    PhaseResult {
+        mode: "closed",
+        offered_qps: None,
+        stats: server.stats(),
+    }
+}
+
+/// Offer load at a fixed arrival rate for `duration`: submitter threads pull
+/// arrival slots off a shared schedule (`start + i/rate`), sleep until their
+/// slot, then submit and block for the answer. With enough submitters the
+/// schedule — not the server — paces arrivals, which is what makes the tail
+/// honest (coordinated-omission-free up to the submitter pool size). As in
+/// the closed phase, `swap_snapshot` is published at the midpoint.
+fn run_open(
+    server: &Arc<BatchingServer>,
+    swap_snapshot: FrozenNetwork,
+    test: &Dataset,
+    submitters: usize,
+    rate_qps: f64,
+    duration: Duration,
+    k: usize,
+) -> PhaseResult {
+    server.reset_stats();
+    let interval = Duration::from_secs_f64(1.0 / rate_qps.max(1.0));
+    let start = Instant::now();
+    let arrivals = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for c in 0..submitters {
+            let server = Arc::clone(server);
+            let arrivals = Arc::clone(&arrivals);
+            scope.spawn(move || {
+                let zipf = Zipf::new(test.len(), 0.9);
+                let mut rng = SmallRng::seed_from_u64(0x09E7 ^ c as u64);
+                loop {
+                    let i = arrivals.fetch_add(1, Ordering::Relaxed);
+                    let due = start + interval.mul_f64(i as f64);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    if start.elapsed() >= duration {
+                        return;
+                    }
+                    let x = test.features(zipf.sample(&mut rng));
+                    server
+                        .predict(x.indices, x.values, k)
+                        .expect("open-loop request failed");
+                }
+            });
+        }
+        std::thread::sleep(duration / 2);
+        server.publish(swap_snapshot);
+    });
+    PhaseResult {
+        mode: "open",
+        offered_qps: Some(rate_qps),
+        stats: server.stats(),
+    }
+}
+
+fn print_phase(p: &PhaseResult) {
+    let s = &p.stats;
+    let offered = match p.offered_qps {
+        Some(q) => format!(" (offered {q:.0} req/s)"),
+        None => String::new(),
+    };
+    println!(
+        "  {:<6} {:>8.0} req/s{offered}  p50 {:>6}us  p99 {:>6}us  max {:>7}us  \
+         mean batch {:>5.1}  batches {}  swaps {}  errors {}",
+        p.mode,
+        s.throughput_qps,
+        s.latency.p50_us,
+        s.latency.p99_us,
+        s.latency.max_us,
+        s.mean_batch,
+        s.batches,
+        s.hot_swaps,
+        s.errors,
+    );
+}
+
+fn main() {
+    let scale = scale();
+    let train_epochs = epochs(3);
+    let clients = env_usize("SLIDE_CLIENTS", 8);
+    let duration = Duration::from_millis(env_usize("SLIDE_SERVE_MS", 2000) as u64);
+    let k = env_usize("SLIDE_SERVE_K", 5);
+    let max_batch = env_usize("SLIDE_MAX_BATCH", 64);
+    let max_wait = Duration::from_micros(env_usize("SLIDE_MAX_WAIT_US", 500) as u64);
+
+    let w = Workload::Amazon670k;
+    let (train, test) = w.dataset(scale);
+    println!(
+        "serve_bench: workload {} (scale {scale}), {} train / {} test, simd {}",
+        w.name(),
+        train.len(),
+        test.len(),
+        slide_simd::effective_level()
+    );
+
+    let net_cfg = w.network_config(train.feature_dim(), train.label_dim());
+    let mut trainer = Trainer::new(
+        Network::new(net_cfg).expect("valid network config"),
+        w.trainer_config(),
+    )
+    .expect("valid trainer config");
+    let t0 = Instant::now();
+    for epoch in 0..train_epochs {
+        trainer.train_epoch(&train, epoch as u64);
+    }
+    println!(
+        "trained {train_epochs} epochs in {:.1}s; freezing",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let frozen = FrozenNetwork::freeze(trainer.network());
+    println!(
+        "frozen snapshot: {:.1} MiB of aligned arenas, {} tables entries",
+        frozen.arena_bytes() as f64 / (1 << 20) as f64,
+        frozen.table_stats().stored,
+    );
+    let server = Arc::new(
+        BatchingServer::start(
+            frozen,
+            BatchConfig {
+                max_batch,
+                max_wait,
+                queue_cap: (4 * max_batch).max(1024),
+                threads: 0,
+            },
+        )
+        .expect("valid batch config"),
+    );
+
+    // Train one epoch further per phase up front so both hot-swap snapshots
+    // are ready before any measurement window opens.
+    trainer.train_epoch(&train, train_epochs as u64);
+    let swap_closed = FrozenNetwork::freeze(trainer.network());
+    trainer.train_epoch(&train, train_epochs as u64 + 1);
+    let swap_open = FrozenNetwork::freeze(trainer.network());
+
+    println!(
+        "phase 1: closed-loop, {clients} clients, {:?}, hot-swap at t/2",
+        duration
+    );
+    let closed = run_closed(&server, swap_closed, &test, clients, duration, k);
+    print_phase(&closed);
+    assert_eq!(closed.stats.errors, 0, "closed-loop requests errored");
+
+    // Offer ~60% of measured capacity so the open phase measures queueing
+    // under feasible load rather than saturation collapse.
+    let capacity = closed.stats.throughput_qps.max(50.0);
+    let offered = capacity * 0.6;
+    println!(
+        "phase 2: open-loop at {offered:.0} req/s ({} submitters), {:?}, hot-swap at t/2",
+        clients * 4,
+        duration
+    );
+    let open = run_open(&server, swap_open, &test, clients * 4, offered, duration, k);
+    print_phase(&open);
+    assert_eq!(open.stats.errors, 0, "open-loop requests errored");
+
+    let json = bench_report_json(
+        &BenchMeta {
+            source: "serve_bench",
+            workload: "amazon670k",
+            scale,
+            clients,
+            threads: server.threads(),
+            max_batch,
+            max_wait_us: max_wait.as_micros() as u64,
+            k,
+        },
+        &[
+            phase_json(closed.mode, closed.offered_qps, &closed.stats),
+            phase_json(open.mode, open.offered_qps, &open.stats),
+        ],
+    );
+    let path = std::env::var("SLIDE_JSON_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    println!("report written to {path}");
+}

@@ -100,6 +100,11 @@ impl ThreadPool {
         let job: Job = unsafe { std::mem::transmute(ptr) };
         {
             let mut guard = self.shared.job.lock();
+            // Reset the panic flag for this generation while holding the job
+            // lock (no worker can be running a closure here: the previous
+            // `run` drained the done counter before returning), so a stale
+            // flag from an earlier generation can never leak into this one.
+            self.shared.panicked.store(false, Ordering::SeqCst);
             guard.0 = Some(job);
             guard.1 = guard.1.wrapping_add(1);
             self.shared.start.notify_all();
@@ -113,6 +118,8 @@ impl ThreadPool {
         drop(done);
         // Clear the job pointer so nothing dangles between runs.
         self.shared.job.lock().0 = None;
+        // Re-raise after full cleanup; the flag is also reset at the next
+        // job publication, so the pool stays reusable either way.
         if self.shared.panicked.swap(false, Ordering::SeqCst) {
             panic!("ThreadPool: a worker closure panicked");
         }
@@ -253,6 +260,48 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn panic_flag_resets_per_generation() {
+        // Regression test: a caught worker panic must not leave `panicked`
+        // sticky — every later generation starts clean, succeeds cleanly,
+        // and a *second* panic still propagates.
+        let pool = ThreadPool::new(3);
+        for round in 0..3 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(&|id| {
+                    if id == round % 3 {
+                        panic!("boom {round}");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "round {round} should re-raise");
+            // The very next run must NOT spuriously panic.
+            let counter = AtomicUsize::new(0);
+            pool.run(&|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 3, "round {round}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_panic_leaves_pool_reusable() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(100, 8, &|i| {
+                if i == 57 {
+                    panic!("item boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let flags: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(64, 4, &|i| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

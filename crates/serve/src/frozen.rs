@@ -1,0 +1,550 @@
+//! Read-only inference snapshots of a trained SLIDE network.
+//!
+//! Training needs racy HOGWILD parameter views, gradient/moment arenas, and
+//! locked hash tables that follow the drifting weights. Serving needs none
+//! of that: a [`FrozenNetwork`] copies the weights into contiguous,
+//! 64-byte-aligned, row-padded f32 arenas (the Figure-3 flat-layout
+//! discipline, minus every mutable companion array), builds its LSH tables
+//! once from the frozen weights, and then answers queries through `&self`
+//! with zero locks and zero allocation on the hot path — safe to share
+//! across any number of threads via `Arc`.
+
+use slide_core::{relu, Network, NetworkConfig, StampSet};
+use slide_data::top_k_indices;
+use slide_hash::{mix::mix3, LshFamily, LshScratch, LshTables, TableStats};
+use slide_mem::{AlignedVec, SparseVecRef};
+use slide_simd::{axpy_f32, dot_f32};
+
+/// One layer's frozen weights: a contiguous arena whose rows are padded to
+/// a 64-byte stride so every row starts on a cache-line boundary (whole-line
+/// AVX-512 loads, no split lines — §4.1 of the paper).
+#[derive(Debug, Clone)]
+pub struct FrozenLayer {
+    weights: AlignedVec<f32>,
+    bias: AlignedVec<f32>,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+}
+
+/// f32 elements per 64-byte cache line; row strides round up to this.
+const LANE: usize = slide_simd::CACHE_LINE_BYTES / std::mem::size_of::<f32>();
+
+impl FrozenLayer {
+    /// Snapshot a training-layer parameter block (bf16 weights are widened
+    /// to f32 — the frozen path always computes at full precision).
+    fn from_params(p: &slide_core::LayerParams) -> Self {
+        let (rows, cols) = (p.rows(), p.cols());
+        let stride = cols.div_ceil(LANE) * LANE;
+        let mut weights = AlignedVec::<f32>::zeroed(rows * stride);
+        for r in 0..rows {
+            p.widen_row_into(
+                r,
+                &mut weights.as_mut_slice()[r * stride..r * stride + cols],
+            );
+        }
+        FrozenLayer {
+            weights,
+            bias: AlignedVec::from_slice(p.bias_slice()),
+            rows,
+            cols,
+            stride,
+        }
+    }
+
+    /// Storage rows (output units for row-major layers, input features for
+    /// the column-major input layer).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width in meaningful elements (excluding alignment padding).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Weight row `r` (cache-line aligned, `cols` elements).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.weights.as_slice()[r * self.stride..r * self.stride + self.cols]
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &[f32] {
+        self.bias.as_slice()
+    }
+
+    /// Bytes held by this layer's arenas (padding included).
+    pub fn arena_bytes(&self) -> usize {
+        (self.weights.len() + self.bias.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// Per-caller mutable state for [`FrozenNetwork`] queries. Allocate one per
+/// serving thread ([`FrozenNetwork::make_scratch`]) and reuse it: the
+/// steady-state query path performs no heap allocation besides the returned
+/// top-k vector.
+#[derive(Debug)]
+pub struct ServeScratch {
+    /// Activation buffer per hidden layer (aligned, layer-width slices).
+    pub acts: Vec<AlignedVec<f32>>,
+    lsh: LshScratch,
+    keys: Vec<u32>,
+    candidates: Vec<u32>,
+    /// Active output neurons for the current query (inspection hook).
+    pub active: Vec<u32>,
+    dedup: StampSet,
+    logits: Vec<f32>,
+}
+
+/// An immutable, share-everywhere inference snapshot of a trained
+/// [`Network`].
+///
+/// # Examples
+///
+/// ```
+/// use slide_core::{Network, NetworkConfig};
+/// use slide_serve::FrozenNetwork;
+///
+/// let net = Network::new(NetworkConfig::standard(256, 16, 64)).unwrap();
+/// let frozen = FrozenNetwork::freeze(&net);
+/// let mut scratch = frozen.make_scratch();
+/// let idx = [1u32, 17];
+/// let val = [1.0f32, 0.5];
+/// let x = slide_mem::SparseVecRef::new(&idx, &val);
+/// let topk = frozen.predict_sparse(x, 5, &mut scratch, 0);
+/// assert_eq!(topk.len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct FrozenNetwork {
+    config: NetworkConfig,
+    input: FrozenLayer,
+    hidden: Vec<FrozenLayer>,
+    output: FrozenLayer,
+    family: LshFamily,
+    tables: LshTables,
+    min_active: usize,
+    max_active: Option<usize>,
+    probes: usize,
+    pad_seed: u64,
+}
+
+impl FrozenNetwork {
+    /// Snapshot `net` into a read-only serving engine: copy all weights into
+    /// aligned arenas (widening bf16) and build fresh hash tables from the
+    /// frozen output rows using the network's own LSH family, so retrieval
+    /// quality matches what the trainer's last rebuild would produce.
+    pub fn freeze(net: &Network) -> Self {
+        let config = net.config().clone();
+        let input = FrozenLayer::from_params(net.input().params());
+        let hidden: Vec<FrozenLayer> = net
+            .hidden_layers()
+            .iter()
+            .map(|l| FrozenLayer::from_params(l.params()))
+            .collect();
+        let output = FrozenLayer::from_params(net.output().params());
+        let family = net.output().family().clone();
+
+        let mut tables = LshTables::new(
+            config.lsh.tables,
+            config.lsh.key_bits,
+            config.lsh.bucket_cap,
+            config.lsh.policy,
+            config.seed ^ 0xF0_7AB1,
+        );
+        let mut lsh = family.make_scratch();
+        let mut keys = vec![0u32; family.tables()];
+        for r in 0..output.rows() {
+            family.keys_dense(output.row(r), &mut lsh, &mut keys);
+            tables.insert(&keys, r as u32);
+        }
+
+        FrozenNetwork {
+            min_active: config.lsh.min_active.min(output.rows()),
+            max_active: config.lsh.max_active,
+            probes: config.lsh.probes.max(1),
+            pad_seed: config.seed ^ 0x9AD5,
+            config,
+            input,
+            hidden,
+            output,
+            family,
+            tables,
+        }
+    }
+
+    /// The configuration of the network this snapshot was frozen from.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Sparse input dimensionality accepted by queries.
+    pub fn input_dim(&self) -> usize {
+        self.input.rows()
+    }
+
+    /// Output (label) dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.output.rows()
+    }
+
+    /// The frozen output layer (row access for equivalence tests and
+    /// table-construction inspection).
+    pub fn output_layer(&self) -> &FrozenLayer {
+        &self.output
+    }
+
+    /// Occupancy statistics of the frozen hash tables.
+    pub fn table_stats(&self) -> TableStats {
+        self.tables.stats()
+    }
+
+    /// Total bytes held in weight/bias arenas across all layers.
+    pub fn arena_bytes(&self) -> usize {
+        self.input.arena_bytes()
+            + self
+                .hidden
+                .iter()
+                .map(FrozenLayer::arena_bytes)
+                .sum::<usize>()
+            + self.output.arena_bytes()
+    }
+
+    /// Allocate query scratch sized for this snapshot.
+    pub fn make_scratch(&self) -> ServeScratch {
+        let mut widths: Vec<usize> = vec![self.input.cols()];
+        widths.extend(self.hidden.iter().map(FrozenLayer::rows));
+        ServeScratch {
+            acts: widths.iter().map(|&w| AlignedVec::zeroed(w)).collect(),
+            lsh: self.family.make_scratch(),
+            keys: vec![0; self.family.tables()],
+            candidates: Vec::with_capacity(1024),
+            active: Vec::with_capacity(1024),
+            dedup: StampSet::new(self.output.rows()),
+            logits: Vec::with_capacity(1024),
+        }
+    }
+
+    /// Check that a query fits this snapshot's input space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending index or length mismatch.
+    pub fn validate_query(&self, indices: &[u32], values: &[f32]) -> Result<(), String> {
+        if indices.len() != values.len() {
+            return Err(format!(
+                "query index/value length mismatch: {} vs {}",
+                indices.len(),
+                values.len()
+            ));
+        }
+        let dim = self.input.rows() as u32;
+        if let Some(&bad) = indices.iter().find(|&&i| i >= dim) {
+            return Err(format!("query feature index {bad} >= input_dim {dim}"));
+        }
+        Ok(())
+    }
+
+    /// Run the input + hidden stack, leaving the last hidden activation in
+    /// `scratch.acts.last()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a feature index is out of range or the scratch was built
+    /// for a different shape.
+    pub fn forward_hidden(&self, x: SparseVecRef<'_>, scratch: &mut ServeScratch) {
+        let acts = &mut scratch.acts;
+        acts[0].as_mut_slice().copy_from_slice(self.input.bias());
+        for (j, v) in x.iter() {
+            axpy_f32(v, self.input.row(j as usize), acts[0].as_mut_slice());
+        }
+        relu(acts[0].as_mut_slice());
+        for (i, layer) in self.hidden.iter().enumerate() {
+            let (src, dst) = acts.split_at_mut(i + 1);
+            let (src, dst) = (src[i].as_slice(), dst[0].as_mut_slice());
+            for (r, o) in dst.iter_mut().enumerate() {
+                *o = dot_f32(layer.row(r), src) + layer.bias()[r];
+            }
+            relu(dst);
+        }
+    }
+
+    /// Build the active set for hidden activation `h` into `scratch.active`:
+    /// deduplicated table retrievals, then deterministic pseudo-random
+    /// padding up to `min_active` (capped at `max_active`), exactly as the
+    /// training-time retrieval does minus label forcing. `h` is passed
+    /// separately so it may alias `scratch.acts` through a prior copy.
+    pub fn select_active(&self, h: &[f32], scratch: &mut ServeScratch, salt: u64) {
+        let (mut parts, _) = split_acts(scratch);
+        self.select_active_inner(h, &mut parts, salt);
+    }
+
+    /// Predict the top-`k` labels for one sparse input, scoring only the
+    /// LSH-retrieved active set (SLIDE inference). Lock-free and `&self`:
+    /// any number of threads may call this concurrently on the same
+    /// snapshot, each with its own scratch. `salt` decorrelates the
+    /// cold-table padding across queries.
+    ///
+    /// Returns up to `k` label ids, highest logit first (fewer than `k`
+    /// only if the active set itself is smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range feature indices (see
+    /// [`FrozenNetwork::validate_query`]) and if `k == 0`.
+    pub fn predict_sparse(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut ServeScratch,
+        salt: u64,
+    ) -> Vec<u32> {
+        self.forward_hidden(x, scratch);
+        let (mut head, last) = split_acts(scratch);
+        self.select_active_inner(last, &mut head, salt);
+        head.logits.clear();
+        for &r in head.active.iter() {
+            head.logits
+                .push(dot_f32(self.output.row(r as usize), last) + self.output.bias()[r as usize]);
+        }
+        top_k_indices(head.logits, k.min(head.active.len().max(1)))
+            .into_iter()
+            .map(|i| head.active[i as usize])
+            .collect()
+    }
+
+    /// Predict the top-`k` labels scoring *every* output unit (exact
+    /// argmax; the accuracy reference for [`FrozenNetwork::predict_sparse`]
+    /// and the cross-level equivalence tests).
+    pub fn predict_full(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut ServeScratch,
+    ) -> Vec<u32> {
+        self.forward_hidden(x, scratch);
+        let (head, last) = split_acts(scratch);
+        head.logits.clear();
+        head.logits.reserve(self.output.rows());
+        for r in 0..self.output.rows() {
+            head.logits
+                .push(dot_f32(self.output.row(r), last) + self.output.bias()[r]);
+        }
+        top_k_indices(head.logits, k)
+    }
+
+    fn select_active_inner(&self, h: &[f32], parts: &mut ScratchParts<'_>, salt: u64) {
+        self.family.keys_dense(h, parts.lsh, parts.keys);
+        parts.candidates.clear();
+        if self.probes > 1 {
+            self.tables
+                .query_multiprobe_into(parts.keys, self.probes, parts.candidates);
+        } else {
+            self.tables.query_into(parts.keys, parts.candidates);
+        }
+        parts.dedup.begin();
+        parts.active.clear();
+        let cap = self.max_active.unwrap_or(usize::MAX);
+        for i in 0..parts.candidates.len() {
+            if parts.active.len() >= cap {
+                break;
+            }
+            let c = parts.candidates[i];
+            if parts.dedup.insert(c) {
+                parts.active.push(c);
+            }
+        }
+        let n = self.output.rows() as u64;
+        let want = self.min_active.min(cap);
+        let mut attempt = 0u64;
+        while parts.active.len() < want {
+            let r = (mix3(self.pad_seed, salt, attempt) % n) as u32;
+            attempt += 1;
+            if parts.dedup.insert(r) {
+                parts.active.push(r);
+            }
+        }
+    }
+}
+
+/// Disjoint mutable views of a [`ServeScratch`] minus its activation
+/// buffers, so the last activation can be borrowed immutably alongside.
+struct ScratchParts<'a> {
+    lsh: &'a mut LshScratch,
+    keys: &'a mut Vec<u32>,
+    candidates: &'a mut Vec<u32>,
+    active: &'a mut Vec<u32>,
+    dedup: &'a mut StampSet,
+    logits: &'a mut Vec<f32>,
+}
+
+fn split_acts(scratch: &mut ServeScratch) -> (ScratchParts<'_>, &[f32]) {
+    let ServeScratch {
+        acts,
+        lsh,
+        keys,
+        candidates,
+        active,
+        dedup,
+        logits,
+    } = scratch;
+    let last = acts.last().expect("at least one hidden layer").as_slice();
+    (
+        ScratchParts {
+            lsh,
+            keys,
+            candidates,
+            active,
+            dedup,
+            logits,
+        },
+        last,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_core::LshConfig;
+
+    fn tiny_net() -> Network {
+        let mut cfg = NetworkConfig::standard(128, 16, 64);
+        cfg.lsh = LshConfig {
+            tables: 10,
+            key_bits: 4,
+            min_active: 16,
+            ..Default::default()
+        };
+        Network::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn frozen_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenNetwork>();
+    }
+
+    #[test]
+    fn rows_are_cache_line_aligned() {
+        let frozen = FrozenNetwork::freeze(&tiny_net());
+        let out = frozen.output_layer();
+        for r in [0usize, 1, 33, 63] {
+            assert_eq!(out.row(r).as_ptr() as usize % 64, 0, "row {r}");
+        }
+        assert!(frozen.arena_bytes() > 0);
+    }
+
+    #[test]
+    fn freeze_preserves_weights_and_bias() {
+        let net = tiny_net();
+        let frozen = FrozenNetwork::freeze(&net);
+        for r in [0usize, 7, 63] {
+            assert_eq!(
+                frozen.output_layer().row(r),
+                net.output().params().row_f32(r)
+            );
+        }
+        assert_eq!(
+            frozen.output_layer().bias(),
+            net.output().params().bias_slice()
+        );
+        assert_eq!(frozen.input_dim(), 128);
+        assert_eq!(frozen.output_dim(), 64);
+    }
+
+    #[test]
+    fn frozen_tables_cover_all_neurons() {
+        let frozen = FrozenNetwork::freeze(&tiny_net());
+        let stats = frozen.table_stats();
+        assert_eq!(stats.stored, 64 * 10);
+    }
+
+    #[test]
+    fn predict_full_matches_training_exact_path() {
+        let net = tiny_net();
+        let frozen = FrozenNetwork::freeze(&net);
+        let mut fs = frozen.make_scratch();
+        let mut ts = net.make_scratch();
+        for s in 0..20u32 {
+            let idx = [s % 128, (s * 7 + 3) % 128, (s * 31 + 11) % 128];
+            let val = [1.0f32, -0.5, 0.25];
+            let x = SparseVecRef::new(&idx, &val);
+            let frozen_top = frozen.predict_full(x, 3, &mut fs);
+            let train_top = net.predict(x, 3, &mut ts, /*exact=*/ true, 0);
+            assert_eq!(frozen_top, train_top, "sample {s}");
+        }
+    }
+
+    #[test]
+    fn neuron_retrieves_itself_through_frozen_tables() {
+        let net = tiny_net();
+        let frozen = FrozenNetwork::freeze(&net);
+        let mut scratch = frozen.make_scratch();
+        for r in [0usize, 17, 63] {
+            let w = frozen.output_layer().row(r).to_vec();
+            frozen.select_active(&w, &mut scratch, 0);
+            assert!(
+                scratch.active.contains(&(r as u32)),
+                "neuron {r} missing from its own active set"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_sparse_pads_to_min_active_and_dedups() {
+        let frozen = FrozenNetwork::freeze(&tiny_net());
+        let mut scratch = frozen.make_scratch();
+        let idx = [5u32];
+        let val = [0.0f32]; // zero input: tables may return little
+        let topk = frozen.predict_sparse(SparseVecRef::new(&idx, &val), 4, &mut scratch, 9);
+        assert!(topk.len() <= 4);
+        assert!(scratch.active.len() >= 16, "min_active padding");
+        let mut seen = std::collections::HashSet::new();
+        assert!(scratch.active.iter().all(|&a| seen.insert(a)));
+    }
+
+    #[test]
+    fn validate_query_reports_bad_input() {
+        let frozen = FrozenNetwork::freeze(&tiny_net());
+        assert!(frozen.validate_query(&[0, 127], &[1.0, 2.0]).is_ok());
+        let err = frozen.validate_query(&[128], &[1.0]).unwrap_err();
+        assert!(err.contains("128"), "{err}");
+        assert!(frozen.validate_query(&[0], &[]).is_err());
+    }
+
+    #[test]
+    fn bf16_network_freezes_to_widened_f32() {
+        let mut cfg = NetworkConfig::standard(64, 8, 32);
+        cfg.precision = slide_core::Precision::Bf16Both;
+        cfg.lsh.tables = 6;
+        cfg.lsh.key_bits = 4;
+        let net = Network::new(cfg).unwrap();
+        let frozen = FrozenNetwork::freeze(&net);
+        assert_eq!(
+            frozen.output_layer().row(3),
+            net.output().params().row_f32(3)
+        );
+    }
+
+    #[test]
+    fn deep_network_freezes_and_predicts() {
+        let mut cfg = NetworkConfig::standard(64, 16, 32);
+        cfg.hidden_dims = vec![16, 12, 8];
+        cfg.lsh.tables = 6;
+        cfg.lsh.key_bits = 4;
+        cfg.lsh.min_active = 8;
+        let net = Network::new(cfg).unwrap();
+        let frozen = FrozenNetwork::freeze(&net);
+        let mut scratch = frozen.make_scratch();
+        let idx = [3u32, 40];
+        let val = [1.0f32, -0.5];
+        let topk = frozen.predict_sparse(SparseVecRef::new(&idx, &val), 3, &mut scratch, 0);
+        assert_eq!(topk.len(), 3);
+        // Exact path agrees with the training network's exact path on depth.
+        let mut ts = net.make_scratch();
+        assert_eq!(
+            frozen.predict_full(SparseVecRef::new(&idx, &val), 3, &mut scratch),
+            net.predict(SparseVecRef::new(&idx, &val), 3, &mut ts, true, 0)
+        );
+    }
+}

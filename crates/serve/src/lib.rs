@@ -1,0 +1,52 @@
+//! Frozen-inference serving for the SLIDE reproduction.
+//!
+//! The paper ("Accelerating SLIDE Deep Learning on Modern CPUs", MLSys 2021)
+//! accelerates *training*; this crate gives the trained network a production
+//! inference path that reuses the same substrates — the AVX-512/AVX2 kernels
+//! of `slide-simd`, the aligned-arena discipline of `slide-mem`, the LSH
+//! active-set machinery of `slide-hash`, and the worker pool of
+//! `slide-core` — but strips away everything mutation-related:
+//!
+//! * [`FrozenNetwork`] — a read-only snapshot of a trained
+//!   [`slide_core::Network`]: contiguous 64-byte-aligned per-layer weight
+//!   arenas, pre-built hash tables, and a lock-free `&self`
+//!   [`FrozenNetwork::predict_sparse`] that is safe to share across threads
+//!   via `Arc` (no `HogwildPtr`, no gradient state, no table locks).
+//! * [`BatchingServer`] — a bounded submission queue in front of a frozen
+//!   snapshot: concurrent requests coalesce into micro-batches (size- or
+//!   deadline-triggered, tunable via [`BatchConfig`]), fan out across a
+//!   [`slide_core::ThreadPool`], and report throughput plus p50/p99 latency
+//!   ([`ServeStats`]). `RwLock<Arc<FrozenNetwork>>` hot-swap lets a
+//!   background trainer [`BatchingServer::publish`] fresh snapshots
+//!   mid-traffic without dropping a request.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use slide_core::{Network, NetworkConfig};
+//! use slide_serve::{BatchConfig, BatchingServer, FrozenNetwork};
+//!
+//! let net = Network::new(NetworkConfig::standard(256, 16, 64)).unwrap();
+//! let server = BatchingServer::start(
+//!     FrozenNetwork::freeze(&net),
+//!     BatchConfig { threads: 2, ..Default::default() },
+//! ).unwrap();
+//!
+//! // Any number of threads may call predict concurrently.
+//! let topk = server.predict(&[1, 17], &[1.0, 0.5], 5).unwrap();
+//! assert_eq!(topk.len(), 5);
+//!
+//! // A background trainer publishes a new snapshot mid-traffic.
+//! let retrained = Network::new(NetworkConfig::standard(256, 16, 64)).unwrap();
+//! server.publish(FrozenNetwork::freeze(&retrained));
+//! assert_eq!(server.stats().hot_swaps, 1);
+//! ```
+
+mod frozen;
+mod server;
+
+pub use frozen::{FrozenLayer, FrozenNetwork, ServeScratch};
+pub use server::{
+    bench_report_json, percentile_us, phase_json, BatchConfig, BatchingServer, BenchMeta,
+    LatencySummary, ServeError, ServeStats,
+};

@@ -1,0 +1,916 @@
+//! The micro-batching request pipeline.
+//!
+//! Serving heavy traffic one request at a time wastes the batch-level
+//! parallelism the SLIDE kernels and worker pool were built for. A
+//! [`BatchingServer`] puts a bounded submission queue in front of a
+//! [`FrozenNetwork`]: concurrent callers block in [`BatchingServer::predict`]
+//! while a dispatcher thread coalesces their requests into micro-batches —
+//! closing a batch when it reaches `max_batch` requests *or* `max_wait` has
+//! elapsed since the batch opened, whichever comes first — and fans each
+//! batch across a [`slide_core::ThreadPool`] with per-worker scratch.
+//!
+//! The model itself sits behind `RwLock<Arc<FrozenNetwork>>`: a background
+//! trainer can [`BatchingServer::publish`] a fresh snapshot at any moment
+//! and in-flight traffic migrates to it at the next batch boundary, without
+//! dropping or erroring a single request (the write lock is held only for a
+//! pointer swap; workers run on a cloned `Arc`, never inside the lock).
+
+use crate::frozen::{FrozenNetwork, ServeScratch};
+use parking_lot::{Condvar, Mutex, RwLock};
+use slide_core::ThreadPool;
+use slide_mem::SparseVecRef;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the micro-batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Close a batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Close a batch this long after its first request arrived, even if it
+    /// is not full (the latency/throughput trade-off knob).
+    pub max_wait: Duration,
+    /// Bound on queued requests; submitters block (backpressure) when full.
+    pub queue_cap: usize,
+    /// Worker threads scoring batches (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(500),
+            queue_cap: 4096,
+            threads: 0,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Validate the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a bound is zero or the queue cannot hold one
+    /// full batch.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch == 0 {
+            return Err("max_batch must be positive".into());
+        }
+        if self.queue_cap < self.max_batch {
+            return Err("queue_cap must be >= max_batch".into());
+        }
+        Ok(())
+    }
+
+    /// Resolve `threads == 0` to the machine's parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server was closed before (or while) handling the request.
+    Closed,
+    /// The query did not fit the model (bad index, length mismatch, k == 0).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => f.write_str("server closed"),
+            ServeError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+type Response = Result<Vec<u32>, ServeError>;
+
+struct Request {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    k: usize,
+    enqueued: Instant,
+    tx: mpsc::SyncSender<Response>,
+}
+
+struct Queue {
+    items: VecDeque<Request>,
+    closed: bool,
+}
+
+/// Keep at most this many latency samples for percentile estimation; beyond
+/// it only counters advance (bounds server memory on unbounded runs).
+const MAX_LATENCY_SAMPLES: usize = 4 << 20;
+
+struct StatsInner {
+    latencies_us: Vec<u64>,
+    /// `batch_counts[s]` = number of executed batches of size `s`.
+    batch_counts: Vec<u64>,
+    served: u64,
+    errors: u64,
+    batches: u64,
+    started: Instant,
+}
+
+struct ServerShared {
+    queue: Mutex<Queue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    model: RwLock<Arc<FrozenNetwork>>,
+    stats: Mutex<StatsInner>,
+    swap_epoch: AtomicU64,
+    config: BatchConfig,
+    threads: usize,
+}
+
+/// Sendable pointer to per-worker slots; each pool worker dereferences only
+/// its own index, so access is disjoint.
+#[derive(Clone, Copy)]
+struct SlotPtr {
+    base: *mut WorkerSlot,
+    len: usize,
+}
+
+unsafe impl Send for SlotPtr {}
+unsafe impl Sync for SlotPtr {}
+
+impl SlotPtr {
+    /// Exclusive access to worker `i`'s slot.
+    ///
+    /// # Safety
+    ///
+    /// Each index must be used by at most one thread at a time (the pool
+    /// hands every worker a distinct id) and the backing slice must outlive
+    /// the parallel section.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut WorkerSlot {
+        assert!(i < self.len, "SlotPtr: worker index out of range");
+        &mut *self.base.add(i)
+    }
+}
+
+struct WorkerSlot {
+    scratch: ServeScratch,
+    latencies_us: Vec<u64>,
+    errors: u64,
+}
+
+/// Summary of a latency distribution, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Worst observed.
+    pub max_us: u64,
+    /// Samples summarized.
+    pub samples: u64,
+}
+
+impl LatencySummary {
+    /// Summarize an unsorted sample set (empty input yields all zeros).
+    pub fn from_unsorted(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        LatencySummary {
+            p50_us: percentile_us(&samples, 50.0),
+            p99_us: percentile_us(&samples, 99.0),
+            mean_us: if samples.is_empty() {
+                0.0
+            } else {
+                samples.iter().sum::<u64>() as f64 / samples.len() as f64
+            },
+            max_us: samples.last().copied().unwrap_or(0),
+            samples: samples.len() as u64,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set (`q` in
+/// percent). Returns 0 for an empty set.
+///
+/// ```
+/// assert_eq!(slide_serve::percentile_us(&[10, 20, 30, 40], 50.0), 20);
+/// assert_eq!(slide_serve::percentile_us(&[10, 20, 30, 40], 99.0), 40);
+/// ```
+pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A point-in-time snapshot of a server's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests answered (including error responses).
+    pub served: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Snapshots published over the server's lifetime.
+    pub hot_swaps: u64,
+    /// Seconds since the server started (or stats were reset).
+    pub elapsed_seconds: f64,
+    /// `served / elapsed_seconds`.
+    pub throughput_qps: f64,
+    /// Mean executed batch size.
+    pub mean_batch: f64,
+    /// `(batch_size, count)` pairs for every observed batch size.
+    pub batch_hist: Vec<(usize, u64)>,
+    /// End-to-end request latency (enqueue → response ready).
+    pub latency: LatencySummary,
+}
+
+impl ServeStats {
+    /// Render as a JSON object (the `BENCH_serve.json` stats fragment; see
+    /// EXPERIMENTS.md for the schema).
+    pub fn to_json(&self) -> String {
+        let hist: Vec<String> = self
+            .batch_hist
+            .iter()
+            .map(|(size, count)| format!("[{size},{count}]"))
+            .collect();
+        format!(
+            "{{\"served\":{},\"errors\":{},\"batches\":{},\"hot_swaps\":{},\
+             \"elapsed_seconds\":{:.3},\"throughput_qps\":{:.1},\"mean_batch\":{:.2},\
+             \"latency_us\":{{\"p50\":{},\"p99\":{},\"mean\":{:.1},\"max\":{},\"samples\":{}}},\
+             \"batch_hist\":[{}]}}",
+            self.served,
+            self.errors,
+            self.batches,
+            self.hot_swaps,
+            self.elapsed_seconds,
+            self.throughput_qps,
+            self.mean_batch,
+            self.latency.p50_us,
+            self.latency.p99_us,
+            self.latency.mean_us,
+            self.latency.max_us,
+            self.latency.samples,
+            hist.join(",")
+        )
+    }
+}
+
+/// A concurrent inference front-end over a hot-swappable [`FrozenNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use slide_core::{Network, NetworkConfig};
+/// use slide_serve::{BatchConfig, BatchingServer, FrozenNetwork};
+///
+/// let net = Network::new(NetworkConfig::standard(256, 16, 64)).unwrap();
+/// let server = BatchingServer::start(
+///     FrozenNetwork::freeze(&net),
+///     BatchConfig { threads: 2, ..Default::default() },
+/// ).unwrap();
+/// let topk = server.predict(&[1, 17], &[1.0, 0.5], 5).unwrap();
+/// assert_eq!(topk.len(), 5);
+/// // Counters merge at batch boundaries; quiesce before exact comparisons.
+/// ```
+pub struct BatchingServer {
+    shared: Arc<ServerShared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BatchingServer {
+    /// Start the dispatcher thread serving `model` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message from [`BatchConfig::validate`].
+    pub fn start(model: FrozenNetwork, config: BatchConfig) -> Result<Self, String> {
+        config.validate()?;
+        let threads = config.effective_threads();
+        let shared = Arc::new(ServerShared {
+            queue: Mutex::new(Queue {
+                items: VecDeque::with_capacity(config.queue_cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            model: RwLock::new(Arc::new(model)),
+            stats: Mutex::new(StatsInner {
+                latencies_us: Vec::new(),
+                batch_counts: vec![0; config.max_batch + 1],
+                served: 0,
+                errors: 0,
+                batches: 0,
+                started: Instant::now(),
+            }),
+            swap_epoch: AtomicU64::new(0),
+            config,
+            threads,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("slide-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared))
+                .map_err(|e| format!("spawn dispatcher: {e}"))?
+        };
+        Ok(BatchingServer {
+            shared,
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// Worker threads scoring batches.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// The snapshot currently serving traffic.
+    pub fn current(&self) -> Arc<FrozenNetwork> {
+        self.shared.model.read().clone()
+    }
+
+    /// Publish a new snapshot; traffic migrates at the next batch boundary.
+    /// The write lock is held only for the pointer swap, so publishing never
+    /// stalls readers for longer than an `Arc` assignment.
+    pub fn publish(&self, model: FrozenNetwork) {
+        let model = Arc::new(model);
+        *self.shared.model.write() = model;
+        self.shared.swap_epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Submit one query and block until its top-`k` prediction is ready.
+    /// Applies backpressure: blocks while the submission queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] if the server shuts down before responding;
+    /// [`ServeError::Invalid`] for malformed queries (length mismatch,
+    /// out-of-range feature index, `k == 0`).
+    pub fn predict(
+        &self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+    ) -> Result<Vec<u32>, ServeError> {
+        if k == 0 {
+            return Err(ServeError::Invalid("k must be positive".into()));
+        }
+        if indices.len() != values.len() {
+            return Err(ServeError::Invalid(format!(
+                "index/value length mismatch: {} vs {}",
+                indices.len(),
+                values.len()
+            )));
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        let request = Request {
+            indices: indices.to_vec(),
+            values: values.to_vec(),
+            k,
+            enqueued: Instant::now(),
+            tx,
+        };
+        {
+            let mut q = self.shared.queue.lock();
+            while q.items.len() >= self.shared.config.queue_cap && !q.closed {
+                self.shared.not_full.wait(&mut q);
+            }
+            if q.closed {
+                return Err(ServeError::Closed);
+            }
+            q.items.push_back(request);
+            self.shared.not_empty.notify_one();
+        }
+        rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Snapshot the throughput/latency counters.
+    ///
+    /// Counters are merged at batch boundaries, so a response a client just
+    /// received may precede its own appearance in the counters by one
+    /// batch-merge window (microseconds). Quiesce traffic before comparing
+    /// exact counts.
+    pub fn stats(&self) -> ServeStats {
+        let stats = self.shared.stats.lock();
+        let elapsed = stats.started.elapsed().as_secs_f64().max(1e-9);
+        let batch_hist: Vec<(usize, u64)> = stats
+            .batch_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(s, &c)| (s, c))
+            .collect();
+        ServeStats {
+            served: stats.served,
+            errors: stats.errors,
+            batches: stats.batches,
+            hot_swaps: self.shared.swap_epoch.load(Ordering::Acquire),
+            elapsed_seconds: elapsed,
+            throughput_qps: stats.served as f64 / elapsed,
+            mean_batch: if stats.batches == 0 {
+                0.0
+            } else {
+                stats.served as f64 / stats.batches as f64
+            },
+            batch_hist,
+            latency: LatencySummary::from_unsorted(stats.latencies_us.clone()),
+        }
+    }
+
+    /// Zero the counters and restart the stats clock (e.g. after warmup).
+    pub fn reset_stats(&self) {
+        let mut stats = self.shared.stats.lock();
+        stats.latencies_us.clear();
+        stats.batch_counts.fill(0);
+        stats.served = 0;
+        stats.errors = 0;
+        stats.batches = 0;
+        stats.started = Instant::now();
+    }
+
+    /// Stop accepting new requests. Requests already queued are still served
+    /// before the dispatcher exits; blocked submitters get
+    /// [`ServeError::Closed`].
+    pub fn close(&self) {
+        let mut q = self.shared.queue.lock();
+        q.closed = true;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl Drop for BatchingServer {
+    fn drop(&mut self) {
+        self.close();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Closes and drains the queue when the dispatcher exits — normally (the
+/// queue is already empty then) or by panic, in which case every pending
+/// request's sender is dropped so blocked callers get [`ServeError::Closed`]
+/// instead of hanging forever.
+struct DrainOnExit<'a>(&'a ServerShared);
+
+impl Drop for DrainOnExit<'_> {
+    fn drop(&mut self) {
+        let mut q = self.0.queue.lock();
+        q.closed = true;
+        q.items.clear();
+        self.0.not_empty.notify_all();
+        self.0.not_full.notify_all();
+    }
+}
+
+fn dispatcher_loop(shared: &ServerShared) {
+    let _drain_guard = DrainOnExit(shared);
+    let config = shared.config;
+    let pool = ThreadPool::new(shared.threads);
+    let mut slots: Vec<WorkerSlot> = Vec::new();
+    // The snapshot the current slots' scratches were built for; holding the
+    // Arc pins the allocation, so pointer equality is ABA-safe and a
+    // hot-swap always triggers a scratch rebuild (shapes may differ).
+    let mut slots_model: Option<Arc<FrozenNetwork>> = None;
+    let mut batch: Vec<Request> = Vec::with_capacity(config.max_batch);
+    let mut batch_counter = 0u64;
+
+    loop {
+        batch.clear();
+        {
+            let mut q = shared.queue.lock();
+            // Wait for the first request (or shutdown).
+            loop {
+                while batch.len() < config.max_batch {
+                    match q.items.pop_front() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
+                }
+                if !batch.is_empty() || q.closed {
+                    break;
+                }
+                shared.not_empty.wait(&mut q);
+            }
+            if batch.is_empty() {
+                return; // closed and fully drained
+            }
+            // Coalescing window: keep absorbing requests until the batch is
+            // full or `max_wait` has elapsed since it opened.
+            if batch.len() < config.max_batch && !q.closed {
+                let deadline = batch[0].enqueued + config.max_wait;
+                loop {
+                    while batch.len() < config.max_batch {
+                        match q.items.pop_front() {
+                            Some(r) => batch.push(r),
+                            None => break,
+                        }
+                    }
+                    if batch.len() >= config.max_batch || q.closed {
+                        break;
+                    }
+                    let now = Instant::now();
+                    let Some(remaining) = deadline
+                        .checked_duration_since(now)
+                        .filter(|d| !d.is_zero())
+                    else {
+                        break;
+                    };
+                    shared.not_empty.wait_for(&mut q, remaining);
+                }
+            }
+        }
+        shared.not_full.notify_all();
+
+        // Pin the snapshot for this whole batch (hot-swaps land between
+        // batches, never inside one).
+        let model = shared.model.read().clone();
+        let stale = !matches!(&slots_model, Some(m) if Arc::ptr_eq(m, &model));
+        if slots.len() != shared.threads || stale {
+            slots = (0..shared.threads)
+                .map(|_| WorkerSlot {
+                    scratch: model.make_scratch(),
+                    latencies_us: Vec::new(),
+                    errors: 0,
+                })
+                .collect();
+            slots_model = Some(Arc::clone(&model));
+        }
+        for slot in &mut slots {
+            slot.latencies_us.clear();
+            slot.errors = 0;
+        }
+
+        batch_counter += 1;
+        let n = batch.len();
+        let cursor = AtomicUsize::new(0);
+        let slot_ptr = SlotPtr {
+            base: slots.as_mut_ptr(),
+            len: slots.len(),
+        };
+        let batch_ref: &[Request] = &batch;
+        let model_ref: &FrozenNetwork = &model;
+        let salt_base = batch_counter << 20;
+        pool.run(&|worker| {
+            // SAFETY: worker ids are distinct; `slots` outlives `run`.
+            let slot = unsafe { slot_ptr.get(worker) };
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let req = &batch_ref[i];
+                let response = match model_ref.validate_query(&req.indices, &req.values) {
+                    Ok(()) => {
+                        let x = SparseVecRef::new(&req.indices, &req.values);
+                        Ok(model_ref.predict_sparse(
+                            x,
+                            req.k,
+                            &mut slot.scratch,
+                            salt_base | i as u64,
+                        ))
+                    }
+                    Err(msg) => {
+                        slot.errors += 1;
+                        Err(ServeError::Invalid(msg))
+                    }
+                };
+                slot.latencies_us
+                    .push(req.enqueued.elapsed().as_micros() as u64);
+                // A disappeared client (dropped receiver) is not an error.
+                let _ = req.tx.send(response);
+            }
+        });
+
+        let mut stats = shared.stats.lock();
+        stats.batches += 1;
+        stats.batch_counts[n] += 1;
+        for slot in &slots {
+            stats.served += slot.latencies_us.len() as u64;
+            stats.errors += slot.errors;
+            let room = MAX_LATENCY_SAMPLES.saturating_sub(stats.latencies_us.len());
+            let take = slot.latencies_us.len().min(room);
+            stats
+                .latencies_us
+                .extend_from_slice(&slot.latencies_us[..take]);
+        }
+    }
+}
+
+/// Run metadata shared by every `BENCH_serve.json` emitter (`slide_cli
+/// serve-bench` and the `serve_bench` experiment binary); keeps the schema
+/// in one place — see EXPERIMENTS.md §4.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchMeta<'a> {
+    /// Which emitter produced the report.
+    pub source: &'a str,
+    /// Workload name.
+    pub workload: &'a str,
+    /// `SLIDE_SCALE`-style workload multiplier.
+    pub scale: usize,
+    /// Load-generating client threads.
+    pub clients: usize,
+    /// Scoring threads in the server pool.
+    pub threads: usize,
+    /// Micro-batch size cap.
+    pub max_batch: usize,
+    /// Micro-batch deadline in microseconds.
+    pub max_wait_us: u64,
+    /// Top-k requested per query.
+    pub k: usize,
+}
+
+/// Render one load phase (`"closed"` / `"open"`) as a JSON object.
+pub fn phase_json(mode: &str, offered_qps: Option<f64>, stats: &ServeStats) -> String {
+    let offered = offered_qps.map_or_else(|| "null".to_string(), |q| format!("{q:.1}"));
+    format!(
+        "{{\"mode\":\"{mode}\",\"offered_qps\":{offered},\"stats\":{}}}",
+        stats.to_json()
+    )
+}
+
+/// Render a complete `BENCH_serve.json` document (trailing newline
+/// included). `simd_level` is stamped from the process's effective dispatch
+/// level at call time.
+pub fn bench_report_json(meta: &BenchMeta<'_>, phases: &[String]) -> String {
+    format!(
+        "{{\"bench\":\"serve\",\"source\":\"{}\",\"workload\":\"{}\",\"scale\":{},\
+         \"clients\":{},\"threads\":{},\"simd_level\":\"{}\",\"max_batch\":{},\
+         \"max_wait_us\":{},\"k\":{},\"phases\":[{}]}}\n",
+        meta.source,
+        meta.workload,
+        meta.scale,
+        meta.clients,
+        meta.threads,
+        slide_simd::effective_level(),
+        meta.max_batch,
+        meta.max_wait_us,
+        meta.k,
+        phases.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_core::{LshConfig, Network, NetworkConfig};
+
+    fn tiny_frozen(seed: u64) -> FrozenNetwork {
+        let mut cfg = NetworkConfig::standard(128, 16, 64);
+        cfg.seed = seed;
+        cfg.lsh = LshConfig {
+            tables: 10,
+            key_bits: 4,
+            min_active: 16,
+            ..Default::default()
+        };
+        FrozenNetwork::freeze(&Network::new(cfg).unwrap())
+    }
+
+    /// Stats merge at batch boundaries (see [`BatchingServer::stats`]); poll
+    /// briefly until the expected request count lands.
+    fn stats_when_served(server: &BatchingServer, served: u64) -> ServeStats {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let stats = server.stats();
+            if stats.served >= served || Instant::now() >= deadline {
+                return stats;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn small_server(threads: usize, max_wait: Duration) -> BatchingServer {
+        BatchingServer::start(
+            tiny_frozen(1),
+            BatchConfig {
+                max_batch: 16,
+                max_wait,
+                queue_cap: 64,
+                threads,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BatchConfig::default().validate().is_ok());
+        assert!(BatchConfig {
+            max_batch: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BatchConfig {
+            max_batch: 100,
+            queue_cap: 10,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(
+            BatchConfig {
+                threads: 3,
+                ..Default::default()
+            }
+            .effective_threads()
+                == 3
+        );
+    }
+
+    #[test]
+    fn single_request_roundtrip() {
+        let server = small_server(2, Duration::from_micros(200));
+        let topk = server.predict(&[1, 17, 40], &[1.0, 0.5, -0.25], 5).unwrap();
+        assert_eq!(topk.len(), 5);
+        let stats = stats_when_served(&server, 1);
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batch_hist, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_answers() {
+        let server = Arc::new(small_server(2, Duration::from_millis(2)));
+        let per_client = 25usize;
+        let clients = 4usize;
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let server = Arc::clone(&server);
+                scope.spawn(move || {
+                    for i in 0..per_client {
+                        let f = ((c * per_client + i) % 128) as u32;
+                        let topk = server.predict(&[f], &[1.0], 3).unwrap();
+                        assert_eq!(topk.len(), 3);
+                    }
+                });
+            }
+        });
+        let stats = stats_when_served(&server, (clients * per_client) as u64);
+        assert_eq!(stats.served, (clients * per_client) as u64);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.throughput_qps > 0.0);
+        assert!(stats.latency.p50_us <= stats.latency.p99_us);
+        assert!(stats.latency.p99_us <= stats.latency.max_us);
+    }
+
+    #[test]
+    fn deadline_window_coalesces_concurrent_requests() {
+        // One scoring thread + a generous window: requests arriving together
+        // must share batches at least some of the time.
+        let server = Arc::new(small_server(1, Duration::from_millis(20)));
+        std::thread::scope(|scope| {
+            for c in 0..8u32 {
+                let server = Arc::clone(&server);
+                scope.spawn(move || {
+                    for i in 0..10u32 {
+                        server.predict(&[(c * 16 + i) % 128], &[1.0], 2).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = stats_when_served(&server, 80);
+        assert_eq!(stats.served, 80);
+        let biggest = stats.batch_hist.last().map(|&(s, _)| s).unwrap_or(0);
+        assert!(
+            biggest >= 2,
+            "no coalescing observed: {:?}",
+            stats.batch_hist
+        );
+        assert!(stats.batches < 80, "every request ran alone");
+    }
+
+    #[test]
+    fn invalid_queries_error_without_killing_the_server() {
+        let server = small_server(2, Duration::from_micros(200));
+        assert!(matches!(
+            server.predict(&[0], &[1.0], 0),
+            Err(ServeError::Invalid(_))
+        ));
+        assert!(matches!(
+            server.predict(&[0, 1], &[1.0], 2),
+            Err(ServeError::Invalid(_))
+        ));
+        // Out-of-range index is caught by the worker, not the submitter.
+        let err = server.predict(&[9999], &[1.0], 2).unwrap_err();
+        assert!(matches!(err, ServeError::Invalid(_)), "{err}");
+        // The server still works.
+        assert_eq!(server.predict(&[3], &[1.0], 2).unwrap().len(), 2);
+        let stats = stats_when_served(&server, 2);
+        assert_eq!(stats.errors, 1); // only the worker-detected one is counted
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn close_rejects_new_requests() {
+        let server = small_server(1, Duration::from_micros(100));
+        server.predict(&[1], &[1.0], 1).unwrap();
+        server.close();
+        assert_eq!(server.predict(&[1], &[1.0], 1), Err(ServeError::Closed));
+    }
+
+    #[test]
+    fn publish_swaps_the_snapshot() {
+        let server = small_server(1, Duration::from_micros(100));
+        let before = Arc::as_ptr(&server.current());
+        server.publish(tiny_frozen(2));
+        assert_ne!(before, Arc::as_ptr(&server.current()));
+        assert_eq!(server.stats().hot_swaps, 1);
+        // Still serving after the swap.
+        assert_eq!(server.predict(&[5], &[1.0], 4).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let server = small_server(1, Duration::from_micros(100));
+        server.predict(&[1], &[1.0], 1).unwrap();
+        server.reset_stats();
+        let stats = server.stats();
+        assert_eq!(stats.served, 0);
+        assert_eq!(stats.batches, 0);
+        assert!(stats.batch_hist.is_empty());
+    }
+
+    #[test]
+    fn stats_json_has_required_fields() {
+        let server = small_server(1, Duration::from_micros(100));
+        server.predict(&[1], &[1.0], 1).unwrap();
+        let json = stats_when_served(&server, 1).to_json();
+        for field in [
+            "\"served\":1",
+            "\"throughput_qps\":",
+            "\"latency_us\":",
+            "\"p50\":",
+            "\"p99\":",
+            "\"batch_hist\":[[1,1]]",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn bench_report_schema_is_stable() {
+        let server = small_server(1, Duration::from_micros(100));
+        server.predict(&[1], &[1.0], 1).unwrap();
+        let stats = stats_when_served(&server, 1);
+        let phases = vec![
+            phase_json("closed", None, &stats),
+            phase_json("open", Some(123.456), &stats),
+        ];
+        let doc = bench_report_json(
+            &BenchMeta {
+                source: "test",
+                workload: "synthetic",
+                scale: 1,
+                clients: 2,
+                threads: server.threads(),
+                max_batch: 16,
+                max_wait_us: 100,
+                k: 1,
+            },
+            &phases,
+        );
+        for field in [
+            "\"bench\":\"serve\"",
+            "\"source\":\"test\"",
+            "\"simd_level\":\"",
+            "\"phases\":[{\"mode\":\"closed\",\"offered_qps\":null,",
+            "{\"mode\":\"open\",\"offered_qps\":123.5,",
+            "\"p99\":",
+        ] {
+            assert!(doc.contains(field), "missing {field} in {doc}");
+        }
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile_us(&[], 50.0), 0);
+        assert_eq!(percentile_us(&[7], 50.0), 7);
+        assert_eq!(percentile_us(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&v, 50.0), 50);
+        assert_eq!(percentile_us(&v, 99.0), 99);
+        assert_eq!(percentile_us(&v, 100.0), 100);
+    }
+}

@@ -470,9 +470,11 @@ mod tests {
 
     fn with_level<R>(level: crate::SimdLevel, f: impl FnOnce() -> R) -> R {
         let _guard = crate::policy::test_guard();
+        // Restore the prior policy (may be a forced SLIDE_SIMD CI leg).
+        let prior = crate::policy::policy();
         set_policy(SimdPolicy::Force(level));
         let r = f();
-        set_policy(SimdPolicy::Auto);
+        set_policy(prior);
         r
     }
 

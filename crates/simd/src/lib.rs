@@ -49,7 +49,10 @@ pub use extra::{norm_sq_f32, scale_add_f32, sub_f32};
 pub use kernels::{
     adam_step_f32, add_f32, argmax_f32, axpy_f32, dot_f32, scale_f32, sum_f32, AdamStep,
 };
-pub use policy::{detected_level, effective_level, policy, set_policy, SimdLevel, SimdPolicy};
+pub use policy::{
+    apply_env_policy, detected_level, effective_level, parse_policy, policy, set_policy, SimdLevel,
+    SimdPolicy,
+};
 
 /// Number of bytes in a cache line on the target platforms (CLX/CPX: 64).
 ///

@@ -3,7 +3,9 @@
 //! The paper's Table 4 compares Optimized SLIDE with and without AVX-512 on
 //! the same binary and hardware. We reproduce that switch with a global
 //! [`SimdPolicy`]: `Auto` uses the best instruction set the CPU reports,
-//! `Force(level)` clamps dispatch to at most `level`.
+//! `Force(level)` clamps dispatch to at most `level`. The `SLIDE_SIMD`
+//! environment variable (`auto`/`scalar`/`avx2`/`avx512`) sets the initial
+//! policy so CI can gate-test every dispatch path ([`apply_env_policy`]).
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -66,6 +68,59 @@ const POLICY_AVX512: u8 = 3;
 
 static POLICY: AtomicU8 = AtomicU8::new(POLICY_AUTO);
 
+/// Parse a policy name as accepted by the `SLIDE_SIMD` environment variable:
+/// `auto`, `scalar`, `avx2`, or `avx512` (case-insensitive). Returns `None`
+/// for anything else.
+///
+/// ```
+/// use slide_simd::{parse_policy, SimdLevel, SimdPolicy};
+/// assert_eq!(parse_policy("avx2"), Some(SimdPolicy::Force(SimdLevel::Avx2)));
+/// assert_eq!(parse_policy("Auto"), Some(SimdPolicy::Auto));
+/// assert_eq!(parse_policy("mmx"), None);
+/// ```
+pub fn parse_policy(name: &str) -> Option<SimdPolicy> {
+    match name.to_ascii_lowercase().as_str() {
+        "auto" => Some(SimdPolicy::Auto),
+        "scalar" => Some(SimdPolicy::Force(SimdLevel::Scalar)),
+        "avx2" => Some(SimdPolicy::Force(SimdLevel::Avx2)),
+        "avx512" => Some(SimdPolicy::Force(SimdLevel::Avx512)),
+        _ => None,
+    }
+}
+
+/// Apply the `SLIDE_SIMD` environment variable to the global policy, once
+/// per process (subsequent calls are no-ops). This is the hook `ci.sh` uses
+/// to force the scalar/AVX2 kernel paths through the whole test suite; an
+/// unset or unparsable variable leaves the policy untouched. An explicit
+/// [`set_policy`] call later always overrides the environment.
+///
+/// Returns the policy the environment requested, if any.
+pub fn apply_env_policy() -> Option<SimdPolicy> {
+    static ENV_POLICY: OnceLock<Option<SimdPolicy>> = OnceLock::new();
+    *ENV_POLICY.get_or_init(|| {
+        let requested = std::env::var("SLIDE_SIMD").ok().and_then(|v| {
+            let parsed = parse_policy(&v);
+            if parsed.is_none() {
+                eprintln!("slide-simd: ignoring unrecognized SLIDE_SIMD={v:?} (want auto|scalar|avx2|avx512)");
+            }
+            parsed
+        });
+        if let Some(policy) = requested {
+            POLICY.store(encode(policy), Ordering::Release);
+        }
+        requested
+    })
+}
+
+fn encode(policy: SimdPolicy) -> u8 {
+    match policy {
+        SimdPolicy::Auto => POLICY_AUTO,
+        SimdPolicy::Force(SimdLevel::Scalar) => POLICY_SCALAR,
+        SimdPolicy::Force(SimdLevel::Avx2) => POLICY_AVX2,
+        SimdPolicy::Force(SimdLevel::Avx512) => POLICY_AVX512,
+    }
+}
+
 /// Detect the best level supported by the executing CPU (cached after the
 /// first call).
 pub fn detected_level() -> SimdLevel {
@@ -96,17 +151,15 @@ fn detect() -> SimdLevel {
 /// Takes effect for all subsequent kernel calls in every thread. Used by the
 /// Table 4 ablation harness and by tests that pin the scalar reference path.
 pub fn set_policy(policy: SimdPolicy) {
-    let code = match policy {
-        SimdPolicy::Auto => POLICY_AUTO,
-        SimdPolicy::Force(SimdLevel::Scalar) => POLICY_SCALAR,
-        SimdPolicy::Force(SimdLevel::Avx2) => POLICY_AVX2,
-        SimdPolicy::Force(SimdLevel::Avx512) => POLICY_AVX512,
-    };
-    POLICY.store(code, Ordering::Release);
+    // Resolve the environment first so an explicit call afterwards wins (the
+    // env hook writes POLICY at most once per process).
+    apply_env_policy();
+    POLICY.store(encode(policy), Ordering::Release);
 }
 
 /// The currently configured policy (not clamped by hardware capability).
 pub fn policy() -> SimdPolicy {
+    apply_env_policy();
     match POLICY.load(Ordering::Acquire) {
         POLICY_SCALAR => SimdPolicy::Force(SimdLevel::Scalar),
         POLICY_AVX2 => SimdPolicy::Force(SimdLevel::Avx2),
@@ -120,6 +173,7 @@ pub fn policy() -> SimdPolicy {
 /// detected level rather than faulting.
 #[inline]
 pub fn effective_level() -> SimdLevel {
+    apply_env_policy();
     let requested = match POLICY.load(Ordering::Relaxed) {
         POLICY_SCALAR => SimdLevel::Scalar,
         POLICY_AVX2 => SimdLevel::Avx2,
@@ -157,20 +211,60 @@ mod tests {
     #[test]
     fn force_scalar_clamps_effective_level() {
         let _guard = test_guard();
+        // Restore the process's prior policy (a forced SLIDE_SIMD CI leg
+        // must stay forced for the rest of the suite), not Auto.
+        let prior = policy();
         set_policy(SimdPolicy::Force(SimdLevel::Scalar));
         assert_eq!(effective_level(), SimdLevel::Scalar);
         assert_eq!(policy(), SimdPolicy::Force(SimdLevel::Scalar));
         set_policy(SimdPolicy::Auto);
         assert_eq!(policy(), SimdPolicy::Auto);
         assert_eq!(effective_level(), detected_level());
+        set_policy(prior);
     }
 
     #[test]
     fn force_above_detected_degrades() {
         let _guard = test_guard();
+        let prior = policy();
         set_policy(SimdPolicy::Force(SimdLevel::Avx512));
         assert!(effective_level() <= detected_level());
+        set_policy(prior);
+    }
+
+    #[test]
+    fn parse_policy_accepts_ci_matrix_values() {
+        assert_eq!(parse_policy("auto"), Some(SimdPolicy::Auto));
+        assert_eq!(
+            parse_policy("scalar"),
+            Some(SimdPolicy::Force(SimdLevel::Scalar))
+        );
+        assert_eq!(
+            parse_policy("AVX2"),
+            Some(SimdPolicy::Force(SimdLevel::Avx2))
+        );
+        assert_eq!(
+            parse_policy("avx512"),
+            Some(SimdPolicy::Force(SimdLevel::Avx512))
+        );
+        assert_eq!(parse_policy(""), None);
+        assert_eq!(parse_policy("sse9"), None);
+    }
+
+    #[test]
+    fn env_policy_is_applied_once_and_explicit_set_wins() {
+        let _guard = test_guard();
+        let prior = policy();
+        // Whatever the process environment says, the hook must be
+        // idempotent...
+        let first = apply_env_policy();
+        assert_eq!(apply_env_policy(), first);
+        // ...and an explicit set_policy afterwards must override it.
+        set_policy(SimdPolicy::Force(SimdLevel::Scalar));
+        assert_eq!(policy(), SimdPolicy::Force(SimdLevel::Scalar));
         set_policy(SimdPolicy::Auto);
+        assert_eq!(policy(), SimdPolicy::Auto);
+        set_policy(prior);
     }
 
     #[test]

@@ -15,9 +15,11 @@ fn policy_lock() -> std::sync::MutexGuard<'static, ()> {
 }
 
 fn with_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    // Restore the prior policy (may be a forced SLIDE_SIMD CI leg).
+    let prior = slide_simd::policy();
     set_policy(SimdPolicy::Force(level));
     let r = f();
-    set_policy(SimdPolicy::Auto);
+    set_policy(prior);
     r
 }
 

@@ -79,6 +79,23 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Block until notified or `timeout` elapses (parking_lot 0.12's
+    /// `wait_for`). Spurious wakeups are possible; callers must re-check
+    /// their predicate either way.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard taken during wait");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -87,6 +104,18 @@ impl Condvar {
     /// Wake all waiters.
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed
+/// (mirrors parking_lot's `WaitTimeoutResult`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -151,6 +180,36 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Nobody notifies: the wait must end by timeout with the predicate
+        // still false and the lock re-acquired.
+        {
+            let (lock, cv) = &*pair;
+            let mut ready = lock.lock();
+            let res = cv.wait_for(&mut ready, std::time::Duration::from_millis(10));
+            assert!(res.timed_out());
+            assert!(!*ready);
+        }
+        // A notification before the timeout elapses wakes the waiter.
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                let _ = cv.wait_for(&mut ready, std::time::Duration::from_secs(5));
+            }
+            true
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(t.join().unwrap());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | [`mem`] | `slide-mem` | coalesced batch/parameter memory layouts and their naive counterparts (§4.1) |
 //! | [`hash`] | `slide-hash` | DWTA + SimHash LSH families and the multi-table bucket index (§2, §4.3.3) |
 //! | [`data`] | `slide-data` | synthetic Amazon-670K/WikiLSH/Text8 stand-ins, XC-format parsing, P@k metrics |
+//! | [`serve`] | `slide-serve` | frozen-inference snapshots and the micro-batching request pipeline |
 //! | [`baseline`] | `slide-baseline` | dense full-softmax baseline and the modeled V100 column |
 //!
 //! The most common types are re-exported at the top level.
@@ -45,6 +46,7 @@ pub use slide_core as core;
 pub use slide_data as data;
 pub use slide_hash as hash;
 pub use slide_mem as mem;
+pub use slide_serve as serve;
 pub use slide_simd as simd;
 
 pub use slide_baseline::{DenseBaseline, DenseConfig, DeviceModel, Method};
@@ -56,4 +58,5 @@ pub use slide_data::{
     generate_synthetic, generate_text, parse_xc, write_xc, Dataset, DatasetStats, SynthConfig,
     TextConfig,
 };
+pub use slide_serve::{BatchConfig, BatchingServer, FrozenNetwork, ServeError, ServeStats};
 pub use slide_simd::{set_policy, SimdLevel, SimdPolicy};
