@@ -3,9 +3,14 @@
 #
 #   ./ci.sh            # full gate: fmt, clippy, release build, tests, docs
 #   ./ci.sh full       # same, explicitly
-#   ./ci.sh quick      # skip the release build (debug build + tests only)
+#   ./ci.sh quick      # skip the workspace release build (debug build +
+#                      # tests; still release-builds the one profile_phases
+#                      # binary that emits BENCH_train.json)
 #   ./ci.sh smoke      # release-build + run the experiment binaries with
 #                      # tiny configs (seconds, not minutes) to catch bin rot
+#
+# Both gate modes leave a BENCH_train.json at the repo root and smoke leaves
+# a BENCH_serve.json; CI uploads all BENCH_*.json as per-leg artifacts.
 #
 # SLIDE_SIMD={auto|scalar|avx2|avx512} forces the global SimdPolicy inside
 # every test/binary process (the env hook in slide_simd::policy), so the
@@ -52,18 +57,27 @@ if [[ "$MODE" == "smoke" ]]; then
     step "smoke: table1"
     SLIDE_SCALE=1 ./target/release/table1 > /dev/null
 
-    step "smoke: profile_phases (1 epoch)"
-    SLIDE_SCALE=1 SLIDE_EPOCHS=1 ./target/release/profile_phases > /dev/null
-
-    step "smoke: serve_bench (tiny closed+open load)"
-    SMOKE_JSON="$(mktemp -t BENCH_serve_smoke.XXXXXX.json)"
-    SLIDE_SCALE=1 SLIDE_EPOCHS=1 SLIDE_SERVE_MS=500 SLIDE_CLIENTS=4 \
-        SLIDE_JSON_OUT="$SMOKE_JSON" ./target/release/serve_bench > /dev/null
-    grep -q '"p99"' "$SMOKE_JSON" || {
-        echo "serve_bench smoke: $SMOKE_JSON missing latency percentiles" >&2
+    step "smoke: profile_phases (1 epoch, emits BENCH_train.json)"
+    SLIDE_SCALE=1 SLIDE_EPOCHS=1 SLIDE_JSON_OUT=BENCH_train.json \
+        ./target/release/profile_phases > /dev/null
+    grep -q '"kernel_variant"' BENCH_train.json || {
+        echo "profile_phases smoke: BENCH_train.json missing kernel_variant meta" >&2
         exit 1
     }
-    rm -f "$SMOKE_JSON"
+
+    step "smoke: serve_bench (tiny closed+open load)"
+    # Written at the repo root (not a tempfile) so CI can upload BENCH_*.json
+    # as trajectory artifacts.
+    SLIDE_SCALE=1 SLIDE_EPOCHS=1 SLIDE_SERVE_MS=500 SLIDE_CLIENTS=4 \
+        SLIDE_JSON_OUT=BENCH_serve.json ./target/release/serve_bench > /dev/null
+    grep -q '"p99"' BENCH_serve.json || {
+        echo "serve_bench smoke: BENCH_serve.json missing latency percentiles" >&2
+        exit 1
+    }
+    grep -q '"kernel_variant"' BENCH_serve.json || {
+        echo "serve_bench smoke: BENCH_serve.json missing kernel_variant meta" >&2
+        exit 1
+    }
 
     step "OK — smoke gates passed"
     exit 0
@@ -88,5 +102,19 @@ cargo test --doc -q
 
 step "cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+# Emit the training-perf trajectory artifact (table1/profile_phases tiny
+# config) so every gate leg leaves a BENCH_train.json behind: the meta block
+# stamps the leg's resolved SIMD level + kernel variant, making PR-over-PR
+# perf visible per forced-SLIDE_SIMD leg. The quick mode builds just the one
+# release binary it needs; full mode already built everything.
+step "bench trajectory: BENCH_train.json (profile_phases, tiny config)"
+cargo build --release -q -p slide-bench --bin profile_phases
+SLIDE_SCALE=1 SLIDE_EPOCHS=1 SLIDE_JSON_OUT=BENCH_train.json \
+    ./target/release/profile_phases > /dev/null
+grep -q '"kernel_variant"' BENCH_train.json || {
+    echo "profile_phases: BENCH_train.json missing kernel_variant meta" >&2
+    exit 1
+}
 
 step "OK — all gates passed"

@@ -13,7 +13,7 @@ use slide_core::{
 };
 use slide_data::{precision_at_k, top_k_indices, Dataset, EpochBatches, MeanMetric};
 use slide_mem::ParamLayout;
-use slide_simd::AdamStep;
+use slide_simd::{AdamStep, KernelSet, RowGather};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -56,6 +56,7 @@ struct DenseScratch {
     logits: Vec<f32>,
     probs: Vec<f32>,
     touched: Vec<u32>,
+    gather: RowGather,
     loss: MeanMetric,
     metric: MeanMetric,
 }
@@ -141,6 +142,7 @@ impl DenseBaseline {
                 logits: Vec::with_capacity(config.output_dim),
                 probs: Vec::with_capacity(config.output_dim),
                 touched: Vec::new(),
+                gather: RowGather::default(),
                 loss: MeanMetric::new(),
                 metric: MeanMetric::new(),
             })
@@ -209,6 +211,7 @@ impl DenseBaseline {
         let input = &self.input;
         let output = &self.output;
         let n_out = self.config.output_dim;
+        let ks = KernelSet::resolve();
         let cursor = AtomicUsize::new(0);
         self.pool.run(&|worker| {
             // SAFETY: distinct worker ids.
@@ -224,15 +227,16 @@ impl DenseBaseline {
                 if labels.is_empty() {
                     continue;
                 }
-                input.forward(x, &mut scratch.h);
+                input.forward(x, &mut scratch.h, &ks);
 
-                // Full logits + softmax (the dense cost the paper avoids).
+                // Full logits + softmax (the dense cost the paper avoids),
+                // as one blocked gemv over the output arena.
                 scratch.logits.clear();
-                for r in 0..n_out {
-                    // SAFETY: HOGWILD contract.
-                    let z = unsafe { output.w_dot(r, &scratch.h) } + output.bias_at(r);
-                    scratch.logits.push(z);
-                }
+                scratch.logits.resize(n_out, 0.0);
+                // SAFETY: HOGWILD contract.
+                unsafe {
+                    output.score_all_into(&ks, &scratch.h, &mut scratch.gather, &mut scratch.logits)
+                };
                 let log_z = softmax_into(&scratch.logits, &mut scratch.probs);
                 let t = 1.0 / labels.len() as f32;
                 let mut loss = 0.0;
@@ -241,23 +245,38 @@ impl DenseBaseline {
                 }
                 scratch.loss.push(loss);
 
-                // Full dense backward.
+                // Full dense backward: softmax deltas in place, then the
+                // fused multi-row pass (grad + dh per row read) over every
+                // output row.
+                for &l in labels {
+                    scratch.probs[l as usize] -= t;
+                }
                 scratch.dh.fill(0.0);
-                for r in 0..n_out {
-                    let mut delta = scratch.probs[r];
-                    if labels.contains(&(r as u32)) {
-                        delta -= t;
-                    }
+                let mut all_rows = std::mem::take(&mut scratch.gather.rows);
+                if all_rows.len() != n_out {
+                    all_rows.clear();
+                    all_rows.extend(0..n_out as u32);
+                }
+                // SAFETY: HOGWILD contract; 0..n_out is duplicate-free.
+                unsafe {
+                    output.backward_rows_fused(
+                        &ks,
+                        &all_rows,
+                        &scratch.probs,
+                        scale,
+                        &scratch.h,
+                        &mut scratch.dh,
+                        &mut scratch.gather,
+                    )
+                };
+                scratch.gather.rows = all_rows;
+                for (r, &delta) in scratch.probs.iter().enumerate() {
                     // SAFETY: HOGWILD contract.
-                    unsafe {
-                        output.grad_axpy(r, delta * scale, &scratch.h);
-                        output.grad_bias_add(r, delta * scale);
-                        output.w_axpy_into(r, delta, &mut scratch.dh);
-                    }
+                    unsafe { output.grad_bias_add(r, delta * scale) };
                 }
                 relu_backward_mask(&scratch.h, &mut scratch.dh);
                 let mut touched = std::mem::take(&mut scratch.touched);
-                input.backward(x, &scratch.dh, scale, stamp, &mut touched);
+                input.backward(x, &scratch.dh, scale, stamp, &mut touched, &ks);
                 scratch.touched = touched;
             }
         });
@@ -308,6 +327,7 @@ impl DenseBaseline {
         let input = &self.input;
         let output = &self.output;
         let n_out = self.config.output_dim;
+        let ks = KernelSet::resolve();
         let cursor = AtomicUsize::new(0);
         self.pool.run(&|worker| {
             // SAFETY: distinct worker ids.
@@ -321,13 +341,13 @@ impl DenseBaseline {
                 if labels.is_empty() {
                     continue;
                 }
-                input.forward(data.features(i), &mut scratch.h);
+                input.forward(data.features(i), &mut scratch.h, &ks);
                 scratch.logits.clear();
-                for r in 0..n_out {
-                    // SAFETY: HOGWILD contract.
-                    let z = unsafe { output.w_dot(r, &scratch.h) } + output.bias_at(r);
-                    scratch.logits.push(z);
-                }
+                scratch.logits.resize(n_out, 0.0);
+                // SAFETY: HOGWILD contract.
+                unsafe {
+                    output.score_all_into(&ks, &scratch.h, &mut scratch.gather, &mut scratch.logits)
+                };
                 let topk = top_k_indices(&scratch.logits, k);
                 let p = if topk.len() < k {
                     0.0

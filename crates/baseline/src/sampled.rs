@@ -14,7 +14,7 @@ use slide_core::{
 use slide_data::{precision_at_k, top_k_indices, Dataset, EpochBatches, MeanMetric};
 use slide_hash::mix::{mix3, reduce};
 use slide_mem::ParamLayout;
-use slide_simd::AdamStep;
+use slide_simd::{AdamStep, KernelSet, RowGather};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -63,6 +63,7 @@ struct Scratch {
     seen_gen: u32,
     logits: Vec<f32>,
     probs: Vec<f32>,
+    gather: RowGather,
     touched_in: Vec<u32>,
     touched_out: Vec<u32>,
     loss: MeanMetric,
@@ -151,6 +152,7 @@ impl SampledSoftmaxBaseline {
                 seen_gen: 0,
                 logits: Vec::with_capacity(config.negatives + 8),
                 probs: Vec::with_capacity(config.negatives + 8),
+                gather: RowGather::default(),
                 touched_in: Vec::new(),
                 touched_out: Vec::new(),
                 loss: MeanMetric::new(),
@@ -220,6 +222,7 @@ impl SampledSoftmaxBaseline {
         let negatives = self.config.negatives;
         let seed = self.config.seed;
         let salt_base = self.adam_t << 20;
+        let ks = KernelSet::resolve();
         let cursor = AtomicUsize::new(0);
         self.pool.run(&|worker| {
             // SAFETY: distinct worker ids.
@@ -235,7 +238,7 @@ impl SampledSoftmaxBaseline {
                 if labels.is_empty() {
                     continue;
                 }
-                input.forward(x, &mut scratch.h);
+                input.forward(x, &mut scratch.h, &ks);
 
                 // Active set: labels + uniform negatives (deduped).
                 scratch.seen_gen = scratch.seen_gen.wrapping_add(1).max(1);
@@ -261,12 +264,18 @@ impl SampledSoftmaxBaseline {
                 }
 
                 scratch.logits.clear();
-                for &r in &scratch.active {
-                    // SAFETY: HOGWILD contract.
-                    let z = unsafe { output.w_dot(r as usize, &scratch.h) }
-                        + output.bias_at(r as usize);
-                    scratch.logits.push(z);
-                }
+                scratch.logits.resize(scratch.active.len(), 0.0);
+                // SAFETY: HOGWILD contract; fused multi-row scoring over
+                // the sampled active set.
+                unsafe {
+                    output.score_rows_into(
+                        &ks,
+                        &scratch.active,
+                        &scratch.h,
+                        &mut scratch.gather,
+                        &mut scratch.logits,
+                    )
+                };
                 let log_z = softmax_into(&scratch.logits, &mut scratch.probs);
                 let n_labels = labels.len().min(scratch.active.len());
                 let t = 1.0 / n_labels as f32;
@@ -277,19 +286,31 @@ impl SampledSoftmaxBaseline {
                 scratch.loss.push(loss);
 
                 scratch.dh.fill(0.0);
+                for j in 0..n_labels {
+                    scratch.probs[j] -= t;
+                }
+                // SAFETY: HOGWILD contract; the active list is
+                // duplicate-free. One fused pass per row computes both the
+                // hidden gradient and the weight-gradient accumulation.
+                unsafe {
+                    output.backward_rows_fused(
+                        &ks,
+                        &scratch.active,
+                        &scratch.probs,
+                        scale,
+                        &scratch.h,
+                        &mut scratch.dh,
+                        &mut scratch.gather,
+                    )
+                };
                 for (j, &r) in scratch.active.iter().enumerate() {
-                    let delta = scratch.probs[j] - if j < n_labels { t } else { 0.0 };
                     // SAFETY: HOGWILD contract.
-                    unsafe {
-                        output.grad_axpy(r as usize, delta * scale, &scratch.h);
-                        output.grad_bias_add(r as usize, delta * scale);
-                        output.w_axpy_into(r as usize, delta, &mut scratch.dh);
-                    }
+                    unsafe { output.grad_bias_add(r as usize, scratch.probs[j] * scale) };
                     output.mark_active(r as usize, stamp, &mut scratch.touched_out);
                 }
                 relu_backward_mask(&scratch.h, &mut scratch.dh);
                 let mut touched = std::mem::take(&mut scratch.touched_in);
-                input.backward(x, &scratch.dh, scale, stamp, &mut touched);
+                input.backward(x, &scratch.dh, scale, stamp, &mut touched, &ks);
                 scratch.touched_in = touched;
             }
         });
@@ -338,6 +359,7 @@ impl SampledSoftmaxBaseline {
         let input = &self.input;
         let output = &self.output;
         let n_out = self.config.output_dim;
+        let ks = KernelSet::resolve();
         let cursor = AtomicUsize::new(0);
         self.pool.run(&|worker| {
             // SAFETY: distinct worker ids.
@@ -351,13 +373,13 @@ impl SampledSoftmaxBaseline {
                 if labels.is_empty() {
                     continue;
                 }
-                input.forward(data.features(i), &mut scratch.h);
+                input.forward(data.features(i), &mut scratch.h, &ks);
                 scratch.logits.clear();
-                for r in 0..n_out {
-                    // SAFETY: HOGWILD contract.
-                    let z = unsafe { output.w_dot(r, &scratch.h) } + output.bias_at(r);
-                    scratch.logits.push(z);
-                }
+                scratch.logits.resize(n_out, 0.0);
+                // SAFETY: HOGWILD contract.
+                unsafe {
+                    output.score_all_into(&ks, &scratch.h, &mut scratch.gather, &mut scratch.logits)
+                };
                 let topk = top_k_indices(&scratch.logits, k);
                 let p = if topk.len() < k {
                     0.0

@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use slide_simd::{
-    adam_step_f32, add_f32, argmax_f32, axpy_f32, bf16, dot_f32, set_policy, AdamStep, SimdLevel,
-    SimdPolicy,
+    adam_step_f32, add_f32, argmax_f32, axpy_f32, bf16, dot_f32, set_policy, AdamStep, KernelSet,
+    KernelVariant, SimdLevel, SimdPolicy,
 };
 use std::time::Duration;
 
@@ -165,6 +165,197 @@ fn bench_bf16(c: &mut Criterion) {
     g.finish();
 }
 
+/// Active-set shapes the gather benches sweep: realistic LSH active-set
+/// sizes × the paper's hidden widths (128) and a wide-row stress point
+/// (1024).
+const GATHER_ROWS: &[usize] = &[64, 512, 4096];
+const GATHER_COLS: &[usize] = &[128, 1024];
+
+/// Pseudo-random *duplicate-free* gather order over an arena of `total`
+/// rows — the scattered access pattern a deduped LSH-retrieved active set
+/// actually produces (distinctness also keeps the backward bench's
+/// gradient-row pointers non-aliasing).
+fn gather_order(total: usize, take: usize) -> Vec<usize> {
+    assert!(take <= total);
+    let mut s = 0x9E3779B9u64;
+    let mut seen = vec![false; total];
+    let mut out = Vec::with_capacity(take);
+    while out.len() < take {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = (s >> 33) as usize % total;
+        if !seen[r] {
+            seen[r] = true;
+            out.push(r);
+        }
+    }
+    out
+}
+
+fn variants() -> [(&'static str, KernelVariant); 3] {
+    [
+        ("single_row", KernelVariant::SingleRow),
+        ("blocked", KernelVariant::Blocked),
+        ("blocked_prefetch", KernelVariant::Fused),
+    ]
+}
+
+/// Multi-row gathered scoring: the single-row loop vs the blocked kernel vs
+/// blocked + software prefetch, at the host's best SIMD level. The arena is
+/// 4x the active set so gathers miss cache the way training does.
+fn bench_gather_score(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather_score_f32");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(15);
+    for &cols in GATHER_COLS {
+        for &rows in GATHER_ROWS {
+            let total = rows * 4;
+            let arena: Vec<f32> = (0..total * cols).map(|i| (i as f32 * 0.29).sin()).collect();
+            let order = gather_order(total, rows);
+            let ptrs: Vec<*const f32> = order.iter().map(|&r| arena[r * cols..].as_ptr()).collect();
+            let (x, _) = vecs(cols);
+            let mut out = vec![0.0_f32; rows];
+            for (name, variant) in variants() {
+                let ks = KernelSet::for_level_variant(slide_simd::detected_level(), variant);
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{rows}x{cols}"), name),
+                    &ks,
+                    |b, ks| {
+                        b.iter(|| unsafe {
+                            ks.score_rows_f32(black_box(&ptrs), black_box(&x), black_box(&mut out))
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+/// Same sweep for the fused backward pass (dx + grad in one pass per row).
+fn bench_gather_backward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather_backward_f32");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(15);
+    for &cols in GATHER_COLS {
+        for &rows in GATHER_ROWS {
+            let total = rows * 4;
+            let w_arena: Vec<f32> = (0..total * cols).map(|i| (i as f32 * 0.31).sin()).collect();
+            let mut g_arena = vec![0.0_f32; total * cols];
+            let order = gather_order(total, rows);
+            let w_ptrs: Vec<*const f32> = order
+                .iter()
+                .map(|&r| w_arena[r * cols..].as_ptr())
+                .collect();
+            // Derive every gradient-row pointer from one base pointer:
+            // repeated `g_arena[..].as_mut_ptr()` would invalidate the
+            // previously collected raw pointers under Stacked Borrows.
+            let g_base = g_arena.as_mut_ptr();
+            let g_ptrs: Vec<*mut f32> = order
+                .iter()
+                .map(|&r| unsafe { g_base.add(r * cols) })
+                .collect();
+            let (h, mut dx) = vecs(cols);
+            let deltas: Vec<f32> = (0..rows).map(|r| (r as f32 * 0.07).cos() * 0.01).collect();
+            for (name, variant) in variants() {
+                let ks = KernelSet::for_level_variant(slide_simd::detected_level(), variant);
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{rows}x{cols}"), name),
+                    &ks,
+                    |b, ks| {
+                        b.iter(|| unsafe {
+                            ks.backward_rows_f32(
+                                black_box(&w_ptrs),
+                                black_box(&g_ptrs),
+                                black_box(&deltas),
+                                0.125,
+                                black_box(&h),
+                                black_box(&mut dx),
+                            )
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+/// bf16-weight gather scoring (AVX-512 widen-on-the-fly vs scalar).
+fn bench_gather_score_bf16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather_score_bf16");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(15);
+    for &cols in GATHER_COLS {
+        for &rows in GATHER_ROWS {
+            let total = rows * 4;
+            let wide: Vec<f32> = (0..total * cols).map(|i| (i as f32 * 0.23).sin()).collect();
+            let mut arena = vec![0u16; total * cols];
+            bf16::f32_to_bf16_slice(&wide, &mut arena);
+            let order = gather_order(total, rows);
+            let ptrs: Vec<*const u16> = order.iter().map(|&r| arena[r * cols..].as_ptr()).collect();
+            let (x, _) = vecs(cols);
+            let mut out = vec![0.0_f32; rows];
+            for (name, variant) in variants() {
+                let ks = KernelSet::for_level_variant(slide_simd::detected_level(), variant);
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{rows}x{cols}"), name),
+                    &ks,
+                    |b, ks| {
+                        b.iter(|| unsafe {
+                            ks.score_rows_bf16(black_box(&ptrs), black_box(&x), black_box(&mut out))
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+/// Blocked full gemv (the `predict_topk_full` / FrozenNetwork scoring path)
+/// over a cache-line-strided arena.
+fn bench_gemv_blocked(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv_blocked_f32");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(15);
+    for &cols in GATHER_COLS {
+        for &rows in GATHER_ROWS {
+            let stride = cols.div_ceil(16) * 16;
+            let arena: Vec<f32> = (0..rows * stride)
+                .map(|i| (i as f32 * 0.19).sin())
+                .collect();
+            let (x, _) = vecs(cols);
+            let bias = vec![0.01_f32; rows];
+            let mut out = vec![0.0_f32; rows];
+            for (name, variant) in variants() {
+                let ks = KernelSet::for_level_variant(slide_simd::detected_level(), variant);
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{rows}x{cols}"), name),
+                    &ks,
+                    |b, ks| {
+                        b.iter(|| {
+                            ks.gemv(
+                                black_box(&arena),
+                                stride,
+                                black_box(&x),
+                                black_box(&bias),
+                                black_box(&mut out),
+                            )
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_dot,
@@ -172,6 +363,10 @@ criterion_group!(
     bench_simd_add,
     bench_adam,
     bench_argmax,
-    bench_bf16
+    bench_bf16,
+    bench_gather_score,
+    bench_gather_backward,
+    bench_gather_score_bf16,
+    bench_gemv_blocked
 );
 criterion_main!(benches);

@@ -2,25 +2,52 @@
 //! phase does each optimization accelerate? This is the measurement behind
 //! the paper's §5.5–§5.7 narrative (ADAM and the forward/backward kernels
 //! vectorize; the batch copy and parameter access patterns are the memory
-//! story; rebuilds amortize).
+//! story; rebuilds amortize), extended with the fused-gather ablation: the
+//! "single-row kernels" row runs the same optimized configuration with
+//! `KernelVariant::SingleRow`, isolating what the multi-row fused kernels
+//! (blocked accumulators + software prefetch + once-resolved dispatch) buy
+//! in the `forward_backward` phase.
 //!
 //! ```sh
 //! cargo run -p slide-bench --release --bin profile_phases
+//! SLIDE_JSON_OUT=BENCH_train.json cargo run -p slide-bench --release --bin profile_phases
 //! ```
+//!
+//! With `SLIDE_JSON_OUT=<path>` the same numbers are written as a
+//! `BENCH_train.json` trajectory artifact (see EXPERIMENTS.md §3); the meta
+//! block records the resolved SIMD level and kernel variant per row so
+//! trajectories stay comparable across machines and forced CI legs.
 
 use slide_bench::{epochs, print_table, scale, Workload};
 use slide_core::{Network, PhaseBreakdown, Trainer};
-use slide_simd::SimdPolicy;
+use slide_simd::{KernelVariant, SimdPolicy};
 
+/// Profile one preset × variant row. A preset returning `SimdPolicy::Auto`
+/// defers to `base_policy` (the process policy at startup, i.e. a forced
+/// `SLIDE_SIMD` CI leg stays forced for the optimized rows); presets that
+/// force a level (naive → scalar) keep their forcing. The prior
+/// policy/variant are restored afterwards — never hard-reset to
+/// Auto/Fused, which would clobber the env leg for the rest of the run.
+///
+/// Returns the per-epoch phase means, the per-epoch seconds, and the SIMD
+/// level the row actually resolved to.
 fn profile(
     w: Workload,
     train: &slide_data::Dataset,
     preset: impl Fn(&mut slide_core::NetworkConfig) -> SimdPolicy,
+    variant: KernelVariant,
     n_epochs: u32,
-) -> (PhaseBreakdown, f64) {
+    base_policy: SimdPolicy,
+) -> (PhaseBreakdown, f64, slide_simd::SimdLevel) {
     let mut cfg = w.network_config(train.feature_dim(), train.label_dim());
-    let policy = preset(&mut cfg);
-    slide_simd::set_policy(policy);
+    let row_policy = match preset(&mut cfg) {
+        SimdPolicy::Auto => base_policy,
+        forced => forced,
+    };
+    let prior_variant = slide_simd::kernel_variant();
+    slide_simd::set_policy(row_policy);
+    slide_simd::set_kernel_variant(variant);
+    let level = slide_simd::effective_level();
     let mut trainer = Trainer::new(Network::new(cfg).expect("valid config"), w.trainer_config())
         .expect("valid trainer");
     let mut acc = PhaseBreakdown::default();
@@ -33,7 +60,8 @@ fn profile(
         acc.optimizer += stats.phases.optimizer;
         acc.rebuild += stats.phases.rebuild;
     }
-    slide_simd::set_policy(SimdPolicy::Auto);
+    slide_simd::set_policy(base_policy);
+    slide_simd::set_kernel_variant(prior_variant);
     let inv = n_epochs as f64;
     (
         PhaseBreakdown {
@@ -43,27 +71,76 @@ fn profile(
             rebuild: acc.rebuild / inv,
         },
         secs / inv,
+        level,
     )
 }
 
 /// A named preset: mutates the config and returns the SIMD policy to force.
 type Preset = fn(&mut slide_core::NetworkConfig) -> SimdPolicy;
 
+/// One measured row, kept for the optional JSON artifact.
+struct Row {
+    name: &'static str,
+    simd_level: slide_simd::SimdLevel,
+    kernel_variant: KernelVariant,
+    epoch_seconds: f64,
+    phases: PhaseBreakdown,
+}
+
+fn phases_json(p: &PhaseBreakdown) -> String {
+    format!(
+        "{{\"batch_build\":{:.6},\"forward_backward\":{:.6},\"optimizer\":{:.6},\"rebuild\":{:.6}}}",
+        p.batch_build, p.forward_backward, p.optimizer, p.rebuild
+    )
+}
+
 fn main() {
     let scale = scale();
     let n_epochs = epochs(4);
-    println!("Per-phase epoch breakdown; SLIDE_SCALE={scale}, epochs={n_epochs}");
+    // The process baseline: whatever SLIDE_SIMD / SLIDE_KERNELS forced (or
+    // Auto/Fused). Rows that don't force their own policy run under it, and
+    // the top-level JSON meta is stamped from it.
+    let base_policy = slide_simd::policy();
+    println!(
+        "Per-phase epoch breakdown; SLIDE_SCALE={scale}, epochs={n_epochs}, \
+         base simd={}, base kernels={}",
+        slide_simd::effective_level(),
+        slide_simd::kernel_variant()
+    );
 
+    // (label, preset, kernel variant). The single-row row is the fused-gather
+    // ablation: identical config/policy to "optimized (CLX)", pre-fusion
+    // kernels.
+    let presets: [(&'static str, Preset, KernelVariant); 4] = [
+        (
+            "optimized (CLX)",
+            slide_baseline::optimized_slide_clx,
+            KernelVariant::Fused,
+        ),
+        (
+            "optimized, single-row",
+            slide_baseline::optimized_slide_clx,
+            KernelVariant::SingleRow,
+        ),
+        (
+            "optimized+bf16 (CPX)",
+            slide_baseline::optimized_slide_cpx,
+            KernelVariant::Fused,
+        ),
+        (
+            "naive",
+            slide_baseline::naive_slide,
+            KernelVariant::SingleRow,
+        ),
+    ];
+
+    let mut workload_docs = Vec::new();
     for w in Workload::all() {
         let (train, _test) = w.dataset(scale);
-        let presets: [(&str, Preset); 3] = [
-            ("optimized (CLX)", slide_baseline::optimized_slide_clx),
-            ("optimized+bf16 (CPX)", slide_baseline::optimized_slide_cpx),
-            ("naive", slide_baseline::naive_slide),
-        ];
         let mut rows = Vec::new();
-        for (name, preset) in presets {
-            let (p, total) = profile(w, &train, preset, n_epochs);
+        let mut measured: Vec<Row> = Vec::new();
+        for (name, preset, variant) in presets {
+            let (p, total, level) = profile(w, &train, preset, variant, n_epochs, base_policy);
             let pct = |x: f64| format!("{:.0}%", 100.0 * x / total.max(1e-12));
             rows.push(vec![
                 name.to_string(),
@@ -77,6 +154,13 @@ fn main() {
                 format!("{:.1}ms", p.batch_build * 1e3),
                 format!("{:.1}ms", p.rebuild * 1e3),
             ]);
+            measured.push(Row {
+                name,
+                simd_level: level,
+                kernel_variant: variant,
+                epoch_seconds: total,
+                phases: p,
+            });
         }
         print_table(
             &format!("Phase breakdown: {}", w.name()),
@@ -89,12 +173,49 @@ fn main() {
                 "rebuild",
             ],
             &rows,
-            &[22, 8, 16, 16, 11, 9],
+            &[24, 8, 16, 16, 11, 9],
         );
+        let row_docs: Vec<String> = measured
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"variant\":\"{}\",\"simd_level\":\"{}\",\"kernel_variant\":\"{}\",\
+                     \"epoch_seconds\":{:.6},\"phases\":{}}}",
+                    r.name,
+                    r.simd_level,
+                    r.kernel_variant,
+                    r.epoch_seconds,
+                    phases_json(&r.phases)
+                )
+            })
+            .collect();
+        workload_docs.push(format!(
+            "{{\"workload\":\"{}\",\"rows\":[{}]}}",
+            w.name(),
+            row_docs.join(",")
+        ));
     }
     println!(
-        "\nExpected shape: fwd/bwd dominates and shrinks most under AVX-512; the \
-         ADAM phase shows the Figure 3 flat-sweep gains; rebuild stays amortized \
-         (exponential back-off)."
+        "\nExpected shape: fwd/bwd dominates and shrinks most under AVX-512 and \
+         again under the fused multi-row kernels (compare the single-row row); \
+         the ADAM phase shows the Figure 3 flat-sweep gains; rebuild stays \
+         amortized (exponential back-off)."
     );
+
+    if let Ok(path) = std::env::var("SLIDE_JSON_OUT") {
+        // Meta block: the process-default resolved SIMD level and kernel
+        // variant (per-row values are recorded on each row, since the rows
+        // force their own policy/variant).
+        let json = format!(
+            "{{\"bench\":\"train\",\"source\":\"profile_phases\",\"scale\":{},\"epochs\":{},\
+             \"simd_level\":\"{}\",\"kernel_variant\":\"{}\",\"workloads\":[{}]}}\n",
+            scale,
+            n_epochs,
+            slide_simd::effective_level(),
+            slide_simd::kernel_variant(),
+            workload_docs.join(",")
+        );
+        std::fs::write(&path, &json).expect("write BENCH_train.json");
+        println!("wrote {path}");
+    }
 }

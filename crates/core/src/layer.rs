@@ -22,6 +22,7 @@ use parking_lot::RwLock;
 use slide_data::top_k_indices;
 use slide_hash::{DwtaConfig, LshFamily, LshTables, SimHashConfig, TableStats};
 use slide_mem::{ParamLayout, SparseVecRef};
+use slide_simd::{KernelSet, RowGather};
 
 // ---------------------------------------------------------------------------
 // Sparse input layer (Algorithm 2)
@@ -57,13 +58,15 @@ impl SparseInputLayer {
         &mut self.params
     }
 
-    /// Forward pass: `out = relu(bias + Σ_j v_j · W[j])`.
+    /// Forward pass: `out = relu(bias + Σ_j v_j · W[j])`. `ks` is the
+    /// caller's pre-resolved kernel table (one per worker, refreshed per
+    /// batch), so the per-nonzero axpy carries no policy load.
     ///
     /// # Panics
     ///
     /// Panics if `out.len()` differs from the hidden width or a feature
     /// index is out of range.
-    pub fn forward(&self, x: SparseVecRef<'_>, out: &mut [f32]) {
+    pub fn forward(&self, x: SparseVecRef<'_>, out: &mut [f32], ks: &KernelSet) {
         assert_eq!(
             out.len(),
             self.params.units(),
@@ -72,7 +75,7 @@ impl SparseInputLayer {
         out.copy_from_slice(self.params.bias_slice());
         for (j, v) in x.iter() {
             // SAFETY: HOGWILD contract — the layer outlives the call.
-            unsafe { self.params.w_axpy_into(j as usize, v, out) };
+            unsafe { self.params.w_axpy_into_ks(ks, j as usize, v, out) };
         }
         relu(out);
     }
@@ -88,14 +91,15 @@ impl SparseInputLayer {
         scale: f32,
         stamp: u32,
         touched: &mut Vec<u32>,
+        ks: &KernelSet,
     ) {
         for (j, v) in x.iter() {
             // SAFETY: HOGWILD contract.
-            unsafe { self.params.grad_axpy(j as usize, v * scale, dy) };
+            unsafe { self.params.grad_axpy_ks(ks, j as usize, v * scale, dy) };
             self.params.mark_active(j as usize, stamp, touched);
         }
         // SAFETY: HOGWILD contract.
-        unsafe { self.params.grad_bias_axpy(dy, scale) };
+        unsafe { self.params.grad_bias_axpy_ks(ks, dy, scale) };
     }
 }
 
@@ -133,39 +137,64 @@ impl DenseLayer {
         &mut self.params
     }
 
-    /// Forward pass: `out_r = relu(W[r]·x + b_r)` for every unit.
+    /// Forward pass: `out_r = relu(W[r]·x + b_r)` for every unit, as one
+    /// blocked gemv over the weight arena instead of a dispatched dot per
+    /// unit.
     ///
     /// # Panics
     ///
     /// Panics if buffer widths disagree with the layer shape.
-    pub fn forward(&self, x: &[f32], out: &mut [f32]) {
+    pub fn forward(&self, x: &[f32], out: &mut [f32], ks: &KernelSet, gather: &mut RowGather) {
         assert_eq!(out.len(), self.params.units(), "DenseLayer: out width");
         assert_eq!(x.len(), self.params.cols(), "DenseLayer: in width");
-        for (r, o) in out.iter_mut().enumerate() {
-            // SAFETY: HOGWILD contract.
-            *o = unsafe { self.params.w_dot(r, x) } + self.params.bias_at(r);
-        }
+        // SAFETY: HOGWILD contract.
+        unsafe { self.params.score_all_into(ks, x, gather, out) };
         relu(out);
     }
 
     /// Backward pass: accumulate weight/bias gradients and, if `dx` is
-    /// given, the upstream gradient `dx += Wᵀ dy` (unscaled).
+    /// given, the upstream gradient `dx += Wᵀ dy` (unscaled). The non-zero
+    /// deltas are staged in `gather` and handed to the fused multi-row
+    /// kernel, so each weight row is read once.
     ///
     /// `dy` must already be masked by the ReLU derivative.
-    pub fn backward(&self, x: &[f32], dy: &[f32], mut dx: Option<&mut [f32]>, scale: f32) {
-        for (r, &d) in dy.iter().enumerate() {
-            if d == 0.0 {
-                continue;
+    pub fn backward(
+        &self,
+        x: &[f32],
+        dy: &[f32],
+        dx: Option<&mut [f32]>,
+        scale: f32,
+        ks: &KernelSet,
+        gather: &mut RowGather,
+    ) {
+        if let Some(dx) = dx {
+            let mut rows = std::mem::take(&mut gather.rows);
+            let mut deltas = std::mem::take(&mut gather.deltas);
+            rows.clear();
+            deltas.clear();
+            for (r, &d) in dy.iter().enumerate() {
+                if d != 0.0 {
+                    rows.push(r as u32);
+                    deltas.push(d);
+                }
             }
-            // SAFETY: HOGWILD contract.
-            unsafe { self.params.grad_axpy(r, d * scale, x) };
-            if let Some(dx) = dx.as_deref_mut() {
-                // SAFETY: HOGWILD contract.
-                unsafe { self.params.w_axpy_into(r, d, dx) };
+            // SAFETY: HOGWILD contract; the row list is duplicate-free.
+            unsafe {
+                self.params
+                    .backward_rows_fused(ks, &rows, &deltas, scale, x, dx, gather)
+            };
+            gather.rows = rows;
+            gather.deltas = deltas;
+        } else {
+            for (r, &d) in dy.iter().enumerate() {
+                if d != 0.0 {
+                    // SAFETY: HOGWILD contract.
+                    unsafe { self.params.grad_axpy_ks(ks, r, d * scale, x) };
+                }
             }
         }
         // SAFETY: HOGWILD contract.
-        unsafe { self.params.grad_bias_axpy(dy, scale) };
+        unsafe { self.params.grad_bias_axpy_ks(ks, dy, scale) };
     }
 }
 
@@ -421,15 +450,22 @@ impl SampledOutputLayer {
         if labels.is_empty() {
             return 0.0;
         }
+        let ks = scratch.kernels;
         self.select_active(h, labels, scratch, salt);
         let active_len = scratch.active.len();
         scratch.logits.clear();
-        scratch.logits.reserve(active_len);
-        for &r in &scratch.active {
-            // SAFETY: HOGWILD contract.
-            let z = unsafe { self.params.w_dot(r as usize, h) } + self.params.bias_at(r as usize);
-            scratch.logits.push(z);
-        }
+        scratch.logits.resize(active_len, 0.0);
+        // SAFETY: HOGWILD contract; one fused multi-row scoring call over
+        // the gathered active set replaces a dispatched dot per row.
+        unsafe {
+            self.params.score_rows_into(
+                &ks,
+                &scratch.active,
+                h,
+                &mut scratch.gather,
+                &mut scratch.logits,
+            )
+        };
         let log_z = softmax_into(&scratch.logits, &mut scratch.probs);
 
         // Labels occupy the first positions of the active set by
@@ -441,15 +477,28 @@ impl SampledOutputLayer {
             loss += t * (log_z - scratch.logits[i]);
         }
 
+        // Turn the probabilities into softmax deltas in place, then run the
+        // fused backward: one pass per row computes both `dx += δ·W[r]` and
+        // `grad[r] += δ·scale·h`.
+        for i in 0..n_labels {
+            scratch.probs[i] -= t;
+        }
+        // SAFETY: HOGWILD contract; the active list is duplicate-free.
+        unsafe {
+            self.params.backward_rows_fused(
+                &ks,
+                &scratch.active,
+                &scratch.probs,
+                scale,
+                h,
+                dx,
+                &mut scratch.gather,
+            )
+        };
         for i in 0..active_len {
             let r = scratch.active[i] as usize;
-            let delta = scratch.probs[i] - if i < n_labels { t } else { 0.0 };
             // SAFETY: HOGWILD contract; rows marked for the sparse ADAM pass.
-            unsafe {
-                self.params.grad_axpy(r, delta * scale, h);
-                self.params.grad_bias_add(r, delta * scale);
-                self.params.w_axpy_into(r, delta, dx);
-            }
+            unsafe { self.params.grad_bias_add(r, scratch.probs[i] * scale) };
             self.params.mark_active(r, stamp, &mut scratch.touched_out);
         }
         loss
@@ -464,13 +513,20 @@ impl SampledOutputLayer {
         scratch: &mut WorkerScratch,
         salt: u64,
     ) -> Vec<u32> {
+        let ks = scratch.kernels;
         self.select_active(h, &[], scratch, salt);
         scratch.logits.clear();
-        for &r in &scratch.active {
-            // SAFETY: HOGWILD contract.
-            let z = unsafe { self.params.w_dot(r as usize, h) } + self.params.bias_at(r as usize);
-            scratch.logits.push(z);
-        }
+        scratch.logits.resize(scratch.active.len(), 0.0);
+        // SAFETY: HOGWILD contract.
+        unsafe {
+            self.params.score_rows_into(
+                &ks,
+                &scratch.active,
+                h,
+                &mut scratch.gather,
+                &mut scratch.logits,
+            )
+        };
         top_k_indices(&scratch.logits, k)
             .into_iter()
             .map(|i| scratch.active[i as usize])
@@ -481,14 +537,16 @@ impl SampledOutputLayer {
     /// full-softmax argmax; used for accuracy parity checks and the dense
     /// baseline comparison).
     pub fn predict_topk_full(&self, h: &[f32], k: usize, scratch: &mut WorkerScratch) -> Vec<u32> {
+        let ks = scratch.kernels;
         let n = self.output_dim();
         scratch.logits.clear();
-        scratch.logits.reserve(n);
-        for r in 0..n {
-            // SAFETY: HOGWILD contract.
-            let z = unsafe { self.params.w_dot(r, h) } + self.params.bias_at(r);
-            scratch.logits.push(z);
-        }
+        scratch.logits.resize(n, 0.0);
+        // SAFETY: HOGWILD contract; coalesced f32 storage takes the blocked
+        // strided-gemv fast path.
+        unsafe {
+            self.params
+                .score_all_into(&ks, h, &mut scratch.gather, &mut scratch.logits)
+        };
         top_k_indices(&scratch.logits, k)
     }
 }
@@ -505,11 +563,12 @@ mod tests {
     #[test]
     fn sparse_input_forward_matches_manual() {
         let layer = SparseInputLayer::new(10, 4, ParamLayout::Coalesced, Precision::Fp32, 1);
+        let ks = KernelSet::resolve();
         let idx = [2u32, 7];
         let val = [1.5f32, -0.5];
         let x = SparseVecRef::new(&idx, &val);
         let mut out = vec![0.0; 4];
-        layer.forward(x, &mut out);
+        layer.forward(x, &mut out, &ks);
         let w2 = layer.params().row_f32(2);
         let w7 = layer.params().row_f32(7);
         for hcol in 0..4 {
@@ -521,13 +580,69 @@ mod tests {
     #[test]
     fn dense_forward_matches_manual() {
         let layer = DenseLayer::new(6, 3, ParamLayout::Coalesced, Precision::Fp32, 2);
+        let ks = KernelSet::resolve();
+        let mut gather = RowGather::default();
         let x: Vec<f32> = (0..6).map(|i| i as f32 * 0.2 - 0.5).collect();
         let mut out = vec![0.0; 3];
-        layer.forward(&x, &mut out);
+        layer.forward(&x, &mut out, &ks, &mut gather);
         for (r, &o) in out.iter().enumerate() {
             let w = layer.params().row_f32(r);
             let pre: f32 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
             assert!((o - pre.max(0.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dense_forward_fragmented_matches_coalesced() {
+        // The fragmented layout takes the row-gather fallback instead of the
+        // strided gemv; both must agree.
+        let a = DenseLayer::new(10, 7, ParamLayout::Coalesced, Precision::Fp32, 21);
+        let f = DenseLayer::new(10, 7, ParamLayout::Fragmented, Precision::Fp32, 21);
+        let ks = KernelSet::resolve();
+        let mut gather = RowGather::default();
+        let x: Vec<f32> = (0..10).map(|i| (i as f32 * 0.31).sin()).collect();
+        let (mut oa, mut of) = (vec![0.0; 7], vec![0.0; 7]);
+        a.forward(&x, &mut oa, &ks, &mut gather);
+        f.forward(&x, &mut of, &ks, &mut gather);
+        for r in 0..7 {
+            assert!((oa[r] - of[r]).abs() < 1e-5, "r={r}");
+        }
+    }
+
+    #[test]
+    fn train_sample_fused_matches_single_row_variant() {
+        // The fused multi-row path and the pre-fusion single-row path must
+        // produce the same loss, hidden gradient, and accumulated weight
+        // gradients (up to float reassociation).
+        let lsh = LshConfig {
+            min_active: 24,
+            ..Default::default()
+        };
+        let h: Vec<f32> = (0..16).map(|i| 0.05 * i as f32 - 0.3).collect();
+        let labels = [3u32, 11];
+        let run = |variant: slide_simd::KernelVariant| {
+            let layer =
+                SampledOutputLayer::new(16, 48, &lsh, ParamLayout::Coalesced, Precision::Fp32, 77);
+            let mut scratch = scratch_for(16, 48, &layer);
+            scratch.kernels = KernelSet::for_level_variant(slide_simd::detected_level(), variant);
+            let mut dx = vec![0.0; 16];
+            let loss = layer.train_sample(&h, &labels, &mut scratch, 0.5, 1, &mut dx, 9);
+            let grads: Vec<f32> = scratch
+                .touched_out
+                .iter()
+                .map(|&r| layer.params().grad_at(r as usize, 5))
+                .collect();
+            (loss, dx, scratch.touched_out.clone(), grads)
+        };
+        let (loss_f, dx_f, touched_f, grads_f) = run(slide_simd::KernelVariant::Fused);
+        let (loss_s, dx_s, touched_s, grads_s) = run(slide_simd::KernelVariant::SingleRow);
+        assert_eq!(touched_f, touched_s, "active sets must be identical");
+        assert!((loss_f - loss_s).abs() < 1e-5, "{loss_f} vs {loss_s}");
+        for i in 0..16 {
+            assert!((dx_f[i] - dx_s[i]).abs() < 1e-4, "dx[{i}]");
+        }
+        for (i, (a, b)) in grads_f.iter().zip(&grads_s).enumerate() {
+            assert!((a - b).abs() < 1e-5, "grad[{i}]");
         }
     }
 

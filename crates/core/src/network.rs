@@ -133,14 +133,15 @@ impl Network {
     /// Run the input + hidden stack, filling `scratch.acts`. Applies bf16
     /// activation quantization per the configured precision (§4.4).
     pub fn forward_hidden(&self, x: SparseVecRef<'_>, scratch: &mut WorkerScratch) {
+        let ks = scratch.kernels;
         let mut acts = std::mem::take(&mut scratch.acts);
-        self.input.forward(x, &mut acts[0]);
+        self.input.forward(x, &mut acts[0], &ks);
         if self.config.precision != Precision::Fp32 {
             slide_simd::bf16::quantize_f32_slice(&mut acts[0]);
         }
         for (i, layer) in self.hidden.iter().enumerate() {
             let (src, dst) = acts.split_at_mut(i + 1);
-            layer.forward(&src[i], &mut dst[0]);
+            layer.forward(&src[i], &mut dst[0], &ks, &mut scratch.gather);
             if self.config.precision != Precision::Fp32 {
                 slide_simd::bf16::quantize_f32_slice(&mut dst[0]);
             }
@@ -183,17 +184,18 @@ impl Network {
         );
 
         if loss != 0.0 {
+            let ks = scratch.kernels;
             relu_backward_mask(&acts[last], &mut grads[last]);
             for i in (0..self.hidden.len()).rev() {
                 let (lo, hi) = grads.split_at_mut(i + 1);
                 let dy = &hi[0];
                 let dx = &mut lo[i];
                 dx.fill(0.0);
-                self.hidden[i].backward(&acts[i], dy, Some(dx), scale);
+                self.hidden[i].backward(&acts[i], dy, Some(dx), scale, &ks, &mut scratch.gather);
                 relu_backward_mask(&acts[i], dx);
             }
             self.input
-                .backward(x, &grads[0], scale, stamp, &mut scratch.touched_in);
+                .backward(x, &grads[0], scale, stamp, &mut scratch.touched_in, &ks);
         }
 
         scratch.grads = grads;

@@ -12,7 +12,7 @@
 
 use crate::config::Precision;
 use slide_mem::{HogwildArray, ParamArenaBf16, ParamLayout, ParamStore};
-use slide_simd::AdamStep;
+use slide_simd::{AdamStep, KernelSet, RowGather};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Weight matrix storage: full-precision or brain-float16.
@@ -202,6 +202,189 @@ impl LayerParams {
     pub unsafe fn grad_bias_axpy(&self, dy: &[f32], scale: f32) {
         let gb = self.grad_b.ptr().slice_mut(0, self.units);
         slide_simd::axpy_f32(scale, dy, gb);
+    }
+
+    /// `out += alpha * W[r]` through a pre-resolved kernel table.
+    ///
+    /// # Safety
+    ///
+    /// HOGWILD contract, as [`LayerParams::w_axpy_into`].
+    #[inline]
+    pub unsafe fn w_axpy_into_ks(&self, ks: &KernelSet, r: usize, alpha: f32, out: &mut [f32]) {
+        match &self.weights {
+            WeightStorage::F32(store) => ks.axpy(alpha, store.row_racy(r), out),
+            WeightStorage::Bf16(arena) => ks.axpy_bf16(alpha, arena.ptr().row(r, self.cols), out),
+        }
+    }
+
+    /// `grad_w[r] += alpha * x` through a pre-resolved kernel table.
+    ///
+    /// # Safety
+    ///
+    /// HOGWILD contract, as [`LayerParams::grad_axpy`].
+    #[inline]
+    pub unsafe fn grad_axpy_ks(&self, ks: &KernelSet, r: usize, alpha: f32, x: &[f32]) {
+        ks.axpy(alpha, x, self.grad_w.row_racy(r));
+    }
+
+    /// `grad_b += scale * dy` over the whole bias vector through a
+    /// pre-resolved kernel table.
+    ///
+    /// # Safety
+    ///
+    /// HOGWILD contract, as [`LayerParams::grad_bias_axpy`].
+    #[inline]
+    pub unsafe fn grad_bias_axpy_ks(&self, ks: &KernelSet, dy: &[f32], scale: f32) {
+        let gb = self.grad_b.ptr().slice_mut(0, self.units);
+        ks.axpy(scale, dy, gb);
+    }
+
+    /// Score the gathered weight rows `rows` against `x` into `out`
+    /// (`out[i] = W[rows[i]] · x + b[rows[i]]`) with one fused multi-row
+    /// kernel call instead of a dispatched dot per row. Only meaningful for
+    /// row-major layers, where storage rows are output units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows.len()` or `x.len() != self.cols()`.
+    ///
+    /// # Safety
+    ///
+    /// HOGWILD contract: the layer must outlive the call; racing writers may
+    /// make the scores slightly stale.
+    pub unsafe fn score_rows_into(
+        &self,
+        ks: &KernelSet,
+        rows: &[u32],
+        x: &[f32],
+        gather: &mut RowGather,
+        out: &mut [f32],
+    ) {
+        assert_eq!(out.len(), rows.len(), "score_rows_into: out width");
+        assert_eq!(x.len(), self.cols, "score_rows_into: x width");
+        match &self.weights {
+            WeightStorage::F32(store) => {
+                gather.w_f32.clear();
+                gather
+                    .w_f32
+                    .extend(rows.iter().map(|&r| store.row_racy(r as usize).as_ptr()));
+                ks.score_rows_f32(&gather.w_f32, x, out);
+            }
+            WeightStorage::Bf16(arena) => {
+                let p = arena.ptr();
+                gather.w_bf16.clear();
+                gather
+                    .w_bf16
+                    .extend(rows.iter().map(|&r| p.row(r as usize, self.cols).as_ptr()));
+                ks.score_rows_bf16(&gather.w_bf16, x, out);
+            }
+        }
+        let bias = self.bias.as_slice();
+        for (o, &r) in out.iter_mut().zip(rows) {
+            *o += bias[r as usize];
+        }
+    }
+
+    /// Score *every* storage row against `x` into `out`
+    /// (`out[r] = W[r] · x + b[r]`). Coalesced f32 storage takes the blocked
+    /// strided-gemv fast path; fragmented/bf16 storage falls back to a full
+    /// row gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.rows()` or `x.len() != self.cols()`.
+    ///
+    /// # Safety
+    ///
+    /// HOGWILD contract, as [`LayerParams::score_rows_into`].
+    pub unsafe fn score_all_into(
+        &self,
+        ks: &KernelSet,
+        x: &[f32],
+        gather: &mut RowGather,
+        out: &mut [f32],
+    ) {
+        assert_eq!(out.len(), self.rows, "score_all_into: out width");
+        assert_eq!(x.len(), self.cols, "score_all_into: x width");
+        if let WeightStorage::F32(ParamStore::Arena(a)) = &self.weights {
+            let flat = a.ptr().slice(0, self.rows * self.cols);
+            ks.gemv(flat, self.cols, x, self.bias.as_slice(), out);
+            return;
+        }
+        match &self.weights {
+            WeightStorage::F32(store) => {
+                gather.w_f32.clear();
+                gather
+                    .w_f32
+                    .extend((0..self.rows).map(|r| store.row_racy(r).as_ptr()));
+                ks.score_rows_f32(&gather.w_f32, x, out);
+            }
+            WeightStorage::Bf16(arena) => {
+                let p = arena.ptr();
+                gather.w_bf16.clear();
+                gather
+                    .w_bf16
+                    .extend((0..self.rows).map(|r| p.row(r, self.cols).as_ptr()));
+                ks.score_rows_bf16(&gather.w_bf16, x, out);
+            }
+        }
+        let bias = self.bias.as_slice();
+        for (o, &b) in out.iter_mut().zip(bias) {
+            *o += b;
+        }
+    }
+
+    /// Fused backward over the gathered rows: for every `rows[i]`, one pass
+    /// reading `W[rows[i]]` once computes both `dx += deltas[i] · W[rows[i]]`
+    /// and `grad[rows[i]] += deltas[i] · scale · h` (previously two separate
+    /// dispatched sweeps per row over disjoint arenas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas.len() != rows.len()` or `h`/`dx` widths disagree
+    /// with the layer.
+    ///
+    /// # Safety
+    ///
+    /// HOGWILD contract: concurrent accumulation into the same gradient row
+    /// may lose an addend (the documented benign race); `rows` must be
+    /// duplicate-free within the call.
+    #[allow(clippy::too_many_arguments)] // mirrors the fused kernel's operand list
+    pub unsafe fn backward_rows_fused(
+        &self,
+        ks: &KernelSet,
+        rows: &[u32],
+        deltas: &[f32],
+        scale: f32,
+        h: &[f32],
+        dx: &mut [f32],
+        gather: &mut RowGather,
+    ) {
+        assert_eq!(deltas.len(), rows.len(), "backward_rows_fused: deltas");
+        assert_eq!(h.len(), self.cols, "backward_rows_fused: h width");
+        assert_eq!(dx.len(), self.cols, "backward_rows_fused: dx width");
+        gather.grad.clear();
+        gather.grad.extend(
+            rows.iter()
+                .map(|&r| self.grad_w.row_racy(r as usize).as_mut_ptr()),
+        );
+        match &self.weights {
+            WeightStorage::F32(store) => {
+                gather.w_f32.clear();
+                gather
+                    .w_f32
+                    .extend(rows.iter().map(|&r| store.row_racy(r as usize).as_ptr()));
+                ks.backward_rows_f32(&gather.w_f32, &gather.grad, deltas, scale, h, dx);
+            }
+            WeightStorage::Bf16(arena) => {
+                let p = arena.ptr();
+                gather.w_bf16.clear();
+                gather
+                    .w_bf16
+                    .extend(rows.iter().map(|&r| p.row(r as usize, self.cols).as_ptr()));
+                ks.backward_rows_bf16(&gather.w_bf16, &gather.grad, deltas, scale, h, dx);
+            }
+        }
     }
 
     /// Mark row `r` active in batch `stamp`; pushes `r` to `touched` exactly

@@ -5,6 +5,7 @@
 
 use slide_data::MeanMetric;
 use slide_hash::LshScratch;
+use slide_simd::{KernelSet, RowGather};
 
 /// O(1)-reset membership filter over `0..n` using generation stamps.
 ///
@@ -102,6 +103,13 @@ pub struct WorkerScratch {
     pub metric: MeanMetric,
     /// Scratch for widening bf16 rows during table rebuilds.
     pub widen: Vec<f32>,
+    /// Row-gather pointer lists for the multi-row fused kernels.
+    pub gather: RowGather,
+    /// The kernel dispatch table this worker calls through. Resolved at
+    /// construction and refreshed by the trainer once per batch (and per
+    /// evaluation pass), so the per-active-row policy load is gone from the
+    /// hot loops while policy changes still take effect at batch boundaries.
+    pub kernels: KernelSet,
 }
 
 impl WorkerScratch {
@@ -123,6 +131,8 @@ impl WorkerScratch {
             loss: MeanMetric::new(),
             metric: MeanMetric::new(),
             widen: vec![0.0; hidden_dims.last().copied().unwrap_or(0)],
+            gather: RowGather::default(),
+            kernels: KernelSet::resolve(),
         }
     }
 }

@@ -292,6 +292,15 @@ impl Trainer {
         let scale = 1.0 / indices.len() as f32;
         let mut phases = PhaseBreakdown::default();
 
+        // Resolve the kernel dispatch table once per batch and hand a copy
+        // to every worker: the forward/backward hot loops then run with zero
+        // policy loads, while `set_policy`/`set_kernel_variant` changes
+        // still take effect at the next batch boundary.
+        let kernels = slide_simd::KernelSet::resolve();
+        for s in &mut self.scratches {
+            s.kernels = kernels;
+        }
+
         // Copy the batch into the configured data layout (§4.1: this copy
         // *is* the optimization — one contiguous buffer all threads share).
         let t0 = Instant::now();
@@ -470,8 +479,12 @@ impl Trainer {
         if n == 0 {
             return 0.0;
         }
+        // One dispatch-table resolution per evaluation pass (see
+        // `train_batch`).
+        let kernels = slide_simd::KernelSet::resolve();
         for s in &mut self.scratches {
             s.metric = MeanMetric::new();
+            s.kernels = kernels;
         }
         let slots = ScratchSlots::new(&mut self.scratches);
         let net = &self.network;

@@ -13,7 +13,7 @@ use slide_core::{relu, Network, NetworkConfig, StampSet};
 use slide_data::top_k_indices;
 use slide_hash::{mix::mix3, LshFamily, LshScratch, LshTables, TableStats};
 use slide_mem::{AlignedVec, SparseVecRef};
-use slide_simd::{axpy_f32, dot_f32};
+use slide_simd::{KernelSet, RowGather};
 
 /// One layer's frozen weights: a contiguous arena whose rows are padded to
 /// a 64-byte stride so every row starts on a cache-line boundary (whole-line
@@ -69,6 +69,17 @@ impl FrozenLayer {
         &self.weights.as_slice()[r * self.stride..r * self.stride + self.cols]
     }
 
+    /// Elements between consecutive row starts (`cols` rounded up to a
+    /// cache line) — the stride the blocked gemv kernel walks.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The whole padded arena as one flat slice (rows at [`Self::stride`]).
+    pub fn flat(&self) -> &[f32] {
+        self.weights.as_slice()
+    }
+
     /// Bias vector.
     pub fn bias(&self) -> &[f32] {
         self.bias.as_slice()
@@ -95,6 +106,11 @@ pub struct ServeScratch {
     pub active: Vec<u32>,
     dedup: StampSet,
     logits: Vec<f32>,
+    /// Row-gather pointer list for the fused active-set scoring kernel.
+    gather: RowGather,
+    /// Kernel dispatch table, resolved once per scratch (≈ once per serving
+    /// thread per snapshot) so the query hot path carries no policy loads.
+    kernels: KernelSet,
 }
 
 /// An immutable, share-everywhere inference snapshot of a trained
@@ -222,6 +238,8 @@ impl FrozenNetwork {
             active: Vec::with_capacity(1024),
             dedup: StampSet::new(self.output.rows()),
             logits: Vec::with_capacity(1024),
+            gather: RowGather::default(),
+            kernels: KernelSet::resolve(),
         }
     }
 
@@ -253,18 +271,19 @@ impl FrozenNetwork {
     /// Panics if a feature index is out of range or the scratch was built
     /// for a different shape.
     pub fn forward_hidden(&self, x: SparseVecRef<'_>, scratch: &mut ServeScratch) {
+        let ks = scratch.kernels;
         let acts = &mut scratch.acts;
         acts[0].as_mut_slice().copy_from_slice(self.input.bias());
         for (j, v) in x.iter() {
-            axpy_f32(v, self.input.row(j as usize), acts[0].as_mut_slice());
+            ks.axpy(v, self.input.row(j as usize), acts[0].as_mut_slice());
         }
         relu(acts[0].as_mut_slice());
         for (i, layer) in self.hidden.iter().enumerate() {
             let (src, dst) = acts.split_at_mut(i + 1);
             let (src, dst) = (src[i].as_slice(), dst[0].as_mut_slice());
-            for (r, o) in dst.iter_mut().enumerate() {
-                *o = dot_f32(layer.row(r), src) + layer.bias()[r];
-            }
+            // One blocked gemv over the cache-line-strided arena instead of
+            // a dispatched dot per unit.
+            ks.gemv(layer.flat(), layer.stride(), src, layer.bias(), dst);
             relu(dst);
         }
     }
@@ -302,10 +321,22 @@ impl FrozenNetwork {
         self.forward_hidden(x, scratch);
         let (mut head, last) = split_acts(scratch);
         self.select_active_inner(last, &mut head, salt);
-        head.logits.clear();
+        head.gather.w_f32.clear();
         for &r in head.active.iter() {
-            head.logits
-                .push(dot_f32(self.output.row(r as usize), last) + self.output.bias()[r as usize]);
+            head.gather.w_f32.push(self.output.row(r as usize).as_ptr());
+        }
+        head.logits.clear();
+        head.logits.resize(head.active.len(), 0.0);
+        // SAFETY: every gathered pointer spans `cols` elements of the frozen
+        // arena, which outlives the call; fused multi-row scoring with
+        // next-block prefetch replaces one dispatched dot per active row.
+        unsafe {
+            head.kernels
+                .score_rows_f32(&head.gather.w_f32, last, head.logits)
+        };
+        let bias = self.output.bias();
+        for (z, &r) in head.logits.iter_mut().zip(head.active.iter()) {
+            *z += bias[r as usize];
         }
         top_k_indices(head.logits, k.min(head.active.len().max(1)))
             .into_iter()
@@ -325,11 +356,14 @@ impl FrozenNetwork {
         self.forward_hidden(x, scratch);
         let (head, last) = split_acts(scratch);
         head.logits.clear();
-        head.logits.reserve(self.output.rows());
-        for r in 0..self.output.rows() {
-            head.logits
-                .push(dot_f32(self.output.row(r), last) + self.output.bias()[r]);
-        }
+        head.logits.resize(self.output.rows(), 0.0);
+        head.kernels.gemv(
+            self.output.flat(),
+            self.output.stride(),
+            last,
+            self.output.bias(),
+            head.logits,
+        );
         top_k_indices(head.logits, k)
     }
 
@@ -376,6 +410,8 @@ struct ScratchParts<'a> {
     active: &'a mut Vec<u32>,
     dedup: &'a mut StampSet,
     logits: &'a mut Vec<f32>,
+    gather: &'a mut RowGather,
+    kernels: KernelSet,
 }
 
 fn split_acts(scratch: &mut ServeScratch) -> (ScratchParts<'_>, &[f32]) {
@@ -387,6 +423,8 @@ fn split_acts(scratch: &mut ServeScratch) -> (ScratchParts<'_>, &[f32]) {
         active,
         dedup,
         logits,
+        gather,
+        kernels,
     } = scratch;
     let last = acts.last().expect("at least one hidden layer").as_slice();
     (
@@ -397,6 +435,8 @@ fn split_acts(scratch: &mut ServeScratch) -> (ScratchParts<'_>, &[f32]) {
             active,
             dedup,
             logits,
+            gather,
+            kernels: *kernels,
         },
         last,
     )
@@ -488,6 +528,34 @@ mod tests {
                 "neuron {r} missing from its own active set"
             );
         }
+    }
+
+    #[test]
+    fn predict_agrees_across_kernel_variants() {
+        // The fused gather/gemv path and the pre-fusion single-row path
+        // must retrieve and rank identically on the same snapshot.
+        let frozen = FrozenNetwork::freeze(&tiny_net());
+        let level = slide_simd::effective_level();
+        let run = |variant: slide_simd::KernelVariant| {
+            let mut scratch = frozen.make_scratch();
+            scratch.kernels = slide_simd::KernelSet::for_level_variant(level, variant);
+            let mut out = Vec::new();
+            for s in 0..16u32 {
+                let idx = [s % 128, (s * 13 + 5) % 128];
+                let val = [1.0f32, -0.75];
+                let x = SparseVecRef::new(&idx, &val);
+                out.push((
+                    frozen.predict_sparse(x, 4, &mut scratch, s as u64),
+                    frozen.predict_full(x, 4, &mut scratch),
+                ));
+            }
+            out
+        };
+        let fused = run(slide_simd::KernelVariant::Fused);
+        let single = run(slide_simd::KernelVariant::SingleRow);
+        let blocked = run(slide_simd::KernelVariant::Blocked);
+        assert_eq!(fused, single);
+        assert_eq!(fused, blocked);
     }
 
     #[test]

@@ -648,19 +648,22 @@ pub fn phase_json(mode: &str, offered_qps: Option<f64>, stats: &ServeStats) -> S
 }
 
 /// Render a complete `BENCH_serve.json` document (trailing newline
-/// included). `simd_level` is stamped from the process's effective dispatch
-/// level at call time.
+/// included). `simd_level` and `kernel_variant` are stamped from the
+/// process's effective dispatch level and kernel variant at call time, so
+/// trajectories stay comparable across machines and forced-`SLIDE_SIMD` /
+/// `SLIDE_KERNELS` CI legs.
 pub fn bench_report_json(meta: &BenchMeta<'_>, phases: &[String]) -> String {
     format!(
         "{{\"bench\":\"serve\",\"source\":\"{}\",\"workload\":\"{}\",\"scale\":{},\
-         \"clients\":{},\"threads\":{},\"simd_level\":\"{}\",\"max_batch\":{},\
-         \"max_wait_us\":{},\"k\":{},\"phases\":[{}]}}\n",
+         \"clients\":{},\"threads\":{},\"simd_level\":\"{}\",\"kernel_variant\":\"{}\",\
+         \"max_batch\":{},\"max_wait_us\":{},\"k\":{},\"phases\":[{}]}}\n",
         meta.source,
         meta.workload,
         meta.scale,
         meta.clients,
         meta.threads,
         slide_simd::effective_level(),
+        slide_simd::kernel_variant(),
         meta.max_batch,
         meta.max_wait_us,
         meta.k,

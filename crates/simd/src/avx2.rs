@@ -136,6 +136,290 @@ pub unsafe fn sum(x: &[f32]) -> f32 {
     total
 }
 
+/// Rows per block in the multi-row gather kernels; also the prefetch
+/// distance (see the AVX-512 sibling for the rationale — at 8 f32 lanes one
+/// prefetch per row every *other* step would suffice, but redundant
+/// prefetches to the same line are nearly free and keep the loop uniform).
+const GATHER_BLOCK: usize = 4;
+
+/// Dot one 4-row gather block against `x` (shared body of the gathered
+/// scoring kernel and the strided gemv): one accumulator per row, scalar
+/// tail, and — when `next` is given — prefetch of the next block's rows at
+/// the matching column offset.
+///
+/// # Safety
+///
+/// Every pointer in `p` (and `next`, if any) must be valid for `x.len()`
+/// f32 reads.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn block_dot4(
+    p: [*const f32; GATHER_BLOCK],
+    next: Option<[*const f32; GATHER_BLOCK]>,
+    x: &[f32],
+) -> [f32; GATHER_BLOCK] {
+    let cols = x.len();
+    let px = x.as_ptr();
+    let mut acc = [_mm256_setzero_ps(); GATHER_BLOCK];
+    let mut i = 0usize;
+    while i + LANES <= cols {
+        if let Some(np) = next {
+            for q in np {
+                _mm_prefetch::<_MM_HINT_T0>(q.add(i) as *const i8);
+            }
+        }
+        let xv = _mm256_loadu_ps(px.add(i));
+        for k in 0..GATHER_BLOCK {
+            acc[k] = _mm256_fmadd_ps(_mm256_loadu_ps(p[k].add(i)), xv, acc[k]);
+        }
+        i += LANES;
+    }
+    let mut sums = [0.0_f32; GATHER_BLOCK];
+    while i < cols {
+        let xv = *px.add(i);
+        for k in 0..GATHER_BLOCK {
+            sums[k] += *p[k].add(i) * xv;
+        }
+        i += 1;
+    }
+    for k in 0..GATHER_BLOCK {
+        sums[k] += hsum256(acc[k]);
+    }
+    sums
+}
+
+/// Multi-row gathered scoring with interleaved accumulators and optional
+/// next-block prefetch: `out[i] = rows[i] · x`.
+///
+/// # Safety
+///
+/// Every `rows[i]` must be valid for `x.len()` f32 reads.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn score_rows_impl(rows: &[*const f32], x: &[f32], out: &mut [f32], pf: bool) {
+    debug_assert_eq!(rows.len(), out.len());
+    let cols = x.len();
+    let n = rows.len();
+    let mut r = 0usize;
+    while r + GATHER_BLOCK <= n {
+        let p = [rows[r], rows[r + 1], rows[r + 2], rows[r + 3]];
+        let next = if pf && r + 2 * GATHER_BLOCK <= n {
+            Some([rows[r + 4], rows[r + 5], rows[r + 6], rows[r + 7]])
+        } else {
+            None
+        };
+        let sums = block_dot4(p, next, x);
+        out[r..r + GATHER_BLOCK].copy_from_slice(&sums);
+        r += GATHER_BLOCK;
+    }
+    while r < n {
+        out[r] = dot(core::slice::from_raw_parts(rows[r], cols), x);
+        r += 1;
+    }
+}
+
+/// [`score_rows_impl`] with next-block software prefetch.
+///
+/// # Safety
+///
+/// As [`score_rows_impl`].
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn score_rows_pf(rows: &[*const f32], x: &[f32], out: &mut [f32]) {
+    score_rows_impl(rows, x, out, true)
+}
+
+/// [`score_rows_impl`] without prefetch (the `blocked` ablation point).
+///
+/// # Safety
+///
+/// As [`score_rows_impl`].
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn score_rows_nopf(rows: &[*const f32], x: &[f32], out: &mut [f32]) {
+    score_rows_impl(rows, x, out, false)
+}
+
+/// Fused backward over gathered rows: one pass per 4-row block doing
+/// `dx += deltas[k] * W[k]` and `grad[k] += deltas[k] * scale * h`.
+///
+/// # Safety
+///
+/// `w_rows[i]` valid for `h.len()` reads, `g_rows[i]` for `h.len()`
+/// reads+writes, `dx` disjoint from every gathered row.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn backward_rows_impl(
+    w_rows: &[*const f32],
+    g_rows: &[*mut f32],
+    deltas: &[f32],
+    scale: f32,
+    h: &[f32],
+    dx: &mut [f32],
+    pf: bool,
+) {
+    debug_assert_eq!(w_rows.len(), g_rows.len());
+    debug_assert_eq!(w_rows.len(), deltas.len());
+    debug_assert_eq!(h.len(), dx.len());
+    let cols = h.len();
+    let n = w_rows.len();
+    let ph = h.as_ptr();
+    let pdx = dx.as_mut_ptr();
+    let mut r = 0usize;
+    while r + GATHER_BLOCK <= n {
+        let wp = [w_rows[r], w_rows[r + 1], w_rows[r + 2], w_rows[r + 3]];
+        let gp = [g_rows[r], g_rows[r + 1], g_rows[r + 2], g_rows[r + 3]];
+        let prefetch = pf && r + 2 * GATHER_BLOCK <= n;
+        let mut vd = [_mm256_setzero_ps(); GATHER_BLOCK];
+        let mut vg = [_mm256_setzero_ps(); GATHER_BLOCK];
+        for k in 0..GATHER_BLOCK {
+            vd[k] = _mm256_set1_ps(deltas[r + k]);
+            vg[k] = _mm256_set1_ps(deltas[r + k] * scale);
+        }
+        let mut i = 0usize;
+        while i + LANES <= cols {
+            if prefetch {
+                for k in 0..GATHER_BLOCK {
+                    _mm_prefetch::<_MM_HINT_T0>(w_rows[r + GATHER_BLOCK + k].add(i) as *const i8);
+                }
+            }
+            let hv = _mm256_loadu_ps(ph.add(i));
+            let mut dxv = _mm256_loadu_ps(pdx.add(i));
+            for k in 0..GATHER_BLOCK {
+                dxv = _mm256_fmadd_ps(vd[k], _mm256_loadu_ps(wp[k].add(i)), dxv);
+                let gv = _mm256_loadu_ps(gp[k].add(i));
+                _mm256_storeu_ps(gp[k].add(i), _mm256_fmadd_ps(vg[k], hv, gv));
+            }
+            _mm256_storeu_ps(pdx.add(i), dxv);
+            i += LANES;
+        }
+        while i < cols {
+            let hv = *ph.add(i);
+            let mut dxi = *pdx.add(i);
+            for k in 0..GATHER_BLOCK {
+                dxi += deltas[r + k] * *wp[k].add(i);
+                *gp[k].add(i) += deltas[r + k] * scale * hv;
+            }
+            *pdx.add(i) = dxi;
+            i += 1;
+        }
+        r += GATHER_BLOCK;
+    }
+    while r < n {
+        axpy(deltas[r], core::slice::from_raw_parts(w_rows[r], cols), dx);
+        axpy(
+            deltas[r] * scale,
+            h,
+            core::slice::from_raw_parts_mut(g_rows[r], cols),
+        );
+        r += 1;
+    }
+}
+
+/// [`backward_rows_impl`] with next-block prefetch of the weight rows
+/// (the gradient rows are write-dominated; prefetching their RFO stream
+/// measured slower — see DESIGN.md §6).
+///
+/// # Safety
+///
+/// As [`backward_rows_impl`].
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn backward_rows_pf(
+    w_rows: &[*const f32],
+    g_rows: &[*mut f32],
+    deltas: &[f32],
+    scale: f32,
+    h: &[f32],
+    dx: &mut [f32],
+) {
+    backward_rows_impl(w_rows, g_rows, deltas, scale, h, dx, true)
+}
+
+/// [`backward_rows_impl`] without prefetch.
+///
+/// # Safety
+///
+/// As [`backward_rows_impl`].
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn backward_rows_nopf(
+    w_rows: &[*const f32],
+    g_rows: &[*mut f32],
+    deltas: &[f32],
+    scale: f32,
+    h: &[f32],
+    dx: &mut [f32],
+) {
+    backward_rows_impl(w_rows, g_rows, deltas, scale, h, dx, false)
+}
+
+/// Blocked full gemv over a strided row-major arena:
+/// `out[r] = W[r] · x + bias[r]`, rows starting at `w + r * stride`.
+///
+/// # Safety
+///
+/// `w` valid for `(out.len() - 1) * stride + x.len()` reads.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemv_impl(
+    w: *const f32,
+    stride: usize,
+    x: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    pf: bool,
+) {
+    debug_assert_eq!(bias.len(), out.len());
+    debug_assert!(stride >= x.len());
+    let cols = x.len();
+    let n = out.len();
+    let mut r = 0usize;
+    while r + GATHER_BLOCK <= n {
+        let p = [
+            w.add(r * stride),
+            w.add((r + 1) * stride),
+            w.add((r + 2) * stride),
+            w.add((r + 3) * stride),
+        ];
+        let next = if pf && r + 2 * GATHER_BLOCK <= n {
+            Some([
+                w.add((r + 4) * stride),
+                w.add((r + 5) * stride),
+                w.add((r + 6) * stride),
+                w.add((r + 7) * stride),
+            ])
+        } else {
+            None
+        };
+        let sums = block_dot4(p, next, x);
+        for k in 0..GATHER_BLOCK {
+            out[r + k] = sums[k] + bias[r + k];
+        }
+        r += GATHER_BLOCK;
+    }
+    while r < n {
+        out[r] = dot(core::slice::from_raw_parts(w.add(r * stride), cols), x) + bias[r];
+        r += 1;
+    }
+}
+
+/// [`gemv_impl`] with next-block prefetch.
+///
+/// # Safety
+///
+/// As [`gemv_impl`].
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemv_pf(w: *const f32, stride: usize, x: &[f32], bias: &[f32], out: &mut [f32]) {
+    gemv_impl(w, stride, x, bias, out, true)
+}
+
+/// [`gemv_impl`] without prefetch.
+///
+/// # Safety
+///
+/// As [`gemv_impl`].
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemv_nopf(w: *const f32, stride: usize, x: &[f32], bias: &[f32], out: &mut [f32]) {
+    gemv_impl(w, stride, x, bias, out, false)
+}
+
 /// Vectorized first-wins argmax. Lane-wise strict `>` keeps the earliest
 /// index within a lane; the horizontal pass breaks cross-lane ties by index.
 #[target_feature(enable = "avx2,fma")]

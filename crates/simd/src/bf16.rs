@@ -170,6 +170,14 @@ pub fn dot_bf16_f32(w: &[u16], x: &[f32]) -> f32 {
     if effective_level() == SimdLevel::Avx512 {
         return unsafe { x86::dot_bf16_f32(w, x) };
     }
+    dot_bf16_scalar(w, x)
+}
+
+/// Portable reference for [`dot_bf16_f32`] (also the `KernelSet` tier below
+/// AVX-512, where no vector widen exists).
+#[inline]
+pub(crate) fn dot_bf16_scalar(w: &[u16], x: &[f32]) -> f32 {
+    debug_assert_eq!(w.len(), x.len());
     let mut acc = 0.0_f32;
     for i in 0..w.len() {
         acc += f32::from_bits((w[i] as u32) << 16) * x[i];
@@ -190,8 +198,60 @@ pub fn axpy_bf16_f32(alpha: f32, x: &[u16], y: &mut [f32]) {
         unsafe { x86::axpy_bf16_f32(alpha, x, y) };
         return;
     }
+    axpy_bf16_scalar(alpha, x, y)
+}
+
+/// Portable reference for [`axpy_bf16_f32`].
+#[inline]
+pub(crate) fn axpy_bf16_scalar(alpha: f32, x: &[u16], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
     for i in 0..x.len() {
         y[i] += alpha * f32::from_bits((x[i] as u32) << 16);
+    }
+}
+
+/// Multi-row gathered scoring over bf16 weight rows: `out[i] = rows[i] · x`
+/// with on-the-fly widening. Portable reference; the AVX-512 tier lives in
+/// the `x86` module and is selected through `KernelSet`.
+///
+/// # Safety
+///
+/// Every `rows[i]` must be valid for `x.len()` u16 reads.
+pub(crate) unsafe fn score_rows_bf16_scalar(rows: &[*const u16], x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len());
+    let cols = x.len();
+    for (o, &p) in out.iter_mut().zip(rows) {
+        *o = dot_bf16_scalar(unsafe { core::slice::from_raw_parts(p, cols) }, x);
+    }
+}
+
+/// Fused backward over gathered bf16 weight rows (gradients stay f32):
+/// `dx += deltas[i] * widen(W[i])` and `grad[i] += deltas[i] * scale * h`.
+///
+/// # Safety
+///
+/// `w_rows[i]` valid for `h.len()` u16 reads, `g_rows[i]` for `h.len()` f32
+/// reads+writes, `dx` disjoint from every gradient row.
+pub(crate) unsafe fn backward_rows_bf16_scalar(
+    w_rows: &[*const u16],
+    g_rows: &[*mut f32],
+    deltas: &[f32],
+    scale: f32,
+    h: &[f32],
+    dx: &mut [f32],
+) {
+    debug_assert_eq!(w_rows.len(), g_rows.len());
+    debug_assert_eq!(w_rows.len(), deltas.len());
+    debug_assert_eq!(h.len(), dx.len());
+    let cols = h.len();
+    for r in 0..w_rows.len() {
+        let d = deltas[r];
+        let gc = d * scale;
+        let (wp, gp) = (w_rows[r], g_rows[r]);
+        for i in 0..cols {
+            dx[i] += d * f32::from_bits((unsafe { *wp.add(i) } as u32) << 16);
+            unsafe { *gp.add(i) += gc * h[i] };
+        }
     }
 }
 
@@ -234,7 +294,7 @@ fn adam_step_bf16_scalar(w: &mut [u16], m: &mut [f32], v: &mut [f32], g: &[f32],
 // ---------------------------------------------------------------------------
 
 #[cfg(target_arch = "x86_64")]
-mod x86 {
+pub(crate) mod x86 {
     #![allow(unsafe_op_in_unsafe_fn)]
     use super::AdamStep;
     use core::arch::x86_64::*;
@@ -365,6 +425,200 @@ mod x86 {
             *py.add(i) += alpha * f32::from_bits((*px.add(i) as u32) << 16);
             i += 1;
         }
+    }
+
+    /// Rows per block, also the prefetch distance (see
+    /// [`crate::avx512`]'s `GATHER_BLOCK`). A bf16 row packs 32 weights per
+    /// cache line, so each 16-lane step consumes half a line; prefetching
+    /// every step simply touches each next-block line twice, which is
+    /// harmless.
+    const GATHER_BLOCK: usize = 4;
+
+    /// Multi-row gathered scoring over bf16 rows with interleaved
+    /// accumulators, on-the-fly widening, and optional next-block prefetch.
+    ///
+    /// # Safety
+    ///
+    /// Every `rows[i]` must be valid for `x.len()` u16 reads.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn score_rows_bf16_impl(rows: &[*const u16], x: &[f32], out: &mut [f32], pf: bool) {
+        debug_assert_eq!(rows.len(), out.len());
+        let cols = x.len();
+        let n = rows.len();
+        let px = x.as_ptr();
+        let mut r = 0usize;
+        while r + GATHER_BLOCK <= n {
+            let p = [rows[r], rows[r + 1], rows[r + 2], rows[r + 3]];
+            let next = if pf && r + 2 * GATHER_BLOCK <= n {
+                Some([rows[r + 4], rows[r + 5], rows[r + 6], rows[r + 7]])
+            } else {
+                None
+            };
+            let mut acc = [_mm512_setzero_ps(); GATHER_BLOCK];
+            let mut i = 0usize;
+            while i + LANES <= cols {
+                if let Some(np) = next {
+                    for q in np {
+                        _mm_prefetch::<_MM_HINT_T0>(q.add(i) as *const i8);
+                    }
+                }
+                let xv = _mm512_loadu_ps(px.add(i));
+                for k in 0..GATHER_BLOCK {
+                    acc[k] = _mm512_fmadd_ps(widen_lanes(p[k].add(i)), xv, acc[k]);
+                }
+                i += LANES;
+            }
+            let mut tails = [0.0_f32; GATHER_BLOCK];
+            while i < cols {
+                let xv = *px.add(i);
+                for k in 0..GATHER_BLOCK {
+                    tails[k] += f32::from_bits((*p[k].add(i) as u32) << 16) * xv;
+                }
+                i += 1;
+            }
+            for k in 0..GATHER_BLOCK {
+                out[r + k] = _mm512_reduce_add_ps(acc[k]) + tails[k];
+            }
+            r += GATHER_BLOCK;
+        }
+        while r < n {
+            out[r] = dot_bf16_f32(core::slice::from_raw_parts(rows[r], cols), x);
+            r += 1;
+        }
+    }
+
+    /// [`score_rows_bf16_impl`] with prefetch.
+    ///
+    /// # Safety
+    ///
+    /// As [`score_rows_bf16_impl`].
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn score_rows_bf16_pf(rows: &[*const u16], x: &[f32], out: &mut [f32]) {
+        score_rows_bf16_impl(rows, x, out, true)
+    }
+
+    /// [`score_rows_bf16_impl`] without prefetch.
+    ///
+    /// # Safety
+    ///
+    /// As [`score_rows_bf16_impl`].
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn score_rows_bf16_nopf(rows: &[*const u16], x: &[f32], out: &mut [f32]) {
+        score_rows_bf16_impl(rows, x, out, false)
+    }
+
+    /// Fused backward over gathered bf16 weight rows (f32 gradient rows):
+    /// one pass per 4-row block doing `dx += deltas[k] * widen(W[k])` and
+    /// `grad[k] += deltas[k] * scale * h`.
+    ///
+    /// # Safety
+    ///
+    /// `w_rows[i]` valid for `h.len()` u16 reads, `g_rows[i]` for `h.len()`
+    /// f32 reads+writes, `dx` disjoint from every gradient row.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn backward_rows_bf16_impl(
+        w_rows: &[*const u16],
+        g_rows: &[*mut f32],
+        deltas: &[f32],
+        scale: f32,
+        h: &[f32],
+        dx: &mut [f32],
+        pf: bool,
+    ) {
+        debug_assert_eq!(w_rows.len(), g_rows.len());
+        debug_assert_eq!(w_rows.len(), deltas.len());
+        debug_assert_eq!(h.len(), dx.len());
+        let cols = h.len();
+        let n = w_rows.len();
+        let ph = h.as_ptr();
+        let pdx = dx.as_mut_ptr();
+        let mut r = 0usize;
+        while r + GATHER_BLOCK <= n {
+            let wp = [w_rows[r], w_rows[r + 1], w_rows[r + 2], w_rows[r + 3]];
+            let gp = [g_rows[r], g_rows[r + 1], g_rows[r + 2], g_rows[r + 3]];
+            let prefetch = pf && r + 2 * GATHER_BLOCK <= n;
+            let mut vd = [_mm512_setzero_ps(); GATHER_BLOCK];
+            let mut vg = [_mm512_setzero_ps(); GATHER_BLOCK];
+            for k in 0..GATHER_BLOCK {
+                vd[k] = _mm512_set1_ps(deltas[r + k]);
+                vg[k] = _mm512_set1_ps(deltas[r + k] * scale);
+            }
+            let mut i = 0usize;
+            while i + LANES <= cols {
+                if prefetch {
+                    for k in 0..GATHER_BLOCK {
+                        _mm_prefetch::<_MM_HINT_T0>(
+                            w_rows[r + GATHER_BLOCK + k].add(i) as *const i8
+                        );
+                    }
+                }
+                let hv = _mm512_loadu_ps(ph.add(i));
+                let mut dxv = _mm512_loadu_ps(pdx.add(i));
+                for k in 0..GATHER_BLOCK {
+                    dxv = _mm512_fmadd_ps(vd[k], widen_lanes(wp[k].add(i)), dxv);
+                    let gv = _mm512_loadu_ps(gp[k].add(i));
+                    _mm512_storeu_ps(gp[k].add(i), _mm512_fmadd_ps(vg[k], hv, gv));
+                }
+                _mm512_storeu_ps(pdx.add(i), dxv);
+                i += LANES;
+            }
+            while i < cols {
+                let hv = *ph.add(i);
+                let mut dxi = *pdx.add(i);
+                for k in 0..GATHER_BLOCK {
+                    dxi += deltas[r + k] * f32::from_bits((*wp[k].add(i) as u32) << 16);
+                    *gp[k].add(i) += deltas[r + k] * scale * hv;
+                }
+                *pdx.add(i) = dxi;
+                i += 1;
+            }
+            r += GATHER_BLOCK;
+        }
+        while r < n {
+            axpy_bf16_f32(deltas[r], core::slice::from_raw_parts(w_rows[r], cols), dx);
+            let g = core::slice::from_raw_parts_mut(g_rows[r], cols);
+            let gc = deltas[r] * scale;
+            for i in 0..cols {
+                g[i] += gc * h[i];
+            }
+            r += 1;
+        }
+    }
+
+    /// [`backward_rows_bf16_impl`] with prefetch.
+    ///
+    /// # Safety
+    ///
+    /// As [`backward_rows_bf16_impl`].
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn backward_rows_bf16_pf(
+        w_rows: &[*const u16],
+        g_rows: &[*mut f32],
+        deltas: &[f32],
+        scale: f32,
+        h: &[f32],
+        dx: &mut [f32],
+    ) {
+        backward_rows_bf16_impl(w_rows, g_rows, deltas, scale, h, dx, true)
+    }
+
+    /// [`backward_rows_bf16_impl`] without prefetch.
+    ///
+    /// # Safety
+    ///
+    /// As [`backward_rows_bf16_impl`].
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn backward_rows_bf16_nopf(
+        w_rows: &[*const u16],
+        g_rows: &[*mut f32],
+        deltas: &[f32],
+        scale: f32,
+        h: &[f32],
+        dx: &mut [f32],
+    ) {
+        backward_rows_bf16_impl(w_rows, g_rows, deltas, scale, h, dx, false)
     }
 
     #[target_feature(enable = "avx512f")]

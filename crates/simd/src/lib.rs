@@ -11,7 +11,14 @@
 //! * [`adam_step_f32`] — the fused ADAM parameter update of §4.3.1,
 //! * [`argmax_f32`] / reductions — used by DWTA hashing (§4.3.3) and P@1,
 //! * the [`bf16`] module — software brain-float16 (§4.4) with vectorized
-//!   slice conversions and bf16-weight kernels.
+//!   slice conversions and bf16-weight kernels,
+//! * [`KernelSet`] / [`RowGather`] — the multi-row fused gather kernels
+//!   (blocked scoring with software prefetch, one-pass fused backward,
+//!   blocked full gemv) behind SLIDE's active-set hot loops, dispatched
+//!   through a function-pointer table resolved once per batch/snapshot
+//!   instead of once per call. The [`KernelVariant`] knob
+//!   (`SLIDE_KERNELS=single_row|blocked|fused`) keeps the pre-fusion
+//!   single-row loops selectable for ablation.
 //!
 //! Every public kernel picks an implementation at runtime from
 //! [`SimdLevel::Scalar`], [`SimdLevel::Avx2`], or [`SimdLevel::Avx512`]
@@ -35,6 +42,7 @@
 
 pub mod bf16;
 mod extra;
+mod gather;
 mod kernels;
 mod policy;
 pub(crate) mod scalar;
@@ -46,12 +54,17 @@ pub(crate) mod avx512;
 
 pub use bf16::Bf16;
 pub use extra::{norm_sq_f32, scale_add_f32, sub_f32};
+pub use gather::{
+    backward_rows_fused_bf16, backward_rows_fused_f32, gemv_full_f32, score_rows_gather_bf16,
+    score_rows_gather_f32, KernelSet, RowGather,
+};
 pub use kernels::{
     adam_step_f32, add_f32, argmax_f32, axpy_f32, dot_f32, scale_f32, sum_f32, AdamStep,
 };
 pub use policy::{
-    apply_env_policy, detected_level, effective_level, parse_policy, policy, set_policy, SimdLevel,
-    SimdPolicy,
+    apply_env_kernel_variant, apply_env_policy, detected_level, effective_level, kernel_variant,
+    parse_kernel_variant, parse_policy, policy, set_kernel_variant, set_policy, KernelVariant,
+    SimdLevel, SimdPolicy,
 };
 
 /// Number of bytes in a cache line on the target platforms (CLX/CPX: 64).

@@ -70,6 +70,93 @@ pub fn argmax(x: &[f32]) -> Option<(usize, f32)> {
     Some((best_idx, best))
 }
 
+/// Multi-row gathered scoring: `out[i] = rows[i] · x`. Rows are walked in
+/// 4-row blocks with one accumulator per row so the compiler can interleave
+/// the independent chains; each row still sums in index order, making this
+/// bit-identical to a per-row [`dot`] loop (the property suite relies on
+/// that).
+///
+/// # Safety
+///
+/// Every `rows[i]` must be valid for `x.len()` f32 reads for the duration of
+/// the call (HOGWILD-racy reads are fine).
+pub unsafe fn score_rows(rows: &[*const f32], x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(rows.len(), out.len());
+    let cols = x.len();
+    let n = rows.len();
+    let mut r = 0usize;
+    while r + 4 <= n {
+        let (p0, p1, p2, p3) = (rows[r], rows[r + 1], rows[r + 2], rows[r + 3]);
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0_f32, 0.0_f32, 0.0_f32, 0.0_f32);
+        for (i, &xv) in x.iter().enumerate() {
+            a0 += unsafe { *p0.add(i) } * xv;
+            a1 += unsafe { *p1.add(i) } * xv;
+            a2 += unsafe { *p2.add(i) } * xv;
+            a3 += unsafe { *p3.add(i) } * xv;
+        }
+        out[r] = a0;
+        out[r + 1] = a1;
+        out[r + 2] = a2;
+        out[r + 3] = a3;
+        r += 4;
+    }
+    while r < n {
+        out[r] = dot(unsafe { core::slice::from_raw_parts(rows[r], cols) }, x);
+        r += 1;
+    }
+}
+
+/// Fused per-row backward pass: for every gathered row `i`,
+/// `dx += deltas[i] * W[i]` and `grad[i] += deltas[i] * scale * h` in one
+/// sweep over the columns, so each weight row is read exactly once.
+///
+/// # Safety
+///
+/// `w_rows[i]` must be valid for `h.len()` reads and `g_rows[i]` for
+/// `h.len()` reads+writes; `dx` must not alias any gathered row (HOGWILD
+/// races on the gradient rows themselves are the documented benign kind).
+pub unsafe fn backward_rows(
+    w_rows: &[*const f32],
+    g_rows: &[*mut f32],
+    deltas: &[f32],
+    scale: f32,
+    h: &[f32],
+    dx: &mut [f32],
+) {
+    debug_assert_eq!(w_rows.len(), g_rows.len());
+    debug_assert_eq!(w_rows.len(), deltas.len());
+    debug_assert_eq!(h.len(), dx.len());
+    let cols = h.len();
+    for r in 0..w_rows.len() {
+        let d = deltas[r];
+        let gc = d * scale;
+        let (wp, gp) = (w_rows[r], g_rows[r]);
+        for i in 0..cols {
+            dx[i] += d * unsafe { *wp.add(i) };
+            unsafe { *gp.add(i) += gc * h[i] };
+        }
+    }
+}
+
+/// Blocked full gemv over a strided row-major matrix:
+/// `out[r] = W[r] · x + bias[r]` for every row, where row `r` starts at
+/// `w + r * stride` (`stride >= x.len()` allows cache-line row padding).
+///
+/// # Safety
+///
+/// `w` must be valid for `(rows - 1) * stride + x.len()` reads where
+/// `rows = out.len()`.
+pub unsafe fn gemv(w: *const f32, stride: usize, x: &[f32], bias: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(bias.len(), out.len());
+    debug_assert!(stride >= x.len());
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(
+            unsafe { core::slice::from_raw_parts(w.add(r * stride), x.len()) },
+            x,
+        ) + bias[r];
+    }
+}
+
 #[inline]
 pub fn adam_step(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], step: AdamStep) {
     debug_assert_eq!(w.len(), m.len());

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use slide_simd::{
     adam_step_f32, argmax_f32, axpy_f32, bf16, dot_f32, set_policy, sum_f32, AdamStep, Bf16,
-    SimdLevel, SimdPolicy,
+    KernelSet, KernelVariant, SimdLevel, SimdPolicy,
 };
 
 /// Tests in this binary mutate the process-wide SIMD policy; serialize them.
@@ -137,6 +137,198 @@ proptest! {
         bf16::bf16_to_f32_slice(&narrowed, &mut widened);
         for i in 0..x.len() {
             prop_assert_eq!(widened[i], Bf16::from_bits(narrowed[i]).to_f32());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-row fused gather kernels vs the scalar single-row reference
+    // (ULP-ish bounded: tolerances scale with the reduction length, as for
+    // the single-row kernels above). Shapes are drawn to cover empty row
+    // lists, sub-block row counts, 4-row-block remainders, and
+    // non-multiple-of-lane column lengths; levels above the host capability
+    // clamp to the detected level, so every forced SLIDE_SIMD CI leg
+    // exercises its own tier.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn score_rows_gather_matches_single_row_scalar(
+        rows in 0usize..24,
+        cols in 0usize..100,
+        seed in any::<u32>(),
+    ) {
+        let _g = policy_lock();
+        let m: Vec<Vec<f32>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        let v = seed
+                            .wrapping_mul(2654435761)
+                            .wrapping_add((r * 131 + c) as u32);
+                        (v % 2001) as f32 / 1000.0 - 1.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let x: Vec<f32> = (0..cols).map(|c| ((c * 37 + 11) % 199) as f32 / 100.0 - 1.0).collect();
+        // Reference: the scalar single-row loop, one dispatched dot per row.
+        let reference: Vec<f32> = with_level(SimdLevel::Scalar, || {
+            m.iter().map(|row| dot_f32(row, &x)).collect()
+        });
+        let ptrs: Vec<*const f32> = m.iter().map(|row| row.as_ptr()).collect();
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            // The dispatched wrapper depends only on the level; check it
+            // once per level, outside the variant loop.
+            let mut out = vec![f32::NAN; rows];
+            with_level(level, || unsafe {
+                slide_simd::score_rows_gather_f32(&ptrs, &x, &mut out)
+            });
+            for r in 0..rows {
+                let tol = 1e-3_f32.max(reference[r].abs() * 1e-4);
+                prop_assert!((out[r] - reference[r]).abs() <= tol, "dispatched {level:?} r={r}");
+            }
+            for variant in [KernelVariant::SingleRow, KernelVariant::Blocked, KernelVariant::Fused] {
+                let ks = KernelSet::for_level_variant(level, variant);
+                let mut out2 = vec![f32::NAN; rows];
+                unsafe { ks.score_rows_f32(&ptrs, &x, &mut out2) };
+                for r in 0..rows {
+                    let tol = 1e-3_f32.max(reference[r].abs() * 1e-4);
+                    prop_assert!(
+                        (out2[r] - reference[r]).abs() <= tol,
+                        "{level:?}/{variant:?} r={r}: {} vs {}",
+                        out2[r],
+                        reference[r]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_rows_gather_bf16_matches_single_row_scalar(
+        rows in 0usize..20,
+        cols in 0usize..80,
+        seed in any::<u32>(),
+    ) {
+        let _g = policy_lock();
+        let m: Vec<Vec<u16>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        let v = seed.wrapping_add((r * 97 + c) as u32);
+                        Bf16::from_f32((v % 401) as f32 / 200.0 - 1.0).to_bits()
+                    })
+                    .collect()
+            })
+            .collect();
+        let x: Vec<f32> = (0..cols).map(|c| ((c * 53 + 7) % 211) as f32 / 100.0 - 1.0).collect();
+        let reference: Vec<f32> = with_level(SimdLevel::Scalar, || {
+            m.iter().map(|row| bf16::dot_bf16_f32(row, &x)).collect()
+        });
+        let ptrs: Vec<*const u16> = m.iter().map(|row| row.as_ptr()).collect();
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            for variant in [KernelVariant::SingleRow, KernelVariant::Blocked, KernelVariant::Fused] {
+                let ks = KernelSet::for_level_variant(level, variant);
+                let mut out = vec![f32::NAN; rows];
+                unsafe { ks.score_rows_bf16(&ptrs, &x, &mut out) };
+                for r in 0..rows {
+                    let tol = 1e-2_f32.max(reference[r].abs() * 1e-3);
+                    prop_assert!(
+                        (out[r] - reference[r]).abs() <= tol,
+                        "bf16 {level:?}/{variant:?} r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_rows_fused_matches_two_pass_scalar(
+        rows in 0usize..16,
+        cols in 0usize..80,
+        scale in 0.01_f32..2.0,
+        seed in any::<u32>(),
+    ) {
+        let _g = policy_lock();
+        let val = |a: usize, b: usize| {
+            (seed.wrapping_add((a * 179 + b * 31) as u32) % 1001) as f32 / 500.0 - 1.0
+        };
+        let w: Vec<Vec<f32>> = (0..rows).map(|r| (0..cols).map(|c| val(r, c)).collect()).collect();
+        let g0: Vec<Vec<f32>> = (0..rows)
+            .map(|r| (0..cols).map(|c| val(r + 1000, c)).collect())
+            .collect();
+        let h: Vec<f32> = (0..cols).map(|c| val(7, c)).collect();
+        let dx0: Vec<f32> = (0..cols).map(|c| val(9, c)).collect();
+        let deltas: Vec<f32> = (0..rows).map(|r| val(r, 3)).collect();
+
+        // Scalar single-row reference: two separate axpy passes per row.
+        let (g_ref, dx_ref) = with_level(SimdLevel::Scalar, || {
+            let mut g = g0.clone();
+            let mut dx = dx0.clone();
+            for r in 0..rows {
+                axpy_f32(deltas[r], &w[r], &mut dx);
+                axpy_f32(deltas[r] * scale, &h, &mut g[r]);
+            }
+            (g, dx)
+        });
+
+        let w_ptrs: Vec<*const f32> = w.iter().map(|row| row.as_ptr()).collect();
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            for variant in [KernelVariant::SingleRow, KernelVariant::Blocked, KernelVariant::Fused] {
+                let ks = KernelSet::for_level_variant(level, variant);
+                let mut g = g0.clone();
+                let mut dx = dx0.clone();
+                let g_ptrs: Vec<*mut f32> = g.iter_mut().map(|row| row.as_mut_ptr()).collect();
+                unsafe { ks.backward_rows_f32(&w_ptrs, &g_ptrs, &deltas, scale, &h, &mut dx) };
+                for i in 0..cols {
+                    prop_assert!(
+                        (dx[i] - dx_ref[i]).abs() <= 1e-3 * (rows.max(1) as f32),
+                        "dx {level:?}/{variant:?} i={i}"
+                    );
+                }
+                for r in 0..rows {
+                    for i in 0..cols {
+                        prop_assert!(
+                            (g[r][i] - g_ref[r][i]).abs() <= 1e-4,
+                            "grad {level:?}/{variant:?} r={r} i={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_blocked_matches_single_row_scalar(
+        rows in 0usize..24,
+        cols in 1usize..80,
+        pad in 0usize..5,
+        seed in any::<u32>(),
+    ) {
+        let _g = policy_lock();
+        let stride = cols + pad;
+        let arena: Vec<f32> = (0..rows * stride)
+            .map(|i| (seed.wrapping_add(i as u32) % 1001) as f32 / 500.0 - 1.0)
+            .collect();
+        let x: Vec<f32> = (0..cols).map(|c| ((c * 41 + 13) % 173) as f32 / 100.0 - 1.0).collect();
+        let bias: Vec<f32> = (0..rows).map(|r| r as f32 * 0.01 - 0.1).collect();
+        let reference: Vec<f32> = with_level(SimdLevel::Scalar, || {
+            (0..rows)
+                .map(|r| dot_f32(&arena[r * stride..r * stride + cols], &x) + bias[r])
+                .collect()
+        });
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            for variant in [KernelVariant::SingleRow, KernelVariant::Blocked, KernelVariant::Fused] {
+                let ks = KernelSet::for_level_variant(level, variant);
+                let mut out = vec![f32::NAN; rows];
+                ks.gemv(&arena, stride, &x, &bias, &mut out);
+                for r in 0..rows {
+                    let tol = 1e-3_f32.max(reference[r].abs() * 1e-4);
+                    prop_assert!(
+                        (out[r] - reference[r]).abs() <= tol,
+                        "gemv {level:?}/{variant:?} r={r}"
+                    );
+                }
+            }
         }
     }
 

@@ -59,4 +59,6 @@ pub use slide_data::{
     TextConfig,
 };
 pub use slide_serve::{BatchConfig, BatchingServer, FrozenNetwork, ServeError, ServeStats};
-pub use slide_simd::{set_policy, SimdLevel, SimdPolicy};
+pub use slide_simd::{
+    set_kernel_variant, set_policy, KernelSet, KernelVariant, SimdLevel, SimdPolicy,
+};
