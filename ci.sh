@@ -78,6 +78,26 @@ if [[ "$MODE" == "smoke" ]]; then
         echo "serve_bench smoke: BENCH_serve.json missing kernel_variant meta" >&2
         exit 1
     }
+    grep -q '"precision":"f32"' BENCH_serve.json || {
+        echo "serve_bench smoke: BENCH_serve.json missing precision meta" >&2
+        exit 1
+    }
+
+    step "smoke: serve_bench int8 leg (SLIDE_SIMD=avx2, --precision i8)"
+    # The quantized serving path, forced to the AVX2 maddubs kernels so the
+    # leg exercises a fixed integer ISA regardless of the runner's AVX-512
+    # support; its report is uploaded alongside the f32 one.
+    SLIDE_SIMD=avx2 SLIDE_SCALE=1 SLIDE_EPOCHS=1 SLIDE_SERVE_MS=500 SLIDE_CLIENTS=4 \
+        SLIDE_JSON_OUT=BENCH_serve_i8.json \
+        ./target/release/serve_bench --precision i8 > /dev/null
+    grep -q '"precision":"i8"' BENCH_serve_i8.json || {
+        echo "serve_bench i8 smoke: BENCH_serve_i8.json missing precision meta" >&2
+        exit 1
+    }
+    grep -q '"p99"' BENCH_serve_i8.json || {
+        echo "serve_bench i8 smoke: BENCH_serve_i8.json missing latency percentiles" >&2
+        exit 1
+    }
 
     step "OK — smoke gates passed"
     exit 0

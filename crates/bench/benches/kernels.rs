@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use slide_simd::{
-    adam_step_f32, add_f32, argmax_f32, axpy_f32, bf16, dot_f32, set_policy, AdamStep, KernelSet,
-    KernelVariant, SimdLevel, SimdPolicy,
+    adam_step_f32, add_f32, argmax_f32, axpy_f32, bf16, dot_f32, quantize_acts_u8, quantize_row_i8,
+    set_policy, AdamStep, KernelSet, KernelVariant, SimdLevel, SimdPolicy,
 };
 use std::time::Duration;
 
@@ -317,6 +317,87 @@ fn bench_gather_score_bf16(c: &mut Criterion) {
     g.finish();
 }
 
+/// The precision axis at the kernel level: gathered active-set scoring with
+/// i8 codes (integer dot + per-row rescale) vs bf16 vs f32 rows, all at the
+/// host's best SIMD level with the blocked kernels. The i8 rows carry 4×
+/// fewer bytes than f32, which is the whole story at memory-bound sizes
+/// (4096×1024 streams 16 MiB of f32 rows but 4 MiB of codes).
+fn bench_quant_score(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quant_score");
+    g.measurement_time(Duration::from_millis(900));
+    g.warm_up_time(Duration::from_millis(200));
+    g.sample_size(15);
+    let ks = KernelSet::for_level_variant(slide_simd::detected_level(), KernelVariant::Fused);
+    for &cols in GATHER_COLS {
+        for &rows in GATHER_ROWS {
+            let total = rows * 4;
+            let wide: Vec<f32> = (0..total * cols).map(|i| (i as f32 * 0.29).sin()).collect();
+            let order = gather_order(total, rows);
+            let (x, _) = vecs(cols);
+            let mut out = vec![0.0_f32; rows];
+
+            // f32 reference rows.
+            let f_ptrs: Vec<*const f32> =
+                order.iter().map(|&r| wide[r * cols..].as_ptr()).collect();
+            g.bench_with_input(
+                BenchmarkId::new(format!("{rows}x{cols}"), "f32"),
+                &ks,
+                |b, ks| {
+                    b.iter(|| unsafe {
+                        ks.score_rows_f32(black_box(&f_ptrs), black_box(&x), black_box(&mut out))
+                    })
+                },
+            );
+
+            // bf16 rows (half the bytes, widen-on-the-fly).
+            let mut bq = vec![0u16; total * cols];
+            bf16::f32_to_bf16_slice(&wide, &mut bq);
+            let b_ptrs: Vec<*const u16> = order.iter().map(|&r| bq[r * cols..].as_ptr()).collect();
+            g.bench_with_input(
+                BenchmarkId::new(format!("{rows}x{cols}"), "bf16"),
+                &ks,
+                |b, ks| {
+                    b.iter(|| unsafe {
+                        ks.score_rows_bf16(black_box(&b_ptrs), black_box(&x), black_box(&mut out))
+                    })
+                },
+            );
+
+            // i8 rows (quarter the bytes, integer dot), per-row scales and
+            // 7-bit activation codes as the quantized serving path produces.
+            let mut iq = vec![0i8; total * cols];
+            let mut scales_all = vec![0.0f32; total];
+            for r in 0..total {
+                scales_all[r] = quantize_row_i8(
+                    &wide[r * cols..(r + 1) * cols],
+                    &mut iq[r * cols..(r + 1) * cols],
+                );
+            }
+            let acts: Vec<f32> = x.iter().map(|v| v.abs()).collect();
+            let mut xq = vec![0u8; cols];
+            let x_scale = quantize_acts_u8(&acts, &mut xq);
+            let i_ptrs: Vec<*const i8> = order.iter().map(|&r| iq[r * cols..].as_ptr()).collect();
+            let scales: Vec<f32> = order.iter().map(|&r| scales_all[r]).collect();
+            g.bench_with_input(
+                BenchmarkId::new(format!("{rows}x{cols}"), "i8"),
+                &ks,
+                |b, ks| {
+                    b.iter(|| unsafe {
+                        ks.score_rows_i8(
+                            black_box(&i_ptrs),
+                            black_box(&scales),
+                            black_box(&xq),
+                            black_box(x_scale),
+                            black_box(&mut out),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
 /// Blocked full gemv (the `predict_topk_full` / FrozenNetwork scoring path)
 /// over a cache-line-strided arena.
 fn bench_gemv_blocked(c: &mut Criterion) {
@@ -367,6 +448,7 @@ criterion_group!(
     bench_gather_score,
     bench_gather_backward,
     bench_gather_score_bf16,
+    bench_quant_score,
     bench_gemv_blocked
 );
 criterion_main!(benches);

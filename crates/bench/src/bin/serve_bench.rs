@@ -15,8 +15,15 @@
 //! one snapshot hot-swap lands mid-run in each phase. Writes
 //! `BENCH_serve.json` next to the stdout report.
 //!
+//! The `--precision {f32,i8}` axis (or `SLIDE_PRECISION=i8`) serves a
+//! post-training int8-quantized snapshot (`slide-quant`) instead of the f32
+//! one: same trained network, same LSH retrieval, ~4× smaller hidden/output
+//! arenas scored through the VNNI-class integer kernels. The report's meta
+//! block stamps the precision so rows stay distinguishable.
+//!
 //! ```sh
 //! cargo run -p slide-bench --release --bin serve_bench
+//! cargo run -p slide-bench --release --bin serve_bench -- --precision i8
 //! SLIDE_SERVE_MS=5000 SLIDE_CLIENTS=16 cargo run -p slide-bench --release --bin serve_bench
 //! ```
 
@@ -25,9 +32,10 @@ use rand::SeedableRng;
 use slide_bench::{epochs, scale, Workload};
 use slide_core::{Network, Trainer};
 use slide_data::{Dataset, Zipf};
+use slide_quant::QuantizedFrozenNetwork;
 use slide_serve::{
-    bench_report_json, phase_json, BatchConfig, BatchingServer, BenchMeta, FrozenNetwork,
-    ServeStats,
+    bench_report_json, phase_json, BatchConfig, BatchingServer, BenchMeta, FrozenModel,
+    FrozenNetwork, ServeStats,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,6 +47,30 @@ fn env_usize(key: &str, default: usize) -> usize {
         .and_then(|s| s.parse().ok())
         .filter(|&v| v >= 1)
         .unwrap_or(default)
+}
+
+/// `--precision {f32,i8}` from argv, falling back to `SLIDE_PRECISION`,
+/// defaulting to f32. Anything else aborts with a usage message.
+fn precision_axis() -> &'static str {
+    let mut args = std::env::args().skip(1);
+    let mut requested = std::env::var("SLIDE_PRECISION").ok();
+    while let Some(a) = args.next() {
+        if a == "--precision" {
+            let Some(value) = args.next() else {
+                eprintln!("serve_bench: --precision needs a value (f32|i8)");
+                std::process::exit(2);
+            };
+            requested = Some(value);
+        }
+    }
+    match requested.as_deref() {
+        None | Some("f32") => "f32",
+        Some("i8") => "i8",
+        Some(other) => {
+            eprintln!("serve_bench: unknown precision '{other}' (want f32|i8)");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// One benchmark phase's outcome plus its offered-load metadata.
@@ -53,7 +85,7 @@ struct PhaseResult {
 /// phase so training cost never pollutes the measurement window).
 fn run_closed(
     server: &Arc<BatchingServer>,
-    swap_snapshot: FrozenNetwork,
+    swap_snapshot: Arc<dyn FrozenModel>,
     test: &Dataset,
     clients: usize,
     duration: Duration,
@@ -77,7 +109,7 @@ fn run_closed(
             });
         }
         std::thread::sleep(duration / 2);
-        server.publish(swap_snapshot);
+        server.publish_dyn(swap_snapshot);
         std::thread::sleep(duration / 2);
         stop.store(true, Ordering::Relaxed);
     });
@@ -96,7 +128,7 @@ fn run_closed(
 /// the closed phase, `swap_snapshot` is published at the midpoint.
 fn run_open(
     server: &Arc<BatchingServer>,
-    swap_snapshot: FrozenNetwork,
+    swap_snapshot: Arc<dyn FrozenModel>,
     test: &Dataset,
     submitters: usize,
     rate_qps: f64,
@@ -132,7 +164,7 @@ fn run_open(
             });
         }
         std::thread::sleep(duration / 2);
-        server.publish(swap_snapshot);
+        server.publish_dyn(swap_snapshot);
     });
     PhaseResult {
         mode: "open",
@@ -170,11 +202,12 @@ fn main() {
     let k = env_usize("SLIDE_SERVE_K", 5);
     let max_batch = env_usize("SLIDE_MAX_BATCH", 64);
     let max_wait = Duration::from_micros(env_usize("SLIDE_MAX_WAIT_US", 500) as u64);
+    let precision = precision_axis();
 
     let w = Workload::Amazon670k;
     let (train, test) = w.dataset(scale);
     println!(
-        "serve_bench: workload {} (scale {scale}), {} train / {} test, simd {}",
+        "serve_bench: workload {} (scale {scale}), {} train / {} test, simd {}, precision {precision}",
         w.name(),
         train.len(),
         test.len(),
@@ -192,18 +225,39 @@ fn main() {
         trainer.train_epoch(&train, epoch as u64);
     }
     println!(
-        "trained {train_epochs} epochs in {:.1}s; freezing",
+        "trained {train_epochs} epochs in {:.1}s; freezing at precision {precision}",
         t0.elapsed().as_secs_f64()
     );
 
-    let frozen = FrozenNetwork::freeze(trainer.network());
+    // Snapshot factory for the chosen precision axis — the single
+    // construction site for the serving snapshot and both mid-phase
+    // hot-swap snapshots. The quantization-error report is printed for the
+    // first i8 snapshot only.
+    let report_printed = std::cell::Cell::new(false);
+    let freeze = |net: &Network| -> Arc<dyn FrozenModel> {
+        if precision == "i8" {
+            let quant = QuantizedFrozenNetwork::quantize(net);
+            if !report_printed.replace(true) {
+                println!(
+                    "int8 path: {} — per-layer reconstruction error:\n{}",
+                    slide_simd::KernelSet::resolve().int8_isa(),
+                    quant.report()
+                );
+            }
+            Arc::new(quant)
+        } else {
+            Arc::new(FrozenNetwork::freeze(net))
+        }
+    };
+
+    let frozen = freeze(trainer.network());
     println!(
-        "frozen snapshot: {:.1} MiB of aligned arenas, {} tables entries",
+        "frozen snapshot: {:.1} MiB of aligned arenas, precision {}",
         frozen.arena_bytes() as f64 / (1 << 20) as f64,
-        frozen.table_stats().stored,
+        frozen.precision(),
     );
     let server = Arc::new(
-        BatchingServer::start(
+        BatchingServer::start_dyn(
             frozen,
             BatchConfig {
                 max_batch,
@@ -218,9 +272,9 @@ fn main() {
     // Train one epoch further per phase up front so both hot-swap snapshots
     // are ready before any measurement window opens.
     trainer.train_epoch(&train, train_epochs as u64);
-    let swap_closed = FrozenNetwork::freeze(trainer.network());
+    let swap_closed = freeze(trainer.network());
     trainer.train_epoch(&train, train_epochs as u64 + 1);
-    let swap_open = FrozenNetwork::freeze(trainer.network());
+    let swap_open = freeze(trainer.network());
 
     println!(
         "phase 1: closed-loop, {clients} clients, {:?}, hot-swap at t/2",
@@ -253,6 +307,7 @@ fn main() {
             max_batch,
             max_wait_us: max_wait.as_micros() as u64,
             k,
+            precision,
         },
         &[
             phase_json(closed.mode, closed.offered_qps, &closed.stats),

@@ -27,6 +27,7 @@ mod private {
     impl Sealed for u64 {}
     impl Sealed for i32 {}
     impl Sealed for u8 {}
+    impl Sealed for i8 {}
 }
 
 impl Pod for f32 {}
@@ -36,6 +37,7 @@ impl Pod for u32 {}
 impl Pod for u64 {}
 impl Pod for i32 {}
 impl Pod for u8 {}
+impl Pod for i8 {}
 
 /// A fixed-length, 64-byte-aligned, zero-initialized heap buffer.
 ///

@@ -1,0 +1,53 @@
+//! Int8 post-training quantized inference for the SLIDE reproduction
+//! (slide-quant).
+//!
+//! "Quantizations" is in the source paper's title; training stops at bf16,
+//! and the f32 serving snapshots of `slide-serve` widen even that back to
+//! full precision. This crate takes the remaining step for the *serving*
+//! side, where weights are frozen and the workload is memory-bound:
+//!
+//! * [`QuantizedFrozenNetwork`] — a read-only snapshot of a trained
+//!   [`slide_core::Network`] whose hidden and output layers hold **per-row
+//!   symmetric i8 weight codes** in 64-byte-aligned, row-padded arenas with
+//!   per-row f32 scales (4× less weight traffic than the f32 snapshot);
+//!   activations are quantized to unsigned 7-bit codes per query, and
+//!   scoring runs through the `slide_simd` int8 kernel family
+//!   (`vpmaddubsw` on AVX2, `vpdpbusd` where AVX-512 VNNI is available).
+//!   LSH retrieval is *identical* to the f32 snapshot — the tables are
+//!   built from the original f32 rows via the shared
+//!   [`slide_serve::ActiveSetSelector`] — so accuracy differences are
+//!   attributable to scoring precision alone.
+//! * [`QuantReport`] — the quantization-error harness: per-layer max/mean
+//!   row reconstruction error recorded at snapshot time, plus
+//!   [`p_at_1`]/[`p_at_1_frozen`] helpers for measuring P@1 parity against
+//!   the f32 frozen path on a labelled dataset.
+//!
+//! The engine implements [`slide_serve::FrozenModel`], so a
+//! [`slide_serve::BatchingServer`] can hot-swap between f32 and i8
+//! snapshots mid-traffic without erroring in-flight requests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use slide_core::{Network, NetworkConfig};
+//! use slide_quant::QuantizedFrozenNetwork;
+//!
+//! let net = Network::new(NetworkConfig::standard(256, 16, 64)).unwrap();
+//! let quant = QuantizedFrozenNetwork::quantize(&net);
+//! assert!(quant.arena_bytes() > 0);
+//! let mut scratch = quant.make_scratch();
+//! let idx = [1u32, 17];
+//! let val = [1.0f32, 0.5];
+//! let topk = quant.predict_sparse(slide_mem::SparseVecRef::new(&idx, &val), 5, &mut scratch, 0);
+//! assert_eq!(topk.len(), 5);
+//! // The error harness was filled in at snapshot time (one entry per
+//! // quantized layer; `standard` has just the output layer):
+//! assert!(quant.report().within_theoretical_bounds());
+//! ```
+
+mod frozen;
+
+pub use frozen::{
+    p_at_1, p_at_1_frozen, LayerQuantStats, QuantReport, QuantScratch, QuantizedFrozenNetwork,
+    QuantizedLayer,
+};

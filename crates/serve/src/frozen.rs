@@ -9,9 +9,10 @@
 //! with zero locks and zero allocation on the hot path — safe to share
 //! across any number of threads via `Arc`.
 
-use slide_core::{relu, Network, NetworkConfig, StampSet};
+use crate::retrieval::{ActiveSetSelector, SelectorScratch};
+use slide_core::{relu, Network, NetworkConfig, Precision};
 use slide_data::top_k_indices;
-use slide_hash::{mix::mix3, LshFamily, LshScratch, LshTables, TableStats};
+use slide_hash::TableStats;
 use slide_mem::{AlignedVec, SparseVecRef};
 use slide_simd::{KernelSet, RowGather};
 
@@ -32,8 +33,11 @@ const LANE: usize = slide_simd::CACHE_LINE_BYTES / std::mem::size_of::<f32>();
 
 impl FrozenLayer {
     /// Snapshot a training-layer parameter block (bf16 weights are widened
-    /// to f32 — the frozen path always computes at full precision).
-    fn from_params(p: &slide_core::LayerParams) -> Self {
+    /// to f32 — this layer type always computes at full precision; the
+    /// source precision is recorded on the owning network). Public so other
+    /// frozen engines (e.g. `slide-quant`, which keeps its sparse-input
+    /// layer in f32) can reuse the arena discipline.
+    pub fn from_params(p: &slide_core::LayerParams) -> Self {
         let (rows, cols) = (p.rows(), p.cols());
         let stride = cols.div_ceil(LANE) * LANE;
         let mut weights = AlignedVec::<f32>::zeroed(rows * stride);
@@ -99,12 +103,9 @@ impl FrozenLayer {
 pub struct ServeScratch {
     /// Activation buffer per hidden layer (aligned, layer-width slices).
     pub acts: Vec<AlignedVec<f32>>,
-    lsh: LshScratch,
-    keys: Vec<u32>,
-    candidates: Vec<u32>,
+    sel: SelectorScratch,
     /// Active output neurons for the current query (inspection hook).
     pub active: Vec<u32>,
-    dedup: StampSet,
     logits: Vec<f32>,
     /// Row-gather pointer list for the fused active-set scoring kernel.
     gather: RowGather,
@@ -137,12 +138,7 @@ pub struct FrozenNetwork {
     input: FrozenLayer,
     hidden: Vec<FrozenLayer>,
     output: FrozenLayer,
-    family: LshFamily,
-    tables: LshTables,
-    min_active: usize,
-    max_active: Option<usize>,
-    probes: usize,
-    pad_seed: u64,
+    selector: ActiveSetSelector,
 }
 
 impl FrozenNetwork {
@@ -161,31 +157,37 @@ impl FrozenNetwork {
         let output = FrozenLayer::from_params(net.output().params());
         let family = net.output().family().clone();
 
-        let mut tables = LshTables::new(
-            config.lsh.tables,
-            config.lsh.key_bits,
-            config.lsh.bucket_cap,
-            config.lsh.policy,
-            config.seed ^ 0xF0_7AB1,
-        );
-        let mut lsh = family.make_scratch();
-        let mut keys = vec![0u32; family.tables()];
+        let mut selector = ActiveSetSelector::new(family, &config.lsh, output.rows(), config.seed);
+        let mut sel_scratch = selector.make_scratch();
         for r in 0..output.rows() {
-            family.keys_dense(output.row(r), &mut lsh, &mut keys);
-            tables.insert(&keys, r as u32);
+            selector.insert(r as u32, output.row(r), &mut sel_scratch);
         }
 
         FrozenNetwork {
-            min_active: config.lsh.min_active.min(output.rows()),
-            max_active: config.lsh.max_active,
-            probes: config.lsh.probes.max(1),
-            pad_seed: config.seed ^ 0x9AD5,
             config,
             input,
             hidden,
             output,
-            family,
-            tables,
+            selector,
+        }
+    }
+
+    /// The precision the source network stored its weights in. The frozen
+    /// arenas always hold f32 (bf16 is widened at snapshot time), but the
+    /// provenance is recorded so serve logs and bench meta can say what the
+    /// snapshot came from instead of silently reporting everything as f32.
+    pub fn source_precision(&self) -> Precision {
+        self.config.precision
+    }
+
+    /// Human-readable precision label for logs and `BENCH_serve.json` meta
+    /// (see [`crate::FrozenModel::precision`]).
+    pub fn precision_label(&self) -> &'static str {
+        match self.config.precision {
+            // bf16-activations trains with f32 weights; the snapshot is a
+            // plain f32 copy.
+            Precision::Fp32 | Precision::Bf16Activations => "f32",
+            Precision::Bf16Both => "bf16-widened-f32",
         }
     }
 
@@ -212,7 +214,7 @@ impl FrozenNetwork {
 
     /// Occupancy statistics of the frozen hash tables.
     pub fn table_stats(&self) -> TableStats {
-        self.tables.stats()
+        self.selector.stats()
     }
 
     /// Total bytes held in weight/bias arenas across all layers.
@@ -232,11 +234,8 @@ impl FrozenNetwork {
         widths.extend(self.hidden.iter().map(FrozenLayer::rows));
         ServeScratch {
             acts: widths.iter().map(|&w| AlignedVec::zeroed(w)).collect(),
-            lsh: self.family.make_scratch(),
-            keys: vec![0; self.family.tables()],
-            candidates: Vec::with_capacity(1024),
+            sel: self.selector.make_scratch(),
             active: Vec::with_capacity(1024),
-            dedup: StampSet::new(self.output.rows()),
             logits: Vec::with_capacity(1024),
             gather: RowGather::default(),
             kernels: KernelSet::resolve(),
@@ -294,8 +293,8 @@ impl FrozenNetwork {
     /// training-time retrieval does minus label forcing. `h` is passed
     /// separately so it may alias `scratch.acts` through a prior copy.
     pub fn select_active(&self, h: &[f32], scratch: &mut ServeScratch, salt: u64) {
-        let (mut parts, _) = split_acts(scratch);
-        self.select_active_inner(h, &mut parts, salt);
+        self.selector
+            .select_into(h, &mut scratch.sel, &mut scratch.active, salt);
     }
 
     /// Predict the top-`k` labels for one sparse input, scoring only the
@@ -319,8 +318,8 @@ impl FrozenNetwork {
         salt: u64,
     ) -> Vec<u32> {
         self.forward_hidden(x, scratch);
-        let (mut head, last) = split_acts(scratch);
-        self.select_active_inner(last, &mut head, salt);
+        let (head, last) = split_acts(scratch);
+        self.selector.select_into(last, head.sel, head.active, salt);
         head.gather.w_f32.clear();
         for &r in head.active.iter() {
             head.gather.w_f32.push(self.output.row(r as usize).as_ptr());
@@ -366,49 +365,13 @@ impl FrozenNetwork {
         );
         top_k_indices(head.logits, k)
     }
-
-    fn select_active_inner(&self, h: &[f32], parts: &mut ScratchParts<'_>, salt: u64) {
-        self.family.keys_dense(h, parts.lsh, parts.keys);
-        parts.candidates.clear();
-        if self.probes > 1 {
-            self.tables
-                .query_multiprobe_into(parts.keys, self.probes, parts.candidates);
-        } else {
-            self.tables.query_into(parts.keys, parts.candidates);
-        }
-        parts.dedup.begin();
-        parts.active.clear();
-        let cap = self.max_active.unwrap_or(usize::MAX);
-        for i in 0..parts.candidates.len() {
-            if parts.active.len() >= cap {
-                break;
-            }
-            let c = parts.candidates[i];
-            if parts.dedup.insert(c) {
-                parts.active.push(c);
-            }
-        }
-        let n = self.output.rows() as u64;
-        let want = self.min_active.min(cap);
-        let mut attempt = 0u64;
-        while parts.active.len() < want {
-            let r = (mix3(self.pad_seed, salt, attempt) % n) as u32;
-            attempt += 1;
-            if parts.dedup.insert(r) {
-                parts.active.push(r);
-            }
-        }
-    }
 }
 
 /// Disjoint mutable views of a [`ServeScratch`] minus its activation
 /// buffers, so the last activation can be borrowed immutably alongside.
 struct ScratchParts<'a> {
-    lsh: &'a mut LshScratch,
-    keys: &'a mut Vec<u32>,
-    candidates: &'a mut Vec<u32>,
+    sel: &'a mut SelectorScratch,
     active: &'a mut Vec<u32>,
-    dedup: &'a mut StampSet,
     logits: &'a mut Vec<f32>,
     gather: &'a mut RowGather,
     kernels: KernelSet,
@@ -417,11 +380,8 @@ struct ScratchParts<'a> {
 fn split_acts(scratch: &mut ServeScratch) -> (ScratchParts<'_>, &[f32]) {
     let ServeScratch {
         acts,
-        lsh,
-        keys,
-        candidates,
+        sel,
         active,
-        dedup,
         logits,
         gather,
         kernels,
@@ -429,11 +389,8 @@ fn split_acts(scratch: &mut ServeScratch) -> (ScratchParts<'_>, &[f32]) {
     let last = acts.last().expect("at least one hidden layer").as_slice();
     (
         ScratchParts {
-            lsh,
-            keys,
-            candidates,
+            sel,
             active,
-            dedup,
             logits,
             gather,
             kernels: *kernels,
@@ -592,6 +549,16 @@ mod tests {
             frozen.output_layer().row(3),
             net.output().params().row_f32(3)
         );
+        // The widening is no longer silent: provenance is recorded for
+        // serve logs and bench meta.
+        assert_eq!(frozen.source_precision(), slide_core::Precision::Bf16Both);
+        assert_eq!(frozen.precision_label(), "bf16-widened-f32");
+    }
+
+    #[test]
+    fn f32_network_reports_f32_precision() {
+        let frozen = FrozenNetwork::freeze(&tiny_net());
+        assert_eq!(frozen.precision_label(), "f32");
     }
 
     #[test]

@@ -43,9 +43,13 @@
 //! ```
 
 mod frozen;
+mod model;
+mod retrieval;
 mod server;
 
 pub use frozen::{FrozenLayer, FrozenNetwork, ServeScratch};
+pub use model::FrozenModel;
+pub use retrieval::{ActiveSetSelector, SelectorScratch};
 pub use server::{
     bench_report_json, percentile_us, phase_json, BatchConfig, BatchingServer, BenchMeta,
     LatencySummary, ServeError, ServeStats,

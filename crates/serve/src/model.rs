@@ -1,0 +1,137 @@
+//! The precision-generic serving handle.
+//!
+//! [`crate::BatchingServer`] used to be hard-wired to the f32
+//! [`FrozenNetwork`]; quantized serving needs the server to hold *any*
+//! frozen engine and hot-swap between precisions mid-traffic. [`FrozenModel`]
+//! is the object-safe contract that makes that possible: the server stores
+//! `Arc<dyn FrozenModel>` and treats per-worker scratch as an opaque
+//! `Box<dyn Any + Send>` built by — and downcast inside — the engine that
+//! owns it. Scratch is always rebuilt when a published snapshot replaces the
+//! one it was created from (the dispatcher already does this for shape
+//! changes), so a worker can never hand an engine a foreign scratch type.
+
+use crate::frozen::{FrozenNetwork, ServeScratch};
+use slide_mem::SparseVecRef;
+use std::any::Any;
+
+/// An immutable, share-everywhere inference snapshot the batching server can
+/// serve — implemented by the f32 [`FrozenNetwork`] here and by the int8
+/// `QuantizedFrozenNetwork` in `slide-quant`.
+///
+/// All methods take `&self` and must be safe to call from any number of
+/// threads concurrently (each with its own scratch) — the same lock-free
+/// contract `FrozenNetwork` established.
+pub trait FrozenModel: Send + Sync + std::fmt::Debug + 'static {
+    /// Storage-precision label for logs and bench meta (`"f32"`,
+    /// `"bf16-widened-f32"`, `"i8"`).
+    fn precision(&self) -> &'static str;
+
+    /// Sparse input dimensionality accepted by queries.
+    fn input_dim(&self) -> usize;
+
+    /// Output (label) dimensionality.
+    fn output_dim(&self) -> usize;
+
+    /// Total bytes held in weight/bias/scale arenas.
+    fn arena_bytes(&self) -> usize;
+
+    /// Check that a query fits this snapshot's input space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending index or length mismatch.
+    fn validate_query(&self, indices: &[u32], values: &[f32]) -> Result<(), String>;
+
+    /// Allocate per-worker query scratch for this engine, type-erased for
+    /// the server's worker slots.
+    fn make_scratch_any(&self) -> Box<dyn Any + Send>;
+
+    /// Predict the top-`k` labels for one sparse input using scratch
+    /// previously produced by [`FrozenModel::make_scratch_any`] *on this
+    /// same snapshot*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was built by a different engine type (the server
+    /// never does this: scratch is rebuilt on every snapshot change), on
+    /// out-of-range feature indices, or if `k == 0`.
+    fn predict_any(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut (dyn Any + Send),
+        salt: u64,
+    ) -> Vec<u32>;
+}
+
+impl FrozenModel for FrozenNetwork {
+    fn precision(&self) -> &'static str {
+        self.precision_label()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.output_dim()
+    }
+
+    fn arena_bytes(&self) -> usize {
+        self.arena_bytes()
+    }
+
+    fn validate_query(&self, indices: &[u32], values: &[f32]) -> Result<(), String> {
+        self.validate_query(indices, values)
+    }
+
+    fn make_scratch_any(&self) -> Box<dyn Any + Send> {
+        Box::new(self.make_scratch())
+    }
+
+    fn predict_any(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut (dyn Any + Send),
+        salt: u64,
+    ) -> Vec<u32> {
+        let scratch = scratch
+            .downcast_mut::<ServeScratch>()
+            .expect("FrozenNetwork handed scratch built by a different engine");
+        self.predict_sparse(x, k, scratch, salt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_core::{Network, NetworkConfig};
+
+    #[test]
+    fn frozen_network_serves_through_the_trait_object() {
+        let net = Network::new(NetworkConfig::standard(128, 16, 64)).unwrap();
+        let model: Box<dyn FrozenModel> = Box::new(FrozenNetwork::freeze(&net));
+        assert_eq!(model.precision(), "f32");
+        assert_eq!(model.input_dim(), 128);
+        assert_eq!(model.output_dim(), 64);
+        assert!(model.arena_bytes() > 0);
+        assert!(model.validate_query(&[0, 127], &[1.0, 2.0]).is_ok());
+        let mut scratch = model.make_scratch_any();
+        let idx = [1u32, 17];
+        let val = [1.0f32, 0.5];
+        let topk = model.predict_any(SparseVecRef::new(&idx, &val), 5, scratch.as_mut(), 0);
+        assert_eq!(topk.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different engine")]
+    fn foreign_scratch_panics_loudly() {
+        let net = Network::new(NetworkConfig::standard(64, 8, 32)).unwrap();
+        let frozen = FrozenNetwork::freeze(&net);
+        let mut bogus: Box<dyn Any + Send> = Box::new(42u32);
+        let idx = [1u32];
+        let val = [1.0f32];
+        frozen.predict_any(SparseVecRef::new(&idx, &val), 1, bogus.as_mut(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! LSH active-set retrieval shared by every frozen serving engine.
+//!
+//! The f32 [`crate::FrozenNetwork`] and the int8 engine in `slide-quant`
+//! score different arenas but retrieve the *same* active sets: hash the last
+//! hidden activation, probe the frozen tables, dedup, and pad
+//! deterministically up to `min_active` — exactly what training-time
+//! retrieval does minus label forcing. [`ActiveSetSelector`] owns that logic
+//! once, so a quantized snapshot retrieves identically to the f32 snapshot
+//! it was built from and any P@1 difference between the two is attributable
+//! to scoring precision alone.
+
+use slide_core::{LshConfig, StampSet};
+use slide_hash::{mix::mix3, LshFamily, LshScratch, LshTables, TableStats};
+
+/// Frozen LSH tables plus the retrieval policy (probes, dedup, padding)
+/// around them. Built once at snapshot time; `&self` thereafter.
+#[derive(Debug)]
+pub struct ActiveSetSelector {
+    family: LshFamily,
+    tables: LshTables,
+    min_active: usize,
+    max_active: Option<usize>,
+    probes: usize,
+    pad_seed: u64,
+    rows: usize,
+}
+
+/// Per-caller mutable state for [`ActiveSetSelector`] queries (and for
+/// inserting rows at build time). One lives inside each engine's serve
+/// scratch.
+#[derive(Debug)]
+pub struct SelectorScratch {
+    lsh: LshScratch,
+    keys: Vec<u32>,
+    candidates: Vec<u32>,
+    dedup: StampSet,
+}
+
+impl ActiveSetSelector {
+    /// Empty tables configured from the network's LSH block. `rows` is the
+    /// output dimensionality (padding universe and `min_active` clamp);
+    /// `seed` is the network seed (table salt and pad stream derive from it
+    /// exactly as the pre-refactor `FrozenNetwork::freeze` did, so frozen
+    /// retrieval is bit-compatible with earlier snapshots).
+    pub fn new(family: LshFamily, lsh: &LshConfig, rows: usize, seed: u64) -> Self {
+        let tables = LshTables::new(
+            lsh.tables,
+            lsh.key_bits,
+            lsh.bucket_cap,
+            lsh.policy,
+            seed ^ 0xF0_7AB1,
+        );
+        ActiveSetSelector {
+            min_active: lsh.min_active.min(rows),
+            max_active: lsh.max_active,
+            probes: lsh.probes.max(1),
+            pad_seed: seed ^ 0x9AD5,
+            family,
+            tables,
+            rows,
+        }
+    }
+
+    /// Allocate query scratch sized for this selector's family and universe.
+    pub fn make_scratch(&self) -> SelectorScratch {
+        SelectorScratch {
+            lsh: self.family.make_scratch(),
+            keys: vec![0; self.family.tables()],
+            candidates: Vec::with_capacity(1024),
+            dedup: StampSet::new(self.rows),
+        }
+    }
+
+    /// Hash `row` (output unit `r`'s weight vector, widened to f32) into
+    /// every table — the build-time half of the selector.
+    pub fn insert(&mut self, r: u32, row: &[f32], scratch: &mut SelectorScratch) {
+        self.family
+            .keys_dense(row, &mut scratch.lsh, &mut scratch.keys);
+        self.tables.insert(&scratch.keys, r);
+    }
+
+    /// Occupancy statistics of the frozen tables.
+    pub fn stats(&self) -> TableStats {
+        self.tables.stats()
+    }
+
+    /// Output-unit universe (`rows` at construction).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Build the active set for hidden activation `h` into `active`:
+    /// deduplicated (multi-probe) table retrievals, then deterministic
+    /// pseudo-random padding up to `min_active`, capped at `max_active`.
+    /// `salt` decorrelates the cold-table padding across queries.
+    pub fn select_into(
+        &self,
+        h: &[f32],
+        scratch: &mut SelectorScratch,
+        active: &mut Vec<u32>,
+        salt: u64,
+    ) {
+        self.family
+            .keys_dense(h, &mut scratch.lsh, &mut scratch.keys);
+        scratch.candidates.clear();
+        if self.probes > 1 {
+            self.tables
+                .query_multiprobe_into(&scratch.keys, self.probes, &mut scratch.candidates);
+        } else {
+            self.tables
+                .query_into(&scratch.keys, &mut scratch.candidates);
+        }
+        scratch.dedup.begin();
+        active.clear();
+        let cap = self.max_active.unwrap_or(usize::MAX);
+        for i in 0..scratch.candidates.len() {
+            if active.len() >= cap {
+                break;
+            }
+            let c = scratch.candidates[i];
+            if scratch.dedup.insert(c) {
+                active.push(c);
+            }
+        }
+        let n = self.rows as u64;
+        let want = self.min_active.min(cap);
+        let mut attempt = 0u64;
+        while active.len() < want {
+            let r = (mix3(self.pad_seed, salt, attempt) % n) as u32;
+            attempt += 1;
+            if scratch.dedup.insert(r) {
+                active.push(r);
+            }
+        }
+    }
+}

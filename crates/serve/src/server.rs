@@ -9,16 +9,21 @@
 //! elapsed since the batch opened, whichever comes first — and fans each
 //! batch across a [`slide_core::ThreadPool`] with per-worker scratch.
 //!
-//! The model itself sits behind `RwLock<Arc<FrozenNetwork>>`: a background
-//! trainer can [`BatchingServer::publish`] a fresh snapshot at any moment
-//! and in-flight traffic migrates to it at the next batch boundary, without
-//! dropping or erroring a single request (the write lock is held only for a
-//! pointer swap; workers run on a cloned `Arc`, never inside the lock).
+//! The model itself sits behind `RwLock<Arc<dyn FrozenModel>>`: a background
+//! trainer can [`BatchingServer::publish`] a fresh snapshot at any moment —
+//! of *any* precision (f32 [`crate::FrozenNetwork`], int8
+//! `QuantizedFrozenNetwork`, or whatever else implements
+//! [`crate::FrozenModel`]) — and in-flight traffic migrates to it at the
+//! next batch boundary, without dropping or erroring a single request (the
+//! write lock is held only for a pointer swap; workers run on a cloned
+//! `Arc`, never inside the lock, and rebuild their engine-owned scratch at
+//! the first batch on a new snapshot).
 
-use crate::frozen::{FrozenNetwork, ServeScratch};
+use crate::model::FrozenModel;
 use parking_lot::{Condvar, Mutex, RwLock};
 use slide_core::ThreadPool;
 use slide_mem::SparseVecRef;
+use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -131,7 +136,7 @@ struct ServerShared {
     queue: Mutex<Queue>,
     not_empty: Condvar,
     not_full: Condvar,
-    model: RwLock<Arc<FrozenNetwork>>,
+    model: RwLock<Arc<dyn FrozenModel>>,
     stats: Mutex<StatsInner>,
     swap_epoch: AtomicU64,
     config: BatchConfig,
@@ -165,7 +170,9 @@ impl SlotPtr {
 }
 
 struct WorkerSlot {
-    scratch: ServeScratch,
+    /// Engine-owned query scratch, opaque to the server (built by —
+    /// and downcast inside — the snapshot that created it).
+    scratch: Box<dyn Any + Send>,
     latencies_us: Vec<u64>,
     errors: u64,
 }
@@ -221,6 +228,9 @@ pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
 /// A point-in-time snapshot of a server's counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeStats {
+    /// Storage precision of the snapshot currently serving traffic
+    /// (`"f32"`, `"bf16-widened-f32"`, `"i8"`).
+    pub precision: String,
     /// Requests answered (including error responses).
     pub served: u64,
     /// Requests answered with an error.
@@ -251,10 +261,11 @@ impl ServeStats {
             .map(|(size, count)| format!("[{size},{count}]"))
             .collect();
         format!(
-            "{{\"served\":{},\"errors\":{},\"batches\":{},\"hot_swaps\":{},\
+            "{{\"precision\":\"{}\",\"served\":{},\"errors\":{},\"batches\":{},\"hot_swaps\":{},\
              \"elapsed_seconds\":{:.3},\"throughput_qps\":{:.1},\"mean_batch\":{:.2},\
              \"latency_us\":{{\"p50\":{},\"p99\":{},\"mean\":{:.1},\"max\":{},\"samples\":{}}},\
              \"batch_hist\":[{}]}}",
+            self.precision,
             self.served,
             self.errors,
             self.batches,
@@ -272,7 +283,8 @@ impl ServeStats {
     }
 }
 
-/// A concurrent inference front-end over a hot-swappable [`FrozenNetwork`].
+/// A concurrent inference front-end over a hot-swappable [`FrozenModel`]
+/// (the f32 [`crate::FrozenNetwork`] or any other frozen engine).
 ///
 /// # Examples
 ///
@@ -295,12 +307,24 @@ pub struct BatchingServer {
 }
 
 impl BatchingServer {
-    /// Start the dispatcher thread serving `model` under `config`.
+    /// Start the dispatcher thread serving `model` under `config`. The
+    /// model may be any [`FrozenModel`] — the f32 [`crate::FrozenNetwork`]
+    /// or a quantized engine.
     ///
     /// # Errors
     ///
     /// Returns the message from [`BatchConfig::validate`].
-    pub fn start(model: FrozenNetwork, config: BatchConfig) -> Result<Self, String> {
+    pub fn start<M: FrozenModel>(model: M, config: BatchConfig) -> Result<Self, String> {
+        Self::start_dyn(Arc::new(model), config)
+    }
+
+    /// Type-erased variant of [`BatchingServer::start`] for callers that
+    /// pick the engine at runtime (e.g. a `--precision {f32,i8}` axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns the message from [`BatchConfig::validate`].
+    pub fn start_dyn(model: Arc<dyn FrozenModel>, config: BatchConfig) -> Result<Self, String> {
         config.validate()?;
         let threads = config.effective_threads();
         let shared = Arc::new(ServerShared {
@@ -310,7 +334,7 @@ impl BatchingServer {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
-            model: RwLock::new(Arc::new(model)),
+            model: RwLock::new(model),
             stats: Mutex::new(StatsInner {
                 latencies_us: Vec::new(),
                 batch_counts: vec![0; config.max_batch + 1],
@@ -342,15 +366,22 @@ impl BatchingServer {
     }
 
     /// The snapshot currently serving traffic.
-    pub fn current(&self) -> Arc<FrozenNetwork> {
+    pub fn current(&self) -> Arc<dyn FrozenModel> {
         self.shared.model.read().clone()
     }
 
     /// Publish a new snapshot; traffic migrates at the next batch boundary.
     /// The write lock is held only for the pointer swap, so publishing never
-    /// stalls readers for longer than an `Arc` assignment.
-    pub fn publish(&self, model: FrozenNetwork) {
-        let model = Arc::new(model);
+    /// stalls readers for longer than an `Arc` assignment. The new snapshot
+    /// need not match the old one's precision (or engine type): workers
+    /// rebuild their engine-owned scratch at the first batch on the new
+    /// model, so f32 → i8 → f32 swaps are invisible to in-flight clients.
+    pub fn publish<M: FrozenModel>(&self, model: M) {
+        self.publish_dyn(Arc::new(model));
+    }
+
+    /// Type-erased variant of [`BatchingServer::publish`].
+    pub fn publish_dyn(&self, model: Arc<dyn FrozenModel>) {
         *self.shared.model.write() = model;
         self.shared.swap_epoch.fetch_add(1, Ordering::AcqRel);
     }
@@ -408,6 +439,7 @@ impl BatchingServer {
     /// batch-merge window (microseconds). Quiesce traffic before comparing
     /// exact counts.
     pub fn stats(&self) -> ServeStats {
+        let precision = self.shared.model.read().precision().to_string();
         let stats = self.shared.stats.lock();
         let elapsed = stats.started.elapsed().as_secs_f64().max(1e-9);
         let batch_hist: Vec<(usize, u64)> = stats
@@ -418,6 +450,7 @@ impl BatchingServer {
             .map(|(s, &c)| (s, c))
             .collect();
         ServeStats {
+            precision,
             served: stats.served,
             errors: stats.errors,
             batches: stats.batches,
@@ -488,8 +521,9 @@ fn dispatcher_loop(shared: &ServerShared) {
     let mut slots: Vec<WorkerSlot> = Vec::new();
     // The snapshot the current slots' scratches were built for; holding the
     // Arc pins the allocation, so pointer equality is ABA-safe and a
-    // hot-swap always triggers a scratch rebuild (shapes may differ).
-    let mut slots_model: Option<Arc<FrozenNetwork>> = None;
+    // hot-swap always triggers a scratch rebuild (shapes — and the scratch's
+    // concrete engine type — may differ across snapshots).
+    let mut slots_model: Option<Arc<dyn FrozenModel>> = None;
     let mut batch: Vec<Request> = Vec::with_capacity(config.max_batch);
     let mut batch_counter = 0u64;
 
@@ -547,7 +581,7 @@ fn dispatcher_loop(shared: &ServerShared) {
         if slots.len() != shared.threads || stale {
             slots = (0..shared.threads)
                 .map(|_| WorkerSlot {
-                    scratch: model.make_scratch(),
+                    scratch: model.make_scratch_any(),
                     latencies_us: Vec::new(),
                     errors: 0,
                 })
@@ -567,7 +601,7 @@ fn dispatcher_loop(shared: &ServerShared) {
             len: slots.len(),
         };
         let batch_ref: &[Request] = &batch;
-        let model_ref: &FrozenNetwork = &model;
+        let model_ref: &dyn FrozenModel = &*model;
         let salt_base = batch_counter << 20;
         pool.run(&|worker| {
             // SAFETY: worker ids are distinct; `slots` outlives `run`.
@@ -581,10 +615,10 @@ fn dispatcher_loop(shared: &ServerShared) {
                 let response = match model_ref.validate_query(&req.indices, &req.values) {
                     Ok(()) => {
                         let x = SparseVecRef::new(&req.indices, &req.values);
-                        Ok(model_ref.predict_sparse(
+                        Ok(model_ref.predict_any(
                             x,
                             req.k,
-                            &mut slot.scratch,
+                            slot.scratch.as_mut(),
                             salt_base | i as u64,
                         ))
                     }
@@ -636,6 +670,10 @@ pub struct BenchMeta<'a> {
     pub max_wait_us: u64,
     /// Top-k requested per query.
     pub k: usize,
+    /// Storage precision of the snapshot under test (`"f32"` / `"i8"` /
+    /// `"bf16-widened-f32"`), so BENCH_serve.json rows are distinguishable
+    /// across the `--precision` axis.
+    pub precision: &'a str,
 }
 
 /// Render one load phase (`"closed"` / `"open"`) as a JSON object.
@@ -656,7 +694,7 @@ pub fn bench_report_json(meta: &BenchMeta<'_>, phases: &[String]) -> String {
     format!(
         "{{\"bench\":\"serve\",\"source\":\"{}\",\"workload\":\"{}\",\"scale\":{},\
          \"clients\":{},\"threads\":{},\"simd_level\":\"{}\",\"kernel_variant\":\"{}\",\
-         \"max_batch\":{},\"max_wait_us\":{},\"k\":{},\"phases\":[{}]}}\n",
+         \"precision\":\"{}\",\"max_batch\":{},\"max_wait_us\":{},\"k\":{},\"phases\":[{}]}}\n",
         meta.source,
         meta.workload,
         meta.scale,
@@ -664,6 +702,7 @@ pub fn bench_report_json(meta: &BenchMeta<'_>, phases: &[String]) -> String {
         meta.threads,
         slide_simd::effective_level(),
         slide_simd::kernel_variant(),
+        meta.precision,
         meta.max_batch,
         meta.max_wait_us,
         meta.k,
@@ -674,6 +713,7 @@ pub fn bench_report_json(meta: &BenchMeta<'_>, phases: &[String]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FrozenNetwork;
     use slide_core::{LshConfig, Network, NetworkConfig};
 
     fn tiny_frozen(seed: u64) -> FrozenNetwork {
@@ -860,6 +900,7 @@ mod tests {
         server.predict(&[1], &[1.0], 1).unwrap();
         let json = stats_when_served(&server, 1).to_json();
         for field in [
+            "\"precision\":\"f32\"",
             "\"served\":1",
             "\"throughput_qps\":",
             "\"latency_us\":",
@@ -890,6 +931,7 @@ mod tests {
                 max_batch: 16,
                 max_wait_us: 100,
                 k: 1,
+                precision: "f32",
             },
             &phases,
         );
@@ -897,6 +939,7 @@ mod tests {
             "\"bench\":\"serve\"",
             "\"source\":\"test\"",
             "\"simd_level\":\"",
+            "\"precision\":\"f32\"",
             "\"phases\":[{\"mode\":\"closed\",\"offered_qps\":null,",
             "{\"mode\":\"open\",\"offered_qps\":123.5,",
             "\"p99\":",

@@ -43,6 +43,11 @@ pub struct RowGather {
     pub w_f32: Vec<*const f32>,
     /// Gathered bf16 weight-row pointers.
     pub w_bf16: Vec<*const u16>,
+    /// Gathered i8 weight-row pointers (quantized serving).
+    pub w_i8: Vec<*const i8>,
+    /// Per-row f32 dequantization scales staged alongside
+    /// [`RowGather::w_i8`].
+    pub scales: Vec<f32>,
     /// Gathered (always-f32) gradient-row pointers.
     pub grad: Vec<*mut f32>,
     /// Row ids staged by callers that filter rows before gathering
@@ -63,6 +68,8 @@ impl RowGather {
     pub fn clear(&mut self) {
         self.w_f32.clear();
         self.w_bf16.clear();
+        self.w_i8.clear();
+        self.scales.clear();
         self.grad.clear();
         self.rows.clear();
         self.deltas.clear();
@@ -78,6 +85,9 @@ type DotF32 = unsafe fn(&[f32], &[f32]) -> f32;
 type AxpyF32 = unsafe fn(f32, &[f32], &mut [f32]);
 type DotBf16 = unsafe fn(&[u16], &[f32]) -> f32;
 type AxpyBf16 = unsafe fn(f32, &[u16], &mut [f32]);
+type DotI8 = unsafe fn(&[i8], &[u8]) -> i32;
+type ScoreI8 = unsafe fn(&[*const i8], &[f32], &[u8], f32, &mut [f32]);
+type GemvI8 = unsafe fn(*const i8, usize, &[f32], &[u8], f32, &[f32], &mut [f32]);
 
 fn dot_bf16_scalar_shim(w: &[u16], x: &[f32]) -> f32 {
     crate::bf16::dot_bf16_scalar(w, x)
@@ -103,15 +113,19 @@ fn axpy_bf16_scalar_shim(alpha: f32, x: &[u16], y: &mut [f32]) {
 pub struct KernelSet {
     level: SimdLevel,
     variant: KernelVariant,
+    int8_isa: crate::int8::Int8Isa,
     dot: DotF32,
     axpy: AxpyF32,
     dot_bf16: DotBf16,
     axpy_bf16: AxpyBf16,
+    dot_i8: DotI8,
     score_f32: ScoreF32,
     score_bf16: ScoreBf16,
+    score_i8: ScoreI8,
     backward_f32: BackwardF32,
     backward_bf16: BackwardBf16,
     gemv_f32: GemvF32,
+    gemv_i8: GemvI8,
 }
 
 impl KernelSet {
@@ -146,39 +160,51 @@ impl KernelSet {
         KernelSet {
             level: SimdLevel::Scalar,
             variant,
+            int8_isa: crate::int8::Int8Isa::Scalar,
             dot: scalar::dot as DotF32,
             axpy: scalar::axpy as AxpyF32,
             dot_bf16: dot_bf16_scalar_shim as DotBf16,
             axpy_bf16: axpy_bf16_scalar_shim as AxpyBf16,
+            dot_i8: crate::int8::dot_i8_scalar_shim as DotI8,
             // The scalar tier has no prefetch: `Blocked` and `Fused` share
             // the interleaved-accumulator implementation.
             score_f32: scalar::score_rows,
             score_bf16: crate::bf16::score_rows_bf16_scalar,
+            score_i8: crate::int8::score_rows_i8_scalar,
             backward_f32: scalar::backward_rows,
             backward_bf16: crate::bf16::backward_rows_bf16_scalar,
             gemv_f32: scalar::gemv,
+            gemv_i8: crate::int8::gemv_i8_scalar,
         }
     }
 
     #[cfg(target_arch = "x86_64")]
     fn avx2(variant: KernelVariant) -> KernelSet {
         use crate::avx2;
+        use crate::int8::x86 as i8x;
         let pf = variant == KernelVariant::Fused;
         KernelSet {
             level: SimdLevel::Avx2,
             variant,
+            int8_isa: crate::int8::Int8Isa::Avx2Maddubs,
             dot: avx2::dot as DotF32,
             axpy: avx2::axpy as AxpyF32,
             // bf16 widening is only vectorized at AVX-512; lower tiers use
             // the portable reference, exactly as the dispatched entry points.
             dot_bf16: dot_bf16_scalar_shim as DotBf16,
             axpy_bf16: axpy_bf16_scalar_shim as AxpyBf16,
+            dot_i8: i8x::dot_i8,
             score_f32: if pf {
                 avx2::score_rows_pf
             } else {
                 avx2::score_rows_nopf
             },
             score_bf16: crate::bf16::score_rows_bf16_scalar,
+            score_i8: if pf {
+                i8x::score_rows_pf
+            } else {
+                i8x::score_rows_nopf
+            },
             backward_f32: if pf {
                 avx2::backward_rows_pf
             } else {
@@ -186,6 +212,7 @@ impl KernelSet {
             },
             backward_bf16: crate::bf16::backward_rows_bf16_scalar,
             gemv_f32: if pf { avx2::gemv_pf } else { avx2::gemv_nopf },
+            gemv_i8: if pf { i8x::gemv_pf } else { i8x::gemv_nopf },
         }
     }
 
@@ -193,10 +220,56 @@ impl KernelSet {
     fn avx512(variant: KernelVariant) -> KernelSet {
         use crate::avx512;
         use crate::bf16::x86 as bf16x;
+        use crate::int8::{x86 as i8x, Int8Isa};
         let pf = variant == KernelVariant::Fused;
+        // The useful 512-bit integer-dot instructions live beyond AVX-512F:
+        // probe vnni/bw once here and fall back to the 256-bit maddubs path
+        // on F-only hosts (correct everywhere, fastest where supported).
+        let int8_isa = crate::int8::int8_isa(SimdLevel::Avx512);
+        let (dot_i8, score_i8, gemv_i8): (DotI8, ScoreI8, GemvI8) = match int8_isa {
+            Int8Isa::Avx512Vnni => (
+                i8x::vnni::dot_i8,
+                if pf {
+                    i8x::vnni::score_rows_pf
+                } else {
+                    i8x::vnni::score_rows_nopf
+                },
+                if pf {
+                    i8x::vnni::gemv_pf
+                } else {
+                    i8x::vnni::gemv_nopf
+                },
+            ),
+            Int8Isa::Avx512Bw => (
+                i8x::bw::dot_i8,
+                if pf {
+                    i8x::bw::score_rows_pf
+                } else {
+                    i8x::bw::score_rows_nopf
+                },
+                if pf {
+                    i8x::bw::gemv_pf
+                } else {
+                    i8x::bw::gemv_nopf
+                },
+            ),
+            _ => (
+                i8x::dot_i8,
+                if pf {
+                    i8x::score_rows_pf
+                } else {
+                    i8x::score_rows_nopf
+                },
+                if pf { i8x::gemv_pf } else { i8x::gemv_nopf },
+            ),
+        };
         KernelSet {
             level: SimdLevel::Avx512,
             variant,
+            int8_isa,
+            dot_i8,
+            score_i8,
+            gemv_i8,
             dot: avx512::dot as DotF32,
             axpy: avx512::axpy as AxpyF32,
             dot_bf16: bf16x::dot_bf16_f32 as DotBf16,
@@ -237,6 +310,124 @@ impl KernelSet {
     /// The kernel variant this table dispatches to.
     pub fn variant(&self) -> KernelVariant {
         self.variant
+    }
+
+    /// The integer-dot instruction path the i8 kernels resolved to (within
+    /// `Avx512`, the `vpdpbusd` / `vpmaddubsw` / 256-bit fallback chain —
+    /// see [`crate::int8::int8_isa`]).
+    pub fn int8_isa(&self) -> crate::int8::Int8Isa {
+        self.int8_isa
+    }
+
+    /// Exact integer dot product `Σ x[i]·w[i]` (u8 activations × i8
+    /// weights) through the resolved tier. Bit-identical across tiers for
+    /// 7-bit activation codes (the quantizer's contract — see
+    /// [`crate::int8`]'s saturation policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn dot_i8(&self, w: &[i8], x: &[u8]) -> i32 {
+        assert_eq!(w.len(), x.len(), "KernelSet::dot_i8: length mismatch");
+        // SAFETY: construction clamps the level to the detected capability
+        // and probes the avx512 sub-features at table build time.
+        unsafe { (self.dot_i8)(w, x) }
+    }
+
+    /// Score a gathered i8 row list:
+    /// `out[i] = (Σ_j x[j]·rows[i][j]) · scales[i] · x_scale` — the
+    /// quantized sibling of [`KernelSet::score_rows_f32`] (callers add
+    /// biases in f32 afterwards, exactly as there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`, `scales`, and `out` lengths disagree.
+    ///
+    /// # Safety
+    ///
+    /// Every `rows[i]` must be valid for `x.len()` i8 reads for the
+    /// duration of the call. Activation codes above 127 may saturate the
+    /// pre-VNNI tiers (the quantizer never produces them).
+    #[inline]
+    pub unsafe fn score_rows_i8(
+        &self,
+        rows: &[*const i8],
+        scales: &[f32],
+        x: &[u8],
+        x_scale: f32,
+        out: &mut [f32],
+    ) {
+        assert_eq!(
+            rows.len(),
+            out.len(),
+            "KernelSet::score_rows_i8: rows/out length mismatch"
+        );
+        assert_eq!(
+            rows.len(),
+            scales.len(),
+            "KernelSet::score_rows_i8: rows/scales length mismatch"
+        );
+        if self.variant == KernelVariant::SingleRow {
+            // The pre-fusion baseline: one dependent integer dot per row.
+            for (r, &p) in rows.iter().enumerate() {
+                let acc = unsafe { (self.dot_i8)(core::slice::from_raw_parts(p, x.len()), x) };
+                out[r] = acc as f32 * scales[r] * x_scale;
+            }
+        } else {
+            unsafe { (self.score_i8)(rows, scales, x, x_scale, out) }
+        }
+    }
+
+    /// Blocked full i8 gemv over a strided row-major arena:
+    /// `out[r] = (Σ_j x[j]·w[r·stride + j]) · scales[r] · x_scale + bias[r]`
+    /// for every `r in 0..out.len()`. Safe: the arena is passed as a slice
+    /// and bounds are checked up front, mirroring [`KernelSet::gemv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias`/`scales` lengths disagree with `out`,
+    /// `stride < x.len()`, or `w` is too short for `out.len()` rows.
+    #[allow(clippy::too_many_arguments)] // mirrors the i8 kernel operand list
+    pub fn gemv_i8(
+        &self,
+        w: &[i8],
+        stride: usize,
+        scales: &[f32],
+        x: &[u8],
+        x_scale: f32,
+        bias: &[f32],
+        out: &mut [f32],
+    ) {
+        let rows = out.len();
+        assert_eq!(bias.len(), rows, "KernelSet::gemv_i8: bias length mismatch");
+        assert_eq!(
+            scales.len(),
+            rows,
+            "KernelSet::gemv_i8: scales length mismatch"
+        );
+        assert!(
+            stride >= x.len(),
+            "KernelSet::gemv_i8: stride {stride} < cols {}",
+            x.len()
+        );
+        if rows == 0 {
+            return;
+        }
+        assert!(
+            w.len() >= (rows - 1) * stride + x.len(),
+            "KernelSet::gemv_i8: arena too short for {rows} rows at stride {stride}"
+        );
+        if self.variant == KernelVariant::SingleRow {
+            for (r, o) in out.iter_mut().enumerate() {
+                // SAFETY: bounds checked above.
+                let acc = unsafe { (self.dot_i8)(&w[r * stride..r * stride + x.len()], x) };
+                *o = acc as f32 * scales[r] * x_scale + bias[r];
+            }
+        } else {
+            // SAFETY: bounds checked above; ISA probed at construction.
+            unsafe { (self.gemv_i8)(w.as_ptr(), stride, scales, x, x_scale, bias, out) }
+        }
     }
 
     /// Inner product `a · b` through the resolved tier (no policy load).
@@ -551,6 +742,35 @@ pub unsafe fn backward_rows_fused_bf16(
 /// One-off dispatched wrapper around [`KernelSet::gemv`].
 pub fn gemv_full_f32(w: &[f32], stride: usize, x: &[f32], bias: &[f32], out: &mut [f32]) {
     KernelSet::resolve().gemv(w, stride, x, bias, out)
+}
+
+/// One-off dispatched wrapper around [`KernelSet::score_rows_i8`].
+///
+/// # Safety
+///
+/// As [`KernelSet::score_rows_i8`].
+pub unsafe fn score_rows_gather_i8(
+    rows: &[*const i8],
+    scales: &[f32],
+    x: &[u8],
+    x_scale: f32,
+    out: &mut [f32],
+) {
+    unsafe { KernelSet::resolve().score_rows_i8(rows, scales, x, x_scale, out) }
+}
+
+/// One-off dispatched wrapper around [`KernelSet::gemv_i8`].
+#[allow(clippy::too_many_arguments)] // mirrors the i8 kernel operand list
+pub fn gemv_full_i8(
+    w: &[i8],
+    stride: usize,
+    scales: &[f32],
+    x: &[u8],
+    x_scale: f32,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    KernelSet::resolve().gemv_i8(w, stride, scales, x, x_scale, bias, out)
 }
 
 #[cfg(test)]

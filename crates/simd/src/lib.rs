@@ -12,6 +12,10 @@
 //! * [`argmax_f32`] / reductions — used by DWTA hashing (§4.3.3) and P@1,
 //! * the [`bf16`] module — software brain-float16 (§4.4) with vectorized
 //!   slice conversions and bf16-weight kernels,
+//! * the [`int8`] module — post-training-quantization kernels for i8
+//!   weights × u8 activations (`vpmaddubsw` on AVX2, `vpdpbusd` where
+//!   AVX-512 VNNI is available), behind [`KernelSet::score_rows_i8`] and
+//!   [`KernelSet::gemv_i8`] for the quantized serving engine,
 //! * [`KernelSet`] / [`RowGather`] — the multi-row fused gather kernels
 //!   (blocked scoring with software prefetch, one-pass fused backward,
 //!   blocked full gemv) behind SLIDE's active-set hot loops, dispatched
@@ -43,6 +47,7 @@
 pub mod bf16;
 mod extra;
 mod gather;
+pub mod int8;
 mod kernels;
 mod policy;
 pub(crate) mod scalar;
@@ -55,8 +60,12 @@ pub(crate) mod avx512;
 pub use bf16::Bf16;
 pub use extra::{norm_sq_f32, scale_add_f32, sub_f32};
 pub use gather::{
-    backward_rows_fused_bf16, backward_rows_fused_f32, gemv_full_f32, score_rows_gather_bf16,
-    score_rows_gather_f32, KernelSet, RowGather,
+    backward_rows_fused_bf16, backward_rows_fused_f32, gemv_full_f32, gemv_full_i8,
+    score_rows_gather_bf16, score_rows_gather_f32, score_rows_gather_i8, KernelSet, RowGather,
+};
+pub use int8::{
+    dequantize_row_f32, int8_isa, quantize_acts_u8, quantize_row_i8, Int8Isa, I8_WEIGHT_MAX,
+    U8_ACT_MAX,
 };
 pub use kernels::{
     adam_step_f32, add_f32, argmax_f32, axpy_f32, dot_f32, scale_f32, sum_f32, AdamStep,

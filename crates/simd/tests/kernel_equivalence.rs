@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 use slide_simd::{
-    adam_step_f32, argmax_f32, axpy_f32, bf16, dot_f32, set_policy, sum_f32, AdamStep, Bf16,
-    KernelSet, KernelVariant, SimdLevel, SimdPolicy,
+    adam_step_f32, argmax_f32, axpy_f32, bf16, dequantize_row_f32, dot_f32, quantize_acts_u8,
+    quantize_row_i8, set_policy, sum_f32, AdamStep, Bf16, KernelSet, KernelVariant, SimdLevel,
+    SimdPolicy,
 };
 
 /// Tests in this binary mutate the process-wide SIMD policy; serialize them.
@@ -326,6 +327,164 @@ proptest! {
                     prop_assert!(
                         (out[r] - reference[r]).abs() <= tol,
                         "gemv {level:?}/{variant:?} r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Int8 quantized kernels. Two layers of contract: (1) every vector
+    // tier reproduces the scalar integer kernel *bit-exactly* (7-bit
+    // activation codes keep `vpmaddubsw` below i16 saturation, so integer
+    // accumulation has one right answer), and (2) the quantized score
+    // approximates the f32 dot of the original operands within the
+    // per-row-scale error budget. Shapes cover empty active sets, ragged
+    // row lists, sub-block row counts, and non-multiple-of-64 columns.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn quantize_dequantize_roundtrip_error_is_bounded(
+        w in prop::collection::vec(-1e3_f32..1e3, 0..300),
+    ) {
+        let mut q = vec![0i8; w.len()];
+        let scale = quantize_row_i8(&w, &mut q);
+        let mut back = vec![0.0f32; w.len()];
+        dequantize_row_f32(&q, scale, &mut back);
+        // Symmetric rounding: per-element error at most half a step.
+        for i in 0..w.len() {
+            prop_assert!(q[i] >= -127, "the -128 code is never produced");
+            prop_assert!(
+                (w[i] - back[i]).abs() <= scale * 0.5 + 1e-6,
+                "i={i}: {} vs {} (scale {scale})",
+                w[i],
+                back[i]
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_acts_roundtrip_is_seven_bit_and_bounded(
+        a in prop::collection::vec(0.0_f32..1e3, 0..300),
+    ) {
+        let mut q = vec![0u8; a.len()];
+        let scale = quantize_acts_u8(&a, &mut q);
+        for i in 0..a.len() {
+            prop_assert!(q[i] <= 127, "activation codes stay 7-bit");
+            prop_assert!(
+                (a[i] - q[i] as f32 * scale).abs() <= scale * 0.5 + 1e-6,
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn score_rows_i8_matches_scalar_reference_everywhere(
+        rows in 0usize..24,
+        cols in 0usize..200,
+        seed in any::<u32>(),
+    ) {
+        let _g = policy_lock();
+        let val = |a: usize, b: usize| {
+            (seed.wrapping_add((a * 131 + b * 17) as u32) % 2001) as f32 / 1000.0 - 1.0
+        };
+        let w: Vec<Vec<f32>> = (0..rows).map(|r| (0..cols).map(|c| val(r, c)).collect()).collect();
+        let acts: Vec<f32> = (0..cols).map(|c| val(9999, c).max(0.0)).collect();
+
+        let mut scales = vec![0.0f32; rows];
+        let mut wq: Vec<Vec<i8>> = vec![vec![0i8; cols]; rows];
+        for r in 0..rows {
+            scales[r] = quantize_row_i8(&w[r], &mut wq[r]);
+        }
+        let mut xq = vec![0u8; cols];
+        let x_scale = quantize_acts_u8(&acts, &mut xq);
+
+        // Reference 1 (exact): the scalar integer kernel.
+        let ptrs: Vec<*const i8> = wq.iter().map(|row| row.as_ptr()).collect();
+        let reference: Vec<f32> = {
+            let ks = KernelSet::for_level_variant(SimdLevel::Scalar, KernelVariant::Fused);
+            let mut out = vec![f32::NAN; rows];
+            unsafe { ks.score_rows_i8(&ptrs, &scales, &xq, x_scale, &mut out) };
+            out
+        };
+        // Reference 2 (approximate): the f32 dot of the *original* operands.
+        let exact: Vec<f32> = with_level(SimdLevel::Scalar, || {
+            w.iter().map(|row| dot_f32(row, &acts)).collect()
+        });
+        for r in 0..rows {
+            // Error budget: half-step per weight times the activation mass,
+            // plus half an activation step times the weight mass.
+            let act_mass: f32 = acts.iter().sum();
+            let w_mass: f32 = w[r].iter().map(|v| v.abs()).sum();
+            let budget = 0.5 * scales[r] * act_mass + 0.5 * x_scale * w_mass + 1e-3;
+            prop_assert!(
+                (reference[r] - exact[r]).abs() <= budget,
+                "quantized score drifted past its error budget r={r}: {} vs {}",
+                reference[r],
+                exact[r]
+            );
+        }
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            for variant in [KernelVariant::SingleRow, KernelVariant::Blocked, KernelVariant::Fused] {
+                let ks = KernelSet::for_level_variant(level, variant);
+                let mut out = vec![f32::NAN; rows];
+                unsafe { ks.score_rows_i8(&ptrs, &scales, &xq, x_scale, &mut out) };
+                for r in 0..rows {
+                    // Integer accumulation has one right answer.
+                    prop_assert_eq!(
+                        out[r].to_bits(),
+                        reference[r].to_bits(),
+                        "i8 {:?}/{:?} ({:?}) r={}",
+                        level,
+                        variant,
+                        ks.int8_isa(),
+                        r
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_i8_matches_scalar_reference_everywhere(
+        rows in 0usize..24,
+        cols in 1usize..120,
+        pad in 0usize..5,
+        seed in any::<u32>(),
+    ) {
+        let _g = policy_lock();
+        let stride = cols + pad;
+        let val = |i: usize| (seed.wrapping_add(i as u32) % 2001) as f32 / 1000.0 - 1.0;
+        let mut arena = vec![0i8; rows * stride];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row: Vec<f32> = (0..cols).map(|c| val(r * 1009 + c)).collect();
+            scales[r] = quantize_row_i8(&row, &mut arena[r * stride..r * stride + cols]);
+        }
+        let acts: Vec<f32> = (0..cols).map(|c| val(c + 7).max(0.0)).collect();
+        let mut xq = vec![0u8; cols];
+        let x_scale = quantize_acts_u8(&acts, &mut xq);
+        let bias: Vec<f32> = (0..rows).map(|r| r as f32 * 0.01 - 0.1).collect();
+
+        let reference: Vec<f32> = {
+            let ks = KernelSet::for_level_variant(SimdLevel::Scalar, KernelVariant::Fused);
+            let mut out = vec![f32::NAN; rows];
+            ks.gemv_i8(&arena, stride, &scales, &xq, x_scale, &bias, &mut out);
+            out
+        };
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512] {
+            for variant in [KernelVariant::SingleRow, KernelVariant::Blocked, KernelVariant::Fused] {
+                let ks = KernelSet::for_level_variant(level, variant);
+                let mut out = vec![f32::NAN; rows];
+                ks.gemv_i8(&arena, stride, &scales, &xq, x_scale, &bias, &mut out);
+                for r in 0..rows {
+                    prop_assert_eq!(
+                        out[r].to_bits(),
+                        reference[r].to_bits(),
+                        "gemv_i8 {:?}/{:?} r={}",
+                        level,
+                        variant,
+                        r
                     );
                 }
             }

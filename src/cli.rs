@@ -156,13 +156,15 @@ USAGE:
                   [--key-bits N] [--k N] [--simhash]
   slide_cli serve-bench [--clients N] [--duration-ms N] [--max-batch N]
                   [--max-wait-us N] [--threads N] [--k N] [--train-epochs N]
-                  [--json FILE]
+                  [--precision f32|i8] [--json FILE]
 
 Datasets use the XC repository format (`parse_xc`/`write_xc`).
 `serve-bench` trains a small synthetic model, serves it through the
 micro-batching pipeline under concurrent closed-loop load with one hot-swap
 mid-run, and writes throughput + p50/p99 latency to FILE
-(default BENCH_serve.json)."
+(default BENCH_serve.json). With `--precision i8` the snapshot is
+post-training int8-quantized (slide-quant) and scored through the integer
+kernels; the report meta records the precision."
 }
 
 fn build_network_config(args: &CliArgs, ds: &Dataset) -> Result<NetworkConfig, CliError> {
@@ -324,6 +326,15 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
     let k = args.get_usize("k", 5)?.max(1);
     let train_epochs = args.get_usize("train-epochs", 2)?.max(1) as u64;
     let json_path = args.get_str("json", "BENCH_serve.json");
+    let precision = match args.get_str("precision", "f32").as_str() {
+        "f32" => "f32",
+        "i8" => "i8",
+        other => {
+            return Err(CliError(format!(
+                "--precision expects f32|i8, got '{other}'"
+            )))
+        }
+    };
 
     // A small learnable workload: big enough that batches exercise the
     // kernels, small enough that the whole run stays in CI-smoke budget.
@@ -350,9 +361,18 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
         trainer.train_epoch(&data.train, epoch);
     }
 
+    // Snapshot factory for the chosen precision (also used for the mid-run
+    // hot-swap, so the swap stays precision-consistent).
+    let freeze = |net: &Network| -> Arc<dyn crate::FrozenModel> {
+        if precision == "i8" {
+            Arc::new(crate::QuantizedFrozenNetwork::quantize(net))
+        } else {
+            Arc::new(FrozenNetwork::freeze(net))
+        }
+    };
     let server = Arc::new(
-        BatchingServer::start(
-            FrozenNetwork::freeze(trainer.network()),
+        BatchingServer::start_dyn(
+            freeze(trainer.network()),
             BatchConfig {
                 max_batch,
                 max_wait: Duration::from_micros(max_wait_us as u64),
@@ -391,7 +411,7 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
         std::thread::sleep(Duration::from_millis(duration_ms as u64 / 2));
         // Background retrain + publish while clients keep submitting.
         trainer.train_epoch(&data.train, train_epochs);
-        server.publish(FrozenNetwork::freeze(trainer.network()));
+        server.publish_dyn(freeze(trainer.network()));
         std::thread::sleep(Duration::from_millis(
             duration_ms as u64 - duration_ms as u64 / 2,
         ));
@@ -418,13 +438,14 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
             max_batch,
             max_wait_us: max_wait_us as u64,
             k,
+            precision,
         },
         &[crate::serve::phase_json("closed", None, &stats)],
     );
     std::fs::write(&json_path, &json)?;
 
     Ok(format!(
-        "serve-bench: {} clients x {}ms closed-loop, {} scoring threads, simd {}\n\
+        "serve-bench: {} clients x {}ms closed-loop, {} scoring threads, simd {}, precision {precision}\n\
          served {} requests in {} batches (mean batch {:.1}), 1 hot-swap, 0 errors\n\
          throughput {:.0} req/s; latency p50 {}us p99 {}us max {}us\n\
          per-client counts: {:?}\n\
@@ -543,6 +564,42 @@ mod tests {
             assert!(body.contains(field), "missing {field} in {body}");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_i8_precision_leg() {
+        let dir = std::env::temp_dir().join(format!("slide_serve_i8_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("BENCH_serve_i8.json");
+        let args = CliArgs::parse([
+            "serve-bench",
+            "--precision",
+            "i8",
+            "--clients",
+            "2",
+            "--duration-ms",
+            "300",
+            "--train-epochs",
+            "1",
+            "--threads",
+            "2",
+            "--max-batch",
+            "16",
+            "--json",
+            json.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("precision i8"), "{report}");
+        assert!(report.contains("1 hot-swap, 0 errors"), "{report}");
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"precision\":\"i8\""), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // And the flag rejects junk.
+        let bad = CliArgs::parse(["serve-bench", "--precision", "fp4"]).unwrap();
+        let err = cmd_serve_bench(&bad).unwrap_err();
+        assert!(err.to_string().contains("--precision"), "{err}");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | [`hash`] | `slide-hash` | DWTA + SimHash LSH families and the multi-table bucket index (§2, §4.3.3) |
 //! | [`data`] | `slide-data` | synthetic Amazon-670K/WikiLSH/Text8 stand-ins, XC-format parsing, P@k metrics |
 //! | [`serve`] | `slide-serve` | frozen-inference snapshots and the micro-batching request pipeline |
+//! | [`quant`] | `slide-quant` | post-training int8 quantized serving snapshots over VNNI-class integer kernels |
 //! | [`baseline`] | `slide-baseline` | dense full-softmax baseline and the modeled V100 column |
 //!
 //! The most common types are re-exported at the top level.
@@ -46,6 +47,7 @@ pub use slide_core as core;
 pub use slide_data as data;
 pub use slide_hash as hash;
 pub use slide_mem as mem;
+pub use slide_quant as quant;
 pub use slide_serve as serve;
 pub use slide_simd as simd;
 
@@ -58,7 +60,10 @@ pub use slide_data::{
     generate_synthetic, generate_text, parse_xc, write_xc, Dataset, DatasetStats, SynthConfig,
     TextConfig,
 };
-pub use slide_serve::{BatchConfig, BatchingServer, FrozenNetwork, ServeError, ServeStats};
+pub use slide_quant::{QuantReport, QuantizedFrozenNetwork};
+pub use slide_serve::{
+    BatchConfig, BatchingServer, FrozenModel, FrozenNetwork, ServeError, ServeStats,
+};
 pub use slide_simd::{
-    set_kernel_variant, set_policy, KernelSet, KernelVariant, SimdLevel, SimdPolicy,
+    set_kernel_variant, set_policy, Int8Isa, KernelSet, KernelVariant, SimdLevel, SimdPolicy,
 };
