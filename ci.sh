@@ -10,7 +10,10 @@
 #                      # tiny configs (seconds, not minutes) to catch bin rot
 #
 # Both gate modes leave a BENCH_train.json at the repo root and smoke leaves
-# a BENCH_serve.json; CI uploads all BENCH_*.json as per-leg artifacts.
+# BENCH_serve.json + BENCH_serve_shard.json + BENCH_serve_i8.json; CI
+# uploads all BENCH_*.json as per-leg artifacts. Gate modes also enforce a
+# test-count ratchet: `cargo test -q` must report at least MIN_TIER1_TESTS
+# passing tests (see below).
 #
 # SLIDE_SIMD={auto|scalar|avx2|avx512} forces the global SimdPolicy inside
 # every test/binary process (the env hook in slide_simd::policy), so the
@@ -83,6 +86,25 @@ if [[ "$MODE" == "smoke" ]]; then
         exit 1
     }
 
+    step "smoke: serve_bench sharded leg (--shards 4, closed sweep + open loop)"
+    # The scatter-gather sharded engine end to end: the closed-loop phase
+    # sweeps N in {1,2,4,8} and the report meta must stamp the shard axis.
+    SLIDE_SCALE=1 SLIDE_EPOCHS=1 SLIDE_SERVE_MS=300 SLIDE_CLIENTS=4 \
+        SLIDE_JSON_OUT=BENCH_serve_shard.json \
+        ./target/release/serve_bench --shards 4 > /dev/null
+    grep -q '"shards":4' BENCH_serve_shard.json || {
+        echo "serve_bench shard smoke: BENCH_serve_shard.json missing shards meta" >&2
+        exit 1
+    }
+    grep -q '"shard_precisions":"f32|f32|f32|f32"' BENCH_serve_shard.json || {
+        echo "serve_bench shard smoke: BENCH_serve_shard.json missing per-shard precision meta" >&2
+        exit 1
+    }
+    grep -q '"mode":"closed","offered_qps":null,"shards":8' BENCH_serve_shard.json || {
+        echo "serve_bench shard smoke: closed-loop shard sweep missing the N=8 point" >&2
+        exit 1
+    }
+
     step "smoke: serve_bench int8 leg (SLIDE_SIMD=avx2, --precision i8)"
     # The quantized serving path, forced to the AVX2 maddubs kernels so the
     # leg exercises a fixed integer ISA regardless of the runner's AVX-512
@@ -114,8 +136,22 @@ if [[ "$MODE" != "quick" ]]; then
     cargo build --release
 fi
 
-step "cargo test -q"
-cargo test -q
+# Test-count ratchet: the tier-1 suite may only grow. The baseline is the
+# previous PR's count; bump it (never lower it) when landing new tests. A
+# drop below the baseline means tests were deleted or silently stopped
+# being discovered (e.g. a [[test]] target fell out of the manifest).
+MIN_TIER1_TESTS=436
+
+step "cargo test -q (ratchet: >= $MIN_TIER1_TESTS tests)"
+TEST_LOG="$(mktemp)"
+cargo test -q 2>&1 | tee "$TEST_LOG"
+TOTAL_TESTS="$(grep -Eo '[0-9]+ passed' "$TEST_LOG" | awk '{s+=$1} END {print s+0}')"
+rm -f "$TEST_LOG"
+echo "tier-1 tests passed: $TOTAL_TESTS (baseline $MIN_TIER1_TESTS)"
+if [[ "$TOTAL_TESTS" -lt "$MIN_TIER1_TESTS" ]]; then
+    echo "ci.sh: test-count ratchet failed: $TOTAL_TESTS < $MIN_TIER1_TESTS" >&2
+    exit 1
+fi
 
 step "cargo test --doc -q"
 cargo test --doc -q

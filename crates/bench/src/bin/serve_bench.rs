@@ -21,9 +21,19 @@
 //! arenas scored through the VNNI-class integer kernels. The report's meta
 //! block stamps the precision so rows stay distinguishable.
 //!
+//! The `--shards N` axis (or `SLIDE_SHARDS=N`) serves the snapshot through
+//! the scatter–gather sharded engine (`slide_serve::shard`, contiguous
+//! plan) at the chosen precision. With `N > 1` the closed-loop phase
+//! becomes a shard-scaling sweep over N ∈ {1, 2, 4, 8} (capped at the
+//! output dimensionality) — one closed phase per shard count, each phase
+//! JSON stamping its own `shards` — followed by the open-loop phase at the
+//! requested N. The meta block stamps `shards` and the per-shard precision
+//! list.
+//!
 //! ```sh
 //! cargo run -p slide-bench --release --bin serve_bench
 //! cargo run -p slide-bench --release --bin serve_bench -- --precision i8
+//! cargo run -p slide-bench --release --bin serve_bench -- --shards 4
 //! SLIDE_SERVE_MS=5000 SLIDE_CLIENTS=16 cargo run -p slide-bench --release --bin serve_bench
 //! ```
 
@@ -32,10 +42,10 @@ use rand::SeedableRng;
 use slide_bench::{epochs, scale, Workload};
 use slide_core::{Network, Trainer};
 use slide_data::{Dataset, Zipf};
-use slide_quant::QuantizedFrozenNetwork;
+use slide_quant::{shard_i8, QuantizedFrozenNetwork};
 use slide_serve::{
     bench_report_json, phase_json, BatchConfig, BatchingServer, BenchMeta, FrozenModel,
-    FrozenNetwork, ServeStats,
+    FrozenNetwork, ServeStats, ShardPlan, ShardedFrozenModel,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -73,10 +83,35 @@ fn precision_axis() -> &'static str {
     }
 }
 
+/// `--shards N` from argv, falling back to `SLIDE_SHARDS`, defaulting to 1
+/// (unsharded). Zero or unparsable values abort with a usage message.
+fn shards_axis() -> usize {
+    let mut args = std::env::args().skip(1);
+    let mut requested = std::env::var("SLIDE_SHARDS").ok();
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            let Some(value) = args.next() else {
+                eprintln!("serve_bench: --shards needs a positive integer");
+                std::process::exit(2);
+            };
+            requested = Some(value);
+        }
+    }
+    match requested.as_deref().map(str::parse::<usize>) {
+        None => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("serve_bench: --shards wants a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// One benchmark phase's outcome plus its offered-load metadata.
 struct PhaseResult {
     mode: &'static str,
     offered_qps: Option<f64>,
+    shards: usize,
     stats: ServeStats,
 }
 
@@ -90,6 +125,7 @@ fn run_closed(
     clients: usize,
     duration: Duration,
     k: usize,
+    shards: usize,
 ) -> PhaseResult {
     server.reset_stats();
     let stop = Arc::new(AtomicBool::new(false));
@@ -116,6 +152,7 @@ fn run_closed(
     PhaseResult {
         mode: "closed",
         offered_qps: None,
+        shards,
         stats: server.stats(),
     }
 }
@@ -126,6 +163,7 @@ fn run_closed(
 /// schedule — not the server — paces arrivals, which is what makes the tail
 /// honest (coordinated-omission-free up to the submitter pool size). As in
 /// the closed phase, `swap_snapshot` is published at the midpoint.
+#[allow(clippy::too_many_arguments)] // a load phase really has this many axes
 fn run_open(
     server: &Arc<BatchingServer>,
     swap_snapshot: Arc<dyn FrozenModel>,
@@ -134,6 +172,7 @@ fn run_open(
     rate_qps: f64,
     duration: Duration,
     k: usize,
+    shards: usize,
 ) -> PhaseResult {
     server.reset_stats();
     let interval = Duration::from_secs_f64(1.0 / rate_qps.max(1.0));
@@ -169,6 +208,7 @@ fn run_open(
     PhaseResult {
         mode: "open",
         offered_qps: Some(rate_qps),
+        shards,
         stats: server.stats(),
     }
 }
@@ -180,9 +220,10 @@ fn print_phase(p: &PhaseResult) {
         None => String::new(),
     };
     println!(
-        "  {:<6} {:>8.0} req/s{offered}  p50 {:>6}us  p99 {:>6}us  max {:>7}us  \
+        "  {:<6} x{:<2} {:>8.0} req/s{offered}  p50 {:>6}us  p99 {:>6}us  max {:>7}us  \
          mean batch {:>5.1}  batches {}  swaps {}  errors {}",
         p.mode,
+        p.shards,
         s.throughput_qps,
         s.latency.p50_us,
         s.latency.p99_us,
@@ -203,11 +244,12 @@ fn main() {
     let max_batch = env_usize("SLIDE_MAX_BATCH", 64);
     let max_wait = Duration::from_micros(env_usize("SLIDE_MAX_WAIT_US", 500) as u64);
     let precision = precision_axis();
+    let shards = shards_axis();
 
     let w = Workload::Amazon670k;
     let (train, test) = w.dataset(scale);
     println!(
-        "serve_bench: workload {} (scale {scale}), {} train / {} test, simd {}, precision {precision}",
+        "serve_bench: workload {} (scale {scale}), {} train / {} test, simd {}, precision {precision}, shards {shards}",
         w.name(),
         train.len(),
         test.len(),
@@ -229,12 +271,22 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    // Snapshot factory for the chosen precision axis — the single
-    // construction site for the serving snapshot and both mid-phase
-    // hot-swap snapshots. The quantization-error report is printed for the
-    // first i8 snapshot only.
+    // Snapshot factory for the chosen precision × shard axes — the single
+    // construction site for every serving snapshot and every mid-phase
+    // hot-swap snapshot (the shard sweep re-freezes at each shard count).
+    // The quantization-error report is printed for the first i8 snapshot
+    // only.
+    let out_dim = trainer.network().config().output_dim;
     let report_printed = std::cell::Cell::new(false);
-    let freeze = |net: &Network| -> Arc<dyn FrozenModel> {
+    let freeze = |net: &Network, n_shards: usize| -> Arc<dyn FrozenModel> {
+        if n_shards > 1 {
+            let plan = ShardPlan::contiguous(n_shards, out_dim).expect("validated shard axis");
+            return if precision == "i8" {
+                Arc::new(shard_i8(net, plan).expect("shardable network"))
+            } else {
+                Arc::new(ShardedFrozenModel::shard_f32(net, plan).expect("shardable network"))
+            };
+        }
         if precision == "i8" {
             let quant = QuantizedFrozenNetwork::quantize(net);
             if !report_printed.replace(true) {
@@ -249,16 +301,49 @@ fn main() {
             Arc::new(FrozenNetwork::freeze(net))
         }
     };
+    if shards > out_dim {
+        eprintln!("serve_bench: --shards {shards} exceeds output dim {out_dim}");
+        std::process::exit(2);
+    }
 
-    let frozen = freeze(trainer.network());
+    // Closed-loop phase(s): a single run when unsharded, a shard-scaling
+    // sweep over N ∈ {1, 2, 4, 8} (plus the requested N, capped at the
+    // output dim) when sharding is requested.
+    let sweep: Vec<usize> = if shards > 1 {
+        let mut s: Vec<usize> = [1usize, 2, 4, 8]
+            .into_iter()
+            .chain(std::iter::once(shards))
+            .filter(|&n| n <= out_dim)
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    } else {
+        vec![1]
+    };
+
+    // Every sweep point serves a snapshot of the *same* trained network,
+    // frozen once per shard count up front (sweep_len snapshots resident —
+    // the price of comparing shard counts over identical weights), and
+    // hot-swaps to a snapshot of a *further-trained* network at t/2, so
+    // each phase exercises a genuine weight-changing publish exactly as
+    // the PR 2–4 protocol did.
+    let serve_models: Vec<Arc<dyn FrozenModel>> = sweep
+        .iter()
+        .map(|&n| freeze(trainer.network(), n))
+        .collect();
+    let at_requested = sweep
+        .iter()
+        .position(|&n| n == shards)
+        .expect("sweep includes the requested shard count");
     println!(
         "frozen snapshot: {:.1} MiB of aligned arenas, precision {}",
-        frozen.arena_bytes() as f64 / (1 << 20) as f64,
-        frozen.precision(),
+        serve_models[at_requested].arena_bytes() as f64 / (1 << 20) as f64,
+        serve_models[at_requested].precision(),
     );
     let server = Arc::new(
         BatchingServer::start_dyn(
-            frozen,
+            serve_models[at_requested].clone(),
             BatchConfig {
                 max_batch,
                 max_wait,
@@ -269,34 +354,61 @@ fn main() {
         .expect("valid batch config"),
     );
 
-    // Train one epoch further per phase up front so both hot-swap snapshots
-    // are ready before any measurement window opens.
+    // Train one epoch further so every hot-swap snapshot has genuinely
+    // different weights from the snapshot it replaces.
     trainer.train_epoch(&train, train_epochs as u64);
-    let swap_closed = freeze(trainer.network());
-    trainer.train_epoch(&train, train_epochs as u64 + 1);
-    let swap_open = freeze(trainer.network());
+    let swap_net = trainer.into_network();
 
-    println!(
-        "phase 1: closed-loop, {clients} clients, {:?}, hot-swap at t/2",
-        duration
-    );
-    let closed = run_closed(&server, swap_closed, &test, clients, duration, k);
-    print_phase(&closed);
-    assert_eq!(closed.stats.errors, 0, "closed-loop requests errored");
+    let mut phases: Vec<PhaseResult> = Vec::new();
+    for (i, &n) in sweep.iter().enumerate() {
+        println!(
+            "phase 1.{}: closed-loop x{n} shard(s), {clients} clients, {:?}, hot-swap at t/2",
+            i + 1,
+            duration
+        );
+        server.publish_dyn(serve_models[i].clone());
+        let closed = run_closed(
+            &server,
+            freeze(&swap_net, n),
+            &test,
+            clients,
+            duration,
+            k,
+            n,
+        );
+        print_phase(&closed);
+        assert_eq!(closed.stats.errors, 0, "closed-loop requests errored");
+        phases.push(closed);
+    }
+    // Open phase: back on the requested shard count, swapping to the
+    // further-trained snapshot at t/2.
+    server.publish_dyn(serve_models[at_requested].clone());
+    let capacity_phase = &phases[at_requested];
 
     // Offer ~60% of measured capacity so the open phase measures queueing
     // under feasible load rather than saturation collapse.
-    let capacity = closed.stats.throughput_qps.max(50.0);
+    let capacity = capacity_phase.stats.throughput_qps.max(50.0);
     let offered = capacity * 0.6;
     println!(
         "phase 2: open-loop at {offered:.0} req/s ({} submitters), {:?}, hot-swap at t/2",
         clients * 4,
         duration
     );
-    let open = run_open(&server, swap_open, &test, clients * 4, offered, duration, k);
+    let open = run_open(
+        &server,
+        freeze(&swap_net, shards),
+        &test,
+        clients * 4,
+        offered,
+        duration,
+        k,
+        shards,
+    );
     print_phase(&open);
     assert_eq!(open.stats.errors, 0, "open-loop requests errored");
+    phases.push(open);
 
+    let shard_precisions = vec![precision; shards].join("|");
     let json = bench_report_json(
         &BenchMeta {
             source: "serve_bench",
@@ -308,11 +420,13 @@ fn main() {
             max_wait_us: max_wait.as_micros() as u64,
             k,
             precision,
+            shards,
+            shard_precisions: &shard_precisions,
         },
-        &[
-            phase_json(closed.mode, closed.offered_qps, &closed.stats),
-            phase_json(open.mode, open.offered_qps, &open.stats),
-        ],
+        &phases
+            .iter()
+            .map(|p| phase_json(p.mode, p.offered_qps, p.shards, &p.stats))
+            .collect::<Vec<_>>(),
     );
     let path = std::env::var("SLIDE_JSON_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     std::fs::write(&path, &json).expect("write BENCH_serve.json");

@@ -227,6 +227,22 @@ impl Trainer {
         self.total_train_seconds
     }
 
+    /// ADAM steps (batches) applied so far. Together with
+    /// [`Trainer::set_adam_steps`] this lets a resumed-from-checkpoint
+    /// trainer continue bit-identically: the step count drives both the
+    /// ADAM bias correction and the per-batch active-set padding salt, so a
+    /// fresh trainer that restores a [`crate::load_checkpoint`] snapshot
+    /// must also restore the step count to reproduce an uninterrupted run.
+    pub fn adam_steps(&self) -> u64 {
+        self.adam_t
+    }
+
+    /// Resume the optimizer clock at `t` applied batches (see
+    /// [`Trainer::adam_steps`]).
+    pub fn set_adam_steps(&mut self, t: u64) {
+        self.adam_t = t;
+    }
+
     /// Train one epoch (shuffled batches) and return its stats.
     ///
     /// # Panics

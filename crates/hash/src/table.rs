@@ -208,6 +208,27 @@ impl LshTables {
         &self.tables[table][key as usize].items
     }
 
+    /// A copy of these tables keeping only the ids for which `keep` returns
+    /// true, preserving per-bucket order. This is how a sharded serving
+    /// engine derives its per-shard tables from one frozen global build:
+    /// because every surviving id keeps its bucket and relative position,
+    /// the union of a partition's retrievals is exactly the original
+    /// tables' retrieval set — bucket-cap eviction happened once, globally,
+    /// before the split, so it cannot diverge between the partitions.
+    ///
+    /// `arrivals` counters are preserved; the copy is intended to be frozen
+    /// (further inserts would reservoir-sample against the pre-split
+    /// arrival history).
+    pub fn retained(&self, keep: &dyn Fn(u32) -> bool) -> LshTables {
+        let mut out = self.clone();
+        for table in &mut out.tables {
+            for bucket in table.iter_mut() {
+                bucket.items.retain(|&id| keep(id));
+            }
+        }
+        out
+    }
+
     /// Remove every id from every bucket (rebuild prologue).
     pub fn clear(&mut self) {
         for table in &mut self.tables {
@@ -335,6 +356,45 @@ mod tests {
         let mut all = Vec::new();
         t.query_multiprobe_into(&[0b0101], 100, &mut all);
         assert!(all.contains(&4));
+    }
+
+    #[test]
+    fn retained_partitions_exactly() {
+        // Overflowing buckets force reservoir eviction; the even/odd
+        // partition of the *frozen* tables must still union back to the
+        // original retrieval set, in order.
+        let mut t = LshTables::new(2, 2, 4, BucketPolicy::Reservoir, 77);
+        for id in 0..64 {
+            t.insert(&[id % 4, (id + 1) % 4], id);
+        }
+        let even = t.retained(&|id| id % 2 == 0);
+        let odd = t.retained(&|id| id % 2 == 1);
+        for table in 0..2 {
+            for key in 0..4u32 {
+                let original = t.bucket(table, key);
+                let mut merged: Vec<u32> = Vec::new();
+                let (mut e, mut o) = (0usize, 0usize);
+                // Stable partition: replaying the original order consumes
+                // both halves exactly.
+                for &id in original {
+                    if id % 2 == 0 {
+                        assert_eq!(even.bucket(table, key)[e], id);
+                        e += 1;
+                    } else {
+                        assert_eq!(odd.bucket(table, key)[o], id);
+                        o += 1;
+                    }
+                    merged.push(id);
+                }
+                assert_eq!(e, even.bucket(table, key).len());
+                assert_eq!(o, odd.bucket(table, key).len());
+            }
+        }
+        assert_eq!(
+            even.stats().stored + odd.stats().stored,
+            t.stats().stored,
+            "partition must cover every stored id exactly once"
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl QuantizedLayer {
     /// are widened first, then re-quantized to i8). `on_row` sees each
     /// row's original f32 values before they are dropped — the hook the
     /// network constructor uses to hash output rows into the LSH tables.
-    fn from_params(
+    pub(crate) fn from_params(
         p: &slide_core::LayerParams,
         name: &str,
         mut on_row: impl FnMut(u32, &[f32]),
@@ -95,6 +95,40 @@ impl QuantizedLayer {
             },
             stats,
         )
+    }
+
+    /// Range-restricted quantized snapshot: quantize only the gathered
+    /// `rows` of a training-layer parameter block into a fresh arena (row
+    /// `i` of the result is source row `rows[i]`). Per-row symmetric
+    /// quantization is a pure function of the row, so a shard built this
+    /// way holds bit-identical codes and scales to the corresponding rows
+    /// of a whole-layer [`QuantizedFrozenNetwork::quantize`] snapshot —
+    /// the property the sharded-serving equivalence suite relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row id is out of range for `p`.
+    pub fn from_params_rows(p: &slide_core::LayerParams, rows: &[u32]) -> Self {
+        let cols = p.cols();
+        let stride = cols.div_ceil(LANE_I8) * LANE_I8;
+        let mut q = AlignedVec::<i8>::zeroed(rows.len() * stride);
+        let mut scales = AlignedVec::<f32>::zeroed(rows.len());
+        let mut row_buf = vec![0.0f32; cols];
+        for (i, &r) in rows.iter().enumerate() {
+            p.widen_row_into(r as usize, &mut row_buf);
+            let qrow = &mut q.as_mut_slice()[i * stride..i * stride + cols];
+            scales.as_mut_slice()[i] = quantize_row_i8(&row_buf, qrow);
+        }
+        let mut bias = AlignedVec::<f32>::zeroed(rows.len());
+        p.bias_gather_into(rows, bias.as_mut_slice());
+        QuantizedLayer {
+            q,
+            scales,
+            bias,
+            rows: rows.len(),
+            cols,
+            stride,
+        }
     }
 
     /// Output units (storage rows).
@@ -311,6 +345,23 @@ impl QuantizedFrozenNetwork {
     /// The per-layer quantization-error report recorded at snapshot time.
     pub fn report(&self) -> &QuantReport {
         &self.report
+    }
+
+    /// The frozen LSH retrieval machinery (partitioning hook for the
+    /// sharded engines in [`crate::shard`]).
+    pub fn selector(&self) -> &ActiveSetSelector {
+        &self.selector
+    }
+
+    /// The frozen hidden layers, in network order (trunk-construction hook
+    /// for [`crate::shard`]).
+    pub fn hidden_layers(&self) -> &[QuantizedLayer] {
+        &self.hidden
+    }
+
+    /// The frozen f32 sparse-input layer.
+    pub fn input_layer(&self) -> &FrozenLayer {
+        &self.input
     }
 
     /// Occupancy statistics of the frozen hash tables.

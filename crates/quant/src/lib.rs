@@ -26,6 +26,12 @@
 //! [`slide_serve::BatchingServer`] can hot-swap between f32 and i8
 //! snapshots mid-traffic without erroring in-flight requests.
 //!
+//! The [`shard`] module contributes the int8 engines for the sharded
+//! serving model (`slide_serve::shard`): [`shard::shard_i8`] cuts an
+//! all-i8 [`slide_serve::ShardedFrozenModel`], and [`shard::i8_engines`]
+//! supplies individual shard engines for per-shard f32↔i8 precision
+//! hot-swaps under live traffic.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -46,8 +52,10 @@
 //! ```
 
 mod frozen;
+pub mod shard;
 
 pub use frozen::{
     p_at_1, p_at_1_frozen, LayerQuantStats, QuantReport, QuantScratch, QuantizedFrozenNetwork,
     QuantizedLayer,
 };
+pub use shard::{i8_engines, shard_i8, I8Shard, I8Trunk};

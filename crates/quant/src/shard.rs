@@ -1,0 +1,427 @@
+//! int8 shard and trunk engines for `slide_serve::shard`.
+//!
+//! A [`slide_serve::ShardedFrozenModel`] is precision-generic: the serve
+//! crate provides the f32 engines, this module provides the int8 ones —
+//! an [`I8Shard`] quantizes only its owned rows (per-row symmetric
+//! quantization is row-pure, so a shard's codes and scales are
+//! bit-identical to the corresponding rows of the unsharded
+//! [`crate::QuantizedFrozenNetwork`]), and an [`I8Trunk`] runs the quantized
+//! hidden stack exactly as the unsharded engine does. Shard LSH tables are
+//! partitions of the global build over the *original f32 rows*, hashed
+//! before the codes are dropped, so retrieval is bit-compatible with both
+//! unsharded engines.
+//!
+//! [`shard_i8`] cuts a whole all-i8 model; [`i8_engines`] returns the
+//! individual shard engines for per-shard precision hot-swaps
+//! ([`slide_serve::ShardedFrozenModel::publish_shard`]) — the f32↔i8
+//! mixed-precision serving axis.
+
+use crate::frozen::QuantizedLayer;
+use slide_core::{relu, Network};
+use slide_hash::TableStats;
+use slide_mem::{AlignedVec, SparseVecRef};
+use slide_serve::shard::build_global_selector;
+use slide_serve::{
+    ActiveSetSelector, FrozenLayer, ShardEngine, ShardIndexer, ShardPlan, ShardScratch,
+    ShardSelector, ShardSelectorScratch, ShardTrunk, ShardedFrozenModel,
+};
+use slide_simd::{quantize_acts_u8, KernelSet};
+use std::any::Any;
+use std::sync::Arc;
+
+/// The int8 trunk: f32 sparse-input layer plus the quantized hidden stack,
+/// forward bit-identical to [`crate::QuantizedFrozenNetwork::forward_hidden`].
+#[derive(Debug)]
+pub struct I8Trunk {
+    input: FrozenLayer,
+    hidden: Vec<QuantizedLayer>,
+}
+
+/// Forward scratch for [`I8Trunk`].
+#[derive(Debug)]
+struct I8TrunkScratch {
+    acts: Vec<AlignedVec<f32>>,
+    qacts: Vec<AlignedVec<u8>>,
+    kernels: KernelSet,
+}
+
+impl I8Trunk {
+    /// Snapshot the input + hidden stack of `net`, quantizing hidden layers
+    /// exactly as [`crate::QuantizedFrozenNetwork::quantize`] does.
+    pub fn from_network(net: &Network) -> Self {
+        I8Trunk {
+            input: FrozenLayer::from_params(net.input().params()),
+            hidden: net
+                .hidden_layers()
+                .iter()
+                .map(|l| {
+                    let rows: Vec<u32> = (0..l.params().rows() as u32).collect();
+                    QuantizedLayer::from_params_rows(l.params(), &rows)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ShardTrunk for I8Trunk {
+    fn precision(&self) -> &'static str {
+        "i8"
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input.rows()
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.hidden
+            .last()
+            .map(QuantizedLayer::rows)
+            .unwrap_or_else(|| self.input.cols())
+    }
+
+    fn arena_bytes(&self) -> usize {
+        self.input.arena_bytes()
+            + self
+                .hidden
+                .iter()
+                .map(QuantizedLayer::arena_bytes)
+                .sum::<usize>()
+    }
+
+    fn make_scratch(&self) -> Box<dyn Any + Send> {
+        let mut widths: Vec<usize> = vec![self.input.cols()];
+        widths.extend(self.hidden.iter().map(QuantizedLayer::rows));
+        Box::new(I8TrunkScratch {
+            acts: widths.iter().map(|&w| AlignedVec::zeroed(w)).collect(),
+            qacts: widths.iter().map(|&w| AlignedVec::zeroed(w)).collect(),
+            kernels: KernelSet::resolve(),
+        })
+    }
+
+    fn forward_into(&self, x: SparseVecRef<'_>, scratch: &mut (dyn Any + Send), out: &mut [f32]) {
+        let scratch = scratch
+            .downcast_mut::<I8TrunkScratch>()
+            .expect("I8Trunk handed scratch built by a different trunk");
+        let ks = scratch.kernels;
+        let acts = &mut scratch.acts;
+        acts[0].as_mut_slice().copy_from_slice(self.input.bias());
+        for (j, v) in x.iter() {
+            ks.axpy(v, self.input.row(j as usize), acts[0].as_mut_slice());
+        }
+        relu(acts[0].as_mut_slice());
+        for (i, layer) in self.hidden.iter().enumerate() {
+            let (src, dst) = acts.split_at_mut(i + 1);
+            let (src, dst) = (src[i].as_slice(), dst[0].as_mut_slice());
+            let xq = scratch.qacts[i].as_mut_slice();
+            let x_scale = quantize_acts_u8(src, xq);
+            ks.gemv_i8(
+                layer.arena(),
+                layer.stride(),
+                layer.scales(),
+                xq,
+                x_scale,
+                layer.bias(),
+                dst,
+            );
+            relu(dst);
+        }
+        out.copy_from_slice(
+            acts.last()
+                .expect("at least the input activation")
+                .as_slice(),
+        );
+    }
+}
+
+/// The int8 output-layer shard: a row-subset [`QuantizedLayer`] arena plus
+/// the shard's slice of the frozen LSH tables (built from the original f32
+/// rows).
+#[derive(Debug)]
+pub struct I8Shard {
+    layer: QuantizedLayer,
+    rows: Vec<u32>,
+    indexer: ShardIndexer,
+    total_rows: usize,
+    selector: ShardSelector,
+}
+
+impl I8Shard {
+    /// Cut all of `plan`'s i8 shards from `net` at once.
+    fn build_all(net: &Network, global: &ActiveSetSelector, plan: &ShardPlan) -> Vec<I8Shard> {
+        let selectors = global.partition_by(plan.shards(), &|id| plan.shard_of(id));
+        selectors
+            .into_iter()
+            .enumerate()
+            .map(|(s, selector)| {
+                let rows = plan.shard_rows(s);
+                let layer = QuantizedLayer::from_params_rows(net.output().params(), &rows);
+                I8Shard {
+                    layer,
+                    rows,
+                    indexer: plan.indexer(s),
+                    total_rows: plan.rows(),
+                    selector,
+                }
+            })
+            .collect()
+    }
+}
+
+impl ShardEngine for I8Shard {
+    fn precision(&self) -> &'static str {
+        "i8"
+    }
+
+    fn global_rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    fn cols(&self) -> usize {
+        self.layer.cols()
+    }
+
+    fn arena_bytes(&self) -> usize {
+        self.layer.arena_bytes()
+    }
+
+    fn table_stats(&self) -> TableStats {
+        self.selector.stats()
+    }
+
+    fn selector_scratch(&self) -> ShardSelectorScratch {
+        self.selector.make_scratch()
+    }
+
+    fn retrieve(&self, h: &[f32], scratch: &mut ShardScratch) {
+        self.selector
+            .retrieve_into(h, &mut scratch.sel, &mut scratch.raw);
+    }
+
+    fn score_active(&self, h: &[f32], scratch: &mut ShardScratch) {
+        let x_scale = quantize_acts_u8(h, scratch.xq.as_mut_slice());
+        scratch.gather.w_i8.clear();
+        scratch.gather.scales.clear();
+        scratch.gather.rows.clear();
+        for i in 0..scratch.active.len() {
+            // O(1) arithmetic global→local; locals staged once and reused
+            // by the bias pass below.
+            let local = self.indexer.local_of(scratch.active[i]);
+            scratch.gather.w_i8.push(self.layer.row_q(local).as_ptr());
+            scratch.gather.scales.push(self.layer.scale(local));
+            scratch.gather.rows.push(local as u32);
+        }
+        scratch.logits.clear();
+        scratch.logits.resize(scratch.active.len(), 0.0);
+        // SAFETY: every gathered pointer spans `cols` codes of the frozen
+        // shard arena, which outlives the call; activation codes are 7-bit
+        // by construction (`quantize_acts_u8`), the pre-VNNI saturation
+        // contract.
+        unsafe {
+            scratch.kernels.score_rows_i8(
+                &scratch.gather.w_i8,
+                &scratch.gather.scales,
+                scratch.xq.as_slice(),
+                x_scale,
+                &mut scratch.logits,
+            );
+        }
+        let bias = self.layer.bias();
+        for (z, &local) in scratch.logits.iter_mut().zip(scratch.gather.rows.iter()) {
+            *z += bias[local as usize];
+        }
+    }
+
+    fn score_all(&self, h: &[f32], scratch: &mut ShardScratch) {
+        let x_scale = quantize_acts_u8(h, scratch.xq.as_mut_slice());
+        scratch.logits.clear();
+        scratch.logits.resize(self.rows.len(), 0.0);
+        scratch.kernels.gemv_i8(
+            self.layer.arena(),
+            self.layer.stride(),
+            self.layer.scales(),
+            scratch.xq.as_slice(),
+            x_scale,
+            self.layer.bias(),
+            &mut scratch.logits,
+        );
+    }
+}
+
+/// Shard `net` into an all-int8 sharded serving model: i8 trunk, one
+/// quantized arena + table partition per shard. Returns exactly the same
+/// top-k as the unsharded [`crate::QuantizedFrozenNetwork`] of the same network
+/// (see the `slide_serve::shard` module docs for the equivalence
+/// argument).
+///
+/// # Errors
+///
+/// Returns a message if the plan does not match the network's output
+/// dimensionality or the network configures `max_active`.
+pub fn shard_i8(net: &Network, plan: ShardPlan) -> Result<ShardedFrozenModel, String> {
+    check_plan(net, &plan)?;
+    let global = build_global_selector(net)?;
+    let trunk = Box::new(I8Trunk::from_network(net));
+    let shards: Vec<Arc<dyn ShardEngine>> = I8Shard::build_all(net, &global, &plan)
+        .into_iter()
+        .map(|s| Arc::new(s) as Arc<dyn ShardEngine>)
+        .collect();
+    ShardedFrozenModel::from_parts(trunk, shards, plan, &global)
+}
+
+/// Plan/network shape agreement, checked before any partitioning (the
+/// partition pass itself would panic on out-of-universe rows).
+fn check_plan(net: &Network, plan: &ShardPlan) -> Result<(), String> {
+    if plan.rows() != net.config().output_dim {
+        return Err(format!(
+            "ShardPlan covers {} rows, network outputs {}",
+            plan.rows(),
+            net.config().output_dim
+        ));
+    }
+    Ok(())
+}
+
+/// The i8 shard engines of `net` under `plan`, for per-shard publication
+/// into an existing model (the f32↔i8 mixed-precision hot-swap axis).
+///
+/// # Errors
+///
+/// As [`shard_i8`].
+pub fn i8_engines(net: &Network, plan: &ShardPlan) -> Result<Vec<Arc<dyn ShardEngine>>, String> {
+    check_plan(net, plan)?;
+    let global = build_global_selector(net)?;
+    Ok(I8Shard::build_all(net, &global, plan)
+        .into_iter()
+        .map(|s| Arc::new(s) as Arc<dyn ShardEngine>)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuantizedFrozenNetwork;
+    use slide_core::{LshConfig, NetworkConfig};
+    use slide_serve::FrozenModel;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut cfg = NetworkConfig::standard(128, 16, 64);
+        cfg.seed = seed;
+        cfg.lsh = LshConfig {
+            tables: 10,
+            key_bits: 4,
+            min_active: 16,
+            ..Default::default()
+        };
+        Network::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn sharded_i8_matches_unsharded_quantized() {
+        let net = tiny_net(21);
+        let quant = QuantizedFrozenNetwork::quantize(&net);
+        let mut qs = quant.make_scratch();
+        for shards in [1usize, 2, 4, 8] {
+            for plan in [
+                ShardPlan::contiguous(shards, 64).unwrap(),
+                ShardPlan::strided(shards, 64).unwrap(),
+            ] {
+                let sharded = shard_i8(&net, plan).unwrap();
+                assert_eq!(FrozenModel::precision(&sharded), "i8");
+                let mut ss = sharded.make_scratch();
+                for s in 0..24u32 {
+                    let idx = [s % 128, (s * 7 + 3) % 128, (s * 31 + 11) % 128];
+                    let val = [1.0f32, -0.5, 0.25];
+                    let x = SparseVecRef::new(&idx, &val);
+                    assert_eq!(
+                        sharded.predict_sparse(x, 4, &mut ss, s as u64),
+                        quant.predict_sparse(x, 4, &mut qs, s as u64),
+                        "sparse diverged: {shards} shards {} sample {s}",
+                        plan.kind_label()
+                    );
+                    assert_eq!(
+                        sharded.predict_full(x, 4, &mut ss),
+                        quant.predict_full(x, 4, &mut qs),
+                        "full diverged: {shards} shards {} sample {s}",
+                        plan.kind_label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_i8_trunk_matches_unsharded_forward() {
+        let mut cfg = NetworkConfig::standard(64, 16, 32);
+        cfg.hidden_dims = vec![16, 12, 8];
+        cfg.lsh.tables = 6;
+        cfg.lsh.key_bits = 4;
+        cfg.lsh.min_active = 8;
+        let net = Network::new(cfg).unwrap();
+        let quant = QuantizedFrozenNetwork::quantize(&net);
+        let sharded = shard_i8(&net, ShardPlan::strided(2, 32).unwrap()).unwrap();
+        let mut qs = quant.make_scratch();
+        let mut ss = sharded.make_scratch();
+        for s in 0..12u32 {
+            let idx = [s % 64, (s * 11 + 5) % 64];
+            let val = [1.0f32, -0.5];
+            let x = SparseVecRef::new(&idx, &val);
+            assert_eq!(
+                sharded.predict_sparse(x, 3, &mut ss, s as u64),
+                quant.predict_sparse(x, 3, &mut qs, s as u64),
+                "deep trunk diverged at sample {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_precision_shards_serve_and_stamp_mixed() {
+        let net = tiny_net(30);
+        let plan = ShardPlan::contiguous(4, 64).unwrap();
+        let sharded = ShardedFrozenModel::shard_f32(&net, plan).unwrap();
+        let i8s = i8_engines(&net, &plan).unwrap();
+        sharded.publish_shard(1, i8s[1].clone()).unwrap();
+        sharded.publish_shard(3, i8s[3].clone()).unwrap();
+        assert_eq!(FrozenModel::precision(&sharded), "mixed");
+        assert_eq!(sharded.shard_precision_label(), "f32|i8|f32|i8");
+        let mut scratch = sharded.make_scratch();
+        for s in 0..16u32 {
+            let idx = [s % 128];
+            let val = [1.0f32];
+            let topk = sharded.predict_sparse(SparseVecRef::new(&idx, &val), 3, &mut scratch, 0);
+            assert_eq!(topk.len(), 3);
+        }
+    }
+
+    #[test]
+    fn mismatched_plan_is_an_error_not_a_panic() {
+        let net = tiny_net(5); // 64 outputs
+        for plan in [
+            ShardPlan::contiguous(2, 32).unwrap(),
+            ShardPlan::strided(4, 128).unwrap(),
+        ] {
+            let err = shard_i8(&net, plan).unwrap_err();
+            assert!(err.contains("64"), "{err}");
+            assert!(i8_engines(&net, &plan).is_err());
+        }
+    }
+
+    #[test]
+    fn i8_arenas_partition_the_unsharded_footprint() {
+        let net = tiny_net(8);
+        let quant = QuantizedFrozenNetwork::quantize(&net);
+        let plan = ShardPlan::contiguous(4, 64).unwrap();
+        let sharded = shard_i8(&net, plan).unwrap();
+        let shard_sum: usize = (0..4).map(|s| sharded.shard(s).arena_bytes()).sum();
+        assert_eq!(
+            shard_sum,
+            quant.output_layer().arena_bytes(),
+            "row-partitioned arenas must cover the unsharded output arena"
+        );
+        let stored: usize = (0..4).map(|s| sharded.shard(s).table_stats().stored).sum();
+        assert_eq!(stored, quant.table_stats().stored);
+    }
+}

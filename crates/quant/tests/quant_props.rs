@@ -220,10 +220,14 @@ fn trained_snapshot_p_at_1_parity_within_half_point() {
         min_active: 16,
         ..Default::default()
     };
+    // Single-threaded training: the parity measurement is deterministic per
+    // SIMD level. (With HOGWILD threads the f32 P@1 wanders run to run and
+    // occasionally lands exactly on the 0.5-point gate — a measured
+    // 0.5475-vs-0.5525 run fails on a float-representation hair.)
     let mut tc = TrainerConfig {
         batch_size: 64,
         learning_rate: 2e-3,
-        threads: 2,
+        threads: 1,
         ..Default::default()
     };
     tc.rebuild.initial_period = 5;
@@ -244,7 +248,7 @@ fn trained_snapshot_p_at_1_parity_within_half_point() {
         "f32 reference P@1 {f32_p1:.3} should beat chance by a wide margin"
     );
     assert!(
-        (f32_p1 - i8_p1).abs() <= 0.005,
+        (f32_p1 - i8_p1).abs() <= 0.005 + 1e-9,
         "quantized P@1 {i8_p1:.4} drifted more than 0.5 points from f32 {f32_p1:.4}"
     );
 }

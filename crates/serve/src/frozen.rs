@@ -56,6 +56,31 @@ impl FrozenLayer {
         }
     }
 
+    /// Range-restricted snapshot: copy only the gathered `rows` of a
+    /// training-layer parameter block into a fresh aligned arena (row `i`
+    /// of the result is source row `rows[i]`, widened to f32). This is how
+    /// a shard builds its arena straight from the network — the full
+    /// output-layer arena is never materialized, only each shard's slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row id is out of range for `p`.
+    pub fn from_params_rows(p: &slide_core::LayerParams, rows: &[u32]) -> Self {
+        let cols = p.cols();
+        let stride = cols.div_ceil(LANE) * LANE;
+        let mut weights = AlignedVec::<f32>::zeroed(rows.len() * stride);
+        p.widen_rows_into(rows, stride, weights.as_mut_slice());
+        let mut bias = AlignedVec::<f32>::zeroed(rows.len());
+        p.bias_gather_into(rows, bias.as_mut_slice());
+        FrozenLayer {
+            weights,
+            bias,
+            rows: rows.len(),
+            cols,
+            stride,
+        }
+    }
+
     /// Storage rows (output units for row-major layers, input features for
     /// the column-major input layer).
     pub fn rows(&self) -> usize {
@@ -210,6 +235,12 @@ impl FrozenNetwork {
     /// table-construction inspection).
     pub fn output_layer(&self) -> &FrozenLayer {
         &self.output
+    }
+
+    /// The frozen LSH retrieval machinery (partitioning hook for
+    /// [`crate::ShardedFrozenModel`] and inspection in tests).
+    pub fn selector(&self) -> &ActiveSetSelector {
+        &self.selector
     }
 
     /// Occupancy statistics of the frozen hash tables.

@@ -19,6 +19,11 @@
 //!   ([`ServeStats`]). `RwLock<Arc<FrozenNetwork>>` hot-swap lets a
 //!   background trainer [`BatchingServer::publish`] fresh snapshots
 //!   mid-traffic without dropping a request.
+//! * [`ShardedFrozenModel`] — the output layer split row-wise across N
+//!   shards ([`shard`] module), each with its own arenas, LSH tables, and
+//!   precision (f32 here, int8 via `slide-quant`), individually
+//!   hot-swappable, scatter–gather merged back to a global top-k that is
+//!   bit-equal to the unsharded engines'.
 //!
 //! # Quickstart
 //!
@@ -46,11 +51,16 @@ mod frozen;
 mod model;
 mod retrieval;
 mod server;
+pub mod shard;
 
 pub use frozen::{FrozenLayer, FrozenNetwork, ServeScratch};
 pub use model::FrozenModel;
-pub use retrieval::{ActiveSetSelector, SelectorScratch};
+pub use retrieval::{ActiveSetSelector, SelectorScratch, ShardSelector, ShardSelectorScratch};
 pub use server::{
     bench_report_json, percentile_us, phase_json, BatchConfig, BatchingServer, BenchMeta,
     LatencySummary, ServeError, ServeStats,
+};
+pub use shard::{
+    F32Shard, F32Trunk, ShardEngine, ShardIndexer, ShardPlan, ShardPlanKind, ShardScratch,
+    ShardTrunk, ShardedFrozenModel, ShardedScratch,
 };

@@ -89,6 +89,40 @@ impl ActiveSetSelector {
         self.rows
     }
 
+    /// Retrieval floor: active sets are padded up to this many rows.
+    pub fn min_active(&self) -> usize {
+        self.min_active
+    }
+
+    /// Optional hard cap on the active-set size.
+    pub fn max_active(&self) -> Option<usize> {
+        self.max_active
+    }
+
+    /// Seed of the deterministic cold-table padding stream (exposed so a
+    /// sharded model can replay the exact same stream globally at merge
+    /// time — see `slide_serve::shard`).
+    pub fn pad_seed(&self) -> u64 {
+        self.pad_seed
+    }
+
+    /// Split this selector into `shards` per-shard retrieval selectors:
+    /// shard `s` keeps exactly the ids with `assign(id) == s`, derived by
+    /// filtering the *frozen* tables (see `LshTables::retained`) so the
+    /// union of the shards' retrievals is bit-for-bit the global retrieval
+    /// set. Padding and capping are deliberately absent from the returned
+    /// [`ShardSelector`]s: they are global policies the sharded model
+    /// applies once, after merging.
+    pub fn partition_by(&self, shards: usize, assign: &dyn Fn(u32) -> usize) -> Vec<ShardSelector> {
+        (0..shards)
+            .map(|s| ShardSelector {
+                family: self.family.clone(),
+                tables: self.tables.retained(&|id| assign(id) == s),
+                probes: self.probes,
+            })
+            .collect()
+    }
+
     /// Build the active set for hidden activation `h` into `active`:
     /// deduplicated (multi-probe) table retrievals, then deterministic
     /// pseudo-random padding up to `min_active`, capped at `max_active`.
@@ -132,5 +166,53 @@ impl ActiveSetSelector {
                 active.push(r);
             }
         }
+    }
+}
+
+/// One shard's slice of a frozen [`ActiveSetSelector`]: the same family
+/// (hence the same per-query keys) over tables holding only the shard's
+/// rows. Produces *raw* retrievals — duplicates across tables included,
+/// no padding, no cap — because deduplication and padding are global
+/// policies the sharded model applies after merging every shard's
+/// candidates (see [`ActiveSetSelector::partition_by`]).
+#[derive(Debug)]
+pub struct ShardSelector {
+    family: LshFamily,
+    tables: LshTables,
+    probes: usize,
+}
+
+/// Per-caller mutable state for [`ShardSelector`] queries.
+#[derive(Debug)]
+pub struct ShardSelectorScratch {
+    lsh: LshScratch,
+    keys: Vec<u32>,
+}
+
+impl ShardSelector {
+    /// Allocate query scratch sized for this selector's family.
+    pub fn make_scratch(&self) -> ShardSelectorScratch {
+        ShardSelectorScratch {
+            lsh: self.family.make_scratch(),
+            keys: vec![0; self.family.tables()],
+        }
+    }
+
+    /// Append this shard's raw candidates for hidden activation `h` to
+    /// `out` (global row ids; may repeat across tables).
+    pub fn retrieve_into(&self, h: &[f32], scratch: &mut ShardSelectorScratch, out: &mut Vec<u32>) {
+        self.family
+            .keys_dense(h, &mut scratch.lsh, &mut scratch.keys);
+        if self.probes > 1 {
+            self.tables
+                .query_multiprobe_into(&scratch.keys, self.probes, out);
+        } else {
+            self.tables.query_into(&scratch.keys, out);
+        }
+    }
+
+    /// Occupancy statistics of this shard's tables.
+    pub fn stats(&self) -> TableStats {
+        self.tables.stats()
     }
 }

@@ -674,13 +674,26 @@ pub struct BenchMeta<'a> {
     /// `"bf16-widened-f32"`), so BENCH_serve.json rows are distinguishable
     /// across the `--precision` axis.
     pub precision: &'a str,
+    /// Output-layer shards of the snapshot under test (1 = unsharded).
+    pub shards: usize,
+    /// Per-shard precision labels joined with `|` (equal to `precision`
+    /// when unsharded or uniformly sharded, e.g. `"f32|i8|f32|f32"` after
+    /// mixed per-shard hot-swaps).
+    pub shard_precisions: &'a str,
 }
 
 /// Render one load phase (`"closed"` / `"open"`) as a JSON object.
-pub fn phase_json(mode: &str, offered_qps: Option<f64>, stats: &ServeStats) -> String {
+/// `shards` is the shard count the phase ran against — stamped per phase
+/// because the closed-loop shard sweep varies it within one report.
+pub fn phase_json(
+    mode: &str,
+    offered_qps: Option<f64>,
+    shards: usize,
+    stats: &ServeStats,
+) -> String {
     let offered = offered_qps.map_or_else(|| "null".to_string(), |q| format!("{q:.1}"));
     format!(
-        "{{\"mode\":\"{mode}\",\"offered_qps\":{offered},\"stats\":{}}}",
+        "{{\"mode\":\"{mode}\",\"offered_qps\":{offered},\"shards\":{shards},\"stats\":{}}}",
         stats.to_json()
     )
 }
@@ -694,7 +707,8 @@ pub fn bench_report_json(meta: &BenchMeta<'_>, phases: &[String]) -> String {
     format!(
         "{{\"bench\":\"serve\",\"source\":\"{}\",\"workload\":\"{}\",\"scale\":{},\
          \"clients\":{},\"threads\":{},\"simd_level\":\"{}\",\"kernel_variant\":\"{}\",\
-         \"precision\":\"{}\",\"max_batch\":{},\"max_wait_us\":{},\"k\":{},\"phases\":[{}]}}\n",
+         \"precision\":\"{}\",\"shards\":{},\"shard_precisions\":\"{}\",\
+         \"max_batch\":{},\"max_wait_us\":{},\"k\":{},\"phases\":[{}]}}\n",
         meta.source,
         meta.workload,
         meta.scale,
@@ -703,6 +717,8 @@ pub fn bench_report_json(meta: &BenchMeta<'_>, phases: &[String]) -> String {
         slide_simd::effective_level(),
         slide_simd::kernel_variant(),
         meta.precision,
+        meta.shards,
+        meta.shard_precisions,
         meta.max_batch,
         meta.max_wait_us,
         meta.k,
@@ -918,8 +934,8 @@ mod tests {
         server.predict(&[1], &[1.0], 1).unwrap();
         let stats = stats_when_served(&server, 1);
         let phases = vec![
-            phase_json("closed", None, &stats),
-            phase_json("open", Some(123.456), &stats),
+            phase_json("closed", None, 1, &stats),
+            phase_json("open", Some(123.456), 4, &stats),
         ];
         let doc = bench_report_json(
             &BenchMeta {
@@ -932,6 +948,8 @@ mod tests {
                 max_wait_us: 100,
                 k: 1,
                 precision: "f32",
+                shards: 4,
+                shard_precisions: "f32|f32|f32|f32",
             },
             &phases,
         );
@@ -940,8 +958,10 @@ mod tests {
             "\"source\":\"test\"",
             "\"simd_level\":\"",
             "\"precision\":\"f32\"",
-            "\"phases\":[{\"mode\":\"closed\",\"offered_qps\":null,",
-            "{\"mode\":\"open\",\"offered_qps\":123.5,",
+            "\"shards\":4",
+            "\"shard_precisions\":\"f32|f32|f32|f32\"",
+            "\"phases\":[{\"mode\":\"closed\",\"offered_qps\":null,\"shards\":1,",
+            "{\"mode\":\"open\",\"offered_qps\":123.5,\"shards\":4,",
             "\"p99\":",
         ] {
             assert!(doc.contains(field), "missing {field} in {doc}");

@@ -1,0 +1,340 @@
+//! Shard-invariance property suite (ISSUE 5 acceptance battery).
+//!
+//! * On a *trained* snapshot, for N ∈ {1, 2, 3, 7} shards, contiguous and
+//!   strided plans, f32 and i8 precisions: `predict_sparse` top-k ids and
+//!   P@1 are **identical** to the unsharded engine of the same precision.
+//! * Proptest generalization: arbitrary (untrained) network seeds and
+//!   query batteries keep the sharded/unsharded top-k equal.
+//! * Mixed-precision hot-swap stress: 5 client threads hammer a
+//!   [`BatchingServer`] over one sharded model while 4 rounds of per-shard
+//!   publishes flip alternating shards f32↔i8 — 0 errors, no torn reads
+//!   (every response well-formed), extending the PR 4 `quant_props` stress
+//!   pattern to per-shard granularity.
+//!
+//! The whole file runs green under forced `SLIDE_SIMD={scalar,avx2,auto}`
+//! (the CI matrix): equivalence is *within* one process's resolved kernel
+//! set, which is exactly what serving guarantees.
+
+use proptest::prelude::*;
+use slide_core::{LshConfig, Network, NetworkConfig, Trainer, TrainerConfig};
+use slide_data::{generate_synthetic, Dataset, SynthConfig};
+use slide_mem::SparseVecRef;
+use slide_quant::{i8_engines, p_at_1, shard_i8, QuantizedFrozenNetwork};
+use slide_serve::{
+    BatchConfig, BatchingServer, FrozenModel, FrozenNetwork, ShardPlan, ShardedFrozenModel,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+fn plans(shards: usize, rows: usize) -> [ShardPlan; 2] {
+    [
+        ShardPlan::contiguous(shards, rows).unwrap(),
+        ShardPlan::strided(shards, rows).unwrap(),
+    ]
+}
+
+fn untrained_net(seed: u64, hidden: usize) -> Network {
+    let mut cfg = NetworkConfig::standard(256, hidden, 96);
+    cfg.seed = seed;
+    cfg.lsh = LshConfig {
+        tables: 10,
+        key_bits: 5,
+        min_active: 24,
+        ..Default::default()
+    };
+    Network::new(cfg).unwrap()
+}
+
+fn query_battery(n: usize, input_dim: usize) -> Vec<(Vec<u32>, Vec<f32>)> {
+    (0..n)
+        .map(|s| {
+            let nnz = 2 + s % 6;
+            let mut idx: Vec<u32> = (0..nnz)
+                .map(|j| ((s * 37 + j * 101 + 7) % input_dim) as u32)
+                .collect();
+            idx.sort_unstable();
+            idx.dedup();
+            let val: Vec<f32> = idx
+                .iter()
+                .enumerate()
+                .map(|(j, _)| 0.2 + ((s + j) % 5) as f32 * 0.4 - 0.4)
+                .collect();
+            (idx, val)
+        })
+        .collect()
+}
+
+/// One trained network + synthetic test split shared by the invariance
+/// tests (training once keeps the battery fast under every SLIDE_SIMD leg).
+fn trained() -> &'static (Network, Dataset) {
+    static TRAINED: OnceLock<(Network, Dataset)> = OnceLock::new();
+    TRAINED.get_or_init(|| {
+        let data = generate_synthetic(&SynthConfig {
+            feature_dim: 256,
+            label_dim: 64,
+            n_train: 600,
+            n_test: 300,
+            proto_nnz: 12,
+            keep_fraction: 0.8,
+            noise_nnz: 2,
+            labels_per_sample: 1,
+            zipf_exponent: 0.4,
+            seed: 11,
+        });
+        let mut cfg = NetworkConfig::standard(256, 24, 64);
+        cfg.lsh = LshConfig {
+            tables: 12,
+            key_bits: 5,
+            min_active: 16,
+            ..Default::default()
+        };
+        let mut tc = TrainerConfig {
+            batch_size: 64,
+            learning_rate: 2e-3,
+            threads: 2,
+            ..Default::default()
+        };
+        tc.rebuild.initial_period = 5;
+        let mut trainer = Trainer::new(Network::new(cfg).unwrap(), tc).unwrap();
+        for epoch in 0..6 {
+            trainer.train_epoch(&data.train, epoch);
+        }
+        (trainer.into_network(), data.test)
+    })
+}
+
+/// P@1 of the f32 sharded sampled path, same protocol as
+/// `slide_quant::p_at_1` (salt = sample index).
+fn p_at_1_sharded_f32(model: &ShardedFrozenModel, data: &Dataset) -> f64 {
+    let mut scratch = model.make_scratch();
+    let (mut hits, mut total) = (0usize, 0usize);
+    for i in 0..data.len() {
+        let labels = data.labels(i);
+        if labels.is_empty() {
+            continue;
+        }
+        let topk = model.predict_sparse(data.features(i), 1, &mut scratch, i as u64);
+        total += 1;
+        if topk.first().is_some_and(|p| labels.contains(p)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / total.max(1) as f64
+}
+
+fn p_at_1_sharded_any(model: &ShardedFrozenModel, data: &Dataset) -> f64 {
+    // Same loop through the type-erased entry point (what the server runs).
+    let mut scratch = model.make_scratch_any();
+    let (mut hits, mut total) = (0usize, 0usize);
+    for i in 0..data.len() {
+        let labels = data.labels(i);
+        if labels.is_empty() {
+            continue;
+        }
+        let topk = model.predict_any(data.features(i), 1, scratch.as_mut(), i as u64);
+        total += 1;
+        if topk.first().is_some_and(|p| labels.contains(p)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / total.max(1) as f64
+}
+
+#[test]
+fn trained_f32_sharding_is_invariant_in_topk_and_p_at_1() {
+    let (net, test) = trained();
+    let frozen = FrozenNetwork::freeze(net);
+    let mut fs = frozen.make_scratch();
+    let reference_p1 = {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for i in 0..test.len() {
+            let labels = test.labels(i);
+            if labels.is_empty() {
+                continue;
+            }
+            let topk = frozen.predict_sparse(test.features(i), 1, &mut fs, i as u64);
+            total += 1;
+            if topk.first().is_some_and(|p| labels.contains(p)) {
+                hits += 1;
+            }
+        }
+        hits as f64 / total.max(1) as f64
+    };
+    assert!(reference_p1 > 0.3, "f32 reference P@1 {reference_p1:.3}");
+
+    for shards in SHARD_COUNTS {
+        for plan in plans(shards, 64) {
+            let sharded = ShardedFrozenModel::shard_f32(net, plan).unwrap();
+            let mut ss = sharded.make_scratch();
+            for i in 0..test.len().min(64) {
+                let x = test.features(i);
+                assert_eq!(
+                    sharded.predict_sparse(x, 5, &mut ss, i as u64),
+                    frozen.predict_sparse(x, 5, &mut fs, i as u64),
+                    "top-5 diverged: {shards} shards {} sample {i}",
+                    plan.kind_label()
+                );
+            }
+            let sharded_p1 = p_at_1_sharded_f32(&sharded, test);
+            assert_eq!(
+                sharded_p1,
+                reference_p1,
+                "P@1 diverged: {shards} shards {}",
+                plan.kind_label()
+            );
+        }
+    }
+}
+
+#[test]
+fn trained_i8_sharding_is_invariant_in_topk_and_p_at_1() {
+    let (net, test) = trained();
+    let quant = QuantizedFrozenNetwork::quantize(net);
+    let mut qs = quant.make_scratch();
+    let reference_p1 = p_at_1(&quant, test);
+
+    for shards in SHARD_COUNTS {
+        for plan in plans(shards, 64) {
+            let sharded = shard_i8(net, plan).unwrap();
+            let mut ss = sharded.make_scratch();
+            for i in 0..test.len().min(64) {
+                let x = test.features(i);
+                assert_eq!(
+                    sharded.predict_sparse(x, 5, &mut ss, i as u64),
+                    quant.predict_sparse(x, 5, &mut qs, i as u64),
+                    "i8 top-5 diverged: {shards} shards {} sample {i}",
+                    plan.kind_label()
+                );
+            }
+            let sharded_p1 = p_at_1_sharded_any(&sharded, test);
+            assert_eq!(
+                sharded_p1,
+                reference_p1,
+                "i8 P@1 diverged: {shards} shards {}",
+                plan.kind_label()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // Generative coverage beyond the trained snapshot: arbitrary network
+    // seeds and hidden widths, every shard count and plan, both
+    // precisions — the scatter-gather merge must reproduce the unsharded
+    // top-k exactly.
+    #[test]
+    fn arbitrary_networks_shard_invariantly(seed in 0u64..1000, hidden in 16usize..64) {
+        let net = untrained_net(seed, hidden);
+        let frozen = FrozenNetwork::freeze(&net);
+        let quant = QuantizedFrozenNetwork::quantize(&net);
+        let queries = query_battery(12, 256);
+        let mut fs = frozen.make_scratch();
+        let mut qs = quant.make_scratch();
+        for shards in SHARD_COUNTS {
+            for plan in plans(shards, 96) {
+                let sharded_f32 = ShardedFrozenModel::shard_f32(&net, plan).unwrap();
+                let sharded_i8 = shard_i8(&net, plan).unwrap();
+                let mut sf = sharded_f32.make_scratch();
+                let mut si = sharded_i8.make_scratch();
+                for (s, (idx, val)) in queries.iter().enumerate() {
+                    let x = SparseVecRef::new(idx, val);
+                    // An all-zero hidden activation against untrained zero
+                    // biases ties every logit at exactly 0.0; tie order is
+                    // shard-major vs table-major and explicitly outside the
+                    // bit-equality contract (slide_serve::shard docs).
+                    frozen.forward_hidden(x, &mut fs);
+                    if fs.acts.last().unwrap().as_slice().iter().all(|&v| v == 0.0) {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        sharded_f32.predict_sparse(x, 4, &mut sf, s as u64),
+                        frozen.predict_sparse(x, 4, &mut fs, s as u64),
+                        "f32 {} shards {} sample {}", shards, plan.kind_label(), s
+                    );
+                    prop_assert_eq!(
+                        sharded_i8.predict_sparse(x, 4, &mut si, s as u64),
+                        quant.predict_sparse(x, 4, &mut qs, s as u64),
+                        "i8 {} shards {} sample {}", shards, plan.kind_label(), s
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Mixed-precision per-shard hot-swap under sustained load: 5 clients ×
+/// 4 publish rounds flipping alternating shards f32↔i8, 0 errors, every
+/// response well-formed, and the final precision stamp proves the swaps
+/// landed.
+#[test]
+fn per_shard_precision_hot_swap_under_load_never_errors() {
+    let (net, test) = trained();
+    let plan = ShardPlan::contiguous(4, 64).unwrap();
+    let model = Arc::new(ShardedFrozenModel::shard_f32(net, plan).unwrap());
+    let f32_shards = ShardedFrozenModel::f32_engines(net, &plan).unwrap();
+    let i8_shards = i8_engines(net, &plan).unwrap();
+
+    let server = Arc::new(
+        BatchingServer::start_dyn(
+            model.clone(),
+            BatchConfig {
+                max_batch: 32,
+                max_wait: Duration::from_micros(300),
+                queue_cap: 256,
+                threads: 2,
+            },
+        )
+        .unwrap(),
+    );
+    assert_eq!(server.stats().precision, "f32");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients = 5usize;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut n = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let x = test.features((c * 31 + n) % test.len());
+                    let topk = server
+                        .predict(x.indices, x.values, 3)
+                        .expect("request failed during per-shard hot-swap");
+                    assert_eq!(topk.len(), 3, "torn response");
+                    n += 1;
+                }
+            });
+        }
+        // 4 publish rounds: each flips two alternating shards to the other
+        // precision while traffic is in flight.
+        for round in 0..4usize {
+            std::thread::sleep(Duration::from_millis(40));
+            let (a, b) = if round % 2 == 0 { (0, 2) } else { (1, 3) };
+            if round < 2 {
+                model.publish_shard(a, i8_shards[a].clone()).unwrap();
+                model.publish_shard(b, i8_shards[b].clone()).unwrap();
+            } else {
+                model.publish_shard(a, f32_shards[a].clone()).unwrap();
+                model.publish_shard(b, f32_shards[b].clone()).unwrap();
+            }
+        }
+        // Land on a mixed configuration so the stamp proves per-shard
+        // granularity survived the churn.
+        model.publish_shard(1, i8_shards[1].clone()).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.errors, 0, "per-shard hot-swap produced errors");
+    assert!(stats.served > clients as u64 * 10);
+    assert_eq!(stats.precision, "mixed");
+    assert_eq!(model.shard_precision_label(), "f32|i8|f32|f32");
+}

@@ -35,6 +35,17 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
+    /// Acquire the lock only if it is free right now (parking_lot 0.12's
+    /// `try_lock`): `None` means another holder has it. A poisoned std
+    /// lock is recovered, as in [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard(Some(guard))),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -168,6 +179,18 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_yields_to_a_holder() {
+        let m = Mutex::new(5);
+        {
+            let held = m.lock();
+            assert!(m.try_lock().is_none());
+            assert_eq!(*held, 5);
+        }
+        *m.try_lock().expect("free after drop") += 1;
+        assert_eq!(*m.lock(), 6);
     }
 
     #[test]

@@ -156,7 +156,7 @@ USAGE:
                   [--key-bits N] [--k N] [--simhash]
   slide_cli serve-bench [--clients N] [--duration-ms N] [--max-batch N]
                   [--max-wait-us N] [--threads N] [--k N] [--train-epochs N]
-                  [--precision f32|i8] [--json FILE]
+                  [--precision f32|i8] [--shards N] [--json FILE]
 
 Datasets use the XC repository format (`parse_xc`/`write_xc`).
 `serve-bench` trains a small synthetic model, serves it through the
@@ -164,7 +164,9 @@ micro-batching pipeline under concurrent closed-loop load with one hot-swap
 mid-run, and writes throughput + p50/p99 latency to FILE
 (default BENCH_serve.json). With `--precision i8` the snapshot is
 post-training int8-quantized (slide-quant) and scored through the integer
-kernels; the report meta records the precision."
+kernels; with `--shards N` the output layer is split row-wise across N
+independently-tabled shards (slide-serve's scatter-gather engine). The
+report meta records the precision and shard count."
 }
 
 fn build_network_config(args: &CliArgs, ds: &Dataset) -> Result<NetworkConfig, CliError> {
@@ -326,6 +328,7 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
     let k = args.get_usize("k", 5)?.max(1);
     let train_epochs = args.get_usize("train-epochs", 2)?.max(1) as u64;
     let json_path = args.get_str("json", "BENCH_serve.json");
+    let shards = args.get_usize("shards", 1)?.max(1);
     let precision = match args.get_str("precision", "f32").as_str() {
         "f32" => "f32",
         "i8" => "i8",
@@ -361,18 +364,27 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
         trainer.train_epoch(&data.train, epoch);
     }
 
-    // Snapshot factory for the chosen precision (also used for the mid-run
-    // hot-swap, so the swap stays precision-consistent).
-    let freeze = |net: &Network| -> Arc<dyn crate::FrozenModel> {
-        if precision == "i8" {
+    // Snapshot factory for the chosen precision × shard axes (also used
+    // for the mid-run hot-swap, so the swap stays configuration-consistent).
+    let freeze = |net: &Network| -> Result<Arc<dyn crate::FrozenModel>, CliError> {
+        if shards > 1 {
+            let plan = crate::serve::ShardPlan::contiguous(shards, net.config().output_dim)
+                .map_err(CliError)?;
+            return Ok(if precision == "i8" {
+                Arc::new(crate::quant::shard_i8(net, plan).map_err(CliError)?)
+            } else {
+                Arc::new(crate::serve::ShardedFrozenModel::shard_f32(net, plan).map_err(CliError)?)
+            });
+        }
+        Ok(if precision == "i8" {
             Arc::new(crate::QuantizedFrozenNetwork::quantize(net))
         } else {
             Arc::new(FrozenNetwork::freeze(net))
-        }
+        })
     };
     let server = Arc::new(
         BatchingServer::start_dyn(
-            freeze(trainer.network()),
+            freeze(trainer.network())?,
             BatchConfig {
                 max_batch,
                 max_wait: Duration::from_micros(max_wait_us as u64),
@@ -409,9 +421,11 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
             .collect();
 
         std::thread::sleep(Duration::from_millis(duration_ms as u64 / 2));
-        // Background retrain + publish while clients keep submitting.
+        // Background retrain + publish while clients keep submitting. The
+        // shard plan was already validated by the startup freeze, so a
+        // mid-run snapshot of the same network cannot fail to build.
         trainer.train_epoch(&data.train, train_epochs);
-        server.publish_dyn(freeze(trainer.network()));
+        server.publish_dyn(freeze(trainer.network()).expect("same plan froze at startup"));
         std::thread::sleep(Duration::from_millis(
             duration_ms as u64 - duration_ms as u64 / 2,
         ));
@@ -428,6 +442,7 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
             stats.errors
         )));
     }
+    let shard_precisions = vec![precision; shards].join("|");
     let json = crate::serve::bench_report_json(
         &crate::serve::BenchMeta {
             source: "slide_cli",
@@ -439,13 +454,15 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
             max_wait_us: max_wait_us as u64,
             k,
             precision,
+            shards,
+            shard_precisions: &shard_precisions,
         },
-        &[crate::serve::phase_json("closed", None, &stats)],
+        &[crate::serve::phase_json("closed", None, shards, &stats)],
     );
     std::fs::write(&json_path, &json)?;
 
     Ok(format!(
-        "serve-bench: {} clients x {}ms closed-loop, {} scoring threads, simd {}, precision {precision}\n\
+        "serve-bench: {} clients x {}ms closed-loop, {} scoring threads, simd {}, precision {precision}, shards {shards}\n\
          served {} requests in {} batches (mean batch {:.1}), 1 hot-swap, 0 errors\n\
          throughput {:.0} req/s; latency p50 {}us p99 {}us max {}us\n\
          per-client counts: {:?}\n\
@@ -600,6 +617,41 @@ mod tests {
         let bad = CliArgs::parse(["serve-bench", "--precision", "fp4"]).unwrap();
         let err = cmd_serve_bench(&bad).unwrap_err();
         assert!(err.to_string().contains("--precision"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_sharded_leg() {
+        let dir = std::env::temp_dir().join(format!("slide_serve_shard_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("BENCH_serve_shard.json");
+        let args = CliArgs::parse([
+            "serve-bench",
+            "--shards",
+            "4",
+            "--clients",
+            "2",
+            "--duration-ms",
+            "300",
+            "--train-epochs",
+            "1",
+            "--threads",
+            "2",
+            "--max-batch",
+            "16",
+            "--json",
+            json.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("shards 4"), "{report}");
+        assert!(report.contains("1 hot-swap, 0 errors"), "{report}");
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"shards\":4"), "{body}");
+        assert!(
+            body.contains("\"shard_precisions\":\"f32|f32|f32|f32\""),
+            "{body}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

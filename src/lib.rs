@@ -60,9 +60,10 @@ pub use slide_data::{
     generate_synthetic, generate_text, parse_xc, write_xc, Dataset, DatasetStats, SynthConfig,
     TextConfig,
 };
-pub use slide_quant::{QuantReport, QuantizedFrozenNetwork};
+pub use slide_quant::{shard_i8, QuantReport, QuantizedFrozenNetwork};
 pub use slide_serve::{
-    BatchConfig, BatchingServer, FrozenModel, FrozenNetwork, ServeError, ServeStats,
+    BatchConfig, BatchingServer, FrozenModel, FrozenNetwork, ServeError, ServeStats, ShardPlan,
+    ShardedFrozenModel,
 };
 pub use slide_simd::{
     set_kernel_variant, set_policy, Int8Isa, KernelSet, KernelVariant, SimdLevel, SimdPolicy,
