@@ -10,7 +10,8 @@
 #                      # tiny configs (seconds, not minutes) to catch bin rot
 #
 # Both gate modes leave a BENCH_train.json at the repo root and smoke leaves
-# BENCH_serve.json + BENCH_serve_shard.json + BENCH_serve_i8.json; CI
+# BENCH_serve.json + BENCH_serve_shard.json + BENCH_serve_i8.json +
+# BENCH_net.json (the loopback 1-router+2-replica fleet leg); CI
 # uploads all BENCH_*.json as per-leg artifacts. Gate modes also enforce a
 # test-count ratchet: `cargo test -q` must report at least MIN_TIER1_TESTS
 # passing tests (see below).
@@ -121,6 +122,29 @@ if [[ "$MODE" == "smoke" ]]; then
         exit 1
     }
 
+    step "smoke: net_bench loopback fleet (1 router + 2 replicas, open loop)"
+    # The whole network tier end to end on loopback sockets: in-process
+    # baseline, single-socket, and router-fronted fleet phases, each with
+    # socket-measured percentiles and an explicit shed-rate column.
+    SLIDE_NET_MS=400 SLIDE_NET_QPS=300 SLIDE_NET_REPLICAS=2 SLIDE_NET_CLIENTS=4 \
+        SLIDE_JSON_OUT=BENCH_net.json ./target/release/net_bench > /dev/null
+    grep -q '"bench":"net"' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing bench meta" >&2
+        exit 1
+    }
+    grep -q '"replicas":2' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing replicas meta" >&2
+        exit 1
+    }
+    grep -q '"shed_rate"' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing shed_rate" >&2
+        exit 1
+    }
+    grep -q '"mode":"fleet"' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing the fleet phase" >&2
+        exit 1
+    }
+
     step "OK — smoke gates passed"
     exit 0
 fi
@@ -140,7 +164,7 @@ fi
 # previous PR's count; bump it (never lower it) when landing new tests. A
 # drop below the baseline means tests were deleted or silently stopped
 # being discovered (e.g. a [[test]] target fell out of the manifest).
-MIN_TIER1_TESTS=436
+MIN_TIER1_TESTS=504
 
 step "cargo test -q (ratchet: >= $MIN_TIER1_TESTS tests)"
 TEST_LOG="$(mktemp)"

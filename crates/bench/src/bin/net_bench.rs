@@ -1,0 +1,205 @@
+//! Network-tier benchmark: the socket and fleet overhead on top of the
+//! in-process serving engine, measured open-loop (see EXPERIMENTS.md §9).
+//!
+//! Three phases, identical offered load, identical deterministic model
+//! (`slide_net::FleetSpec`), identical open-loop generator — so the deltas
+//! isolate each layer:
+//!
+//! * **inproc** — the load generator calls
+//!   `BatchingServer::try_predict` directly: the no-network baseline.
+//! * **socket1** — the same batching server behind one `NetServer`; the
+//!   delta over `inproc` is the wire codec + loopback TCP round trip.
+//! * **fleet** — N replicas (each its own batching server + `NetServer`)
+//!   behind a `Router`; the delta over `socket1` is the extra proxy hop
+//!   plus replica selection.
+//!
+//! Every phase reports socket-measured p50/p99 and the shed rate (explicit
+//! `RetryLater` fraction — admission control shedding, not failure).
+//! Writes `BENCH_net.json` (env `SLIDE_JSON_OUT` overrides the path).
+//!
+//! ```sh
+//! cargo run -p slide-bench --release --bin net_bench
+//! SLIDE_NET_REPLICAS=4 SLIDE_NET_QPS=2000 cargo run -p slide-bench --release --bin net_bench
+//! SLIDE_PRECISION=i8 SLIDE_SHARDS=3 cargo run -p slide-bench --release --bin net_bench
+//! ```
+
+use slide_net::{
+    FleetPrecision, FleetSpec, LoadReport, LoadgenConfig, NetClient, NetConfig, NetServer,
+    RoutePolicy, Router, RouterConfig, SubmitOutcome,
+};
+use slide_serve::{BatchConfig, BatchingServer, FrozenModel, ServeError};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v: &f64| v > 0.0)
+        .unwrap_or(default)
+}
+
+const K: usize = 5;
+
+fn start_replica(model: Arc<dyn FrozenModel>, threads: usize) -> (Arc<BatchingServer>, NetServer) {
+    let batching = Arc::new(
+        BatchingServer::start_dyn(
+            model,
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                queue_cap: 128,
+                threads,
+            },
+        )
+        .expect("batch config"),
+    );
+    let net = NetServer::start(Arc::clone(&batching), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    (batching, net)
+}
+
+fn socket_submitter(
+    addr: std::net::SocketAddr,
+) -> impl FnMut(&[u32], &[f32], usize) -> SubmitOutcome {
+    let mut client = NetClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    move |idx: &[u32], val: &[f32], k: usize| match client.predict(idx, val, k) {
+        Ok(ids) => SubmitOutcome::Ok(ids),
+        Err(slide_net::ClientError::RetryLater { .. }) => SubmitOutcome::RetryLater,
+        Err(e) => match NetClient::connect(addr, Duration::from_secs(5)) {
+            Ok(c) => {
+                client = c;
+                let _ = e;
+                SubmitOutcome::Reconnected
+            }
+            Err(_) => SubmitOutcome::HardError(e.to_string()),
+        },
+    }
+}
+
+fn print_phase(report: &LoadReport, mode: &str) {
+    println!(
+        "  {mode:<8} sent {:>6}  ok {:>6}  shed {:>5.1}%  hard {:>3}  p50 {:>6} us  p99 {:>6} us  \
+         achieved {:>7.1} qps",
+        report.sent,
+        report.ok,
+        report.shed_rate() * 100.0,
+        report.hard_errors,
+        report.latency.p50_us,
+        report.latency.p99_us,
+        report.achieved_qps,
+    );
+}
+
+fn main() {
+    let replicas = env_usize("SLIDE_NET_REPLICAS", 2);
+    let clients = env_usize("SLIDE_NET_CLIENTS", 4);
+    let threads = env_usize("SLIDE_NET_THREADS", 2);
+    let duration = Duration::from_millis(env_usize("SLIDE_NET_MS", 1500) as u64);
+    let offered_qps = env_f64("SLIDE_NET_QPS", 400.0);
+    let shards = std::env::var("SLIDE_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0usize);
+    let precision = match std::env::var("SLIDE_PRECISION").as_deref() {
+        Ok("i8") => FleetPrecision::I8,
+        _ => FleetPrecision::F32,
+    };
+    let spec = FleetSpec {
+        precision,
+        shards,
+        ..Default::default()
+    };
+    let precision_label = match precision {
+        FleetPrecision::F32 => "f32",
+        FleetPrecision::I8 => "i8",
+    };
+    println!(
+        "net_bench: {replicas} replicas, {clients} clients, {offered_qps:.0} qps offered, \
+         {} ms per phase, precision {precision_label}, shards {shards}",
+        duration.as_millis()
+    );
+
+    println!(
+        "building deterministic fleet model (seed {:#x})...",
+        spec.seed
+    );
+    let (model, test) = spec.build();
+    let queries = slide_net::query_battery(&test, 128);
+    let cfg = LoadgenConfig {
+        offered_qps,
+        duration,
+        clients,
+        k: K,
+        ..Default::default()
+    };
+
+    // Phase 1: in-process baseline (no sockets anywhere).
+    let (inproc_server, _inproc_net) = start_replica(Arc::clone(&model), threads);
+    let inproc = slide_net::run_open_loop(&queries, &cfg, |_| {
+        let server = Arc::clone(&inproc_server);
+        move |idx: &[u32], val: &[f32], k: usize| match server.try_predict(idx, val, k) {
+            Ok(ids) => SubmitOutcome::Ok(ids),
+            Err(ServeError::Overloaded(_)) => SubmitOutcome::RetryLater,
+            Err(e) => SubmitOutcome::HardError(e.to_string()),
+        }
+    });
+    print_phase(&inproc, "inproc");
+
+    // Phase 2: one replica over a loopback socket.
+    let (_s1_batching, s1_net) = start_replica(Arc::clone(&model), threads);
+    let s1_addr = s1_net.local_addr();
+    let socket1 = slide_net::run_open_loop(&queries, &cfg, |_| socket_submitter(s1_addr));
+    print_phase(&socket1, "socket1");
+
+    // Phase 3: the fleet — N replicas behind the router.
+    let fleet_replicas: Vec<(Arc<BatchingServer>, NetServer)> = (0..replicas)
+        .map(|_| start_replica(Arc::clone(&model), threads))
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> =
+        fleet_replicas.iter().map(|(_, n)| n.local_addr()).collect();
+    let router = Router::start(
+        "127.0.0.1:0",
+        &addrs,
+        RouterConfig {
+            policy: RoutePolicy::LeastLoad,
+            health_interval: Duration::from_millis(100),
+            ..Default::default()
+        },
+    )
+    .expect("bind router");
+    let router_addr = router.local_addr();
+    let fleet = slide_net::run_open_loop(&queries, &cfg, |_| socket_submitter(router_addr));
+    print_phase(&fleet, "fleet");
+
+    for report in [&inproc, &socket1, &fleet] {
+        assert_eq!(
+            report.hard_errors, 0,
+            "hard errors in a healthy-fleet bench"
+        );
+    }
+
+    let json = format!(
+        "{{\"bench\":\"net\",\"source\":\"net_bench\",\"replicas\":{replicas},\
+         \"policy\":\"least_load\",\"clients\":{clients},\"threads\":{threads},\
+         \"precision\":\"{precision_label}\",\"shards\":{shards},\
+         \"simd_level\":\"{}\",\"kernel_variant\":\"{}\",\"k\":{K},\
+         \"offered_qps\":{offered_qps:.1},\"phases\":[{},{},{}]}}\n",
+        slide_simd::effective_level(),
+        slide_simd::kernel_variant(),
+        inproc.to_json("inproc"),
+        socket1.to_json("socket1"),
+        fleet.to_json("fleet"),
+    );
+    let path = std::env::var("SLIDE_JSON_OUT").unwrap_or_else(|_| "BENCH_net.json".into());
+    std::fs::write(&path, &json).expect("write BENCH_net.json");
+    println!("report written to {path}");
+}

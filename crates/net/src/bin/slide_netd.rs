@@ -1,0 +1,153 @@
+//! `slide_netd` — one serving replica: builds the deterministic
+//! [`FleetSpec`] model, wraps it in a [`slide_serve::BatchingServer`], and
+//! fronts it with a [`NetServer`] on a TCP address.
+//!
+//! Prints `SLIDE_NETD LISTENING <addr>` once ready (parents parse this to
+//! learn an OS-assigned port). Shuts down gracefully when stdin reaches
+//! EOF — the portable SIGTERM-equivalent: the parent holds our stdin pipe
+//! and dropping it (or the parent dying) drains us — or when a client
+//! sends a `Drain` frame.
+
+use slide_net::{FleetPrecision, FleetSpec, NetConfig, NetServer};
+use slide_serve::{BatchConfig, BatchingServer};
+use std::io::Read;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    seed: u64,
+    precision: FleetPrecision,
+    shards: usize,
+    epochs: usize,
+    threads: usize,
+    max_batch: usize,
+    queue_cap: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".into(),
+        seed: FleetSpec::default().seed,
+        precision: FleetPrecision::F32,
+        shards: 0,
+        epochs: 1,
+        threads: 2,
+        max_batch: 8,
+        queue_cap: 64,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = val()?,
+            "--seed" => args.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--precision" => args.precision = FleetPrecision::parse(&val()?)?,
+            "--shards" => args.shards = val()?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--epochs" => args.epochs = val()?.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--threads" => args.threads = val()?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--max-batch" => {
+                args.max_batch = val()?.parse().map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--queue-cap" => {
+                args.queue_cap = val()?.parse().map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Bind with retries: a restarted replica reclaiming its old port can race
+/// the kernel's release of the previous socket (no `SO_REUSEADDR` in plain
+/// `std::net` binds on all platforms), so keep trying for a few seconds.
+fn bind_retrying(addr: &str, patience: Duration) -> std::io::Result<()> {
+    let start = Instant::now();
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(probe) => {
+                drop(probe);
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && start.elapsed() < patience => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("slide_netd: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let spec = FleetSpec {
+        seed: args.seed,
+        precision: args.precision,
+        shards: args.shards,
+        epochs: args.epochs,
+    };
+    let (model, _test) = spec.build();
+    let batching = Arc::new(
+        BatchingServer::start_dyn(
+            model,
+            BatchConfig {
+                max_batch: args.max_batch,
+                max_wait: Duration::from_millis(1),
+                queue_cap: args.queue_cap,
+                threads: args.threads,
+            },
+        )
+        .expect("batch config"),
+    );
+    // A fixed (non-:0) address may still be in TIME_WAIT from the replica
+    // we are replacing; wait it out before the real bind.
+    if !args.addr.ends_with(":0") {
+        if let Err(e) = bind_retrying(&args.addr, Duration::from_secs(10)) {
+            eprintln!("slide_netd: bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    }
+    let mut net = match NetServer::start(Arc::clone(&batching), &args.addr, NetConfig::default()) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("slide_netd: bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("SLIDE_NETD LISTENING {}", net.local_addr());
+    // Watch stdin from a helper thread; EOF (or read error) = parent says
+    // shut down.
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        let mut buf = [0u8; 64];
+        let mut stdin = std::io::stdin().lock();
+        loop {
+            match stdin.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        let _ = tx.send(());
+    });
+    loop {
+        if net.is_draining() {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+        }
+    }
+    net.drain();
+    println!("SLIDE_NETD STATS {}", net.stats().to_json());
+    println!("SLIDE_NETD DRAINED");
+}

@@ -1,0 +1,205 @@
+//! Deterministic fleet fixtures: every replica process (and every test)
+//! that builds a model from the same [`FleetSpec`] gets **bit-identical
+//! weights**, so a router can fail a request over between replicas and the
+//! client cannot tell the difference.
+//!
+//! Determinism is by construction: a fixed-seed synthetic dataset, a
+//! fixed-seed network init, and single-threaded training (HOGWILD with one
+//! worker is sequential SGD — the PR 5 determinism battery proved the
+//! whole pipeline reproducible under `threads: 1`).
+
+use slide_core::{LshConfig, Network, NetworkConfig, Trainer, TrainerConfig};
+use slide_data::{generate_synthetic, Dataset, SynthConfig};
+use slide_quant::QuantizedFrozenNetwork;
+use slide_serve::{FrozenModel, FrozenNetwork, ShardPlan, ShardedFrozenModel};
+use std::sync::Arc;
+
+/// Which frozen engine a fleet runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetPrecision {
+    /// Full-precision [`FrozenNetwork`].
+    F32,
+    /// Post-training int8 [`QuantizedFrozenNetwork`].
+    I8,
+}
+
+impl FleetPrecision {
+    /// Parse a `--precision` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "f32" => Ok(FleetPrecision::F32),
+            "i8" => Ok(FleetPrecision::I8),
+            other => Err(format!("unknown precision '{other}' (want f32 or i8)")),
+        }
+    }
+}
+
+/// Everything needed to reproduce one replica's model bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSpec {
+    /// Master seed for data generation and network init.
+    pub seed: u64,
+    /// Frozen-engine precision.
+    pub precision: FleetPrecision,
+    /// Output-layer shards (0 or 1 = unsharded).
+    pub shards: usize,
+    /// Training epochs (single-threaded; keep small).
+    pub epochs: usize,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec {
+            seed: 0xF1EE7,
+            precision: FleetPrecision::F32,
+            shards: 0,
+            epochs: 1,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// The synthetic workload every fleet fixture trains and serves on:
+    /// small enough that three replica processes can each rebuild it in
+    /// well under a second, structured enough that top-k answers are
+    /// non-trivial.
+    pub fn synth_config(&self) -> SynthConfig {
+        SynthConfig {
+            feature_dim: 256,
+            label_dim: 96,
+            n_train: 1024,
+            n_test: 192,
+            proto_nnz: 16,
+            keep_fraction: 0.7,
+            noise_nnz: 4,
+            labels_per_sample: 2,
+            zipf_exponent: 0.7,
+            seed: self.seed,
+        }
+    }
+
+    fn network_config(&self) -> NetworkConfig {
+        let synth = self.synth_config();
+        let mut cfg = NetworkConfig::standard(synth.feature_dim, 32, synth.label_dim);
+        cfg.seed = self.seed ^ 0x5EED;
+        cfg.lsh = LshConfig {
+            tables: 8,
+            key_bits: 4,
+            min_active: 16,
+            ..Default::default()
+        };
+        cfg
+    }
+
+    /// Train the deterministic network (single-threaded, fixed seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixed spec constants are rejected by config
+    /// validation — impossible unless the spec itself is broken.
+    pub fn train(&self) -> (Network, Dataset) {
+        let synth = generate_synthetic(&self.synth_config());
+        let net = Network::new(self.network_config()).expect("fleet spec network config");
+        let mut trainer = Trainer::new(
+            net,
+            TrainerConfig {
+                batch_size: 128,
+                threads: 1, // sequential SGD ⇒ bit-reproducible weights
+                shuffle_seed: self.seed ^ 0x5467,
+                ..Default::default()
+            },
+        )
+        .expect("fleet spec trainer config");
+        for epoch in 0..self.epochs as u64 {
+            trainer.train_epoch(&synth.train, epoch);
+        }
+        (trainer.into_network(), synth.test)
+    }
+
+    /// Freeze `net` into the engine this spec calls for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard plan is invalid for the network — impossible for
+    /// the fixed spec dimensions.
+    pub fn freeze(&self, net: &Network) -> Arc<dyn FrozenModel> {
+        let rows = self.synth_config().label_dim;
+        match (self.precision, self.shards) {
+            (FleetPrecision::F32, 0 | 1) => Arc::new(FrozenNetwork::freeze(net)),
+            (FleetPrecision::I8, 0 | 1) => Arc::new(QuantizedFrozenNetwork::quantize(net)),
+            (FleetPrecision::F32, n) => {
+                let plan = ShardPlan::contiguous(n, rows).expect("fleet shard plan");
+                Arc::new(ShardedFrozenModel::shard_f32(net, plan).expect("fleet f32 shards"))
+            }
+            (FleetPrecision::I8, n) => {
+                let plan = ShardPlan::contiguous(n, rows).expect("fleet shard plan");
+                Arc::new(slide_quant::shard_i8(net, plan).expect("fleet i8 shards"))
+            }
+        }
+    }
+
+    /// Train + freeze + the test-split query battery, in one call — what
+    /// `slide_netd`, `net_bench`, and the parity tests all share.
+    pub fn build(&self) -> (Arc<dyn FrozenModel>, Dataset) {
+        let (net, test) = self.train();
+        (self.freeze(&net), test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_mem::SparseVecRef;
+    use slide_serve::query_salt;
+
+    #[test]
+    fn same_spec_builds_bit_identical_models() {
+        let spec = FleetSpec {
+            epochs: 1,
+            ..Default::default()
+        };
+        let (a, test_a) = spec.build();
+        let (b, test_b) = spec.build();
+        assert_eq!(test_a.len(), test_b.len());
+        let mut sa = a.make_scratch_any();
+        let mut sb = b.make_scratch_any();
+        for i in 0..8 {
+            let x = test_a.features(i);
+            let salt = query_salt(x.indices, x.values, 5);
+            let ta = a.predict_any(SparseVecRef::new(x.indices, x.values), 5, &mut *sa, salt);
+            let tb = b.predict_any(SparseVecRef::new(x.indices, x.values), 5, &mut *sb, salt);
+            assert_eq!(ta, tb, "query {i} diverged between rebuilds");
+        }
+    }
+
+    #[test]
+    fn precision_and_shard_axes_build() {
+        let (net, _) = FleetSpec::default().train();
+        for (precision, shards, label) in [
+            (FleetPrecision::F32, 0, "f32"),
+            (FleetPrecision::I8, 0, "i8"),
+            (FleetPrecision::F32, 3, "f32"),
+            (FleetPrecision::I8, 3, "i8"),
+        ] {
+            let spec = FleetSpec {
+                precision,
+                shards,
+                ..Default::default()
+            };
+            let model = spec.freeze(&net);
+            assert_eq!(model.precision(), label);
+            assert_eq!(model.output_dim(), 96);
+        }
+    }
+
+    #[test]
+    fn precision_flag_parses() {
+        assert_eq!(FleetPrecision::parse("f32").unwrap(), FleetPrecision::F32);
+        assert_eq!(FleetPrecision::parse("i8").unwrap(), FleetPrecision::I8);
+        assert!(FleetPrecision::parse("fp16").is_err());
+    }
+}

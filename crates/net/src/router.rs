@@ -1,0 +1,613 @@
+//! `slide_router`: a wire-protocol proxy that spreads predict traffic
+//! across N replica daemons with health checks, ejection, and
+//! one-retry failover.
+//!
+//! The router speaks the same frame protocol on both sides: clients connect
+//! to it exactly as they would to a single `slide_netd`, and it forwards
+//! each predict to a replica over a per-connection cached [`NetClient`].
+//! Because the serving salt is content-derived (`slide_serve::query_salt`),
+//! any replica of the same snapshot returns a bit-identical answer — which
+//! is what makes transparent failover sound.
+//!
+//! **Health:** a background thread pings every replica each
+//! `health_interval`. `eject_after` consecutive failures mark a replica
+//! unhealthy (ejected from routing); a single successful ping readmits it.
+//! Request-path replica faults also count toward ejection.
+//!
+//! **Failover:** a replica fault on the request path (socket death, wire
+//! garbage, `Unavailable`) triggers exactly one retry on a *different*
+//! healthy replica. `RetryLater` and `Invalid` pass through untouched —
+//! they are verdicts about load and about the request, not about the
+//! replica. No healthy replica ⇒ the client gets `RetryLater`.
+
+use crate::client::{ClientError, NetClient};
+use crate::server::NetConfig;
+use crate::stream::{read_frame, write_frame, ReadOutcome};
+use crate::wire::{ErrorCode, Frame, PongInfo, WireError};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the router picks a replica for a predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Fewest in-flight forwards among healthy replicas (power of all
+    /// choices — replica counts are small).
+    LeastLoad,
+    /// Hash the query's feature indices onto a 64-vnode-per-replica ring;
+    /// walk clockwise to the first healthy replica. Keeps a given query on
+    /// a stable replica (cache/NUMA affinity) with minimal disruption when
+    /// replicas come and go.
+    ConsistentHash,
+}
+
+/// Router tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Replica-selection policy.
+    pub policy: RoutePolicy,
+    /// Health-ping period.
+    pub health_interval: Duration,
+    /// Per-forward request timeout (each of the two attempts gets one).
+    pub request_timeout: Duration,
+    /// TCP connect timeout toward replicas.
+    pub connect_timeout: Duration,
+    /// Consecutive failures (pings or forwards) before ejection.
+    pub eject_after: u32,
+    /// Listener-side socket knobs.
+    pub net: NetConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            policy: RoutePolicy::LeastLoad,
+            health_interval: Duration::from_millis(200),
+            request_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_millis(500),
+            eject_after: 2,
+            net: NetConfig::default(),
+        }
+    }
+}
+
+/// One replica's live state, shared between the health thread and every
+/// connection thread.
+struct ReplicaState {
+    addr: SocketAddr,
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+    inflight: AtomicUsize,
+    forwarded: AtomicU64,
+    failed: AtomicU64,
+    ejections: AtomicU64,
+    readmissions: AtomicU64,
+}
+
+impl ReplicaState {
+    fn mark_failure(&self, eject_after: u32) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        let fails = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        if fails >= eject_after && self.healthy.swap(false, Ordering::AcqRel) {
+            self.ejections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn mark_ping_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Release);
+        if !self.healthy.swap(true, Ordering::AcqRel) {
+            self.readmissions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+struct RouterShared {
+    cfg: RouterConfig,
+    replicas: Vec<ReplicaState>,
+    ring: Vec<(u64, usize)>,
+    local_addr: SocketAddr,
+    draining: AtomicBool,
+    conn_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+const VNODES_PER_REPLICA: u64 = 64;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Build the consistent-hash ring: 64 virtual nodes per replica, positions
+/// derived from (replica index, vnode index) so the ring is identical
+/// across router restarts.
+fn build_ring(n_replicas: usize) -> Vec<(u64, usize)> {
+    let mut ring = Vec::with_capacity(n_replicas * VNODES_PER_REPLICA as usize);
+    for r in 0..n_replicas {
+        for v in 0..VNODES_PER_REPLICA {
+            ring.push((splitmix64(((r as u64) << 32) | (v + 1)), r));
+        }
+    }
+    ring.sort_unstable();
+    ring
+}
+
+/// Hash a query's feature indices to a ring position.
+fn query_ring_key(indices: &[u32]) -> u64 {
+    let mut h = 0x5151_5151_5151_5151u64;
+    for &i in indices {
+        h = splitmix64(h ^ u64::from(i));
+    }
+    h
+}
+
+/// Walk the ring from `key` to the first replica passing `is_ok`.
+fn ring_pick(ring: &[(u64, usize)], key: u64, is_ok: impl Fn(usize) -> bool) -> Option<usize> {
+    if ring.is_empty() {
+        return None;
+    }
+    let start = ring.partition_point(|&(pos, _)| pos < key);
+    for off in 0..ring.len() {
+        let (_, r) = ring[(start + off) % ring.len()];
+        if is_ok(r) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// The fleet front-end. Dropping it drains the listener and joins all
+/// threads (replica daemons are left running — they are other processes'
+/// responsibility).
+pub struct Router {
+    shared: Arc<RouterShared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    health: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Bind `addr` and start routing to `replicas`.
+    ///
+    /// # Errors
+    ///
+    /// Any bind/spawn failure, as `std::io::Error`.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        replicas: &[SocketAddr],
+        cfg: RouterConfig,
+    ) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            replicas: replicas
+                .iter()
+                .map(|&addr| ReplicaState {
+                    addr,
+                    // Optimistic start: the first health cycle corrects it.
+                    healthy: AtomicBool::new(true),
+                    consecutive_failures: AtomicU32::new(0),
+                    inflight: AtomicUsize::new(0),
+                    forwarded: AtomicU64::new(0),
+                    failed: AtomicU64::new(0),
+                    ejections: AtomicU64::new(0),
+                    readmissions: AtomicU64::new(0),
+                })
+                .collect(),
+            ring: build_ring(replicas.len()),
+            cfg,
+            local_addr,
+            draining: AtomicBool::new(false),
+            conn_handles: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("slide-router-accept".into())
+                .spawn(move || router_accept_loop(&listener, &shared))?
+        };
+        let health = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("slide-router-health".into())
+                .spawn(move || health_loop(&shared))?
+        };
+        Ok(Router {
+            shared,
+            accept: Some(accept),
+            health: Some(health),
+        })
+    }
+
+    /// The bound listener address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Whether a drain has been requested (by [`Router::drain`] or a
+    /// client's `Drain` frame).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// How many replicas currently pass health checks.
+    pub fn healthy_replicas(&self) -> usize {
+        self.shared
+            .replicas
+            .iter()
+            .filter(|r| r.healthy.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Per-replica counters as a JSON object (the router's `GetStats`
+    /// response).
+    pub fn stats_json(&self) -> String {
+        router_stats_json(&self.shared)
+    }
+
+    /// Stop accepting and join every thread.
+    pub fn drain(&mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.health.take() {
+            let _ = h.join();
+        }
+        loop {
+            let handles: Vec<_> = self.shared.conn_handles.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn router_stats_json(shared: &RouterShared) -> String {
+    let reps: Vec<String> = shared
+        .replicas
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"addr\":\"{}\",\"healthy\":{},\"inflight\":{},\"forwarded\":{},\
+                 \"failed\":{},\"ejections\":{},\"readmissions\":{}}}",
+                r.addr,
+                r.healthy.load(Ordering::Acquire),
+                r.inflight.load(Ordering::Relaxed),
+                r.forwarded.load(Ordering::Relaxed),
+                r.failed.load(Ordering::Relaxed),
+                r.ejections.load(Ordering::Relaxed),
+                r.readmissions.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    let healthy = shared
+        .replicas
+        .iter()
+        .filter(|r| r.healthy.load(Ordering::Acquire))
+        .count();
+    format!(
+        "{{\"role\":\"router\",\"policy\":\"{}\",\"replicas\":{},\"healthy\":{},\
+         \"replica_stats\":[{}]}}",
+        match shared.cfg.policy {
+            RoutePolicy::LeastLoad => "least_load",
+            RoutePolicy::ConsistentHash => "consistent_hash",
+        },
+        shared.replicas.len(),
+        healthy,
+        reps.join(",")
+    )
+}
+
+fn health_loop(shared: &Arc<RouterShared>) {
+    let mut nonce = 0u64;
+    // Health connections are long-lived; reconnect lazily on failure.
+    let mut conns: Vec<Option<NetClient>> = shared.replicas.iter().map(|_| None).collect();
+    while !shared.draining.load(Ordering::Acquire) {
+        for (i, rep) in shared.replicas.iter().enumerate() {
+            nonce += 1;
+            let ok = ping_replica(&mut conns[i], rep.addr, nonce, &shared.cfg);
+            if ok {
+                rep.mark_ping_success();
+            } else {
+                conns[i] = None;
+                rep.mark_failure(shared.cfg.eject_after);
+            }
+        }
+        std::thread::sleep(shared.cfg.health_interval);
+    }
+}
+
+fn ping_replica(
+    conn: &mut Option<NetClient>,
+    addr: SocketAddr,
+    nonce: u64,
+    cfg: &RouterConfig,
+) -> bool {
+    if conn.is_none() {
+        match NetClient::connect(addr, cfg.connect_timeout) {
+            Ok(mut c) => {
+                c.set_timeout(cfg.request_timeout);
+                *conn = Some(c);
+            }
+            Err(_) => return false,
+        }
+    }
+    match conn.as_mut().expect("just connected").ping(nonce) {
+        // A draining replica still answers pings but must stop getting
+        // traffic: treat it as a failed check.
+        Ok(info) => !info.draining,
+        Err(_) => false,
+    }
+}
+
+fn router_accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("slide-router-conn-{peer}"))
+                    .spawn(move || router_connection_loop(stream, &shared2));
+                if let Ok(h) = handle {
+                    let mut handles = shared.conn_handles.lock();
+                    handles.retain(|h| !h.is_finished());
+                    handles.push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.net.poll_interval.min(Duration::from_millis(10)));
+            }
+            Err(_) => std::thread::sleep(shared.cfg.net.poll_interval),
+        }
+    }
+}
+
+fn router_connection_loop(mut stream: TcpStream, shared: &RouterShared) {
+    let cfg = &shared.cfg;
+    if stream
+        .set_read_timeout(Some(cfg.net.poll_interval))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(cfg.net.write_timeout))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    // Replica connections are cached per client connection so a steady
+    // client reuses warm sockets end to end.
+    let mut replica_conns: Vec<Option<NetClient>> = shared.replicas.iter().map(|_| None).collect();
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        let frame = match read_frame(&mut stream, cfg.net.max_payload, cfg.net.frame_deadline) {
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Frame(f)) => f,
+            Err(e) => {
+                if !matches!(e, WireError::Stalled | WireError::Io(..)) {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::Error {
+                            req_id: 0,
+                            code: ErrorCode::Protocol,
+                            message: e.to_string(),
+                        },
+                    );
+                }
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+        };
+        let keep_going = match frame {
+            Frame::Predict(req) => {
+                let reply = forward_predict(shared, &mut replica_conns, &req);
+                write_frame(&mut stream, &reply).is_ok()
+            }
+            Frame::Ping { nonce } => write_frame(
+                &mut stream,
+                &Frame::Pong(PongInfo {
+                    nonce,
+                    inflight: shared
+                        .replicas
+                        .iter()
+                        .map(|r| r.inflight.load(Ordering::Relaxed) as u32)
+                        .sum(),
+                    draining: shared.draining.load(Ordering::Acquire),
+                    precision: "router".into(),
+                }),
+            )
+            .is_ok(),
+            Frame::GetStats => {
+                write_frame(&mut stream, &Frame::StatsJson(router_stats_json(shared))).is_ok()
+            }
+            Frame::Drain => {
+                shared.draining.store(true, Ordering::Release);
+                let _ = write_frame(&mut stream, &Frame::Drain);
+                false
+            }
+            other => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        req_id: 0,
+                        code: ErrorCode::Protocol,
+                        message: format!(
+                            "client sent a server-only frame (type {})",
+                            other.type_byte()
+                        ),
+                    },
+                );
+                false
+            }
+        };
+        if !keep_going {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+    }
+}
+
+/// Pick a replica for `req`, excluding `avoid` (the failed first attempt).
+fn pick_replica(shared: &RouterShared, indices: &[u32], avoid: Option<usize>) -> Option<usize> {
+    let ok = |i: usize| Some(i) != avoid && shared.replicas[i].healthy.load(Ordering::Acquire);
+    match shared.cfg.policy {
+        RoutePolicy::LeastLoad => (0..shared.replicas.len())
+            .filter(|&i| ok(i))
+            .min_by_key(|&i| shared.replicas[i].inflight.load(Ordering::Relaxed)),
+        RoutePolicy::ConsistentHash => ring_pick(&shared.ring, query_ring_key(indices), ok),
+    }
+}
+
+/// Forward one predict with the failover policy: one retry on a different
+/// healthy replica for replica faults; soft verdicts pass through.
+fn forward_predict(
+    shared: &RouterShared,
+    conns: &mut [Option<NetClient>],
+    req: &crate::wire::PredictRequest,
+) -> Frame {
+    let mut avoid: Option<usize> = None;
+    for _attempt in 0..2 {
+        let Some(i) = pick_replica(shared, &req.indices, avoid) else {
+            break;
+        };
+        let rep = &shared.replicas[i];
+        rep.inflight.fetch_add(1, Ordering::Relaxed);
+        let result = forward_once(conns, i, rep.addr, &shared.cfg, req);
+        rep.inflight.fetch_sub(1, Ordering::Relaxed);
+        match result {
+            Ok(ids) => {
+                rep.forwarded.fetch_add(1, Ordering::Relaxed);
+                rep.consecutive_failures.store(0, Ordering::Release);
+                return Frame::TopK {
+                    req_id: req.req_id,
+                    ids,
+                };
+            }
+            Err(ClientError::RetryLater { queue_depth }) => {
+                // The replica is healthy but saturated — surface the
+                // backpressure to the client untouched.
+                rep.forwarded.fetch_add(1, Ordering::Relaxed);
+                return Frame::RetryLater {
+                    req_id: req.req_id,
+                    queue_depth,
+                };
+            }
+            Err(ClientError::Server { code, message })
+                if !matches!(code, ErrorCode::Unavailable | ErrorCode::Internal) =>
+            {
+                // The request itself is bad; no other replica would
+                // disagree.
+                rep.forwarded.fetch_add(1, Ordering::Relaxed);
+                return Frame::Error {
+                    req_id: req.req_id,
+                    code,
+                    message,
+                };
+            }
+            Err(_) => {
+                // Replica fault: penalize, drop the dead socket, retry
+                // once elsewhere.
+                conns[i] = None;
+                rep.mark_failure(shared.cfg.eject_after);
+                avoid = Some(i);
+            }
+        }
+    }
+    if avoid.is_some() && pick_replica(shared, &req.indices, avoid).is_none() {
+        // Both attempts failed and there is nowhere else to go.
+        return Frame::Error {
+            req_id: req.req_id,
+            code: ErrorCode::Unavailable,
+            message: "all healthy replicas failed".into(),
+        };
+    }
+    match avoid {
+        // Second pick failed too (or second attempt errored with peers
+        // remaining) — tell the client the fleet is unavailable for now.
+        Some(_) => Frame::Error {
+            req_id: req.req_id,
+            code: ErrorCode::Unavailable,
+            message: "failover exhausted".into(),
+        },
+        // No healthy replica at all: soft-shed so clients back off and
+        // retry once health returns.
+        None => Frame::RetryLater {
+            req_id: req.req_id,
+            queue_depth: 0,
+        },
+    }
+}
+
+fn forward_once(
+    conns: &mut [Option<NetClient>],
+    i: usize,
+    addr: SocketAddr,
+    cfg: &RouterConfig,
+    req: &crate::wire::PredictRequest,
+) -> Result<Vec<u32>, ClientError> {
+    if conns[i].is_none() {
+        let mut c = NetClient::connect(addr, cfg.connect_timeout)?;
+        c.set_timeout(cfg.request_timeout);
+        conns[i] = Some(c);
+    }
+    conns[i]
+        .as_mut()
+        .expect("just connected")
+        .predict(&req.indices, &req.values, req.k as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_replicas() {
+        let ring = build_ring(3);
+        assert_eq!(ring, build_ring(3));
+        assert_eq!(ring.len(), 3 * VNODES_PER_REPLICA as usize);
+        for r in 0..3 {
+            assert!(ring.iter().any(|&(_, i)| i == r));
+        }
+        // Positions are strictly sorted (splitmix collisions at 192 points
+        // would be astronomically unlikely).
+        assert!(ring.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn ring_pick_walks_past_excluded_replicas() {
+        let ring = build_ring(3);
+        let key = query_ring_key(&[1, 2, 3]);
+        let first = ring_pick(&ring, key, |_| true).unwrap();
+        let second = ring_pick(&ring, key, |r| r != first).unwrap();
+        assert_ne!(first, second);
+        assert!(ring_pick(&ring, key, |_| false).is_none());
+        // Same key, same pick: routing is stable.
+        assert_eq!(ring_pick(&ring, key, |_| true).unwrap(), first);
+    }
+
+    #[test]
+    fn query_ring_key_depends_on_indices() {
+        assert_eq!(query_ring_key(&[5, 9]), query_ring_key(&[5, 9]));
+        assert_ne!(query_ring_key(&[5, 9]), query_ring_key(&[9, 5]));
+        assert_ne!(query_ring_key(&[]), query_ring_key(&[0]));
+    }
+}

@@ -1,0 +1,505 @@
+//! The TCP front-end a `slide_netd` process wraps around a
+//! [`BatchingServer`].
+//!
+//! Thread-per-connection over `std::net` (the ROADMAP's "thread-per-
+//! connection first" directive — a readiness loop is a measured follow-up,
+//! not a prerequisite): an accept thread polls a non-blocking listener so it
+//! can observe the drain flag, and each connection runs a frame loop whose
+//! reads use the poll-interval/frame-deadline discipline of
+//! [`crate::stream::read_frame`] — so an idle keep-alive connection costs
+//! one timed-out `read` per poll, a slow-loris peer is cut off at the frame
+//! deadline, and a mid-frame disconnect is a typed error, never a stuck
+//! thread.
+//!
+//! **Admission control:** predictions go through
+//! [`BatchingServer::try_predict`] — the bounded submission queue *is* the
+//! admission queue, and when it is full the client gets an explicit
+//! [`Frame::RetryLater`] (with the observed depth) instead of unbounded
+//! buffering or a silently parked connection thread.
+//!
+//! **Graceful drain** ([`NetServer::drain`], or a client [`Frame::Drain`]):
+//! stop accepting connections, answer every request already being read or
+//! scored, then close each connection at its next frame boundary. The state
+//! machine is Accepting → Draining → Closed; see DESIGN.md §9.
+
+use crate::stream::{read_frame, write_frame, ReadOutcome};
+use crate::wire::{ErrorCode, Frame, PongInfo, WireError};
+use parking_lot::Mutex;
+use slide_serve::{BatchingServer, LatencySummary, ServeError};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Socket-level knobs shared by the daemon and the router listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Socket read timeout = how often blocked reads re-check the drain
+    /// flag. Smaller is more responsive, larger is cheaper.
+    pub poll_interval: Duration,
+    /// Once a frame's first byte arrives, the whole frame must complete
+    /// within this window (slow-loris bound).
+    pub frame_deadline: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Cap on any frame's payload length.
+    pub max_payload: u32,
+    /// Connections beyond this are refused with an `Unavailable` error.
+    pub max_connections: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            poll_interval: Duration::from_millis(25),
+            frame_deadline: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
+            max_payload: crate::wire::DEFAULT_MAX_PAYLOAD,
+            max_connections: 1024,
+        }
+    }
+}
+
+/// Per-peer request counters (keyed by the peer's `ip:port`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Predict frames received.
+    pub requests: u64,
+    /// Answered with a top-k.
+    pub ok: u64,
+    /// Answered with an `Invalid` error.
+    pub invalid: u64,
+    /// Shed with `RetryLater`.
+    pub retry_later: u64,
+    /// Wire-level faults attributed to this peer (bad frames, stalls).
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct NetStatsInner {
+    per_client: HashMap<String, ClientCounters>,
+    latencies_us: Vec<u64>,
+}
+
+/// Keep at most this many socket-level latency samples (same bound
+/// discipline as the batching server's).
+const MAX_NET_LATENCY_SAMPLES: usize = 1 << 20;
+
+struct NetShared {
+    batching: Arc<BatchingServer>,
+    cfg: NetConfig,
+    local_addr: SocketAddr,
+    draining: AtomicBool,
+    /// Predict requests currently inside `try_predict`.
+    inflight: AtomicUsize,
+    conns_active: AtomicUsize,
+    conns_opened: AtomicU64,
+    refused: AtomicU64,
+    stats: Mutex<NetStatsInner>,
+    conn_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A point-in-time snapshot of the network tier's counters.
+#[derive(Debug, Clone)]
+pub struct NetStats {
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// Connections accepted over the server's lifetime.
+    pub connections_opened: u64,
+    /// Connections currently open.
+    pub connections_active: usize,
+    /// Connections refused at the `max_connections` cap.
+    pub refused: u64,
+    /// Predict requests currently in flight.
+    pub inflight: usize,
+    /// Per-peer counters, sorted by peer address.
+    pub per_client: Vec<(String, ClientCounters)>,
+    /// Socket-measured request latency (frame decoded → response written).
+    pub latency: LatencySummary,
+}
+
+impl NetStats {
+    /// Sum a field across peers.
+    fn total(&self, f: impl Fn(&ClientCounters) -> u64) -> u64 {
+        self.per_client.iter().map(|(_, c)| f(c)).sum()
+    }
+
+    /// Render as a JSON object (the `GetStats` response body).
+    pub fn to_json(&self) -> String {
+        let clients: Vec<String> = self
+            .per_client
+            .iter()
+            .map(|(peer, c)| {
+                format!(
+                    "{{\"peer\":\"{peer}\",\"requests\":{},\"ok\":{},\"invalid\":{},\
+                     \"retry_later\":{},\"protocol_errors\":{}}}",
+                    c.requests, c.ok, c.invalid, c.retry_later, c.protocol_errors
+                )
+            })
+            .collect();
+        format!(
+            "{{\"draining\":{},\"connections_opened\":{},\"connections_active\":{},\
+             \"refused\":{},\"inflight\":{},\"requests\":{},\"ok\":{},\"invalid\":{},\
+             \"retry_later\":{},\"protocol_errors\":{},\
+             \"latency_us\":{{\"p50\":{},\"p99\":{},\"mean\":{:.1},\"max\":{},\"samples\":{}}},\
+             \"clients\":[{}]}}",
+            self.draining,
+            self.connections_opened,
+            self.connections_active,
+            self.refused,
+            self.inflight,
+            self.total(|c| c.requests),
+            self.total(|c| c.ok),
+            self.total(|c| c.invalid),
+            self.total(|c| c.retry_later),
+            self.total(|c| c.protocol_errors),
+            self.latency.p50_us,
+            self.latency.p99_us,
+            self.latency.mean_us,
+            self.latency.max_us,
+            self.latency.samples,
+            clients.join(",")
+        )
+    }
+}
+
+/// The TCP serving front-end: accepts wire-protocol connections and answers
+/// them from a shared [`BatchingServer`].
+///
+/// Dropping the handle drains gracefully (stop accepting, flush in-flight,
+/// close connections at their next frame boundary).
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` and start accepting. The batching server may be shared
+    /// with other front-ends (or direct in-process callers — the loopback
+    /// parity tests do exactly that).
+    ///
+    /// # Errors
+    ///
+    /// Any bind/spawn failure, as `std::io::Error`.
+    pub fn start<A: ToSocketAddrs>(
+        batching: Arc<BatchingServer>,
+        addr: A,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            batching,
+            cfg,
+            local_addr,
+            draining: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            conns_active: AtomicUsize::new(0),
+            conns_opened: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            stats: Mutex::new(NetStatsInner::default()),
+            conn_handles: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("slide-net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(NetServer {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Whether a drain has been requested (by [`NetServer::drain`] or a
+    /// client's `Drain` frame).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Snapshot the network-tier counters.
+    pub fn stats(&self) -> NetStats {
+        snapshot_stats(&self.shared)
+    }
+
+    /// Graceful drain: stop accepting, let every in-flight request finish
+    /// and its response flush, then close all connections. Blocks until the
+    /// accept thread and every connection thread have exited.
+    pub fn drain(&mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connection threads observe the flag within one poll interval and
+        // exit after flushing any response they are mid-way through.
+        loop {
+            let handles: Vec<_> = self.shared.conn_handles.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn snapshot_stats(shared: &NetShared) -> NetStats {
+    let inner = shared.stats.lock();
+    let mut per_client: Vec<(String, ClientCounters)> = inner
+        .per_client
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    per_client.sort_by(|a, b| a.0.cmp(&b.0));
+    NetStats {
+        draining: shared.draining.load(Ordering::Acquire),
+        connections_opened: shared.conns_opened.load(Ordering::Relaxed),
+        connections_active: shared.conns_active.load(Ordering::Relaxed),
+        refused: shared.refused.load(Ordering::Relaxed),
+        inflight: shared.inflight.load(Ordering::Relaxed),
+        latency: LatencySummary::from_unsorted(inner.latencies_us.clone()),
+        per_client,
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<NetShared>) {
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                shared.conns_opened.fetch_add(1, Ordering::Relaxed);
+                if shared.conns_active.load(Ordering::Relaxed) >= shared.cfg.max_connections {
+                    shared.refused.fetch_add(1, Ordering::Relaxed);
+                    refuse(stream, shared.cfg);
+                    continue;
+                }
+                shared.conns_active.fetch_add(1, Ordering::Relaxed);
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("slide-net-conn-{peer}"))
+                    .spawn(move || {
+                        connection_loop(stream, peer, &shared2);
+                        shared2.conns_active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                match handle {
+                    Ok(h) => {
+                        let mut handles = shared.conn_handles.lock();
+                        // Reap finished connections so a long-lived daemon
+                        // doesn't accumulate dead join handles.
+                        handles.retain(|h| !h.is_finished());
+                        handles.push(h);
+                    }
+                    Err(_) => {
+                        shared.conns_active.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval.min(Duration::from_millis(10)));
+            }
+            Err(_) => {
+                // Transient accept failure (EMFILE, aborted handshake);
+                // back off briefly and keep listening.
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+        }
+    }
+}
+
+/// Tell an over-cap peer to go away, best-effort.
+fn refuse(mut stream: TcpStream, cfg: NetConfig) {
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = write_frame(
+        &mut stream,
+        &Frame::Error {
+            req_id: 0,
+            code: ErrorCode::Unavailable,
+            message: "connection limit reached".into(),
+        },
+    );
+}
+
+fn bump(shared: &NetShared, peer: &str, f: impl Fn(&mut ClientCounters)) {
+    let mut inner = shared.stats.lock();
+    f(inner.per_client.entry(peer.to_string()).or_default());
+}
+
+fn record_latency(shared: &NetShared, us: u64) {
+    let mut inner = shared.stats.lock();
+    if inner.latencies_us.len() < MAX_NET_LATENCY_SAMPLES {
+        inner.latencies_us.push(us);
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, peer: SocketAddr, shared: &NetShared) {
+    let cfg = shared.cfg;
+    if stream.set_read_timeout(Some(cfg.poll_interval)).is_err()
+        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let peer = peer.to_string();
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            // Flush-then-close happens below per response; at a frame
+            // boundary there is nothing in flight on this connection.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        let frame = match read_frame(&mut stream, cfg.max_payload, cfg.frame_deadline) {
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Frame(f)) => f,
+            Err(e) => {
+                bump(shared, &peer, |c| c.protocol_errors += 1);
+                // Name the fault for the peer when the stream is still
+                // usable, then close. Stalls and IO faults skip the
+                // courtesy reply.
+                if !matches!(e, WireError::Stalled | WireError::Io(..)) {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::Error {
+                            req_id: 0,
+                            code: ErrorCode::Protocol,
+                            message: e.to_string(),
+                        },
+                    );
+                }
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+        };
+        let keep_going = handle_frame(&mut stream, &peer, shared, frame);
+        if !keep_going {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+    }
+}
+
+/// Handle one decoded frame; returns false when the connection should close.
+fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: Frame) -> bool {
+    match frame {
+        Frame::Predict(req) => {
+            bump(shared, peer, |c| c.requests += 1);
+            if shared.draining.load(Ordering::Acquire) {
+                // Drain started between frames: shed softly and close.
+                bump(shared, peer, |c| c.retry_later += 1);
+                let _ = write_frame(
+                    stream,
+                    &Frame::RetryLater {
+                        req_id: req.req_id,
+                        queue_depth: 0,
+                    },
+                );
+                return false;
+            }
+            let t0 = Instant::now();
+            shared.inflight.fetch_add(1, Ordering::Relaxed);
+            let result = shared
+                .batching
+                .try_predict(&req.indices, &req.values, req.k as usize);
+            shared.inflight.fetch_sub(1, Ordering::Relaxed);
+            let reply = match result {
+                Ok(ids) => {
+                    bump(shared, peer, |c| c.ok += 1);
+                    record_latency(shared, t0.elapsed().as_micros() as u64);
+                    Frame::TopK {
+                        req_id: req.req_id,
+                        ids,
+                    }
+                }
+                Err(ServeError::Overloaded(depth)) => {
+                    bump(shared, peer, |c| c.retry_later += 1);
+                    Frame::RetryLater {
+                        req_id: req.req_id,
+                        queue_depth: depth as u32,
+                    }
+                }
+                Err(ServeError::Invalid(msg)) => {
+                    bump(shared, peer, |c| c.invalid += 1);
+                    Frame::Error {
+                        req_id: req.req_id,
+                        code: ErrorCode::Invalid,
+                        message: msg,
+                    }
+                }
+                Err(ServeError::Closed) => {
+                    let _ = write_frame(
+                        stream,
+                        &Frame::Error {
+                            req_id: req.req_id,
+                            code: ErrorCode::Unavailable,
+                            message: "serving engine closed".into(),
+                        },
+                    );
+                    return false;
+                }
+            };
+            write_frame(stream, &reply).is_ok()
+        }
+        Frame::Ping { nonce } => {
+            let precision = shared.batching.current().precision().to_string();
+            write_frame(
+                stream,
+                &Frame::Pong(PongInfo {
+                    nonce,
+                    inflight: shared.inflight.load(Ordering::Relaxed) as u32,
+                    draining: shared.draining.load(Ordering::Acquire),
+                    precision,
+                }),
+            )
+            .is_ok()
+        }
+        Frame::GetStats => {
+            let json = snapshot_stats(shared).to_json();
+            write_frame(stream, &Frame::StatsJson(json)).is_ok()
+        }
+        Frame::Drain => {
+            shared.draining.store(true, Ordering::Release);
+            let _ = write_frame(stream, &Frame::Drain);
+            let _ = stream.flush();
+            false
+        }
+        // Server-to-client frames arriving at the server are a protocol
+        // violation: name it, close.
+        other @ (Frame::TopK { .. }
+        | Frame::Error { .. }
+        | Frame::RetryLater { .. }
+        | Frame::Pong(_)
+        | Frame::StatsJson(_)) => {
+            bump(shared, peer, |c| c.protocol_errors += 1);
+            let _ = write_frame(
+                stream,
+                &Frame::Error {
+                    req_id: 0,
+                    code: ErrorCode::Protocol,
+                    message: format!(
+                        "client sent a server-only frame (type {})",
+                        other.type_byte()
+                    ),
+                },
+            );
+            false
+        }
+    }
+}

@@ -1,0 +1,754 @@
+//! The `slide-net` wire protocol: length-prefixed, checksummed binary
+//! frames over a byte stream.
+//!
+//! Every frame is a fixed 16-byte header followed by `payload_len` payload
+//! bytes:
+//!
+//! ```text
+//! offset  size  field         value
+//! 0       4     magic         0x31574C53 ("SLW1", little-endian)
+//! 4       1     version       1
+//! 5       1     frame type    see [`Frame`]
+//! 6       2     reserved      must be 0
+//! 8       4     payload_len   LE; must be <= the receiver's max_payload
+//! 12      4     payload_crc   CRC-32 (IEEE) of the payload bytes, LE
+//! 16      n     payload       frame-type-specific, all integers LE
+//! ```
+//!
+//! The header is validated *before* any payload byte is read, so a bad
+//! magic, an unknown version, or an oversized length prefix is rejected
+//! without buffering attacker-controlled amounts of memory. The CRC is
+//! checked after the payload arrives; a mismatch is a typed
+//! [`WireError::ChecksumMismatch`], never a garbage parse.
+//!
+//! Decoding is **total**: [`decode_frame`] (and every payload parser under
+//! it) returns `Result` for arbitrary input bytes and never panics — the
+//! protocol-fuzz battery in `tests/wire_props.rs` feeds it random garbage
+//! and byte-flipped valid frames to hold that line. Encoding goes through
+//! the workspace's `bytes` shim ([`BufMut`]) exactly like the checkpoint
+//! serializer does.
+
+use bytes::{Buf, BufMut};
+
+/// Frame magic: `b"SLW1"` read as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"SLW1");
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 16;
+
+/// Default cap on `payload_len`; larger prefixes are rejected at the
+/// header, before any payload is read.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — hand-rolled because the
+// environment has no crates.io access; the table is built in const context.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data` — the payload checksum in every frame header.
+///
+/// ```
+/// assert_eq!(slide_net::crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(slide_net::crc32(b""), 0);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Every way a frame can fail to parse or arrive. Each protocol fault the
+/// fault-injection suite throws at the server maps to exactly one variant —
+/// never a panic, never a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The underlying stream failed (kind + rendered message).
+    Io(std::io::ErrorKind, String),
+    /// The peer closed the stream mid-frame (clean EOF at a frame boundary
+    /// is *not* an error; see [`crate::stream::ReadOutcome::Closed`]).
+    TruncatedStream,
+    /// First header word was not [`MAGIC`].
+    BadMagic(u32),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame-type byte.
+    BadFrameType(u8),
+    /// Reserved header bytes were non-zero.
+    BadReserved(u16),
+    /// `payload_len` exceeded the receiver's cap.
+    Oversized {
+        /// The length prefix the peer sent.
+        len: u32,
+        /// The receiver's configured maximum.
+        max: u32,
+    },
+    /// Payload bytes did not match the header's CRC.
+    ChecksumMismatch {
+        /// CRC from the header.
+        expected: u32,
+        /// CRC of the received payload.
+        actual: u32,
+    },
+    /// Payload ended before (or extended past) its type-specific layout.
+    Malformed(String),
+    /// A started frame did not complete within the receiver's deadline
+    /// (slow-loris guard).
+    Stalled,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(kind, msg) => write!(f, "io error ({kind:?}): {msg}"),
+            WireError::TruncatedStream => f.write_str("peer closed the stream mid-frame"),
+            WireError::BadMagic(m) => write!(f, "bad magic 0x{m:08X} (want 0x{MAGIC:08X})"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadFrameType(t) => write!(f, "unknown frame type {t}"),
+            WireError::BadReserved(r) => write!(f, "reserved header bytes 0x{r:04X} != 0"),
+            WireError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds cap {max}")
+            }
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "payload checksum mismatch: header 0x{expected:08X}, computed 0x{actual:08X}"
+            ),
+            WireError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            WireError::Stalled => f.write_str("frame stalled past the receive deadline"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.kind(), e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// Application-level failure codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The query was malformed for the model (bad index, k == 0, …).
+    Invalid = 1,
+    /// The serving process is shutting down or has no model.
+    Unavailable = 2,
+    /// The peer broke the protocol (sent a server-only frame, etc.).
+    Protocol = 3,
+    /// Anything else on the server side.
+    Internal = 4,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte into a code.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] for bytes outside `1..=4`.
+    pub fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            1 => Ok(ErrorCode::Invalid),
+            2 => Ok(ErrorCode::Unavailable),
+            3 => Ok(ErrorCode::Protocol),
+            4 => Ok(ErrorCode::Internal),
+            other => Err(WireError::Malformed(format!("unknown error code {other}"))),
+        }
+    }
+}
+
+/// A top-k prediction request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub req_id: u64,
+    /// Number of labels requested.
+    pub k: u32,
+    /// Sparse feature indices (may be empty).
+    pub indices: Vec<u32>,
+    /// Matching feature values (same length as `indices`).
+    pub values: Vec<f32>,
+}
+
+/// Replica health/load info carried by [`Frame::Pong`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PongInfo {
+    /// Echo of the ping's nonce.
+    pub nonce: u64,
+    /// Requests currently in flight on the replica.
+    pub inflight: u32,
+    /// Whether the replica is draining (will refuse new work).
+    pub draining: bool,
+    /// Storage precision of the snapshot being served (`"f32"`, `"i8"`, …).
+    pub precision: String,
+}
+
+/// One protocol frame. The discriminants are the on-wire frame-type bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: predict the top-k labels for a sparse input.
+    Predict(PredictRequest),
+    /// Server → client: the top-k label ids for `req_id`.
+    TopK {
+        /// Correlation id from the request.
+        req_id: u64,
+        /// Predicted label ids, best first.
+        ids: Vec<u32>,
+    },
+    /// Server → client: the request failed.
+    Error {
+        /// Correlation id from the request (0 for connection-level errors).
+        req_id: u64,
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Server → client: admission queue full — back off and retry (the
+    /// explicit load-shedding frame; never silently buffered).
+    RetryLater {
+        /// Correlation id from the request.
+        req_id: u64,
+        /// Queue depth observed at rejection time.
+        queue_depth: u32,
+    },
+    /// Health probe.
+    Ping {
+        /// Echoed back in the pong.
+        nonce: u64,
+    },
+    /// Health probe response with load info.
+    Pong(PongInfo),
+    /// Ask the server for its stats JSON.
+    GetStats,
+    /// Stats JSON response.
+    StatsJson(String),
+    /// Ask the server to drain gracefully (stop accepting, flush
+    /// in-flight, close). Acknowledged by echoing `Drain` back.
+    Drain,
+}
+
+impl Frame {
+    /// The on-wire frame-type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Predict(_) => 1,
+            Frame::TopK { .. } => 2,
+            Frame::Error { .. } => 3,
+            Frame::RetryLater { .. } => 4,
+            Frame::Ping { .. } => 5,
+            Frame::Pong(_) => 6,
+            Frame::GetStats => 7,
+            Frame::StatsJson(_) => 8,
+            Frame::Drain => 9,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Predict(req) => {
+            out.put_u64_le(req.req_id);
+            out.put_u32_le(req.k);
+            out.put_u32_le(req.indices.len() as u32);
+            for &i in &req.indices {
+                out.put_u32_le(i);
+            }
+            for &v in &req.values {
+                out.put_f32_le(v);
+            }
+        }
+        Frame::TopK { req_id, ids } => {
+            out.put_u64_le(*req_id);
+            out.put_u32_le(ids.len() as u32);
+            for &id in ids {
+                out.put_u32_le(id);
+            }
+        }
+        Frame::Error {
+            req_id,
+            code,
+            message,
+        } => {
+            out.put_u64_le(*req_id);
+            out.put_u8(*code as u8);
+            out.put_u32_le(message.len() as u32);
+            out.put_slice(message.as_bytes());
+        }
+        Frame::RetryLater {
+            req_id,
+            queue_depth,
+        } => {
+            out.put_u64_le(*req_id);
+            out.put_u32_le(*queue_depth);
+        }
+        Frame::Ping { nonce } => out.put_u64_le(*nonce),
+        Frame::Pong(info) => {
+            out.put_u64_le(info.nonce);
+            out.put_u32_le(info.inflight);
+            out.put_u8(info.draining as u8);
+            out.put_u32_le(info.precision.len() as u32);
+            out.put_slice(info.precision.as_bytes());
+        }
+        Frame::GetStats | Frame::Drain => {}
+        Frame::StatsJson(json) => out.put_slice(json.as_bytes()),
+    }
+}
+
+/// Append `frame` (header + payload) to `out`.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let mut payload = Vec::new();
+    encode_payload(frame, &mut payload);
+    out.put_u32_le(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(frame.type_byte());
+    out.put_u8(0); // reserved
+    out.put_u8(0); // reserved
+    out.put_u32_le(payload.len() as u32);
+    out.put_u32_le(crc32(&payload));
+    out.put_slice(&payload);
+}
+
+/// Encode `frame` into a fresh buffer.
+pub fn frame_bytes(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 64);
+    encode_frame(frame, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding (total: never panics, whatever the bytes)
+// ---------------------------------------------------------------------------
+
+/// Checked little-endian reader over a payload slice — every accessor
+/// verifies `remaining()` before touching the `bytes` shim (whose `get_*`
+/// panic on underflow, matching upstream).
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn need(&self, n: usize, what: &str) -> Result<(), WireError> {
+        if self.0.remaining() < n {
+            return Err(WireError::Malformed(format!(
+                "payload ends inside {what}: need {n} bytes, have {}",
+                self.0.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        self.need(1, what)?;
+        Ok(self.0.get_u8())
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        self.need(4, what)?;
+        Ok(self.0.get_u32_le())
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        self.need(8, what)?;
+        Ok(self.0.get_u64_le())
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, WireError> {
+        self.need(4, what)?;
+        Ok(self.0.get_f32_le())
+    }
+
+    fn utf8(&mut self, len: usize, what: &str) -> Result<String, WireError> {
+        self.need(len, what)?;
+        let mut bytes = vec![0u8; len];
+        self.0.copy_to_slice(&mut bytes);
+        String::from_utf8(bytes)
+            .map_err(|_| WireError::Malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    fn finish(self, what: &str) -> Result<(), WireError> {
+        if self.0.remaining() != 0 {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after {what}",
+                self.0.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A parsed frame header, validated field by field in wire order (so the
+/// first corrupt field is the one reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame-type byte (validated against the known set).
+    pub frame_type: u8,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Expected CRC-32 of the payload.
+    pub payload_crc: u32,
+}
+
+impl FrameHeader {
+    /// Parse and validate a 16-byte header. `max_payload` bounds the length
+    /// prefix *before* any payload is read.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadMagic`] / [`WireError::BadVersion`] /
+    /// [`WireError::BadFrameType`] / [`WireError::BadReserved`] /
+    /// [`WireError::Oversized`] in wire order.
+    pub fn parse(bytes: &[u8; HEADER_LEN], max_payload: u32) -> Result<Self, WireError> {
+        let mut r = &bytes[..];
+        let magic = r.get_u32_le();
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = r.get_u8();
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let frame_type = r.get_u8();
+        if !(1..=9).contains(&frame_type) {
+            return Err(WireError::BadFrameType(frame_type));
+        }
+        let reserved = u16::from_le_bytes([r.get_u8(), r.get_u8()]);
+        if reserved != 0 {
+            return Err(WireError::BadReserved(reserved));
+        }
+        let payload_len = r.get_u32_le();
+        if payload_len > max_payload {
+            return Err(WireError::Oversized {
+                len: payload_len,
+                max: max_payload,
+            });
+        }
+        let payload_crc = r.get_u32_le();
+        Ok(FrameHeader {
+            frame_type,
+            payload_len,
+            payload_crc,
+        })
+    }
+}
+
+/// Parse a payload whose header already validated. Total: returns a typed
+/// error for any byte sequence.
+pub fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader(payload);
+    match frame_type {
+        1 => {
+            let req_id = r.u64("Predict.req_id")?;
+            let k = r.u32("Predict.k")?;
+            let nnz = r.u32("Predict.nnz")? as usize;
+            // 8 bytes per non-zero (u32 index + f32 value) must fit in what
+            // is actually present — reject absurd counts before allocating.
+            r.need(nnz.saturating_mul(8), "Predict.indices/values")?;
+            let mut indices = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                indices.push(r.u32("Predict.index")?);
+            }
+            let mut values = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                values.push(r.f32("Predict.value")?);
+            }
+            r.finish("Predict")?;
+            Ok(Frame::Predict(PredictRequest {
+                req_id,
+                k,
+                indices,
+                values,
+            }))
+        }
+        2 => {
+            let req_id = r.u64("TopK.req_id")?;
+            let n = r.u32("TopK.n")? as usize;
+            r.need(n.saturating_mul(4), "TopK.ids")?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(r.u32("TopK.id")?);
+            }
+            r.finish("TopK")?;
+            Ok(Frame::TopK { req_id, ids })
+        }
+        3 => {
+            let req_id = r.u64("Error.req_id")?;
+            let code = ErrorCode::from_u8(r.u8("Error.code")?)?;
+            let len = r.u32("Error.msg_len")? as usize;
+            let message = r.utf8(len, "Error.message")?;
+            r.finish("Error")?;
+            Ok(Frame::Error {
+                req_id,
+                code,
+                message,
+            })
+        }
+        4 => {
+            let req_id = r.u64("RetryLater.req_id")?;
+            let queue_depth = r.u32("RetryLater.queue_depth")?;
+            r.finish("RetryLater")?;
+            Ok(Frame::RetryLater {
+                req_id,
+                queue_depth,
+            })
+        }
+        5 => {
+            let nonce = r.u64("Ping.nonce")?;
+            r.finish("Ping")?;
+            Ok(Frame::Ping { nonce })
+        }
+        6 => {
+            let nonce = r.u64("Pong.nonce")?;
+            let inflight = r.u32("Pong.inflight")?;
+            let draining = r.u8("Pong.draining")? != 0;
+            let len = r.u32("Pong.precision_len")? as usize;
+            let precision = r.utf8(len, "Pong.precision")?;
+            r.finish("Pong")?;
+            Ok(Frame::Pong(PongInfo {
+                nonce,
+                inflight,
+                draining,
+                precision,
+            }))
+        }
+        7 => {
+            r.finish("GetStats")?;
+            Ok(Frame::GetStats)
+        }
+        8 => {
+            let len = payload.len();
+            let json = r.utf8(len, "StatsJson.body")?;
+            Ok(Frame::StatsJson(json))
+        }
+        9 => {
+            r.finish("Drain")?;
+            Ok(Frame::Drain)
+        }
+        other => Err(WireError::BadFrameType(other)),
+    }
+}
+
+/// Decode one complete frame from the front of `buf`, returning it and the
+/// bytes consumed. Total over arbitrary input: every failure is a typed
+/// [`WireError`], never a panic. Fails with [`WireError::TruncatedStream`]
+/// if `buf` holds less than one whole frame.
+pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<(Frame, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::TruncatedStream);
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&buf[..HEADER_LEN]);
+    let header = FrameHeader::parse(&header, max_payload)?;
+    let total = HEADER_LEN + header.payload_len as usize;
+    if buf.len() < total {
+        return Err(WireError::TruncatedStream);
+    }
+    let payload = &buf[HEADER_LEN..total];
+    let actual = crc32(payload);
+    if actual != header.payload_crc {
+        return Err(WireError::ChecksumMismatch {
+            expected: header.payload_crc,
+            actual,
+        });
+    }
+    Ok((decode_payload(header.frame_type, payload)?, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    fn roundtrip(frame: Frame) {
+        let bytes = frame_bytes(&frame);
+        let (decoded, used) = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, frame);
+        // Re-encoding is bit-identical (canonical encoding).
+        assert_eq!(frame_bytes(&decoded), bytes);
+    }
+
+    #[test]
+    fn every_frame_kind_roundtrips() {
+        roundtrip(Frame::Predict(PredictRequest {
+            req_id: 42,
+            k: 5,
+            indices: vec![1, 17, 40],
+            values: vec![1.0, -0.5, 0.25],
+        }));
+        roundtrip(Frame::Predict(PredictRequest {
+            req_id: 0,
+            k: 1,
+            indices: vec![],
+            values: vec![],
+        }));
+        roundtrip(Frame::TopK {
+            req_id: 42,
+            ids: vec![3, 1, 4, 1, 5],
+        });
+        roundtrip(Frame::Error {
+            req_id: 9,
+            code: ErrorCode::Invalid,
+            message: "k must be positive".into(),
+        });
+        roundtrip(Frame::RetryLater {
+            req_id: 7,
+            queue_depth: 4096,
+        });
+        roundtrip(Frame::Ping { nonce: 0xDEAD });
+        roundtrip(Frame::Pong(PongInfo {
+            nonce: 0xDEAD,
+            inflight: 12,
+            draining: true,
+            precision: "i8".into(),
+        }));
+        roundtrip(Frame::GetStats);
+        roundtrip(Frame::StatsJson("{\"served\":1}".into()));
+        roundtrip(Frame::Drain);
+    }
+
+    #[test]
+    fn header_faults_are_typed_in_wire_order() {
+        let good = frame_bytes(&Frame::Ping { nonce: 1 });
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadVersion(99))
+        ));
+
+        let mut bad = good.clone();
+        bad[5] = 200;
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadFrameType(200))
+        ));
+
+        let mut bad = good.clone();
+        bad[6] = 1;
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadReserved(1))
+        ));
+
+        // Oversized length prefix is rejected at the header even though the
+        // buffer holds nowhere near that many bytes.
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Oversized { len: u32::MAX, .. })
+        ));
+
+        // Corrupted payload byte -> checksum mismatch, not a garbage parse.
+        let mut bad = frame_bytes(&Frame::StatsJson("{}".into()));
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+
+        // Truncated buffer -> TruncatedStream, whatever the cut point.
+        for cut in 0..good.len() {
+            assert_eq!(
+                decode_frame(&good[..cut], DEFAULT_MAX_PAYLOAD),
+                Err(WireError::TruncatedStream),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_underflow_and_trailing_bytes_are_malformed() {
+        // Predict claiming 1000 non-zeros with an 8-byte payload.
+        let mut payload = Vec::new();
+        payload.put_u64_le(1);
+        payload.put_u32_le(5);
+        payload.put_u32_le(1000);
+        assert!(matches!(
+            decode_payload(1, &payload),
+            Err(WireError::Malformed(_))
+        ));
+        // Ping with trailing junk.
+        let mut payload = Vec::new();
+        payload.put_u64_le(1);
+        payload.put_u8(0);
+        assert!(matches!(
+            decode_payload(5, &payload),
+            Err(WireError::Malformed(_))
+        ));
+        // Error frame with non-UTF-8 message bytes.
+        let mut payload = Vec::new();
+        payload.put_u64_le(1);
+        payload.put_u8(1);
+        payload.put_u32_le(2);
+        payload.put_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            decode_payload(3, &payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn error_displays_name_the_fault() {
+        let e = WireError::Oversized { len: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = WireError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

@@ -1,0 +1,228 @@
+//! End-to-end fleet chaos (ISSUE satellite: kill-one-replica): three real
+//! `slide_netd` processes behind a real `slide_router` process, open-loop
+//! load flowing, one replica killed mid-load and then restarted on its old
+//! port.
+//!
+//! The contract under fire:
+//! * **zero hard client errors** — every fault surfaces as transparent
+//!   failover or an explicit `RetryLater`, never a broken reply;
+//! * **zero lost responses** — each submitted request gets exactly one
+//!   accounted outcome;
+//! * the restarted replica is **readmitted** by the router's health loop.
+
+use slide_net::{LoadgenConfig, NetClient, SubmitOutcome};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// A child process whose stdin we hold open (dropping it asks the daemon
+/// to drain — the portable SIGTERM).
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(bin: &str, args: &[&str], ready_tag: &str) -> Daemon {
+        let mut child = Command::new(bin)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn daemon");
+        // Parse "<TAG> LISTENING <addr>" off stdout, under a watchdog so a
+        // wedged child cannot hang the test.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tag = ready_tag.to_string();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut lines = BufReader::new(stdout).lines();
+            while let Some(Ok(line)) = lines.next() {
+                if let Some(addr) = line.strip_prefix(&format!("{tag} LISTENING ")) {
+                    let _ = tx.send(addr.trim().to_string());
+                    break;
+                }
+            }
+            // Keep draining stdout so the child never blocks on a full pipe.
+            for _ in lines {}
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("daemon did not report LISTENING in time");
+        Daemon { child, addr }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Graceful shutdown: close stdin, give it a moment, then force-kill.
+    fn shutdown(&mut self) {
+        drop(self.child.stdin.take());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                _ => {
+                    self.kill();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn spawn_replica(addr: &str) -> Daemon {
+    Daemon::spawn(
+        env!("CARGO_BIN_EXE_slide_netd"),
+        &[
+            "--addr",
+            addr,
+            "--seed",
+            "42",
+            "--epochs",
+            "0",
+            "--threads",
+            "2",
+            "--queue-cap",
+            "128",
+        ],
+        "SLIDE_NETD",
+    )
+}
+
+#[test]
+fn kill_one_replica_mid_load_no_hard_errors_and_readmission() {
+    let mut replicas: Vec<Daemon> = (0..3).map(|_| spawn_replica("127.0.0.1:0")).collect();
+    let replica_flags: Vec<String> = replicas
+        .iter()
+        .flat_map(|r| ["--replica".to_string(), r.addr.clone()])
+        .collect();
+    let mut router_args: Vec<&str> = vec!["--addr", "127.0.0.1:0", "--health-interval-ms", "100"];
+    router_args.extend(replica_flags.iter().map(String::as_str));
+    let mut router = Daemon::spawn(
+        env!("CARGO_BIN_EXE_slide_router"),
+        &router_args,
+        "SLIDE_ROUTER",
+    );
+    let router_addr: std::net::SocketAddr = router.addr.parse().expect("router addr");
+
+    // Chaos timeline: kill replica 0 a third of the way into the load,
+    // restart it on the same port two thirds of the way in.
+    let duration = Duration::from_millis(2400);
+    let killed = std::sync::Mutex::new(None::<Daemon>);
+    let load = {
+        let queries: Vec<(Vec<u32>, Vec<f32>)> = (0..64)
+            .map(|i| {
+                let idx: Vec<u32> = (0..12).map(|j| ((i * 17 + j * 13) % 256) as u32).collect();
+                let val: Vec<f32> = (0..12).map(|j| 1.0 / (1.0 + j as f32)).collect();
+                (idx, val)
+            })
+            .collect();
+        let cfg = LoadgenConfig {
+            offered_qps: 300.0,
+            duration,
+            clients: 4,
+            k: 5,
+            ..Default::default()
+        };
+        std::thread::scope(|scope| {
+            // Timer-driven chaos, inline with the load.
+            scope.spawn(|| {
+                std::thread::sleep(duration / 3);
+                let mut r0 = replicas.remove(0);
+                r0.kill();
+                std::thread::sleep(duration / 3);
+                // Same port: bind_retrying in the daemon absorbs TIME_WAIT.
+                let revived = spawn_replica(&r0.addr);
+                killed.lock().unwrap().replace(revived);
+            });
+            slide_net::run_open_loop(&queries, &cfg, |_client_id| {
+                let mut client = NetClient::connect(router_addr, Duration::from_secs(5))
+                    .expect("connect to router");
+                move |idx: &[u32], val: &[f32], k: usize| match client.predict(idx, val, k) {
+                    Ok(ids) => SubmitOutcome::Ok(ids),
+                    Err(slide_net::ClientError::RetryLater { .. }) => SubmitOutcome::RetryLater,
+                    Err(e) => {
+                        // The router absorbs replica faults; a client-side
+                        // transport fault would mean the *router* died —
+                        // reconnect and count it.
+                        match NetClient::connect(router_addr, Duration::from_secs(5)) {
+                            Ok(c) => {
+                                client = c;
+                                SubmitOutcome::Reconnected
+                            }
+                            Err(_) => SubmitOutcome::HardError(e.to_string()),
+                        }
+                    }
+                }
+            })
+        })
+    };
+
+    // Nothing lost: every submission has exactly one outcome.
+    assert_eq!(
+        load.sent,
+        load.ok + load.retry_later + load.hard_errors + load.reconnects,
+        "lost responses: {load:?}"
+    );
+    assert_eq!(
+        load.hard_errors, 0,
+        "hard client errors under chaos: {load:?}"
+    );
+    assert_eq!(load.reconnects, 0, "router connection dropped: {load:?}");
+    assert!(load.ok > 0, "no successful requests at all: {load:?}");
+
+    // The revived replica must be readmitted: poll the router's stats until
+    // all three replicas are healthy again and at least one readmission is
+    // on record. (Under a heavily loaded machine the dead replica can be
+    // ejected and readmitted more than once while its restart is slow —
+    // any count >= 1 proves the eject → health-ping → readmit cycle.)
+    let readmissions_recorded = |stats: &str| {
+        stats
+            .split("\"readmissions\":")
+            .skip(1)
+            .filter_map(|tail| {
+                tail.split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .any(|n| n >= 1)
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut stats;
+    let readmitted = loop {
+        let mut c = NetClient::connect(router_addr, Duration::from_secs(2)).expect("stats conn");
+        stats = c.stats_json().expect("router stats");
+        if stats.contains("\"healthy\":3") && readmissions_recorded(&stats) {
+            break true;
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    };
+    assert!(readmitted, "replica not readmitted; router stats: {stats}");
+
+    // Graceful teardown: drain the fleet via stdin EOF.
+    router.shutdown();
+    if let Some(mut revived) = killed.lock().unwrap().take() {
+        revived.shutdown();
+    }
+    for mut r in replicas {
+        r.shutdown();
+    }
+}

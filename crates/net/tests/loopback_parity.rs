@@ -1,0 +1,188 @@
+//! Socket-vs-in-process equivalence (ISSUE satellite: loopback parity)
+//! plus the `ThreadPool` try-lock contention regression (ISSUE satellite:
+//! nested-pool determinism under the daemon).
+//!
+//! The serving salt is content-derived (`slide_serve::query_salt`), so the
+//! answer to a query must be **bit-identical** whether it is computed
+//! in-process on the model, through the batching server, or across a TCP
+//! socket — for every engine precision, and no matter how many connection
+//! threads are hammering the server at once (the sharded engine's fan-out
+//! pool falls back to sequential scoring when its `try_lock` loses a race;
+//! both paths must agree).
+
+use slide_mem::SparseVecRef;
+use slide_net::{FleetPrecision, FleetSpec, NetClient, NetConfig, NetServer, Router, RouterConfig};
+use slide_serve::{query_salt, BatchConfig, BatchingServer, FrozenModel};
+use std::sync::Arc;
+use std::time::Duration;
+
+const K: usize = 5;
+
+type QueryBattery = Vec<(Vec<u32>, Vec<f32>)>;
+
+/// In-process ground truth for a query battery.
+fn expected_topk(model: &Arc<dyn FrozenModel>, queries: &[(Vec<u32>, Vec<f32>)]) -> Vec<Vec<u32>> {
+    let mut scratch = model.make_scratch_any();
+    queries
+        .iter()
+        .map(|(idx, val)| {
+            let salt = query_salt(idx, val, K);
+            model.predict_any(SparseVecRef::new(idx, val), K, &mut *scratch, salt)
+        })
+        .collect()
+}
+
+fn battery(spec: &FleetSpec, n: usize) -> (Arc<dyn FrozenModel>, QueryBattery) {
+    let (model, test) = spec.build();
+    let queries = slide_net::query_battery(&test, n);
+    (model, queries)
+}
+
+fn serve(model: Arc<dyn FrozenModel>, threads: usize) -> (Arc<BatchingServer>, NetServer) {
+    let batching = Arc::new(
+        BatchingServer::start_dyn(
+            model,
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                queue_cap: 256,
+                threads,
+            },
+        )
+        .expect("batch config"),
+    );
+    let net = NetServer::start(Arc::clone(&batching), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    (batching, net)
+}
+
+/// One parity pass: every socket answer must equal the in-process answer.
+fn assert_socket_parity(spec: FleetSpec) {
+    let (model, queries) = battery(&spec, 24);
+    let expected = expected_topk(&model, &queries);
+    let (_batching, net) = serve(model, 2);
+    let mut client = NetClient::connect(net.local_addr(), Duration::from_secs(5)).expect("connect");
+    for (i, ((idx, val), want)) in queries.iter().zip(&expected).enumerate() {
+        let got = client.predict(idx, val, K).expect("socket predict");
+        assert_eq!(
+            &got, want,
+            "query {i} differs between socket and in-process"
+        );
+    }
+}
+
+#[test]
+fn socket_topk_is_bit_equal_to_in_process_f32() {
+    assert_socket_parity(FleetSpec {
+        precision: FleetPrecision::F32,
+        shards: 0,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn socket_topk_is_bit_equal_to_in_process_i8() {
+    assert_socket_parity(FleetSpec {
+        precision: FleetPrecision::I8,
+        shards: 0,
+        ..Default::default()
+    });
+}
+
+#[test]
+fn socket_topk_is_bit_equal_to_in_process_sharded() {
+    assert_socket_parity(FleetSpec {
+        precision: FleetPrecision::F32,
+        shards: 3,
+        ..Default::default()
+    });
+}
+
+/// Regression for the PR 5 fan-out fallback: `ShardedFrozenModel` grabs its
+/// fan-out `ThreadPool` with `try_lock` and scores shards sequentially when
+/// another worker holds it. Inside the daemon that contention is the steady
+/// state — several batching workers score concurrently while connection
+/// threads keep the queue full — and both code paths must produce
+/// bit-identical answers. Eight connection threads × many requests against
+/// a 4-worker server over a 3-shard engine exercise the race; any
+/// divergence between fan-out and sequential scoring fails the assert.
+#[test]
+fn sharded_answers_stay_bit_identical_under_connection_contention() {
+    let spec = FleetSpec {
+        precision: FleetPrecision::F32,
+        shards: 3,
+        ..Default::default()
+    };
+    let (model, queries) = battery(&spec, 16);
+    let expected = expected_topk(&model, &queries);
+    let (_batching, net) = serve(model, 4);
+    let addr = net.local_addr();
+    std::thread::scope(|scope| {
+        for conn in 0..8 {
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client =
+                    NetClient::connect(addr, Duration::from_secs(10)).expect("connect");
+                // Interleave differently per connection so batches mix
+                // queries in every order.
+                for round in 0..6 {
+                    for i in 0..queries.len() {
+                        let i = (i * 3 + conn + round) % queries.len();
+                        let (idx, val) = &queries[i];
+                        let got = client.predict(idx, val, K).expect("socket predict");
+                        assert_eq!(
+                            &got, &expected[i],
+                            "conn {conn} round {round} query {i}: answer diverged under contention"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let stats = net.stats();
+    let total_ok: u64 = stats.per_client.iter().map(|(_, c)| c.ok).sum();
+    assert_eq!(total_ok, 8 * 6 * 16, "every request must be answered");
+}
+
+/// An in-process two-replica fleet behind a router: answers through the
+/// router are bit-identical too (content-derived salt makes replicas
+/// interchangeable), and draining one replica only ever soft-sheds.
+#[test]
+fn router_parity_over_two_in_process_replicas() {
+    let spec = FleetSpec {
+        precision: FleetPrecision::F32,
+        shards: 0,
+        ..Default::default()
+    };
+    let (model, queries) = battery(&spec, 16);
+    let expected = expected_topk(&model, &queries);
+    let (_b1, net1) = serve(Arc::clone(&model), 2);
+    let (_b2, mut net2) = serve(model, 2);
+    let router = Router::start(
+        "127.0.0.1:0",
+        &[net1.local_addr(), net2.local_addr()],
+        RouterConfig {
+            health_interval: Duration::from_millis(50),
+            ..Default::default()
+        },
+    )
+    .expect("bind router");
+    let mut client =
+        NetClient::connect(router.local_addr(), Duration::from_secs(5)).expect("connect");
+    for ((idx, val), want) in queries.iter().zip(&expected) {
+        let got = client.predict(idx, val, K).expect("routed predict");
+        assert_eq!(&got, want, "routed answer differs from in-process");
+    }
+    // Drain replica 2; after the health thread notices, every query must
+    // still get the same bit-identical answer from replica 1.
+    net2.drain();
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(router.healthy_replicas(), 1);
+    for ((idx, val), want) in queries.iter().zip(&expected) {
+        let got = client.predict(idx, val, K).expect("failover predict");
+        assert_eq!(&got, want, "failover answer differs from in-process");
+    }
+    let stats = router.stats_json();
+    assert!(stats.contains("\"healthy\":1"), "stats: {stats}");
+}

@@ -57,8 +57,8 @@ pub use frozen::{FrozenLayer, FrozenNetwork, ServeScratch};
 pub use model::FrozenModel;
 pub use retrieval::{ActiveSetSelector, SelectorScratch, ShardSelector, ShardSelectorScratch};
 pub use server::{
-    bench_report_json, percentile_us, phase_json, BatchConfig, BatchingServer, BenchMeta,
-    LatencySummary, ServeError, ServeStats,
+    bench_report_json, percentile_us, phase_json, query_salt, BatchConfig, BatchingServer,
+    BenchMeta, LatencySummary, ServeError, ServeStats,
 };
 pub use shard::{
     F32Shard, F32Trunk, ShardEngine, ShardIndexer, ShardPlan, ShardPlanKind, ShardScratch,

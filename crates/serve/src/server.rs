@@ -90,6 +90,10 @@ pub enum ServeError {
     Closed,
     /// The query did not fit the model (bad index, length mismatch, k == 0).
     Invalid(String),
+    /// The admission queue was full and the caller asked not to block
+    /// ([`BatchingServer::try_predict`]): shed the request instead of
+    /// buffering it. Carries the queue depth observed at rejection.
+    Overloaded(usize),
 }
 
 impl std::fmt::Display for ServeError {
@@ -97,6 +101,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Closed => f.write_str("server closed"),
             ServeError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+            ServeError::Overloaded(depth) => {
+                write!(f, "server overloaded: {depth} requests queued")
+            }
         }
     }
 }
@@ -208,6 +215,36 @@ impl LatencySummary {
             samples: samples.len() as u64,
         }
     }
+}
+
+/// The content-derived retrieval salt the batching server hands the model
+/// for a query: a splitmix64 fold over `(indices, value bits, k)`. Using
+/// query *content* rather than batch position makes serving deterministic —
+/// the same query produces bit-identical top-k whatever batch it lands in
+/// and whichever replica of a snapshot answers it — which is what lets a
+/// router fail a request over mid-flight without the client seeing two
+/// different answers. Callers comparing an in-process prediction against a
+/// served one must pass this same salt to `FrozenModel::predict_any`.
+///
+/// ```
+/// let a = slide_serve::query_salt(&[1, 17], &[1.0, 0.5], 5);
+/// let b = slide_serve::query_salt(&[1, 17], &[1.0, 0.5], 5);
+/// assert_eq!(a, b);
+/// assert_ne!(a, slide_serve::query_salt(&[1, 17], &[1.0, 0.5], 6));
+/// ```
+pub fn query_salt(indices: &[u32], values: &[f32], k: usize) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        // splitmix64 finalizer.
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = mix(0x9E37_79B9_7F4A_7C15 ^ k as u64);
+    for (&i, &v) in indices.iter().zip(values) {
+        h = mix(h ^ i as u64);
+        h = mix(h ^ v.to_bits() as u64);
+    }
+    mix(h ^ indices.len() as u64)
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample set (`q` in
@@ -400,6 +437,37 @@ impl BatchingServer {
         values: &[f32],
         k: usize,
     ) -> Result<Vec<u32>, ServeError> {
+        self.submit(indices, values, k, true)
+    }
+
+    /// Non-blocking-admission variant of [`BatchingServer::predict`]: if the
+    /// submission queue is full the request is **shed** with
+    /// [`ServeError::Overloaded`] instead of blocking the caller — the hook
+    /// a network front-end needs to answer `RETRY_LATER` under overload
+    /// rather than buffering without bound. Admission is the only
+    /// difference: an admitted request still blocks until its response is
+    /// ready.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity; otherwise
+    /// as [`BatchingServer::predict`].
+    pub fn try_predict(
+        &self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+    ) -> Result<Vec<u32>, ServeError> {
+        self.submit(indices, values, k, false)
+    }
+
+    fn submit(
+        &self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+        block: bool,
+    ) -> Result<Vec<u32>, ServeError> {
         if k == 0 {
             return Err(ServeError::Invalid("k must be positive".into()));
         }
@@ -421,6 +489,9 @@ impl BatchingServer {
         {
             let mut q = self.shared.queue.lock();
             while q.items.len() >= self.shared.config.queue_cap && !q.closed {
+                if !block {
+                    return Err(ServeError::Overloaded(q.items.len()));
+                }
                 self.shared.not_full.wait(&mut q);
             }
             if q.closed {
@@ -430,6 +501,12 @@ impl BatchingServer {
             self.shared.not_empty.notify_one();
         }
         rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Requests currently waiting in the submission queue (not including
+    /// those already being scored in a batch).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().items.len()
     }
 
     /// Snapshot the throughput/latency counters.
@@ -525,7 +602,6 @@ fn dispatcher_loop(shared: &ServerShared) {
     // concrete engine type — may differ across snapshots).
     let mut slots_model: Option<Arc<dyn FrozenModel>> = None;
     let mut batch: Vec<Request> = Vec::with_capacity(config.max_batch);
-    let mut batch_counter = 0u64;
 
     loop {
         batch.clear();
@@ -593,7 +669,6 @@ fn dispatcher_loop(shared: &ServerShared) {
             slot.errors = 0;
         }
 
-        batch_counter += 1;
         let n = batch.len();
         let cursor = AtomicUsize::new(0);
         let slot_ptr = SlotPtr {
@@ -602,7 +677,6 @@ fn dispatcher_loop(shared: &ServerShared) {
         };
         let batch_ref: &[Request] = &batch;
         let model_ref: &dyn FrozenModel = &*model;
-        let salt_base = batch_counter << 20;
         pool.run(&|worker| {
             // SAFETY: worker ids are distinct; `slots` outlives `run`.
             let slot = unsafe { slot_ptr.get(worker) };
@@ -615,12 +689,14 @@ fn dispatcher_loop(shared: &ServerShared) {
                 let response = match model_ref.validate_query(&req.indices, &req.values) {
                     Ok(()) => {
                         let x = SparseVecRef::new(&req.indices, &req.values);
-                        Ok(model_ref.predict_any(
-                            x,
-                            req.k,
-                            slot.scratch.as_mut(),
-                            salt_base | i as u64,
-                        ))
+                        // Content-derived salt: the same query gets the same
+                        // active-set padding — and therefore bit-identical
+                        // top-k — on every call, in any batch position, on
+                        // any replica of the same snapshot. A fleet needs
+                        // that for failover answer-consistency; parity tests
+                        // need it to compare socket vs in-process paths.
+                        let salt = query_salt(&req.indices, &req.values, req.k);
+                        Ok(model_ref.predict_any(x, req.k, slot.scratch.as_mut(), salt))
                     }
                     Err(msg) => {
                         slot.errors += 1;
@@ -967,6 +1043,133 @@ mod tests {
             assert!(doc.contains(field), "missing {field} in {doc}");
         }
         assert!(doc.ends_with("}\n"));
+    }
+
+    /// A FrozenModel wrapper that sleeps per prediction — slow enough that
+    /// a flood deterministically backs the admission queue up.
+    #[derive(Debug)]
+    struct SlowModel(FrozenNetwork, Duration);
+
+    impl FrozenModel for SlowModel {
+        fn precision(&self) -> &'static str {
+            self.0.precision_label()
+        }
+        fn input_dim(&self) -> usize {
+            self.0.input_dim()
+        }
+        fn output_dim(&self) -> usize {
+            self.0.output_dim()
+        }
+        fn arena_bytes(&self) -> usize {
+            self.0.arena_bytes()
+        }
+        fn validate_query(&self, indices: &[u32], values: &[f32]) -> Result<(), String> {
+            self.0.validate_query(indices, values)
+        }
+        fn make_scratch_any(&self) -> Box<dyn Any + Send> {
+            Box::new(self.0.make_scratch())
+        }
+        fn predict_any(
+            &self,
+            x: SparseVecRef<'_>,
+            k: usize,
+            scratch: &mut (dyn Any + Send),
+            salt: u64,
+        ) -> Vec<u32> {
+            std::thread::sleep(self.1);
+            let scratch = scratch.downcast_mut().expect("slow-model scratch");
+            self.0.predict_sparse(x, k, scratch, salt)
+        }
+    }
+
+    #[test]
+    fn try_predict_sheds_when_the_queue_is_full() {
+        // One worker scoring 5ms-per-request batches of 1, queue depth 2: a
+        // burst of non-blocking submissions must hit Overloaded while the
+        // blocking path would have parked instead.
+        let server = Arc::new(
+            BatchingServer::start(
+                SlowModel(tiny_frozen(3), Duration::from_millis(5)),
+                BatchConfig {
+                    max_batch: 1,
+                    max_wait: Duration::ZERO,
+                    queue_cap: 2,
+                    threads: 1,
+                },
+            )
+            .unwrap(),
+        );
+        let sheds = AtomicUsize::new(0);
+        let oks = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for c in 0..8 {
+                let server = Arc::clone(&server);
+                let (sheds, oks) = (&sheds, &oks);
+                scope.spawn(move || {
+                    for i in 0..6u32 {
+                        match server.try_predict(&[(c * 7 + i) % 128], &[1.0], 2) {
+                            Ok(ids) => {
+                                assert_eq!(ids.len(), 2);
+                                oks.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(ServeError::Overloaded(depth)) => {
+                                assert!(depth >= 2, "shed below capacity: {depth}");
+                                sheds.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            sheds.load(Ordering::Relaxed) > 0,
+            "48 floods over a depth-2 queue never shed"
+        );
+        assert!(oks.load(Ordering::Relaxed) > 0, "nothing got through");
+        // The server is still healthy after shedding.
+        assert_eq!(server.predict(&[1], &[1.0], 3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn responses_are_deterministic_across_batch_positions() {
+        // Content-derived salts: the same query answered alone and answered
+        // inside a crowded batch returns bit-identical ids.
+        let server = Arc::new(small_server(2, Duration::from_millis(2)));
+        let expected = server.predict(&[3, 9], &[1.0, -0.5], 4).unwrap();
+        std::thread::scope(|scope| {
+            for c in 0..6 {
+                let server = Arc::clone(&server);
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    for i in 0..20u32 {
+                        // Interleave noise queries so the probe lands at
+                        // varying batch offsets.
+                        server.predict(&[(c * 11 + i) % 128], &[0.5], 2).unwrap();
+                        let again = server.predict(&[3, 9], &[1.0, -0.5], 4).unwrap();
+                        assert_eq!(again, expected, "client {c} iter {i}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn queue_len_reports_backlog() {
+        let server = small_server(1, Duration::from_micros(100));
+        assert_eq!(server.queue_len(), 0);
+        server.predict(&[1], &[1.0], 1).unwrap();
+        assert_eq!(server.queue_len(), 0); // drained after the response
+    }
+
+    #[test]
+    fn query_salt_is_content_addressed() {
+        let a = query_salt(&[1, 2, 3], &[1.0, 2.0, 3.0], 5);
+        assert_eq!(a, query_salt(&[1, 2, 3], &[1.0, 2.0, 3.0], 5));
+        assert_ne!(a, query_salt(&[1, 2, 4], &[1.0, 2.0, 3.0], 5));
+        assert_ne!(a, query_salt(&[1, 2, 3], &[1.0, 2.0, 3.5], 5));
+        assert_ne!(a, query_salt(&[1, 2, 3], &[1.0, 2.0, 3.0], 6));
+        assert_ne!(query_salt(&[], &[], 1), query_salt(&[], &[], 2));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`data`] | `slide-data` | synthetic Amazon-670K/WikiLSH/Text8 stand-ins, XC-format parsing, P@k metrics |
 //! | [`serve`] | `slide-serve` | frozen-inference snapshots and the micro-batching request pipeline |
 //! | [`quant`] | `slide-quant` | post-training int8 quantized serving snapshots over VNNI-class integer kernels |
+//! | [`net`] | `slide-net` | TCP wire protocol, `slide_netd` replica daemon, `slide_router` fleet front-end |
 //! | [`baseline`] | `slide-baseline` | dense full-softmax baseline and the modeled V100 column |
 //!
 //! The most common types are re-exported at the top level.
@@ -47,6 +48,7 @@ pub use slide_core as core;
 pub use slide_data as data;
 pub use slide_hash as hash;
 pub use slide_mem as mem;
+pub use slide_net as net;
 pub use slide_quant as quant;
 pub use slide_serve as serve;
 pub use slide_simd as simd;
@@ -59,6 +61,9 @@ pub use slide_core::{
 pub use slide_data::{
     generate_synthetic, generate_text, parse_xc, write_xc, Dataset, DatasetStats, SynthConfig,
     TextConfig,
+};
+pub use slide_net::{
+    FleetSpec, Frame, NetClient, NetConfig, NetServer, RoutePolicy, Router, RouterConfig, WireError,
 };
 pub use slide_quant::{shard_i8, QuantReport, QuantizedFrozenNetwork};
 pub use slide_serve::{
