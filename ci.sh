@@ -11,7 +11,8 @@
 #
 # Both gate modes leave a BENCH_train.json at the repo root and smoke leaves
 # BENCH_serve.json + BENCH_serve_shard.json + BENCH_serve_i8.json +
-# BENCH_net.json (the loopback 1-router+2-replica fleet leg); CI
+# BENCH_net.json (the loopback 1-router+2-replica fleet leg) +
+# BENCH_snapshot.json (registry cold-start vs rebuild); CI
 # uploads all BENCH_*.json as per-leg artifacts. Gate modes also enforce a
 # test-count ratchet: `cargo test -q` must report at least MIN_TIER1_TESTS
 # passing tests (see below).
@@ -145,6 +146,55 @@ if [[ "$MODE" == "smoke" ]]; then
         exit 1
     }
 
+    step "smoke: snapshot_bench (cold-start vs rebuild, emits BENCH_snapshot.json)"
+    # The registry cold-start benchmark: mmap-load time must be reported
+    # separately from the re-freeze/re-quantize alternative (EXPERIMENTS §10).
+    SLIDE_EPOCHS=1 SLIDE_SNAPSHOT_ITERS=3 SLIDE_JSON_OUT=BENCH_snapshot.json \
+        ./target/release/snapshot_bench > /dev/null
+    grep -q '"mmap_load_ms"' BENCH_snapshot.json || {
+        echo "snapshot_bench smoke: BENCH_snapshot.json missing mmap_load_ms" >&2
+        exit 1
+    }
+    grep -q '"refreeze_ms"' BENCH_snapshot.json || {
+        echo "snapshot_bench smoke: BENCH_snapshot.json missing the f32 refreeze column" >&2
+        exit 1
+    }
+    grep -q '"requantize_ms"' BENCH_snapshot.json || {
+        echo "snapshot_bench smoke: BENCH_snapshot.json missing the i8 requantize column" >&2
+        exit 1
+    }
+
+    step "smoke: registry cold start (slide_cli snapshot -> slide_netd --snapshot)"
+    # Publish a snapshot through the CLI, then cold-start a replica daemon
+    # from the registry — no training flags — and drain it gracefully via
+    # stdin EOF (a FIFO stands in for the parent's pipe).
+    cargo build --release -q -p slide --bin slide_cli
+    cargo build --release -q -p slide-net --bin slide_netd
+    REG_DIR="$(mktemp -d)"
+    NETD_OUT="$(mktemp)"
+    ./target/release/slide_cli snapshot --registry "$REG_DIR" --train-epochs 0 > /dev/null
+    mkfifo "$REG_DIR/stdin.fifo"
+    ./target/release/slide_netd --addr 127.0.0.1:0 --snapshot "$REG_DIR" \
+        > "$NETD_OUT" < "$REG_DIR/stdin.fifo" &
+    NETD_PID=$!
+    exec 9> "$REG_DIR/stdin.fifo" # hold the daemon's stdin open
+    for _ in $(seq 1 100); do
+        grep -q 'SLIDE_NETD LISTENING' "$NETD_OUT" && break
+        sleep 0.1
+    done
+    grep -q 'SLIDE_NETD LISTENING' "$NETD_OUT" || {
+        echo "registry smoke: slide_netd did not cold-start from the registry" >&2
+        kill "$NETD_PID" 2> /dev/null || true
+        exit 1
+    }
+    exec 9>&- # stdin EOF = graceful drain
+    wait "$NETD_PID"
+    grep -q 'SLIDE_NETD DRAINED' "$NETD_OUT" || {
+        echo "registry smoke: slide_netd did not drain gracefully" >&2
+        exit 1
+    }
+    rm -rf "$REG_DIR" "$NETD_OUT"
+
     step "OK — smoke gates passed"
     exit 0
 fi
@@ -164,7 +214,7 @@ fi
 # previous PR's count; bump it (never lower it) when landing new tests. A
 # drop below the baseline means tests were deleted or silently stopped
 # being discovered (e.g. a [[test]] target fell out of the manifest).
-MIN_TIER1_TESTS=504
+MIN_TIER1_TESTS=551
 
 step "cargo test -q (ratchet: >= $MIN_TIER1_TESTS tests)"
 TEST_LOG="$(mktemp)"

@@ -51,7 +51,7 @@ const K: usize = 5;
 
 fn start_replica(model: Arc<dyn FrozenModel>, threads: usize) -> (Arc<BatchingServer>, NetServer) {
     let batching = Arc::new(
-        BatchingServer::start_dyn(
+        BatchingServer::start(
             model,
             BatchConfig {
                 max_batch: 8,

@@ -145,7 +145,7 @@ fn run_closed(
             });
         }
         std::thread::sleep(duration / 2);
-        server.publish_dyn(swap_snapshot);
+        server.publish(swap_snapshot);
         std::thread::sleep(duration / 2);
         stop.store(true, Ordering::Relaxed);
     });
@@ -203,7 +203,7 @@ fn run_open(
             });
         }
         std::thread::sleep(duration / 2);
-        server.publish_dyn(swap_snapshot);
+        server.publish(swap_snapshot);
     });
     PhaseResult {
         mode: "open",
@@ -342,7 +342,7 @@ fn main() {
         serve_models[at_requested].precision(),
     );
     let server = Arc::new(
-        BatchingServer::start_dyn(
+        BatchingServer::start(
             serve_models[at_requested].clone(),
             BatchConfig {
                 max_batch,
@@ -366,7 +366,7 @@ fn main() {
             i + 1,
             duration
         );
-        server.publish_dyn(serve_models[i].clone());
+        server.publish(serve_models[i].clone());
         let closed = run_closed(
             &server,
             freeze(&swap_net, n),
@@ -382,7 +382,7 @@ fn main() {
     }
     // Open phase: back on the requested shard count, swapping to the
     // further-trained snapshot at t/2.
-    server.publish_dyn(serve_models[at_requested].clone());
+    server.publish(serve_models[at_requested].clone());
     let capacity_phase = &phases[at_requested];
 
     // Offer ~60% of measured capacity so the open phase measures queueing

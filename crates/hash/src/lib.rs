@@ -57,4 +57,4 @@ pub use dwta::{DwtaConfig, DwtaHash, DwtaScratch};
 pub use family::{LshFamily, LshScratch};
 pub use minhash::{MinHash, MinHashConfig, MinHashScratch};
 pub use srp::{SimHash, SimHashConfig, SimHashScratch};
-pub use table::{BucketPolicy, LshTables, TableStats};
+pub use table::{BucketPolicy, LshTables, TableStats, TablesCsr};

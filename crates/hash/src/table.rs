@@ -48,6 +48,20 @@ pub struct LshTables {
     seed: u64,
 }
 
+/// [`LshTables`] flattened to CSR arrays for snapshot persistence: the
+/// three arrays map one-to-one onto the snapshot's LSH sections, so a
+/// loaded model references them without re-hashing any rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TablesCsr {
+    /// Prefix sums over all `L * 2^K` buckets (row-major by table);
+    /// `offsets[b]..offsets[b+1]` indexes bucket `b`'s slice of `items`.
+    pub offsets: Vec<u32>,
+    /// Concatenated bucket contents, per-bucket order preserved.
+    pub items: Vec<u32>,
+    /// Per-bucket arrival counters (reservoir-sampling history).
+    pub arrivals: Vec<u64>,
+}
+
 /// Occupancy statistics, used by tests and the bench harness to sanity-check
 /// hash quality.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -239,6 +253,91 @@ impl LshTables {
         }
     }
 
+    /// Flatten the tables into CSR form for snapshot persistence: one
+    /// prefix-sum `offsets` array over all `L * 2^K` buckets (row-major:
+    /// table 0's buckets, then table 1's, …), the concatenated bucket
+    /// `items`, and the per-bucket `arrivals` counters. Per-bucket item
+    /// order is preserved, so a [`LshTables::from_csr`] round trip is
+    /// bit-identical — including [`LshTables::retained`] partitions and
+    /// reservoir behaviour on any further inserts (arrival history travels
+    /// with the data).
+    pub fn to_csr(&self) -> TablesCsr {
+        let buckets = self.tables.len() << self.key_bits;
+        let mut csr = TablesCsr {
+            offsets: Vec::with_capacity(buckets + 1),
+            items: Vec::with_capacity(self.stats().stored),
+            arrivals: Vec::with_capacity(buckets),
+        };
+        csr.offsets.push(0);
+        for table in &self.tables {
+            for bucket in table {
+                csr.items.extend_from_slice(&bucket.items);
+                csr.offsets.push(csr.items.len() as u32);
+                csr.arrivals.push(bucket.arrivals);
+            }
+        }
+        csr
+    }
+
+    /// Rebuild tables from [`LshTables::to_csr`] output plus the structural
+    /// parameters the CSR does not carry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the CSR shape disagrees with
+    /// `tables`/`key_bits` (wrong array lengths, non-monotonic offsets, a
+    /// bucket larger than `bucket_cap`) — snapshot corruption must surface
+    /// as an error, never a panic.
+    pub fn from_csr(
+        tables: usize,
+        key_bits: u32,
+        bucket_cap: usize,
+        policy: BucketPolicy,
+        seed: u64,
+        csr: &TablesCsr,
+    ) -> Result<Self, String> {
+        if tables == 0 || key_bits == 0 || key_bits > 24 || bucket_cap == 0 {
+            return Err(format!(
+                "LshTables csr: bad shape (tables={tables}, key_bits={key_bits}, bucket_cap={bucket_cap})"
+            ));
+        }
+        let buckets = tables << key_bits;
+        if csr.offsets.len() != buckets + 1 || csr.arrivals.len() != buckets {
+            return Err(format!(
+                "LshTables csr: {} offsets / {} arrivals for {buckets} buckets",
+                csr.offsets.len(),
+                csr.arrivals.len()
+            ));
+        }
+        if csr.offsets[0] != 0 || *csr.offsets.last().expect("non-empty") != csr.items.len() as u32
+        {
+            return Err(format!(
+                "LshTables csr: offsets span [{}, {}] over {} items",
+                csr.offsets[0],
+                csr.offsets.last().expect("non-empty"),
+                csr.items.len()
+            ));
+        }
+        let mut out = LshTables::new(tables, key_bits, bucket_cap, policy, seed);
+        let per_table = 1usize << key_bits;
+        for b in 0..buckets {
+            let (start, end) = (csr.offsets[b] as usize, csr.offsets[b + 1] as usize);
+            if end < start {
+                return Err(format!("LshTables csr: offsets decrease at bucket {b}"));
+            }
+            if end - start > bucket_cap {
+                return Err(format!(
+                    "LshTables csr: bucket {b} holds {} ids, cap {bucket_cap}",
+                    end - start
+                ));
+            }
+            let bucket = &mut out.tables[b / per_table][b % per_table];
+            bucket.items = csr.items[start..end].to_vec();
+            bucket.arrivals = csr.arrivals[b];
+        }
+        Ok(out)
+    }
+
     /// Occupancy statistics across all tables.
     pub fn stats(&self) -> TableStats {
         let mut s = TableStats::default();
@@ -428,5 +527,71 @@ mod tests {
     fn wrong_key_count_panics() {
         let mut t = LshTables::new(2, 2, 8, BucketPolicy::Fifo, 5);
         t.insert(&[0], 1);
+    }
+
+    #[test]
+    fn csr_round_trip_is_bit_identical() {
+        let mut t = LshTables::new(3, 4, 8, BucketPolicy::Reservoir, 0xBEEF);
+        for id in 0..200 {
+            t.insert(&[id % 16, (id * 7 + 1) % 16, (id * 3 + 5) % 16], id);
+        }
+        let csr = t.to_csr();
+        let back = LshTables::from_csr(3, 4, 8, BucketPolicy::Reservoir, 0xBEEF, &csr).unwrap();
+        assert_eq!(back.stats(), t.stats());
+        for table in 0..3 {
+            for key in 0..16u32 {
+                assert_eq!(back.bucket(table, key), t.bucket(table, key));
+            }
+        }
+        // Arrival history travels too: the same insert lands identically in
+        // the original and the round-tripped copy (reservoir determinism).
+        let mut a = t.clone();
+        let mut b = back.clone();
+        for id in 200..260 {
+            a.insert(&[id % 16, (id * 7 + 1) % 16, (id * 3 + 5) % 16], id);
+            b.insert(&[id % 16, (id * 7 + 1) % 16, (id * 3 + 5) % 16], id);
+        }
+        for table in 0..3 {
+            for key in 0..16u32 {
+                assert_eq!(a.bucket(table, key), b.bucket(table, key));
+            }
+        }
+        assert_eq!(back.to_csr(), csr, "second export is stable");
+    }
+
+    #[test]
+    fn csr_rejects_malformed_shapes() {
+        let mut t = LshTables::new(2, 2, 4, BucketPolicy::Reservoir, 9);
+        for id in 0..30 {
+            t.insert(&[id % 4, (id + 1) % 4], id);
+        }
+        let good = t.to_csr();
+        let from = |csr: &TablesCsr| LshTables::from_csr(2, 2, 4, BucketPolicy::Reservoir, 9, csr);
+        assert!(from(&good).is_ok());
+
+        let mut short = good.clone();
+        short.offsets.pop();
+        assert!(from(&short).unwrap_err().contains("offsets"));
+
+        let mut overrun = good.clone();
+        *overrun.offsets.last_mut().unwrap() += 1;
+        assert!(from(&overrun).is_err());
+
+        let mut fat = good.clone();
+        // Cram every item into the first bucket: exceeds bucket_cap.
+        let n = fat.items.len() as u32;
+        for o in fat.offsets.iter_mut().skip(1) {
+            *o = n;
+        }
+        assert!(from(&fat).unwrap_err().contains("cap"));
+
+        let mut arrivals = good.clone();
+        arrivals.arrivals.pop();
+        assert!(from(&arrivals).is_err());
+
+        assert!(
+            LshTables::from_csr(0, 2, 4, BucketPolicy::Reservoir, 9, &good).is_err(),
+            "zero tables is an error, not a panic"
+        );
     }
 }

@@ -141,6 +141,20 @@ impl<T: Pod> AlignedVec<T> {
     pub fn fill(&mut self, value: T) {
         self.as_mut_slice().fill(value);
     }
+
+    /// Reinterpret the buffer as raw bytes without copying. Sound because
+    /// the byte-typed layout (`len * size_of::<T>()` bytes at 64-byte
+    /// alignment) is exactly the layout this allocation was made with, so
+    /// the byte handle can free it.
+    pub fn into_bytes(self) -> AlignedVec<u8> {
+        let len = self.len * std::mem::size_of::<T>();
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        AlignedVec {
+            ptr: ptr.cast(),
+            len,
+        }
+    }
 }
 
 impl<T: Pod> Drop for AlignedVec<T> {
@@ -253,6 +267,16 @@ mod tests {
     fn collects_from_iterator() {
         let v: AlignedVec<u32> = (0..4).collect();
         assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn into_bytes_reinterprets_in_place() {
+        let v = AlignedVec::<u32>::from_slice(&[0x0403_0201, 0x0807_0605]);
+        let addr = v.as_ptr() as usize;
+        let bytes = v.into_bytes();
+        assert_eq!(bytes.as_ptr() as usize, addr, "no copy");
+        assert_eq!(bytes.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(AlignedVec::<f32>::zeroed(0).into_bytes().is_empty());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+//!
+//! Hand-rolled because the environment has no crates.io access; the lookup
+//! table is built in const context. This is the shared integrity checksum
+//! for both the TCP wire protocol (`slide-net` frame headers) and the
+//! on-disk snapshot format (`slide-serve` section table).
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`.
+///
+/// ```
+/// assert_eq!(slide_mem::crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(slide_mem::crc32(b""), 0);
+/// assert_eq!(slide_mem::crc32(b"a"), 0xE8B7_BE43);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupt = base.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

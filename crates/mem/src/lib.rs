@@ -17,7 +17,12 @@
 //! * [`HogwildArray`] / [`HogwildPtr`] — lock-free shared parameter views for
 //!   HOGWILD-style batch parallelism,
 //! * [`ParamArenaBf16`] — contiguous bf16 weight storage for §4.4 mode 1,
-//! * [`IndexBatch`] — coalesced multi-hot label sets.
+//! * [`IndexBatch`] — coalesced multi-hot label sets,
+//! * [`SharedArena`] / [`ArenaView`] — shared read-only byte images (heap
+//!   or mmap) with typed zero-copy views, the substrate of the snapshot
+//!   persistence format,
+//! * [`crc32`] — the CRC-32 integrity checksum shared by the wire protocol
+//!   and the snapshot section table.
 //!
 //! # Examples
 //!
@@ -37,12 +42,16 @@
 
 mod aligned;
 mod arena;
+mod checksum;
 mod hogwild;
+mod shared;
 mod sparse;
 
 pub use aligned::{AlignedVec, Pod, BUFFER_ALIGN};
 pub use arena::{FragmentedParams, ParamArena, ParamArenaBf16, ParamLayout, ParamStore};
+pub use checksum::crc32;
 pub use hogwild::{HogwildArray, HogwildPtr};
+pub use shared::{pod_bytes, ArenaView, SharedArena};
 pub use sparse::{
     clear_densified, densify_into, BatchStore, FragmentedBatch, IndexBatch, SparseBatch,
     SparseVecRef,

@@ -1,0 +1,403 @@
+//! Shared read-only byte arenas and typed zero-copy views.
+//!
+//! A serving snapshot is one contiguous byte image whose payload sections
+//! sit on 64-byte boundaries. [`SharedArena`] owns such an image exactly
+//! once — either a heap buffer (an [`AlignedVec`]) or a memory-mapped
+//! file — and hands out [`ArenaView`]s: typed slices that are bounds- and
+//! alignment-checked at construction and share the arena's lifetime through
+//! an `Arc`. Engines built over views reference the snapshot bytes in
+//! place; loading a model never copies its weight arenas.
+
+use crate::aligned::{AlignedVec, Pod};
+use std::fmt;
+use std::fs::File;
+use std::io::Read;
+use std::marker::PhantomData;
+use std::path::Path;
+use std::sync::Arc;
+
+enum Backing {
+    Heap(AlignedVec<u8>),
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mmap {
+        ptr: *mut u8,
+        len: usize,
+    },
+}
+
+// SAFETY: the heap variant is an AlignedVec (already Send + Sync); the mmap
+// variant is a private PROT_READ mapping owned exclusively by this Backing
+// (never written, never aliased mutably), so sharing the pointer across
+// threads is sound.
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+impl Backing {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Backing::Heap(v) => v.as_slice(),
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            // SAFETY: ptr spans len mapped read-only bytes for the life of
+            // this Backing (munmap happens only in Drop).
+            Backing::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+impl Drop for Backing {
+    fn drop(&mut self) {
+        if let Backing::Mmap { ptr, len } = *self {
+            const SYS_MUNMAP: usize = 11;
+            // SAFETY: exactly the mapping created in `mmap_readonly`, unmapped
+            // once; no view can outlive the owning Arc<Backing>.
+            unsafe {
+                let _ret: usize;
+                std::arch::asm!(
+                    "syscall",
+                    inlateout("rax") SYS_MUNMAP => _ret,
+                    in("rdi") ptr,
+                    in("rsi") len,
+                    lateout("rcx") _,
+                    lateout("r11") _,
+                    options(nostack)
+                );
+            }
+        }
+    }
+}
+
+/// Open `file` as a private read-only mapping. Returns `None` when the
+/// kernel refuses (the caller falls back to a heap read).
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn mmap_readonly(file: &File, len: usize) -> Option<*mut u8> {
+    use std::os::unix::io::AsRawFd;
+    const SYS_MMAP: usize = 9;
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+    const MAP_POPULATE: usize = 0x8000;
+    let fd = file.as_raw_fd() as usize;
+    let ret: usize;
+    // SAFETY: a plain mmap(NULL, len, PROT_READ, MAP_PRIVATE|MAP_POPULATE,
+    // fd, 0) syscall; no memory is touched and all registers the kernel
+    // clobbers (rcx, r11) are declared.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE | MAP_POPULATE,
+            in("r8") fd,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+    // Errors come back as -errno in [-4095, -1].
+    if ret > usize::MAX - 4095 {
+        None
+    } else {
+        Some(ret as *mut u8)
+    }
+}
+
+/// A shared, immutable, 64-byte-aligned byte arena.
+///
+/// Cloning is an `Arc` bump; the bytes live until the last clone (and every
+/// [`ArenaView`] cut from it) is dropped. The base address is always at
+/// least 64-byte aligned — heap arenas via [`AlignedVec`], mapped arenas
+/// because mappings are page-aligned.
+///
+/// # Examples
+///
+/// ```
+/// use slide_mem::{AlignedVec, SharedArena};
+/// let bytes = AlignedVec::<u8>::from_slice(&42u64.to_le_bytes());
+/// let arena = SharedArena::from_bytes(bytes);
+/// let view = arena.view::<u64>(0, 1).unwrap();
+/// assert_eq!(view.as_slice(), &[42]);
+/// ```
+#[derive(Clone)]
+pub struct SharedArena {
+    inner: Arc<Backing>,
+}
+
+impl SharedArena {
+    /// Wrap an owned aligned buffer without copying.
+    pub fn from_bytes(bytes: AlignedVec<u8>) -> Self {
+        SharedArena {
+            inner: Arc::new(Backing::Heap(bytes)),
+        }
+    }
+
+    /// Map the file at `path` read-only. On Linux/x86-64 this is a true
+    /// `mmap(PROT_READ, MAP_PRIVATE | MAP_POPULATE)` — the kernel faults the
+    /// image in behind a shared page cache, so a restarted process pays no
+    /// copy. Elsewhere (or if the kernel refuses the mapping) the whole
+    /// file is read into an aligned heap buffer instead, which preserves
+    /// every alignment guarantee at the cost of one copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `open`/`metadata`/`read` failures.
+    pub fn map_file(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if len > 0 {
+            if let Some(ptr) = mmap_readonly(&file, len) {
+                return Ok(SharedArena {
+                    inner: Arc::new(Backing::Mmap { ptr, len }),
+                });
+            }
+        }
+        let mut buf = AlignedVec::<u8>::zeroed(len);
+        file.read_exact(buf.as_mut_slice())?;
+        Ok(Self::from_bytes(buf))
+    }
+
+    /// The whole arena as bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+
+    /// Arena length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cut a typed view of `len` elements starting at byte `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-bounds ranges and element-misaligned offsets with a
+    /// message (the snapshot layer wraps these into its corruption error).
+    pub fn view<T: Pod>(&self, offset: usize, len: usize) -> Result<ArenaView<T>, String> {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| format!("arena view: {len} elements overflow"))?;
+        let end = offset
+            .checked_add(bytes)
+            .ok_or_else(|| format!("arena view: offset {offset} + {bytes} bytes overflow"))?;
+        if end > self.len() {
+            return Err(format!(
+                "arena view: [{offset}, {end}) outside a {}-byte arena",
+                self.len()
+            ));
+        }
+        let addr = self.as_slice().as_ptr() as usize + offset;
+        if !addr.is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(format!(
+                "arena view: offset {offset} misaligned for {}-byte elements",
+                std::mem::align_of::<T>()
+            ));
+        }
+        Ok(ArenaView {
+            arena: self.clone(),
+            offset,
+            len,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl fmt::Debug for SharedArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &*self.inner {
+            Backing::Heap(_) => "heap",
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Backing::Mmap { .. } => "mmap",
+        };
+        f.debug_struct("SharedArena")
+            .field("kind", &kind)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A typed, immutable slice into a [`SharedArena`], checked for bounds and
+/// element alignment at construction. Cloning shares the arena.
+///
+/// Since every arena base is 64-byte aligned, a view at a 64-byte-aligned
+/// offset inherits cache-line alignment — the same guarantee
+/// [`AlignedVec`] gives the training-side kernels.
+pub struct ArenaView<T: Pod> {
+    arena: SharedArena,
+    offset: usize,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Pod> ArenaView<T> {
+    /// Wrap an owned typed buffer: the allocation is reinterpreted as a
+    /// heap arena (no copy) and viewed whole. This is how freshly built
+    /// engines and snapshot-loaded engines share one code path.
+    pub fn from_vec(v: AlignedVec<T>) -> Self {
+        let len = v.len();
+        SharedArena::from_bytes(v.into_bytes())
+            .view(0, len)
+            .expect("AlignedVec is 64-byte aligned by construction")
+    }
+
+    /// The viewed elements.
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: bounds and alignment were checked at construction; the
+        // arena is immutable and outlives self; every Pod type is valid for
+        // any bit pattern.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.arena.as_slice().as_ptr().add(self.offset) as *const T,
+                self.len,
+            )
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The arena this view was cut from.
+    pub fn arena(&self) -> &SharedArena {
+        &self.arena
+    }
+}
+
+impl<T: Pod> Clone for ArenaView<T> {
+    fn clone(&self) -> Self {
+        ArenaView {
+            arena: self.arena.clone(),
+            offset: self.offset,
+            len: self.len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Pod> std::ops::Deref for ArenaView<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod + fmt::Debug> fmt::Debug for ArenaView<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArenaView")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for ArenaView<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// View a typed Pod slice as raw little-endian bytes (x86 is
+/// little-endian; the snapshot format is explicitly LE and produced only
+/// on LE hosts — the header version would guard a future BE port).
+pub fn pod_bytes<T: Pod>(s: &[T]) -> &[u8] {
+    // SAFETY: Pod types have no padding or invalid bit patterns; u8 has
+    // alignment 1.
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u8, std::mem::size_of_val(s)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aligned::BUFFER_ALIGN;
+
+    #[test]
+    fn heap_arena_views_are_typed_and_aligned() {
+        let floats = AlignedVec::<f32>::from_fn(32, |i| i as f32);
+        let arena = SharedArena::from_bytes(floats.clone().into_bytes());
+        assert_eq!(arena.len(), 128);
+        assert_eq!(arena.as_slice().as_ptr() as usize % BUFFER_ALIGN, 0);
+        let view = arena.view::<f32>(0, 32).unwrap();
+        assert_eq!(view.as_slice(), floats.as_slice());
+        let tail = arena.view::<f32>(64, 16).unwrap();
+        assert_eq!(tail.as_slice(), &floats.as_slice()[16..]);
+    }
+
+    #[test]
+    fn views_reject_bad_ranges_and_misalignment() {
+        let arena = SharedArena::from_bytes(AlignedVec::<u8>::zeroed(64));
+        assert!(arena.view::<f32>(0, 17).is_err(), "past the end");
+        assert!(arena.view::<f32>(2, 1).is_err(), "misaligned offset");
+        assert!(arena.view::<u8>(64, 1).is_err(), "empty tail overrun");
+        assert!(arena.view::<u8>(usize::MAX, 2).is_err(), "offset overflow");
+        assert!(arena.view::<u64>(usize::MAX / 2, usize::MAX / 4).is_err());
+        assert!(arena.view::<u8>(64, 0).is_ok(), "empty view at the end");
+    }
+
+    #[test]
+    fn views_keep_the_arena_alive() {
+        let view = {
+            let arena =
+                SharedArena::from_bytes(AlignedVec::<u32>::from_fn(8, |i| i as u32).into_bytes());
+            arena.view::<u32>(0, 8).unwrap()
+        };
+        assert_eq!(view.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(view.clone().as_slice(), view.as_slice());
+    }
+
+    #[test]
+    fn from_vec_reuses_the_allocation() {
+        let v = AlignedVec::<i8>::from_fn(100, |i| i as i8);
+        let expect: Vec<i8> = (0..100).map(|i| i as i8).collect();
+        let view = ArenaView::from_vec(v);
+        assert_eq!(view.as_slice(), expect.as_slice());
+        assert_eq!(view.arena().len(), 100);
+    }
+
+    #[test]
+    fn map_file_round_trips_and_handles_missing_files() {
+        let dir = std::env::temp_dir().join(format!("slide_mem_map_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("arena.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096 + 17).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let arena = SharedArena::map_file(&path).unwrap();
+        assert_eq!(arena.as_slice(), payload.as_slice());
+        assert_eq!(arena.as_slice().as_ptr() as usize % BUFFER_ALIGN, 0);
+        // Views survive the file being unlinked (the mapping/heap owns it).
+        let view = arena.view::<u8>(64, 100).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(view.as_slice(), &payload[64..164]);
+        assert!(SharedArena::map_file(&dir.join("absent.bin")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_an_empty_arena() {
+        let dir = std::env::temp_dir().join(format!("slide_mem_map0_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let arena = SharedArena::map_file(&path).unwrap();
+        assert!(arena.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pod_bytes_views_little_endian() {
+        assert_eq!(pod_bytes(&[0x0403_0201u32]), &[1, 2, 3, 4]);
+        assert_eq!(pod_bytes::<f32>(&[]), &[] as &[u8]);
+    }
+}

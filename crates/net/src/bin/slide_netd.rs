@@ -1,6 +1,10 @@
-//! `slide_netd` — one serving replica: builds the deterministic
-//! [`FleetSpec`] model, wraps it in a [`slide_serve::BatchingServer`], and
-//! fronts it with a [`NetServer`] on a TCP address.
+//! `slide_netd` — one serving replica: obtains its model either by
+//! rebuilding the deterministic [`FleetSpec`] fixture (train + freeze) or,
+//! with `--snapshot <dir>`, by mmap-loading the current version from a
+//! `slide_serve::ModelRegistry` — no training, no re-quantization, weight
+//! arenas viewing the mapped file. Either way the model is wrapped in a
+//! [`slide_serve::BatchingServer`] and fronted with a [`NetServer`] on a
+//! TCP address.
 //!
 //! Prints `SLIDE_NETD LISTENING <addr>` once ready (parents parse this to
 //! learn an OS-assigned port). Shuts down gracefully when stdin reaches
@@ -8,8 +12,8 @@
 //! and dropping it (or the parent dying) drains us — or when a client
 //! sends a `Drain` frame.
 
-use slide_net::{FleetPrecision, FleetSpec, NetConfig, NetServer};
-use slide_serve::{BatchConfig, BatchingServer};
+use slide_net::{FleetPrecision, FleetSpec, NetConfig, NetServer, WireError};
+use slide_serve::{BatchConfig, BatchingServer, FrozenModel, ModelRegistry};
 use std::io::Read;
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -24,6 +28,7 @@ struct Args {
     threads: usize,
     max_batch: usize,
     queue_cap: usize,
+    snapshot: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 2,
         max_batch: 8,
         queue_cap: 64,
+        snapshot: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,10 +62,23 @@ fn parse_args() -> Result<Args, String> {
             "--queue-cap" => {
                 args.queue_cap = val()?.parse().map_err(|e| format!("--queue-cap: {e}"))?;
             }
+            "--snapshot" => args.snapshot = Some(val()?.into()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// Cold-start path: mmap + verify the registry's current version. The
+/// `--precision`/`--shards`/`--epochs` axes are ignored — the snapshot
+/// header, not the command line, says what engine this is.
+fn load_registry_model(dir: &std::path::Path) -> Result<Arc<dyn FrozenModel>, String> {
+    let registry = ModelRegistry::open(dir).map_err(|e| format!("registry {dir:?}: {e}"))?;
+    let path = registry
+        .current_path()
+        .map_err(|e| format!("registry {dir:?}: {e}"))?
+        .ok_or_else(|| format!("registry {dir:?} has no published version"))?;
+    slide_quant::snapshot::load(&path).map_err(|e| format!("snapshot {path:?}: {e}"))
 }
 
 /// Bind with retries: a restarted replica reclaiming its old port can race
@@ -89,25 +108,41 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let spec = FleetSpec {
-        seed: args.seed,
-        precision: args.precision,
-        shards: args.shards,
-        epochs: args.epochs,
+    let model: Arc<dyn FrozenModel> = match &args.snapshot {
+        Some(dir) => match load_registry_model(dir) {
+            Ok(m) => m,
+            Err(msg) => {
+                eprintln!("slide_netd: {msg}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let spec = FleetSpec {
+                seed: args.seed,
+                precision: args.precision,
+                shards: args.shards,
+                epochs: args.epochs,
+            };
+            spec.build().0
+        }
     };
-    let (model, _test) = spec.build();
-    let batching = Arc::new(
-        BatchingServer::start_dyn(
-            model,
-            BatchConfig {
-                max_batch: args.max_batch,
-                max_wait: Duration::from_millis(1),
-                queue_cap: args.queue_cap,
-                threads: args.threads,
-            },
-        )
-        .expect("batch config"),
-    );
+    let batching = BatchingServer::start(
+        model,
+        BatchConfig {
+            max_batch: args.max_batch,
+            max_wait: Duration::from_millis(1),
+            queue_cap: args.queue_cap,
+            threads: args.threads,
+        },
+    )
+    .map_err(WireError::from);
+    let batching = match batching {
+        Ok(b) => Arc::new(b),
+        Err(e) => {
+            eprintln!("slide_netd: {e}");
+            std::process::exit(1);
+        }
+    };
     // A fixed (non-:0) address may still be in TIME_WAIT from the replica
     // we are replacing; wait it out before the real bind.
     if !args.addr.ends_with(":0") {

@@ -10,16 +10,16 @@
 
 use slide_core::{LshConfig, Network, NetworkConfig, Trainer, TrainerConfig};
 use slide_data::{generate_synthetic, Dataset, SynthConfig};
-use slide_quant::QuantizedFrozenNetwork;
-use slide_serve::{FrozenModel, FrozenNetwork, ShardPlan, ShardedFrozenModel};
+use slide_quant::Snapshot;
+use slide_serve::{FrozenModel, ShardPlan, SnapshotSpec};
 use std::sync::Arc;
 
 /// Which frozen engine a fleet runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FleetPrecision {
-    /// Full-precision [`FrozenNetwork`].
+    /// Full-precision [`slide_serve::FrozenNetwork`].
     F32,
-    /// Post-training int8 [`QuantizedFrozenNetwork`].
+    /// Post-training int8 [`slide_quant::QuantizedFrozenNetwork`].
     I8,
 }
 
@@ -120,26 +120,49 @@ impl FleetSpec {
         (trainer.into_network(), synth.test)
     }
 
-    /// Freeze `net` into the engine this spec calls for.
+    /// The [`SnapshotSpec`] equivalent of this spec's precision/shard axes.
     ///
     /// # Panics
     ///
-    /// Panics if the shard plan is invalid for the network — impossible for
-    /// the fixed spec dimensions.
-    pub fn freeze(&self, net: &Network) -> Arc<dyn FrozenModel> {
-        let rows = self.synth_config().label_dim;
-        match (self.precision, self.shards) {
-            (FleetPrecision::F32, 0 | 1) => Arc::new(FrozenNetwork::freeze(net)),
-            (FleetPrecision::I8, 0 | 1) => Arc::new(QuantizedFrozenNetwork::quantize(net)),
-            (FleetPrecision::F32, n) => {
-                let plan = ShardPlan::contiguous(n, rows).expect("fleet shard plan");
-                Arc::new(ShardedFrozenModel::shard_f32(net, plan).expect("fleet f32 shards"))
-            }
-            (FleetPrecision::I8, n) => {
-                let plan = ShardPlan::contiguous(n, rows).expect("fleet shard plan");
-                Arc::new(slide_quant::shard_i8(net, plan).expect("fleet i8 shards"))
-            }
+    /// Panics if the shard count is invalid for the fixed label dimension —
+    /// impossible unless the spec itself is broken.
+    pub fn snapshot_spec(&self) -> SnapshotSpec {
+        let base = match self.precision {
+            FleetPrecision::F32 => SnapshotSpec::f32(),
+            FleetPrecision::I8 => SnapshotSpec::i8(),
+        };
+        match self.shards {
+            0 | 1 => base,
+            n => base.sharded(
+                ShardPlan::contiguous(n, self.synth_config().label_dim).expect("fleet shard plan"),
+            ),
         }
+    }
+
+    /// Freeze `net` into the engine this spec calls for — via the unified
+    /// snapshot path, so every replica serves exactly what a registry
+    /// publish of the same network would serve (the snapshot battery
+    /// proves build→encode→decode is bit-equal to the direct constructors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixed spec constants produce an unservable snapshot —
+    /// impossible unless the spec itself is broken.
+    pub fn freeze(&self, net: &Network) -> Arc<dyn FrozenModel> {
+        self.snapshot(net)
+            .model()
+            .expect("fleet snapshot instantiates")
+    }
+
+    /// Cut the publishable [`Snapshot`] of `net` under this spec — what a
+    /// trainer would hand to `ModelRegistry::publish` for the fleet to
+    /// cold-start from.
+    ///
+    /// # Panics
+    ///
+    /// As [`FleetSpec::freeze`].
+    pub fn snapshot(&self, net: &Network) -> Snapshot {
+        Snapshot::build(net, &self.snapshot_spec()).expect("fleet snapshot builds")
     }
 
     /// Train + freeze + the test-split query battery, in one call — what

@@ -43,46 +43,11 @@ pub const HEADER_LEN: usize = 16;
 /// header, before any payload is read.
 pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
 
-// ---------------------------------------------------------------------------
-// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — hand-rolled because the
-// environment has no crates.io access; the table is built in const context.
-// ---------------------------------------------------------------------------
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC32_TABLE: [u32; 256] = crc32_table();
-
-/// CRC-32 (IEEE) of `data` — the payload checksum in every frame header.
-///
-/// ```
-/// assert_eq!(slide_net::crc32(b"123456789"), 0xCBF4_3926);
-/// assert_eq!(slide_net::crc32(b""), 0);
-/// ```
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = !0u32;
-    for &b in data {
-        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+// The payload checksum in every frame header is the workspace-wide CRC-32
+// (IEEE 802.3) from slide-mem — the same checksum the snapshot format's
+// section table uses, re-exported here so wire code keeps reading
+// `crc32(payload)`.
+pub use slide_mem::crc32;
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -125,6 +90,10 @@ pub enum WireError {
     /// A started frame did not complete within the receiver's deadline
     /// (slow-loris guard).
     Stalled,
+    /// The serve tier rejected a build/publish (rendered
+    /// [`slide_serve::ServeBuildError`]) — surfaced here so daemon startup
+    /// and registry activation can flow through one error channel.
+    ServerBuild(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -145,6 +114,7 @@ impl std::fmt::Display for WireError {
             ),
             WireError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
             WireError::Stalled => f.write_str("frame stalled past the receive deadline"),
+            WireError::ServerBuild(msg) => write!(f, "serve tier rejected build: {msg}"),
         }
     }
 }
@@ -154,6 +124,12 @@ impl std::error::Error for WireError {}
 impl From<std::io::Error> for WireError {
     fn from(e: std::io::Error) -> Self {
         WireError::Io(e.kind(), e.to_string())
+    }
+}
+
+impl From<slide_serve::ServeBuildError> for WireError {
+    fn from(e: slide_serve::ServeBuildError) -> Self {
+        WireError::ServerBuild(e.to_string())
     }
 }
 

@@ -1,0 +1,119 @@
+//! Shared child-process harness for the daemon integration tests: spawn a
+//! real `slide_netd` / `slide_router` binary, parse its `LISTENING` line to
+//! learn the OS-assigned port, and drain it via stdin EOF (the portable
+//! SIGTERM-equivalent the daemons implement).
+#![allow(dead_code)] // each integration-test crate uses a subset
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// A child process whose stdin we hold open (dropping it asks the daemon
+/// to drain — the portable SIGTERM).
+pub struct Daemon {
+    pub child: Child,
+    pub addr: String,
+}
+
+impl Daemon {
+    pub fn spawn(bin: &str, args: &[&str], ready_tag: &str) -> Daemon {
+        let mut child = Command::new(bin)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn daemon");
+        // Parse "<TAG> LISTENING <addr>" off stdout, under a watchdog so a
+        // wedged child cannot hang the test.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tag = ready_tag.to_string();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let mut lines = BufReader::new(stdout).lines();
+            while let Some(Ok(line)) = lines.next() {
+                if let Some(addr) = line.strip_prefix(&format!("{tag} LISTENING ")) {
+                    let _ = tx.send(addr.trim().to_string());
+                    break;
+                }
+            }
+            // Keep draining stdout so the child never blocks on a full pipe.
+            for _ in lines {}
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("daemon did not report LISTENING in time");
+        Daemon { child, addr }
+    }
+
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Graceful shutdown: close stdin, give it a moment, then force-kill.
+    pub fn shutdown(&mut self) {
+        drop(self.child.stdin.take());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                _ => {
+                    self.kill();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// A replica that rebuilds the deterministic `FleetSpec` fixture in-process
+/// (`--seed 42 --epochs 0`): the pre-registry startup path.
+pub fn spawn_replica(addr: &str) -> Daemon {
+    Daemon::spawn(
+        env!("CARGO_BIN_EXE_slide_netd"),
+        &[
+            "--addr",
+            addr,
+            "--seed",
+            "42",
+            "--epochs",
+            "0",
+            "--threads",
+            "2",
+            "--queue-cap",
+            "128",
+        ],
+        "SLIDE_NETD",
+    )
+}
+
+/// A replica that cold-starts from a `ModelRegistry` directory: no training
+/// flags at all — the snapshot header says what engine this is.
+pub fn spawn_replica_from_registry(addr: &str, registry: &std::path::Path) -> Daemon {
+    let dir = registry.to_str().expect("utf-8 registry path");
+    Daemon::spawn(
+        env!("CARGO_BIN_EXE_slide_netd"),
+        &[
+            "--addr",
+            addr,
+            "--snapshot",
+            dir,
+            "--threads",
+            "2",
+            "--queue-cap",
+            "128",
+        ],
+        "SLIDE_NETD",
+    )
+}

@@ -1,7 +1,9 @@
 //! End-to-end fleet chaos (ISSUE satellite: kill-one-replica): three real
 //! `slide_netd` processes behind a real `slide_router` process, open-loop
 //! load flowing, one replica killed mid-load and then restarted on its old
-//! port.
+//! port — restarted from a **registry snapshot** (`--snapshot <dir>`), the
+//! way an operator would actually revive a replica: mmap the published
+//! version instead of retraining.
 //!
 //! The contract under fire:
 //! * **zero hard client errors** — every fault surfaces as transparent
@@ -10,101 +12,35 @@
 //!   accounted outcome;
 //! * the restarted replica is **readmitted** by the router's health loop.
 
-use slide_net::{LoadgenConfig, NetClient, SubmitOutcome};
-use std::io::{BufRead, BufReader};
-use std::process::{Child, Command, Stdio};
-use std::sync::mpsc;
+mod daemon;
+
+use daemon::{spawn_replica, spawn_replica_from_registry, Daemon};
+use slide_net::{FleetSpec, LoadgenConfig, NetClient, SubmitOutcome};
+use slide_serve::ModelRegistry;
 use std::time::{Duration, Instant};
-
-/// A child process whose stdin we hold open (dropping it asks the daemon
-/// to drain — the portable SIGTERM).
-struct Daemon {
-    child: Child,
-    addr: String,
-}
-
-impl Daemon {
-    fn spawn(bin: &str, args: &[&str], ready_tag: &str) -> Daemon {
-        let mut child = Command::new(bin)
-            .args(args)
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .expect("spawn daemon");
-        // Parse "<TAG> LISTENING <addr>" off stdout, under a watchdog so a
-        // wedged child cannot hang the test.
-        let stdout = child.stdout.take().expect("piped stdout");
-        let tag = ready_tag.to_string();
-        let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
-            let mut lines = BufReader::new(stdout).lines();
-            while let Some(Ok(line)) = lines.next() {
-                if let Some(addr) = line.strip_prefix(&format!("{tag} LISTENING ")) {
-                    let _ = tx.send(addr.trim().to_string());
-                    break;
-                }
-            }
-            // Keep draining stdout so the child never blocks on a full pipe.
-            for _ in lines {}
-        });
-        let addr = rx
-            .recv_timeout(Duration::from_secs(30))
-            .expect("daemon did not report LISTENING in time");
-        Daemon { child, addr }
-    }
-
-    fn kill(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-
-    /// Graceful shutdown: close stdin, give it a moment, then force-kill.
-    fn shutdown(&mut self) {
-        drop(self.child.stdin.take());
-        let deadline = Instant::now() + Duration::from_secs(5);
-        loop {
-            match self.child.try_wait() {
-                Ok(Some(_)) => return,
-                Ok(None) if Instant::now() < deadline => {
-                    std::thread::sleep(Duration::from_millis(50));
-                }
-                _ => {
-                    self.kill();
-                    return;
-                }
-            }
-        }
-    }
-}
-
-impl Drop for Daemon {
-    fn drop(&mut self) {
-        self.kill();
-    }
-}
-
-fn spawn_replica(addr: &str) -> Daemon {
-    Daemon::spawn(
-        env!("CARGO_BIN_EXE_slide_netd"),
-        &[
-            "--addr",
-            addr,
-            "--seed",
-            "42",
-            "--epochs",
-            "0",
-            "--threads",
-            "2",
-            "--queue-cap",
-            "128",
-        ],
-        "SLIDE_NETD",
-    )
-}
 
 #[test]
 fn kill_one_replica_mid_load_no_hard_errors_and_readmission() {
+    // Publish the fleet fixture into a registry up front: the mid-chaos
+    // revival cold-starts from this snapshot. Same `FleetSpec` axes as
+    // `spawn_replica` (seed 42, epochs 0), so the revived replica serves
+    // bit-identical answers to the two survivors.
+    let registry_root =
+        std::env::temp_dir().join(format!("slide_chaos_registry_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&registry_root);
+    {
+        let spec = FleetSpec {
+            seed: 42,
+            epochs: 0,
+            ..Default::default()
+        };
+        let (net, _test) = spec.train();
+        let registry = ModelRegistry::open(&registry_root).expect("open chaos registry");
+        registry
+            .publish(spec.snapshot(&net).bytes())
+            .expect("publish chaos snapshot");
+    }
+
     let mut replicas: Vec<Daemon> = (0..3).map(|_| spawn_replica("127.0.0.1:0")).collect();
     let replica_flags: Vec<String> = replicas
         .iter()
@@ -145,8 +81,9 @@ fn kill_one_replica_mid_load_no_hard_errors_and_readmission() {
                 let mut r0 = replicas.remove(0);
                 r0.kill();
                 std::thread::sleep(duration / 3);
-                // Same port: bind_retrying in the daemon absorbs TIME_WAIT.
-                let revived = spawn_replica(&r0.addr);
+                // Same port (bind_retrying in the daemon absorbs TIME_WAIT),
+                // but cold-started from the registry: no retraining.
+                let revived = spawn_replica_from_registry(&r0.addr, &registry_root);
                 killed.lock().unwrap().replace(revived);
             });
             slide_net::run_open_loop(&queries, &cfg, |_client_id| {
@@ -225,4 +162,5 @@ fn kill_one_replica_mid_load_no_hard_errors_and_readmission() {
     for mut r in replicas {
         r.shutdown();
     }
+    let _ = std::fs::remove_dir_all(&registry_root);
 }

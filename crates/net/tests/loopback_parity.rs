@@ -40,7 +40,7 @@ fn battery(spec: &FleetSpec, n: usize) -> (Arc<dyn FrozenModel>, QueryBattery) {
 
 fn serve(model: Arc<dyn FrozenModel>, threads: usize) -> (Arc<BatchingServer>, NetServer) {
     let batching = Arc::new(
-        BatchingServer::start_dyn(
+        BatchingServer::start(
             model,
             BatchConfig {
                 max_batch: 8,

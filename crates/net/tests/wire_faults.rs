@@ -42,7 +42,7 @@ fn live_server() -> NetServer {
     }
     .build();
     let batching = Arc::new(
-        BatchingServer::start_dyn(
+        BatchingServer::start(
             model,
             BatchConfig {
                 max_batch: 4,

@@ -20,7 +20,7 @@
 use slide_core::{relu, Network, NetworkConfig, Precision};
 use slide_data::{top_k_indices, Dataset};
 use slide_hash::TableStats;
-use slide_mem::{AlignedVec, SparseVecRef};
+use slide_mem::{AlignedVec, ArenaView, SparseVecRef};
 use slide_serve::{ActiveSetSelector, FrozenLayer, FrozenModel, FrozenNetwork, SelectorScratch};
 use slide_simd::{quantize_acts_u8, quantize_row_i8, KernelSet, RowGather};
 
@@ -31,11 +31,14 @@ const LANE_I8: usize = slide_simd::CACHE_LINE_BYTES;
 
 /// One layer's quantized weights: an i8 code arena whose rows are padded to
 /// a 64-byte stride, a per-row f32 dequantization scale, and the f32 bias.
+/// All three are [`ArenaView`]s, so a layer either owns freshly quantized
+/// buffers or points straight into an mmapped snapshot image — the scoring
+/// paths cannot tell the difference.
 #[derive(Debug, Clone)]
 pub struct QuantizedLayer {
-    q: AlignedVec<i8>,
-    scales: AlignedVec<f32>,
-    bias: AlignedVec<f32>,
+    q: ArenaView<i8>,
+    scales: ArenaView<f32>,
+    bias: ArenaView<f32>,
     rows: usize,
     cols: usize,
     stride: usize,
@@ -86,9 +89,9 @@ impl QuantizedLayer {
         };
         (
             QuantizedLayer {
-                q,
-                scales,
-                bias: AlignedVec::from_slice(p.bias_slice()),
+                q: ArenaView::from_vec(q),
+                scales: ArenaView::from_vec(scales),
+                bias: ArenaView::from_vec(AlignedVec::from_slice(p.bias_slice())),
                 rows,
                 cols,
                 stride,
@@ -122,13 +125,58 @@ impl QuantizedLayer {
         let mut bias = AlignedVec::<f32>::zeroed(rows.len());
         p.bias_gather_into(rows, bias.as_mut_slice());
         QuantizedLayer {
-            q,
-            scales,
-            bias,
+            q: ArenaView::from_vec(q),
+            scales: ArenaView::from_vec(scales),
+            bias: ArenaView::from_vec(bias),
             rows: rows.len(),
             cols,
             stride,
         }
+    }
+
+    /// Assemble a quantized layer over existing arena views — the snapshot
+    /// load path (the views typically point straight into an mmapped
+    /// image). The stride is recomputed from `cols`, so `q` must hold
+    /// exactly `rows` cache-line-padded code rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the view lengths disagree with the declared
+    /// shape (the snapshot layer reports it as corruption).
+    pub fn from_views(
+        q: ArenaView<i8>,
+        scales: ArenaView<f32>,
+        bias: ArenaView<f32>,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self, String> {
+        let stride = cols.div_ceil(LANE_I8) * LANE_I8;
+        if q.len() != rows * stride {
+            return Err(format!(
+                "quantized layer: {} codes for {rows} rows x {stride} stride",
+                q.len()
+            ));
+        }
+        if scales.len() != rows {
+            return Err(format!(
+                "quantized layer: {} scales for {rows} rows",
+                scales.len()
+            ));
+        }
+        if bias.len() != rows {
+            return Err(format!(
+                "quantized layer: {} bias elements for {rows} rows",
+                bias.len()
+            ));
+        }
+        Ok(QuantizedLayer {
+            q,
+            scales,
+            bias,
+            rows,
+            cols,
+            stride,
+        })
     }
 
     /// Output units (storage rows).
@@ -308,6 +356,59 @@ impl QuantizedFrozenNetwork {
             selector,
             report,
         }
+    }
+
+    /// Assemble a quantized snapshot from already-built parts — the load
+    /// path (the layers view an on-disk image, the selector was rebuilt
+    /// from stored tables, and the report is the one recorded when the
+    /// original quantization ran — its error stats cannot be recomputed
+    /// without the source f32 weights). `quantize` followed by a save/load
+    /// round trip yields an engine that predicts bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parts disagree with `config` (layer
+    /// count, input/output dimensionality, selector universe).
+    pub fn from_parts(
+        config: NetworkConfig,
+        input: FrozenLayer,
+        hidden: Vec<QuantizedLayer>,
+        output: QuantizedLayer,
+        selector: ActiveSetSelector,
+        report: QuantReport,
+    ) -> Result<Self, String> {
+        if hidden.len() + 1 != config.hidden_dims.len() {
+            return Err(format!(
+                "quantized network: {} dense hidden layers for {} configured dims \
+                 (the input layer covers the first)",
+                hidden.len(),
+                config.hidden_dims.len()
+            ));
+        }
+        if input.rows() != config.input_dim || output.rows() != config.output_dim {
+            return Err(format!(
+                "quantized network: {}x{} layers for a {}->{} config",
+                input.rows(),
+                output.rows(),
+                config.input_dim,
+                config.output_dim
+            ));
+        }
+        if selector.rows() != output.rows() {
+            return Err(format!(
+                "quantized network: selector over {} rows, output has {}",
+                selector.rows(),
+                output.rows()
+            ));
+        }
+        Ok(QuantizedFrozenNetwork {
+            config,
+            input,
+            hidden,
+            output,
+            selector,
+            report,
+        })
     }
 
     /// The configuration of the network this snapshot was quantized from.

@@ -51,11 +51,20 @@
 //! assert!(quant.report().within_theoretical_bounds());
 //! ```
 
+//! The [`snapshot`] module is the unified persistence entry point:
+//! [`Snapshot::build`] cuts a checksummed, mmap-ready `.slsnap` image of
+//! any precision × shard-plan combination, and [`snapshot::load`] brings
+//! one back as an `Arc<dyn FrozenModel>` with the weight arenas viewing
+//! the mapped file (see `slide_serve::snapshot` for the format itself and
+//! `slide_serve::ModelRegistry` for versioned publish/rollback).
+
 mod frozen;
 pub mod shard;
+pub mod snapshot;
 
 pub use frozen::{
     p_at_1, p_at_1_frozen, LayerQuantStats, QuantReport, QuantScratch, QuantizedFrozenNetwork,
     QuantizedLayer,
 };
 pub use shard::{i8_engines, shard_i8, I8Shard, I8Trunk};
+pub use snapshot::{load, Snapshot};

@@ -22,8 +22,8 @@ use slide_hash::TableStats;
 use slide_mem::{AlignedVec, SparseVecRef};
 use slide_serve::shard::build_global_selector;
 use slide_serve::{
-    ActiveSetSelector, FrozenLayer, ShardEngine, ShardIndexer, ShardPlan, ShardScratch,
-    ShardSelector, ShardSelectorScratch, ShardTrunk, ShardedFrozenModel,
+    ActiveSetSelector, FrozenLayer, ServeBuildError, ShardEngine, ShardIndexer, ShardPlan,
+    ShardScratch, ShardSelector, ShardSelectorScratch, ShardTrunk, ShardedFrozenModel,
 };
 use slide_simd::{quantize_acts_u8, KernelSet};
 use std::any::Any;
@@ -60,6 +60,26 @@ impl I8Trunk {
                 })
                 .collect(),
         }
+    }
+
+    /// Assemble a trunk from already-built layers — the snapshot load path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when consecutive layer widths do not chain (the
+    /// snapshot layer reports it as corruption).
+    pub fn from_parts(input: FrozenLayer, hidden: Vec<QuantizedLayer>) -> Result<Self, String> {
+        let mut width = input.cols();
+        for (i, layer) in hidden.iter().enumerate() {
+            if layer.cols() != width {
+                return Err(format!(
+                    "I8Trunk: hidden layer {i} consumes {} columns, predecessor emits {width}",
+                    layer.cols()
+                ));
+            }
+            width = layer.rows();
+        }
+        Ok(I8Trunk { input, hidden })
     }
 }
 
@@ -165,6 +185,43 @@ impl I8Shard {
             })
             .collect()
     }
+
+    /// Assemble shard `s` of `plan` from an already-built layer and table
+    /// partition — the snapshot load path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `s` is out of range or the layer's row count
+    /// disagrees with the plan (the snapshot layer reports it as
+    /// corruption).
+    pub fn from_parts(
+        plan: &ShardPlan,
+        s: usize,
+        layer: QuantizedLayer,
+        selector: ShardSelector,
+    ) -> Result<Self, String> {
+        if s >= plan.shards() {
+            return Err(format!(
+                "I8Shard: shard {s} of a {}-shard plan",
+                plan.shards()
+            ));
+        }
+        let rows = plan.shard_rows(s);
+        if layer.rows() != rows.len() {
+            return Err(format!(
+                "I8Shard: layer holds {} rows, plan assigns shard {s} {}",
+                layer.rows(),
+                rows.len()
+            ));
+        }
+        Ok(I8Shard {
+            layer,
+            rows,
+            indexer: plan.indexer(s),
+            total_rows: plan.rows(),
+            selector,
+        })
+    }
 }
 
 impl ShardEngine for I8Shard {
@@ -259,9 +316,10 @@ impl ShardEngine for I8Shard {
 ///
 /// # Errors
 ///
-/// Returns a message if the plan does not match the network's output
-/// dimensionality or the network configures `max_active`.
-pub fn shard_i8(net: &Network, plan: ShardPlan) -> Result<ShardedFrozenModel, String> {
+/// [`ServeBuildError::PlanRowsMismatch`] if the plan does not match the
+/// network's output dimensionality; [`ServeBuildError::MaxActiveUnsupported`]
+/// if the network configures `max_active`.
+pub fn shard_i8(net: &Network, plan: ShardPlan) -> Result<ShardedFrozenModel, ServeBuildError> {
     check_plan(net, &plan)?;
     let global = build_global_selector(net)?;
     let trunk = Box::new(I8Trunk::from_network(net));
@@ -274,13 +332,12 @@ pub fn shard_i8(net: &Network, plan: ShardPlan) -> Result<ShardedFrozenModel, St
 
 /// Plan/network shape agreement, checked before any partitioning (the
 /// partition pass itself would panic on out-of-universe rows).
-fn check_plan(net: &Network, plan: &ShardPlan) -> Result<(), String> {
+fn check_plan(net: &Network, plan: &ShardPlan) -> Result<(), ServeBuildError> {
     if plan.rows() != net.config().output_dim {
-        return Err(format!(
-            "ShardPlan covers {} rows, network outputs {}",
-            plan.rows(),
-            net.config().output_dim
-        ));
+        return Err(ServeBuildError::PlanRowsMismatch {
+            plan_rows: plan.rows(),
+            output_dim: net.config().output_dim,
+        });
     }
     Ok(())
 }
@@ -291,7 +348,10 @@ fn check_plan(net: &Network, plan: &ShardPlan) -> Result<(), String> {
 /// # Errors
 ///
 /// As [`shard_i8`].
-pub fn i8_engines(net: &Network, plan: &ShardPlan) -> Result<Vec<Arc<dyn ShardEngine>>, String> {
+pub fn i8_engines(
+    net: &Network,
+    plan: &ShardPlan,
+) -> Result<Vec<Arc<dyn ShardEngine>>, ServeBuildError> {
     check_plan(net, plan)?;
     let global = build_global_selector(net)?;
     Ok(I8Shard::build_all(net, &global, plan)
@@ -404,7 +464,7 @@ mod tests {
             ShardPlan::strided(4, 128).unwrap(),
         ] {
             let err = shard_i8(&net, plan).unwrap_err();
-            assert!(err.contains("64"), "{err}");
+            assert!(err.to_string().contains("64"), "{err}");
             assert!(i8_engines(&net, &plan).is_err());
         }
     }

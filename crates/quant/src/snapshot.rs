@@ -1,0 +1,571 @@
+//! The unified snapshot entry point: one [`SnapshotSpec`] covers every
+//! engine the serving tier can run.
+//!
+//! `slide-serve::snapshot` owns the `.slsnap` format and the f32
+//! encode/decode paths; this module adds the int8 sections
+//! (`QuantWeights` / `QuantScales` / `QuantReport`) and — because it is
+//! the one crate that can see both precisions — the [`Snapshot`] builder
+//! that replaces the old constructor fan-out:
+//!
+//! | old call                            | new call                                            |
+//! |-------------------------------------|-----------------------------------------------------|
+//! | `FrozenNetwork::freeze(net)`        | `Snapshot::build(net, &SnapshotSpec::f32())`        |
+//! | `QuantizedFrozenNetwork::quantize`  | `Snapshot::build(net, &SnapshotSpec::i8())`         |
+//! | `ShardedFrozenModel::shard_f32`     | `Snapshot::build(net, &SnapshotSpec::f32().sharded(plan))` |
+//! | `shard_i8(net, plan)`               | `Snapshot::build(net, &SnapshotSpec::i8().sharded(plan))`  |
+//!
+//! Every build encodes into a verified in-memory image and instantiates
+//! the engine *over that image* — the same code path a later
+//! [`Snapshot::open`] of the saved file runs — so save→load bit-equality
+//! holds by construction, not by testing alone. [`load`] is the one-call
+//! serving path: mmap, verify, hand back an `Arc<dyn FrozenModel>`.
+
+use crate::frozen::{LayerQuantStats, QuantReport, QuantizedFrozenNetwork, QuantizedLayer};
+use crate::shard::{I8Shard, I8Trunk};
+use slide_core::Network;
+use slide_mem::{AlignedVec, SharedArena};
+use slide_serve::registry::write_atomic;
+use slide_serve::shard::build_global_selector;
+use slide_serve::snapshot::{
+    decode_f32, decode_f32_layer, decode_plan, decode_preamble, decode_selector,
+    decode_sharded_f32, dense_hidden_count, encode_config, encode_f32, encode_f32_layer,
+    encode_manifest, encode_selector, encode_sharded_f32, expected_manifest, LayerDims,
+    SectionKind, SnapshotWriter,
+};
+use slide_serve::{
+    FrozenLayer, FrozenModel, ServeBuildError, ShardEngine, ShardPlan, ShardedFrozenModel,
+    SnapshotError, SnapshotImage, SnapshotPrecision, SnapshotSpec,
+};
+use std::path::Path;
+use std::sync::Arc;
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// QuantReport codec
+// ---------------------------------------------------------------------------
+
+/// Encode the quantization report: its error stats were measured against
+/// the original f32 weights at quantization time and cannot be recomputed
+/// from the codes, so they ride in the image.
+pub fn encode_report(report: &QuantReport) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(report.layers.len() as u32).to_le_bytes());
+    for l in &report.layers {
+        out.extend_from_slice(&(l.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(l.name.as_bytes());
+        out.extend_from_slice(&(l.rows as u64).to_le_bytes());
+        out.extend_from_slice(&(l.cols as u64).to_le_bytes());
+        out.extend_from_slice(&l.max_err.to_le_bytes());
+        out.extend_from_slice(&l.mean_err.to_le_bytes());
+        out.extend_from_slice(&l.max_scale.to_le_bytes());
+    }
+    out
+}
+
+/// Decode the [`SectionKind::QuantReport`] payload.
+///
+/// # Errors
+///
+/// [`SnapshotError::Corrupt`] on truncation, trailing bytes, or an
+/// over-long layer name.
+pub fn decode_report(bytes: &[u8]) -> Result<QuantReport, SnapshotError> {
+    let mut at = 0usize;
+    let mut take = |n: usize| -> Result<&[u8], SnapshotError> {
+        let end = at
+            .checked_add(n)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| corrupt("quant report truncated"))?;
+        let s = &bytes[at..end];
+        at = end;
+        Ok(s)
+    };
+    let count = u32::from_le_bytes(take(4)?.try_into().expect("4")) as usize;
+    if count > 4096 {
+        return Err(corrupt(format!("{count} quant report layers")));
+    }
+    let mut layers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = u32::from_le_bytes(take(4)?.try_into().expect("4")) as usize;
+        if name_len > 256 {
+            return Err(corrupt(format!("{name_len}-byte quant layer name")));
+        }
+        let name = std::str::from_utf8(take(name_len)?)
+            .map_err(|_| corrupt("quant layer name is not UTF-8"))?
+            .to_string();
+        let rows = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+        let cols = u64::from_le_bytes(take(8)?.try_into().expect("8")) as usize;
+        let max_err = f32::from_le_bytes(take(4)?.try_into().expect("4"));
+        let mean_err = f32::from_le_bytes(take(4)?.try_into().expect("4"));
+        let max_scale = f32::from_le_bytes(take(4)?.try_into().expect("4"));
+        layers.push(LayerQuantStats {
+            name,
+            rows,
+            cols,
+            max_err,
+            mean_err,
+            max_scale,
+        });
+    }
+    if at != bytes.len() {
+        return Err(corrupt(format!(
+            "{} trailing quant report bytes",
+            bytes.len() - at
+        )));
+    }
+    Ok(QuantReport { layers })
+}
+
+// ---------------------------------------------------------------------------
+// i8 layer sections
+// ---------------------------------------------------------------------------
+
+/// Write one quantized layer's codes + scales + bias at `ordinal`.
+pub fn encode_i8_layer(writer: &mut SnapshotWriter, ordinal: u32, layer: &QuantizedLayer) {
+    writer.section_pod(SectionKind::QuantWeights, ordinal, layer.arena());
+    writer.section_pod(SectionKind::QuantScales, ordinal, layer.scales());
+    writer.section_pod(SectionKind::Bias, ordinal, layer.bias());
+}
+
+/// View one quantized layer out of the image at `ordinal` with the
+/// manifest's declared shape.
+///
+/// # Errors
+///
+/// [`SnapshotError::Corrupt`] if sections are missing or their lengths
+/// disagree with `dims`.
+pub fn decode_i8_layer(
+    image: &SnapshotImage,
+    ordinal: u32,
+    dims: LayerDims,
+) -> Result<QuantizedLayer, SnapshotError> {
+    let q = image.view::<i8>(SectionKind::QuantWeights, ordinal)?;
+    let scales = image.view::<f32>(SectionKind::QuantScales, ordinal)?;
+    let bias = image.view::<f32>(SectionKind::Bias, ordinal)?;
+    if bias.len() != dims.bias_len {
+        return Err(corrupt(format!(
+            "layer {ordinal}: {} bias elements, manifest declares {}",
+            bias.len(),
+            dims.bias_len
+        )));
+    }
+    QuantizedLayer::from_views(q, scales, bias, dims.rows, dims.cols)
+        .map_err(|e| corrupt(format!("layer {ordinal}: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// i8 encode / decode
+// ---------------------------------------------------------------------------
+
+/// Encode an unsharded int8 image of `net` (quantize + serialize; the
+/// quantized arenas are written verbatim, stride padding included, along
+/// with the snapshot-time [`QuantReport`]).
+pub fn encode_i8(net: &Network) -> AlignedVec<u8> {
+    let quant = QuantizedFrozenNetwork::quantize(net);
+    let spec = SnapshotSpec::i8();
+    let mut w = SnapshotWriter::new(&spec);
+    w.section(SectionKind::Config, 0, encode_config(quant.config()));
+    let manifest = expected_manifest(quant.config(), &spec);
+    w.section(SectionKind::Manifest, 0, encode_manifest(&manifest));
+    encode_f32_layer(&mut w, 0, quant.input_layer());
+    for (i, layer) in quant.hidden_layers().iter().enumerate() {
+        encode_i8_layer(&mut w, 1 + i as u32, layer);
+    }
+    let out_ordinal = 1 + quant.hidden_layers().len() as u32;
+    encode_i8_layer(&mut w, out_ordinal, quant.output_layer());
+    encode_selector(&mut w, quant.selector());
+    w.section(SectionKind::QuantReport, 0, encode_report(quant.report()));
+    w.finish()
+}
+
+/// Encode a sharded int8 image of `net` under `plan`: f32 input layer,
+/// quantized trunk, one quantized row-subset arena per shard, and the
+/// global selector's tables. Sharded engines carry no [`QuantReport`]
+/// (they never did in memory either), so none is written.
+///
+/// # Errors
+///
+/// [`SnapshotError::Build`] if the plan or config is unservable.
+pub fn encode_sharded_i8(net: &Network, plan: ShardPlan) -> Result<AlignedVec<u8>, SnapshotError> {
+    let global = build_global_selector(net)?;
+    if plan.rows() != net.config().output_dim {
+        return Err(ServeBuildError::PlanRowsMismatch {
+            plan_rows: plan.rows(),
+            output_dim: net.config().output_dim,
+        }
+        .into());
+    }
+    let config = net.config().clone();
+    let spec = SnapshotSpec::i8().sharded(plan);
+    let mut w = SnapshotWriter::new(&spec);
+    w.section(SectionKind::Config, 0, encode_config(&config));
+    let manifest = expected_manifest(&config, &spec);
+    w.section(SectionKind::Manifest, 0, encode_manifest(&manifest));
+
+    encode_f32_layer(&mut w, 0, &FrozenLayer::from_params(net.input().params()));
+    for (i, l) in net.hidden_layers().iter().enumerate() {
+        let rows: Vec<u32> = (0..l.params().rows() as u32).collect();
+        let layer = QuantizedLayer::from_params_rows(l.params(), &rows);
+        encode_i8_layer(&mut w, 1 + i as u32, &layer);
+    }
+    let base = 1 + net.hidden_layers().len() as u32;
+    for s in 0..plan.shards() {
+        let rows = plan.shard_rows(s);
+        let layer = QuantizedLayer::from_params_rows(net.output().params(), &rows);
+        encode_i8_layer(&mut w, base + s as u32, &layer);
+    }
+    encode_selector(&mut w, &global);
+    Ok(w.finish())
+}
+
+/// Instantiate the unsharded int8 engine over an image: code, scale, and
+/// bias arenas are views into the image, the selector is rebuilt from the
+/// CSR sections, and the stored [`QuantReport`] is restored verbatim.
+///
+/// # Errors
+///
+/// [`SnapshotError::Corrupt`] / [`SnapshotError::Unsupported`] as the
+/// sections decode.
+pub fn decode_i8(image: &SnapshotImage) -> Result<QuantizedFrozenNetwork, SnapshotError> {
+    if image.precision() != SnapshotPrecision::I8 {
+        return Err(SnapshotError::Unsupported(format!(
+            "decode_i8 on an {} image",
+            image.precision().label()
+        )));
+    }
+    if image.plan().is_some() {
+        return Err(SnapshotError::Unsupported(
+            "decode_i8 on a sharded image (use decode_sharded_i8)".into(),
+        ));
+    }
+    let (config, manifest) = decode_preamble(image)?;
+    let input = decode_f32_layer(image, 0, manifest[0])?;
+    let hidden: Vec<QuantizedLayer> = (0..dense_hidden_count(&config))
+        .map(|i| decode_i8_layer(image, 1 + i as u32, manifest[1 + i]))
+        .collect::<Result<_, _>>()?;
+    let out_ordinal = 1 + dense_hidden_count(&config);
+    let output = decode_i8_layer(image, out_ordinal as u32, manifest[out_ordinal])?;
+    let selector = decode_selector(image, &config)?;
+    let report = decode_report(image.bytes(SectionKind::QuantReport, 0)?)?;
+    QuantizedFrozenNetwork::from_parts(config, input, hidden, output, selector, report)
+        .map_err(corrupt)
+}
+
+/// Instantiate the sharded int8 engine over an image: trunk and shard
+/// arenas view the image, the global selector is rebuilt from CSR and
+/// re-partitioned exactly as the builder partitioned it.
+///
+/// # Errors
+///
+/// [`SnapshotError::Corrupt`] on section-shape disagreements;
+/// [`SnapshotError::Build`] if the decoded parts are unservable.
+pub fn decode_sharded_i8(image: &SnapshotImage) -> Result<ShardedFrozenModel, SnapshotError> {
+    if image.precision() != SnapshotPrecision::I8 {
+        return Err(SnapshotError::Unsupported(format!(
+            "decode_sharded_i8 on an {} image",
+            image.precision().label()
+        )));
+    }
+    let (config, manifest) = decode_preamble(image)?;
+    let plan = decode_plan(image, &config)?;
+    let input = decode_f32_layer(image, 0, manifest[0])?;
+    let hidden: Vec<QuantizedLayer> = (0..dense_hidden_count(&config))
+        .map(|i| decode_i8_layer(image, 1 + i as u32, manifest[1 + i]))
+        .collect::<Result<_, _>>()?;
+    let trunk = I8Trunk::from_parts(input, hidden).map_err(corrupt)?;
+    let global = decode_selector(image, &config)?;
+    let selectors = global.partition_by(plan.shards(), &|id| plan.shard_of(id));
+    let base = 1 + dense_hidden_count(&config);
+    let mut engines: Vec<Arc<dyn ShardEngine>> = Vec::with_capacity(plan.shards());
+    for (s, selector) in selectors.into_iter().enumerate() {
+        let dims = manifest[base + s];
+        let layer = decode_i8_layer(image, (base + s) as u32, dims)?;
+        let shard = I8Shard::from_parts(&plan, s, layer, selector).map_err(corrupt)?;
+        engines.push(Arc::new(shard));
+    }
+    ShardedFrozenModel::from_parts(Box::new(trunk), engines, plan, &global).map_err(Into::into)
+}
+
+// ---------------------------------------------------------------------------
+// The unified Snapshot
+// ---------------------------------------------------------------------------
+
+/// A verified snapshot image plus the spec it was cut under — the one
+/// artifact that moves between the build side ([`Snapshot::build`]), disk
+/// ([`Snapshot::save`] / [`Snapshot::open`]), and the serving engines
+/// ([`Snapshot::model`]).
+#[derive(Debug)]
+pub struct Snapshot {
+    image: SnapshotImage,
+    spec: SnapshotSpec,
+}
+
+impl Snapshot {
+    /// Snapshot `net` as `spec` describes — the single entry point that
+    /// replaces the `freeze`/`quantize`/`shard_f32`/`shard_i8` constructor
+    /// fan-out. The network is encoded into an in-memory image and
+    /// verified exactly as a loaded file would be.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Build`] if the spec is unservable for this network
+    /// (plan row mismatch, `max_active`); verification errors cannot occur
+    /// on a freshly encoded image short of a bug.
+    pub fn build(net: &Network, spec: &SnapshotSpec) -> Result<Self, SnapshotError> {
+        let bytes = match (spec.precision, spec.shard_plan) {
+            (SnapshotPrecision::F32, None) => encode_f32(net),
+            (SnapshotPrecision::F32, Some(plan)) => encode_sharded_f32(net, plan)?,
+            (SnapshotPrecision::I8, None) => encode_i8(net),
+            (SnapshotPrecision::I8, Some(plan)) => encode_sharded_i8(net, plan)?,
+        };
+        let image = SnapshotImage::from_arena(SharedArena::from_bytes(bytes))?;
+        Ok(Snapshot { image, spec: *spec })
+    }
+
+    /// Map and verify the snapshot at `path` (typically a registry
+    /// version file).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure, otherwise as
+    /// [`SnapshotImage::open`].
+    pub fn open(path: &Path) -> Result<Self, SnapshotError> {
+        let image = SnapshotImage::open(path)?;
+        let spec = spec_of(&image)?;
+        Ok(Snapshot { image, spec })
+    }
+
+    /// The spec this snapshot was cut under.
+    pub fn spec(&self) -> SnapshotSpec {
+        self.spec
+    }
+
+    /// The verified image.
+    pub fn image(&self) -> &SnapshotImage {
+        &self.image
+    }
+
+    /// The raw image bytes (what [`Snapshot::save`] writes and
+    /// `ModelRegistry::publish` stores).
+    pub fn bytes(&self) -> &[u8] {
+        self.image.arena().as_slice()
+    }
+
+    /// Write the image to `path` atomically (temp sibling + fsync +
+    /// rename — the registry's durability discipline, usable standalone).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on write failure.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        write_atomic(path, self.bytes())?;
+        Ok(())
+    }
+
+    /// Instantiate the serving engine this image describes, dispatching on
+    /// the header's precision and plan. Weight/code arenas are views into
+    /// the image — loading parses headers and rebuilds hash-table
+    /// bookkeeping, never the arenas.
+    ///
+    /// # Errors
+    ///
+    /// As the per-precision decoders.
+    pub fn model(&self) -> Result<Arc<dyn FrozenModel>, SnapshotError> {
+        Ok(match (self.image.precision(), self.image.plan()) {
+            (SnapshotPrecision::F32, None) => Arc::new(decode_f32(&self.image)?),
+            (SnapshotPrecision::F32, Some(_)) => Arc::new(decode_sharded_f32(&self.image)?),
+            (SnapshotPrecision::I8, None) => Arc::new(decode_i8(&self.image)?),
+            (SnapshotPrecision::I8, Some(_)) => Arc::new(decode_sharded_i8(&self.image)?),
+        })
+    }
+}
+
+fn spec_of(image: &SnapshotImage) -> Result<SnapshotSpec, SnapshotError> {
+    let base = match image.precision() {
+        SnapshotPrecision::F32 => SnapshotSpec::f32(),
+        SnapshotPrecision::I8 => SnapshotSpec::i8(),
+    };
+    match image.plan() {
+        None => Ok(base),
+        Some(_) => {
+            let (config, _) = decode_preamble(image)?;
+            Ok(base.sharded(decode_plan(image, &config)?))
+        }
+    }
+}
+
+/// One-call serving path: mmap + verify + instantiate the engine at
+/// `path`. This is what `slide_netd --snapshot` runs at cold start.
+///
+/// # Errors
+///
+/// As [`Snapshot::open`] and [`Snapshot::model`].
+pub fn load(path: &Path) -> Result<Arc<dyn FrozenModel>, SnapshotError> {
+    Snapshot::open(path)?.model()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slide_core::{LshConfig, NetworkConfig};
+    use slide_mem::SparseVecRef;
+    use slide_serve::{FrozenNetwork, ModelRegistry};
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut cfg = NetworkConfig::standard(128, 16, 64);
+        cfg.seed = seed;
+        cfg.lsh = LshConfig {
+            tables: 10,
+            key_bits: 4,
+            min_active: 16,
+            ..Default::default()
+        };
+        Network::new(cfg).unwrap()
+    }
+
+    fn queries() -> Vec<(Vec<u32>, Vec<f32>)> {
+        (0..24u32)
+            .map(|q| {
+                (
+                    vec![q % 128, (q * 7 + 3) % 128, (q * 31 + 11) % 128],
+                    vec![1.0f32, -0.5, 0.25],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_round_trips_bit_exactly() {
+        let report = QuantizedFrozenNetwork::quantize(&tiny_net(3))
+            .report()
+            .clone();
+        assert_eq!(decode_report(&encode_report(&report)).unwrap(), report);
+        assert!(matches!(
+            decode_report(&encode_report(&report)[..7]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn i8_save_load_predicts_bit_identically_with_report() {
+        let net = tiny_net(11);
+        let original = QuantizedFrozenNetwork::quantize(&net);
+        let image = SnapshotImage::from_arena(SharedArena::from_bytes(encode_i8(&net))).unwrap();
+        assert_eq!(image.precision(), SnapshotPrecision::I8);
+        let loaded = decode_i8(&image).unwrap();
+        assert_eq!(loaded.report(), original.report());
+        assert_eq!(loaded.config(), original.config());
+        let (mut so, mut sl) = (original.make_scratch(), loaded.make_scratch());
+        for (q, (idx, val)) in queries().into_iter().enumerate() {
+            let x = SparseVecRef::new(&idx, &val);
+            assert_eq!(
+                loaded.predict_sparse(x, 5, &mut sl, q as u64),
+                original.predict_sparse(x, 5, &mut so, q as u64),
+                "sparse diverged at query {q}"
+            );
+            assert_eq!(
+                loaded.predict_full(x, 5, &mut sl),
+                original.predict_full(x, 5, &mut so),
+                "full diverged at query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_i8_save_load_predicts_bit_identically() {
+        let net = tiny_net(17);
+        for plan in [
+            ShardPlan::contiguous(3, 64).unwrap(),
+            ShardPlan::strided(2, 64).unwrap(),
+        ] {
+            let original = crate::shard::shard_i8(&net, plan).unwrap();
+            let bytes = encode_sharded_i8(&net, plan).unwrap();
+            let image = SnapshotImage::from_arena(SharedArena::from_bytes(bytes)).unwrap();
+            let loaded = decode_sharded_i8(&image).unwrap();
+            let (mut so, mut sl) = (original.make_scratch(), loaded.make_scratch());
+            for (q, (idx, val)) in queries().into_iter().enumerate() {
+                let x = SparseVecRef::new(&idx, &val);
+                assert_eq!(
+                    loaded.predict_sparse(x, 4, &mut sl, q as u64),
+                    original.predict_sparse(x, 4, &mut so, q as u64),
+                    "{} plan diverged at query {q}",
+                    plan.kind_label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_covers_every_spec_and_matches_the_old_constructors() {
+        let net = tiny_net(23);
+        let plan = ShardPlan::contiguous(3, 64).unwrap();
+        let specs = [
+            SnapshotSpec::f32(),
+            SnapshotSpec::i8(),
+            SnapshotSpec::f32().sharded(plan),
+            SnapshotSpec::i8().sharded(plan),
+        ];
+        let frozen = FrozenNetwork::freeze(&net);
+        let mut reference = frozen.make_scratch();
+        for spec in specs {
+            let snap = Snapshot::build(&net, &spec).unwrap();
+            assert_eq!(snap.spec(), spec);
+            let model = snap.model().unwrap();
+            assert_eq!(model.precision(), spec.precision.label());
+            let mut scratch = model.make_scratch_any();
+            for (q, (idx, val)) in queries().into_iter().enumerate() {
+                let x = SparseVecRef::new(&idx, &val);
+                let topk = model.predict_any(x, 4, scratch.as_mut(), q as u64);
+                assert_eq!(topk.len(), 4);
+                if spec.precision == SnapshotPrecision::F32 {
+                    // Every f32 spec — sharded or not, built or loaded — is
+                    // bit-equal to the directly frozen engine.
+                    assert_eq!(
+                        topk,
+                        frozen.predict_sparse(x, 4, &mut reference, q as u64),
+                        "{spec:?} diverged at query {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn save_open_through_a_registry_round_trips() {
+        let root =
+            std::env::temp_dir().join(format!("slide_quant_snapshot_reg_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let reg = ModelRegistry::open(&root).unwrap();
+        let net = tiny_net(29);
+        let built = Snapshot::build(&net, &SnapshotSpec::i8()).unwrap();
+        let v = reg.publish(built.bytes()).unwrap();
+        let loaded = load(&reg.version_path(v)).unwrap();
+        let model = built.model().unwrap();
+        let (mut sa, mut sb) = (model.make_scratch_any(), loaded.make_scratch_any());
+        for (q, (idx, val)) in queries().into_iter().enumerate() {
+            let x = SparseVecRef::new(&idx, &val);
+            assert_eq!(
+                loaded.predict_any(x, 5, sb.as_mut(), q as u64),
+                model.predict_any(x, 5, sa.as_mut(), q as u64),
+                "registry round trip diverged at query {q}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mismatched_decoders_are_refused() {
+        let net = tiny_net(31);
+        let image = SnapshotImage::from_arena(SharedArena::from_bytes(encode_i8(&net))).unwrap();
+        assert!(matches!(
+            decode_f32(&image),
+            Err(SnapshotError::Unsupported(_))
+        ));
+        assert!(matches!(
+            decode_sharded_i8(&image),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,198 @@
+//! Typed build/publish errors for the serving tier.
+//!
+//! Before the snapshot-persistence PR these were ad-hoc `Result<_, String>`s
+//! scattered across `BatchingServer::start`, the shard-plan constructors,
+//! and the per-shard engine checks. [`ServeBuildError`] replaces them with
+//! one enum whose `Display` text preserves the old messages (they are
+//! asserted on in tests and surfaced to operators), while callers that care
+//! can now match on the variant instead of substring-sniffing.
+
+use std::fmt;
+
+/// Why a serving engine, shard plan, or batching server could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeBuildError {
+    /// A [`crate::BatchConfig`] field failed validation.
+    InvalidBatchConfig(String),
+    /// The dispatcher thread could not be spawned.
+    Spawn(String),
+    /// A [`crate::ShardPlan`] was constructed with zero shards.
+    PlanNeedsShards,
+    /// A [`crate::ShardPlan`] spreads too few rows over too many shards.
+    PlanLeavesEmptyShards {
+        /// Requested shard count.
+        shards: usize,
+        /// Rows available to spread.
+        rows: usize,
+    },
+    /// The plan's row universe disagrees with the network's output layer.
+    PlanRowsMismatch {
+        /// Rows the plan covers.
+        plan_rows: usize,
+        /// The network's output dimensionality.
+        output_dim: usize,
+    },
+    /// Sharded serving cannot honour a global `lsh.max_active` cap.
+    MaxActiveUnsupported,
+    /// Wrong number of shard engines for the plan.
+    ShardCount {
+        /// Engines supplied.
+        engines: usize,
+        /// Shards the plan defines.
+        shards: usize,
+    },
+    /// A shard engine was cut from a different row universe than the plan.
+    ShardUniverse {
+        /// Which shard.
+        shard: usize,
+        /// Rows of the model the engine was cut from.
+        engine_rows: usize,
+        /// Rows the plan covers.
+        plan_rows: usize,
+    },
+    /// A shard engine owns a different row set than the plan assigns.
+    ShardRows {
+        /// Which shard.
+        shard: usize,
+        /// Rows the engine owns.
+        owned: usize,
+        /// Rows the plan assigns to it.
+        assigned: usize,
+    },
+    /// A shard engine scores a different hidden width than the trunk emits.
+    ShardCols {
+        /// Which shard.
+        shard: usize,
+        /// Columns the engine scores.
+        cols: usize,
+        /// Columns the trunk produces.
+        trunk_cols: usize,
+    },
+    /// `publish_shard` addressed a shard index outside the plan.
+    ShardOutOfRange {
+        /// The requested shard.
+        shard: usize,
+        /// Shards in the plan.
+        shards: usize,
+    },
+}
+
+impl fmt::Display for ServeBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeBuildError::InvalidBatchConfig(msg) => write!(f, "{msg}"),
+            ServeBuildError::Spawn(msg) => write!(f, "spawn dispatcher: {msg}"),
+            ServeBuildError::PlanNeedsShards => {
+                write!(f, "ShardPlan: need at least one shard")
+            }
+            ServeBuildError::PlanLeavesEmptyShards { shards, rows } => write!(
+                f,
+                "ShardPlan: {shards} shards over {rows} rows would leave empty shards"
+            ),
+            ServeBuildError::PlanRowsMismatch {
+                plan_rows,
+                output_dim,
+            } => write!(
+                f,
+                "ShardPlan covers {plan_rows} rows, network outputs {output_dim}"
+            ),
+            ServeBuildError::MaxActiveUnsupported => write!(
+                f,
+                "sharded serving requires lsh.max_active = None: the global cap truncates \
+                 in table-encounter order, which a scatter-gather merge cannot reproduce"
+            ),
+            ServeBuildError::ShardCount { engines, shards } => {
+                write!(f, "{engines} engines for a {shards}-shard plan")
+            }
+            ServeBuildError::ShardUniverse {
+                shard,
+                engine_rows,
+                plan_rows,
+            } => write!(
+                f,
+                "shard {shard}: engine cut from a {engine_rows}-row model, plan covers {plan_rows}"
+            ),
+            ServeBuildError::ShardRows {
+                shard,
+                owned,
+                assigned,
+            } => write!(
+                f,
+                "shard {shard}: engine owns {owned} rows, plan assigns {assigned}"
+            ),
+            ServeBuildError::ShardCols {
+                shard,
+                cols,
+                trunk_cols,
+            } => write!(
+                f,
+                "shard {shard} scores {cols} columns, trunk produces {trunk_cols}"
+            ),
+            ServeBuildError::ShardOutOfRange { shard, shards } => write!(
+                f,
+                "publish_shard: shard {shard} out of range ({shards} shards)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_the_operator_messages() {
+        // Messages are part of the operator-facing contract (logs, tests,
+        // router error frames); variants may grow, texts must not drift.
+        let cases: Vec<(ServeBuildError, &str)> = vec![
+            (
+                ServeBuildError::PlanNeedsShards,
+                "ShardPlan: need at least one shard",
+            ),
+            (
+                ServeBuildError::PlanLeavesEmptyShards { shards: 9, rows: 4 },
+                "ShardPlan: 9 shards over 4 rows would leave empty shards",
+            ),
+            (
+                ServeBuildError::PlanRowsMismatch {
+                    plan_rows: 32,
+                    output_dim: 64,
+                },
+                "ShardPlan covers 32 rows, network outputs 64",
+            ),
+            (
+                ServeBuildError::ShardCount {
+                    engines: 2,
+                    shards: 4,
+                },
+                "2 engines for a 4-shard plan",
+            ),
+            (
+                ServeBuildError::ShardOutOfRange {
+                    shard: 5,
+                    shards: 4,
+                },
+                "publish_shard: shard 5 out of range (4 shards)",
+            ),
+            (
+                ServeBuildError::ShardRows {
+                    shard: 1,
+                    owned: 10,
+                    assigned: 16,
+                },
+                "shard 1: engine owns 10 rows, plan assigns 16",
+            ),
+        ];
+        for (err, expect) in cases {
+            assert_eq!(err.to_string(), expect);
+        }
+        assert!(ServeBuildError::MaxActiveUnsupported
+            .to_string()
+            .contains("max_active"));
+        assert!(ServeBuildError::Spawn("boom".into())
+            .to_string()
+            .contains("spawn dispatcher: boom"));
+    }
+}

@@ -13,16 +13,21 @@ use crate::retrieval::{ActiveSetSelector, SelectorScratch};
 use slide_core::{relu, Network, NetworkConfig, Precision};
 use slide_data::top_k_indices;
 use slide_hash::TableStats;
-use slide_mem::{AlignedVec, SparseVecRef};
+use slide_mem::{AlignedVec, ArenaView, SparseVecRef};
 use slide_simd::{KernelSet, RowGather};
 
 /// One layer's frozen weights: a contiguous arena whose rows are padded to
 /// a 64-byte stride so every row starts on a cache-line boundary (whole-line
 /// AVX-512 loads, no split lines — §4.1 of the paper).
+///
+/// Since the snapshot-persistence PR the arenas are [`ArenaView`]s: a layer
+/// frozen from a live network views a buffer it just filled, a layer loaded
+/// from a snapshot views the mmapped file directly — same scoring code,
+/// zero weight copies on the load path. Cloning shares the arenas.
 #[derive(Debug, Clone)]
 pub struct FrozenLayer {
-    weights: AlignedVec<f32>,
-    bias: AlignedVec<f32>,
+    weights: ArenaView<f32>,
+    bias: ArenaView<f32>,
     rows: usize,
     cols: usize,
     stride: usize,
@@ -30,6 +35,11 @@ pub struct FrozenLayer {
 
 /// f32 elements per 64-byte cache line; row strides round up to this.
 const LANE: usize = slide_simd::CACHE_LINE_BYTES / std::mem::size_of::<f32>();
+
+/// The padded arena stride (in f32 elements) for a row of `cols` elements.
+pub(crate) fn f32_stride(cols: usize) -> usize {
+    cols.div_ceil(LANE) * LANE
+}
 
 impl FrozenLayer {
     /// Snapshot a training-layer parameter block (bf16 weights are widened
@@ -39,7 +49,7 @@ impl FrozenLayer {
     /// layer in f32) can reuse the arena discipline.
     pub fn from_params(p: &slide_core::LayerParams) -> Self {
         let (rows, cols) = (p.rows(), p.cols());
-        let stride = cols.div_ceil(LANE) * LANE;
+        let stride = f32_stride(cols);
         let mut weights = AlignedVec::<f32>::zeroed(rows * stride);
         for r in 0..rows {
             p.widen_row_into(
@@ -48,8 +58,8 @@ impl FrozenLayer {
             );
         }
         FrozenLayer {
-            weights,
-            bias: AlignedVec::from_slice(p.bias_slice()),
+            weights: ArenaView::from_vec(weights),
+            bias: ArenaView::from_vec(AlignedVec::from_slice(p.bias_slice())),
             rows,
             cols,
             stride,
@@ -67,18 +77,57 @@ impl FrozenLayer {
     /// Panics if any row id is out of range for `p`.
     pub fn from_params_rows(p: &slide_core::LayerParams, rows: &[u32]) -> Self {
         let cols = p.cols();
-        let stride = cols.div_ceil(LANE) * LANE;
+        let stride = f32_stride(cols);
         let mut weights = AlignedVec::<f32>::zeroed(rows.len() * stride);
         p.widen_rows_into(rows, stride, weights.as_mut_slice());
         let mut bias = AlignedVec::<f32>::zeroed(rows.len());
         p.bias_gather_into(rows, bias.as_mut_slice());
         FrozenLayer {
-            weights,
-            bias,
+            weights: ArenaView::from_vec(weights),
+            bias: ArenaView::from_vec(bias),
             rows: rows.len(),
             cols,
             stride,
         }
+    }
+
+    /// Assemble a layer over existing arena views — the snapshot load path
+    /// (the views typically point straight into an mmapped image). The
+    /// stride is recomputed from `cols`, so `weights` must hold exactly
+    /// `rows` cache-line-padded rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the view lengths disagree with the declared
+    /// shape (the snapshot layer reports it as corruption).
+    pub fn from_views(
+        weights: ArenaView<f32>,
+        bias: ArenaView<f32>,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self, String> {
+        let stride = f32_stride(cols);
+        if weights.len() != rows * stride {
+            return Err(format!(
+                "frozen layer: {} weights for {rows} rows x {stride} stride",
+                weights.len()
+            ));
+        }
+        // The bias is per-row for row-major layers but per-column for the
+        // transposed sparse-input layer; accept either length.
+        if bias.len() != rows && bias.len() != cols {
+            return Err(format!(
+                "frozen layer: {} bias elements for {rows} rows x {cols} cols",
+                bias.len()
+            ));
+        }
+        Ok(FrozenLayer {
+            weights,
+            bias,
+            rows,
+            cols,
+            stride,
+        })
     }
 
     /// Storage rows (output units for row-major layers, input features for
@@ -195,6 +244,65 @@ impl FrozenNetwork {
             output,
             selector,
         }
+    }
+
+    /// Assemble a snapshot from already-built parts — the load path (the
+    /// layers view an on-disk image, the selector was reconstructed from
+    /// stored tables). `freeze` followed by a save/load round trip yields
+    /// an engine that predicts bit-identically to the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parts disagree with `config` (layer
+    /// count, output dimensionality, selector universe).
+    pub fn from_parts(
+        config: NetworkConfig,
+        input: FrozenLayer,
+        hidden: Vec<FrozenLayer>,
+        output: FrozenLayer,
+        selector: ActiveSetSelector,
+    ) -> Result<Self, String> {
+        if hidden.len() + 1 != config.hidden_dims.len() {
+            return Err(format!(
+                "frozen network: {} dense hidden layers for {} configured dims \
+                 (the input layer covers the first)",
+                hidden.len(),
+                config.hidden_dims.len()
+            ));
+        }
+        if input.rows() != config.input_dim || output.rows() != config.output_dim {
+            return Err(format!(
+                "frozen network: {}x{} layers for a {}->{} config",
+                input.rows(),
+                output.rows(),
+                config.input_dim,
+                config.output_dim
+            ));
+        }
+        if selector.rows() != output.rows() {
+            return Err(format!(
+                "frozen network: selector over {} rows, output has {}",
+                selector.rows(),
+                output.rows()
+            ));
+        }
+        Ok(FrozenNetwork {
+            config,
+            input,
+            hidden,
+            output,
+            selector,
+        })
+    }
+
+    /// The hidden-layer stack (snapshot serialization hook).
+    pub fn hidden_layers(&self) -> &[FrozenLayer] {
+        &self.hidden
+    }
+
+    /// The frozen sparse-input layer (snapshot serialization hook).
+    pub fn input_layer(&self) -> &FrozenLayer {
+        &self.input
     }
 
     /// The precision the source network stored its weights in. The frozen

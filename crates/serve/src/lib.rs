@@ -47,14 +47,19 @@
 //! assert_eq!(server.stats().hot_swaps, 1);
 //! ```
 
+mod error;
 mod frozen;
 mod model;
+pub mod registry;
 mod retrieval;
 mod server;
 pub mod shard;
+pub mod snapshot;
 
+pub use error::ServeBuildError;
 pub use frozen::{FrozenLayer, FrozenNetwork, ServeScratch};
-pub use model::FrozenModel;
+pub use model::{FrozenModel, IntoFrozenModel};
+pub use registry::ModelRegistry;
 pub use retrieval::{ActiveSetSelector, SelectorScratch, ShardSelector, ShardSelectorScratch};
 pub use server::{
     bench_report_json, percentile_us, phase_json, query_salt, BatchConfig, BatchingServer,
@@ -64,3 +69,4 @@ pub use shard::{
     F32Shard, F32Trunk, ShardEngine, ShardIndexer, ShardPlan, ShardPlanKind, ShardScratch,
     ShardTrunk, ShardedFrozenModel, ShardedScratch,
 };
+pub use snapshot::{SnapshotError, SnapshotImage, SnapshotPrecision, SnapshotSpec};

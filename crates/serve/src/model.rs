@@ -13,6 +13,7 @@
 use crate::frozen::{FrozenNetwork, ServeScratch};
 use slide_mem::SparseVecRef;
 use std::any::Any;
+use std::sync::Arc;
 
 /// An immutable, share-everywhere inference snapshot the batching server can
 /// serve — implemented by the f32 [`FrozenNetwork`] here and by the int8
@@ -62,6 +63,33 @@ pub trait FrozenModel: Send + Sync + std::fmt::Debug + 'static {
         scratch: &mut (dyn Any + Send),
         salt: u64,
     ) -> Vec<u32>;
+}
+
+/// Anything the batching server accepts where a model is expected: either a
+/// concrete engine (it is wrapped into an `Arc` on the way in) or an
+/// `Arc<dyn FrozenModel>` that is passed through untouched — for example
+/// one returned by the snapshot loader.
+///
+/// This is the unification of the old `start`/`start_dyn` and
+/// `publish`/`publish_dyn` pairs: one generic entry point each. (A plain
+/// `impl Into<Arc<dyn FrozenModel>>` bound cannot express this — the
+/// blanket `From` impl would be an orphan — so the crate owns the
+/// conversion trait.)
+pub trait IntoFrozenModel {
+    /// Convert into the server's shared model handle.
+    fn into_frozen(self) -> Arc<dyn FrozenModel>;
+}
+
+impl<M: FrozenModel> IntoFrozenModel for M {
+    fn into_frozen(self) -> Arc<dyn FrozenModel> {
+        Arc::new(self)
+    }
+}
+
+impl IntoFrozenModel for Arc<dyn FrozenModel> {
+    fn into_frozen(self) -> Arc<dyn FrozenModel> {
+        self
+    }
 }
 
 impl FrozenModel for FrozenNetwork {

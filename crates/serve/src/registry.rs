@@ -1,0 +1,333 @@
+//! Versioned on-disk model registry: the durable handoff between whoever
+//! builds snapshots and the serving processes that load them.
+//!
+//! Layout under the registry root:
+//!
+//! ```text
+//! root/
+//!   CURRENT             textual version number of the live snapshot
+//!   versions/
+//!     v000001.slsnap
+//!     v000002.slsnap
+//!     …
+//! ```
+//!
+//! Every mutation is crash-safe by construction: payloads and the
+//! `CURRENT` pointer are both written to a temporary sibling, `fsync`ed,
+//! then `rename`d into place — on POSIX filesystems rename is atomic, so
+//! a concurrent loader (or a loader racing a crash) observes either the
+//! old version or the new one, never a torn file. A version file is fully
+//! durable *before* `CURRENT` points at it, so following the pointer can
+//! never reach a half-written snapshot. Torn writes that sneak beneath
+//! the filesystem anyway (power loss between data and metadata) are the
+//! job of the snapshot CRCs to catch at load.
+//!
+//! The registry is single-writer / many-reader: one publisher process
+//! allocates version numbers; readers only ever follow `CURRENT`.
+
+use crate::snapshot::SnapshotError;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File name of the live-version pointer.
+const CURRENT: &str = "CURRENT";
+
+/// Subdirectory holding the immutable version files.
+const VERSIONS_DIR: &str = "versions";
+
+/// Monotonic disambiguator for temp-file names (several threads of one
+/// process may write through [`write_atomic`] concurrently).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `bytes` to `path` atomically: temp sibling + `fsync` + `rename`.
+/// Readers of `path` see the old contents or the new contents, never a
+/// prefix.
+///
+/// # Errors
+///
+/// Any I/O failure; the temp file is cleaned up on error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("write_atomic: path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// A versioned snapshot directory with an atomically updated `CURRENT`
+/// pointer: publish, roll back, and prune model versions without ever
+/// exposing a torn file to a concurrent loader.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Open (creating directories as needed) the registry rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, SnapshotError> {
+        let root = root.into();
+        fs::create_dir_all(root.join(VERSIONS_DIR))?;
+        Ok(ModelRegistry { root })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path a given version lives (or would live) at.
+    pub fn version_path(&self, version: u64) -> PathBuf {
+        self.root
+            .join(VERSIONS_DIR)
+            .join(format!("v{version:06}.slsnap"))
+    }
+
+    /// All version numbers present on disk, ascending. Unparseable file
+    /// names (editor droppings, temp files) are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the versions directory cannot be read.
+    pub fn versions(&self) -> Result<Vec<u64>, SnapshotError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.root.join(VERSIONS_DIR))? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(v) = name
+                .strip_prefix('v')
+                .and_then(|s| s.strip_suffix(".slsnap"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// The version `CURRENT` points at, `None` if nothing is published.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on read failure; [`SnapshotError::Corrupt`]
+    /// if `CURRENT` exists but does not hold a version number.
+    pub fn current_version(&self) -> Result<Option<u64>, SnapshotError> {
+        let path = self.root.join(CURRENT);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        text.trim()
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| SnapshotError::Corrupt(format!("CURRENT holds {:?}", text.trim())))
+    }
+
+    /// Path of the live snapshot, `None` if nothing is published.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::current_version`].
+    pub fn current_path(&self) -> Result<Option<PathBuf>, SnapshotError> {
+        Ok(self.current_version()?.map(|v| self.version_path(v)))
+    }
+
+    /// Publish `image` as the next version and atomically repoint
+    /// `CURRENT` at it. The version file is fully durable before the
+    /// pointer moves, so a loader following `CURRENT` always finds a
+    /// complete image.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on any write failure (the pointer is only
+    /// moved after the payload lands).
+    pub fn publish(&self, image: &[u8]) -> Result<u64, SnapshotError> {
+        let next = self.versions()?.last().copied().unwrap_or(0) + 1;
+        write_atomic(&self.version_path(next), image)?;
+        self.point_current(next)?;
+        Ok(next)
+    }
+
+    /// Repoint `CURRENT` at an already-published `version`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] if that version does not exist on disk;
+    /// [`SnapshotError::Io`] on write failure.
+    pub fn activate(&self, version: u64) -> Result<(), SnapshotError> {
+        if !self.version_path(version).is_file() {
+            return Err(SnapshotError::Corrupt(format!(
+                "cannot activate v{version:06}: not in the registry"
+            )));
+        }
+        self.point_current(version)
+    }
+
+    /// Roll back: repoint `CURRENT` at the highest version strictly below
+    /// the live one. Returns the version now live.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] if nothing is published or there is no
+    /// earlier version to roll back to.
+    pub fn rollback(&self) -> Result<u64, SnapshotError> {
+        let live = self
+            .current_version()?
+            .ok_or_else(|| SnapshotError::Corrupt("rollback with nothing published".into()))?;
+        let prev = self
+            .versions()?
+            .into_iter()
+            .rfind(|&v| v < live)
+            .ok_or_else(|| {
+                SnapshotError::Corrupt(format!(
+                    "v{live:06} is the oldest version, cannot roll back"
+                ))
+            })?;
+        self.point_current(prev)?;
+        Ok(prev)
+    }
+
+    /// Retention: delete all but the newest `keep` versions. The version
+    /// `CURRENT` points at is never deleted, even when it is older than
+    /// the cutoff (a rollback target must stay loadable). Returns the
+    /// versions removed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on delete failure.
+    pub fn retain(&self, keep: usize) -> Result<Vec<u64>, SnapshotError> {
+        let versions = self.versions()?;
+        let live = self.current_version()?;
+        let cut = versions.len().saturating_sub(keep);
+        let mut removed = Vec::new();
+        for &v in &versions[..cut] {
+            if Some(v) == live {
+                continue;
+            }
+            fs::remove_file(self.version_path(v))?;
+            removed.push(v);
+        }
+        Ok(removed)
+    }
+
+    fn point_current(&self, version: u64) -> Result<(), SnapshotError> {
+        write_atomic(&self.root.join(CURRENT), format!("{version}\n").as_bytes())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "slide_registry_{tag}_{}_{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn publish_rollback_retain_lifecycle() {
+        let root = tmp_root("lifecycle");
+        let reg = ModelRegistry::open(&root).unwrap();
+        assert_eq!(reg.current_version().unwrap(), None);
+        assert_eq!(reg.versions().unwrap(), Vec::<u64>::new());
+
+        assert_eq!(reg.publish(b"one").unwrap(), 1);
+        assert_eq!(reg.publish(b"two").unwrap(), 2);
+        assert_eq!(reg.publish(b"three").unwrap(), 3);
+        assert_eq!(reg.versions().unwrap(), vec![1, 2, 3]);
+        assert_eq!(reg.current_version().unwrap(), Some(3));
+        assert_eq!(
+            fs::read(reg.current_path().unwrap().unwrap()).unwrap(),
+            b"three"
+        );
+
+        // Roll back to 2, then verify retention protects the live target.
+        assert_eq!(reg.rollback().unwrap(), 2);
+        assert_eq!(reg.current_version().unwrap(), Some(2));
+        let removed = reg.retain(1).unwrap();
+        assert_eq!(removed, vec![1]);
+        assert_eq!(reg.versions().unwrap(), vec![2, 3]);
+        assert_eq!(
+            fs::read(reg.current_path().unwrap().unwrap()).unwrap(),
+            b"two"
+        );
+
+        // Next publish continues the sequence past the highest survivor.
+        assert_eq!(reg.publish(b"four").unwrap(), 4);
+        assert_eq!(reg.current_version().unwrap(), Some(4));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rollback_edges_are_errors() {
+        let root = tmp_root("rollback_edges");
+        let reg = ModelRegistry::open(&root).unwrap();
+        assert!(matches!(reg.rollback(), Err(SnapshotError::Corrupt(_))));
+        reg.publish(b"only").unwrap();
+        assert!(matches!(reg.rollback(), Err(SnapshotError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn activate_rejects_missing_versions() {
+        let root = tmp_root("activate");
+        let reg = ModelRegistry::open(&root).unwrap();
+        reg.publish(b"a").unwrap();
+        assert!(matches!(reg.activate(9), Err(SnapshotError::Corrupt(_))));
+        reg.activate(1).unwrap();
+        assert_eq!(reg.current_version().unwrap(), Some(1));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_current_pointer_is_an_error_not_a_panic() {
+        let root = tmp_root("corrupt_current");
+        let reg = ModelRegistry::open(&root).unwrap();
+        fs::write(root.join(CURRENT), "not a number").unwrap();
+        assert!(matches!(
+            reg.current_version(),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stray_files_in_versions_dir_are_ignored() {
+        let root = tmp_root("stray");
+        let reg = ModelRegistry::open(&root).unwrap();
+        reg.publish(b"a").unwrap();
+        fs::write(root.join(VERSIONS_DIR).join("README.txt"), "hi").unwrap();
+        fs::write(root.join(VERSIONS_DIR).join("vNaN.slsnap"), "junk").unwrap();
+        assert_eq!(reg.versions().unwrap(), vec![1]);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -36,6 +36,12 @@ pub struct SelectorScratch {
     dedup: StampSet,
 }
 
+/// Serving-table seed salt: the tables a selector builds (or loads) for
+/// network seed `s` are salted `s ^ TABLE_SEED_SALT`, distinct from the
+/// training-side tables. The snapshot loader re-derives it when
+/// reconstructing tables from CSR sections.
+pub(crate) const TABLE_SEED_SALT: u64 = 0xF0_7AB1;
+
 impl ActiveSetSelector {
     /// Empty tables configured from the network's LSH block. `rows` is the
     /// output dimensionality (padding universe and `min_active` clamp);
@@ -48,7 +54,7 @@ impl ActiveSetSelector {
             lsh.key_bits,
             lsh.bucket_cap,
             lsh.policy,
-            seed ^ 0xF0_7AB1,
+            seed ^ TABLE_SEED_SALT,
         );
         ActiveSetSelector {
             min_active: lsh.min_active.min(rows),
@@ -59,6 +65,37 @@ impl ActiveSetSelector {
             tables,
             rows,
         }
+    }
+
+    /// Rebuild a selector around already-populated tables — the snapshot
+    /// load path. `family`, `lsh`, `rows`, and `seed` must be the ones the
+    /// original build used (a snapshot stores the full `NetworkConfig`, so
+    /// all of them are reconstructible); `tables` is the frozen table state
+    /// itself, round-tripped through `slide_hash::TablesCsr`. The derived
+    /// policy fields (`min_active` clamp, probe floor, pad stream) are
+    /// computed exactly as [`ActiveSetSelector::new`] computes them, so a
+    /// loaded selector retrieves bit-identically to the built one.
+    pub fn from_tables(
+        family: LshFamily,
+        lsh: &LshConfig,
+        rows: usize,
+        seed: u64,
+        tables: LshTables,
+    ) -> Self {
+        ActiveSetSelector {
+            min_active: lsh.min_active.min(rows),
+            max_active: lsh.max_active,
+            probes: lsh.probes.max(1),
+            pad_seed: seed ^ 0x9AD5,
+            family,
+            tables,
+            rows,
+        }
+    }
+
+    /// The frozen tables themselves (snapshot serialization hook).
+    pub fn tables(&self) -> &LshTables {
+        &self.tables
     }
 
     /// Allocate query scratch sized for this selector's family and universe.

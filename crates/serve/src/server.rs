@@ -19,7 +19,8 @@
 //! `Arc`, never inside the lock, and rebuild their engine-owned scratch at
 //! the first batch on a new snapshot).
 
-use crate::model::FrozenModel;
+use crate::error::ServeBuildError;
+use crate::model::{FrozenModel, IntoFrozenModel};
 use parking_lot::{Condvar, Mutex, RwLock};
 use slide_core::ThreadPool;
 use slide_mem::SparseVecRef;
@@ -345,24 +346,24 @@ pub struct BatchingServer {
 
 impl BatchingServer {
     /// Start the dispatcher thread serving `model` under `config`. The
-    /// model may be any [`FrozenModel`] — the f32 [`crate::FrozenNetwork`]
-    /// or a quantized engine.
+    /// model may be any [`FrozenModel`] — the f32 [`crate::FrozenNetwork`],
+    /// a quantized engine — or an already-erased `Arc<dyn FrozenModel>`
+    /// (e.g. one loaded from a snapshot): [`IntoFrozenModel`] accepts both,
+    /// so there is no separate `start_dyn`.
     ///
     /// # Errors
     ///
-    /// Returns the message from [`BatchConfig::validate`].
-    pub fn start<M: FrozenModel>(model: M, config: BatchConfig) -> Result<Self, String> {
-        Self::start_dyn(Arc::new(model), config)
-    }
-
-    /// Type-erased variant of [`BatchingServer::start`] for callers that
-    /// pick the engine at runtime (e.g. a `--precision {f32,i8}` axis).
-    ///
-    /// # Errors
-    ///
-    /// Returns the message from [`BatchConfig::validate`].
-    pub fn start_dyn(model: Arc<dyn FrozenModel>, config: BatchConfig) -> Result<Self, String> {
-        config.validate()?;
+    /// [`ServeBuildError::InvalidBatchConfig`] with the message from
+    /// [`BatchConfig::validate`], or [`ServeBuildError::Spawn`] if the
+    /// dispatcher thread could not be created.
+    pub fn start(
+        model: impl IntoFrozenModel,
+        config: BatchConfig,
+    ) -> Result<Self, ServeBuildError> {
+        let model = model.into_frozen();
+        config
+            .validate()
+            .map_err(ServeBuildError::InvalidBatchConfig)?;
         let threads = config.effective_threads();
         let shared = Arc::new(ServerShared {
             queue: Mutex::new(Queue {
@@ -389,7 +390,7 @@ impl BatchingServer {
             std::thread::Builder::new()
                 .name("slide-serve-dispatch".into())
                 .spawn(move || dispatcher_loop(&shared))
-                .map_err(|e| format!("spawn dispatcher: {e}"))?
+                .map_err(|e| ServeBuildError::Spawn(e.to_string()))?
         };
         Ok(BatchingServer {
             shared,
@@ -413,13 +414,10 @@ impl BatchingServer {
     /// need not match the old one's precision (or engine type): workers
     /// rebuild their engine-owned scratch at the first batch on the new
     /// model, so f32 → i8 → f32 swaps are invisible to in-flight clients.
-    pub fn publish<M: FrozenModel>(&self, model: M) {
-        self.publish_dyn(Arc::new(model));
-    }
-
-    /// Type-erased variant of [`BatchingServer::publish`].
-    pub fn publish_dyn(&self, model: Arc<dyn FrozenModel>) {
-        *self.shared.model.write() = model;
+    /// Like [`BatchingServer::start`], accepts a concrete engine or an
+    /// already-erased `Arc<dyn FrozenModel>`.
+    pub fn publish(&self, model: impl IntoFrozenModel) {
+        *self.shared.model.write() = model.into_frozen();
         self.shared.swap_epoch.fetch_add(1, Ordering::AcqRel);
     }
 

@@ -51,6 +51,7 @@
 //! `max_active` caps are rejected at construction: a global cap truncates
 //! in table-encounter order, which a scatter–gather merge cannot reproduce.
 
+use crate::error::ServeBuildError;
 use crate::frozen::FrozenLayer;
 use crate::model::FrozenModel;
 use crate::retrieval::{ActiveSetSelector, ShardSelector, ShardSelectorScratch};
@@ -91,8 +92,10 @@ impl ShardPlan {
     ///
     /// # Errors
     ///
-    /// Returns a message if `shards` is zero or exceeds `rows`.
-    pub fn contiguous(shards: usize, rows: usize) -> Result<Self, String> {
+    /// [`ServeBuildError::PlanNeedsShards`] /
+    /// [`ServeBuildError::PlanLeavesEmptyShards`] if `shards` is zero or
+    /// exceeds `rows`.
+    pub fn contiguous(shards: usize, rows: usize) -> Result<Self, ServeBuildError> {
         Self::new(ShardPlanKind::Contiguous, shards, rows)
     }
 
@@ -100,19 +103,17 @@ impl ShardPlan {
     ///
     /// # Errors
     ///
-    /// Returns a message if `shards` is zero or exceeds `rows`.
-    pub fn strided(shards: usize, rows: usize) -> Result<Self, String> {
+    /// As [`ShardPlan::contiguous`].
+    pub fn strided(shards: usize, rows: usize) -> Result<Self, ServeBuildError> {
         Self::new(ShardPlanKind::Strided, shards, rows)
     }
 
-    fn new(kind: ShardPlanKind, shards: usize, rows: usize) -> Result<Self, String> {
+    fn new(kind: ShardPlanKind, shards: usize, rows: usize) -> Result<Self, ServeBuildError> {
         if shards == 0 {
-            return Err("ShardPlan: need at least one shard".into());
+            return Err(ServeBuildError::PlanNeedsShards);
         }
         if shards > rows {
-            return Err(format!(
-                "ShardPlan: {shards} shards over {rows} rows would leave empty shards"
-            ));
+            return Err(ServeBuildError::PlanLeavesEmptyShards { shards, rows });
         }
         Ok(ShardPlan { kind, shards, rows })
     }
@@ -379,6 +380,27 @@ impl F32Trunk {
                 .collect(),
         }
     }
+
+    /// Assemble a trunk from already-built layers — the snapshot load path.
+    /// `input` is the transposed input layer (one row per feature, bias per
+    /// column); `hidden` is the hidden stack in forward order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if consecutive layer widths do not chain.
+    pub fn from_parts(input: FrozenLayer, hidden: Vec<FrozenLayer>) -> Result<Self, String> {
+        let mut width = input.cols();
+        for (i, layer) in hidden.iter().enumerate() {
+            if layer.cols() != width {
+                return Err(format!(
+                    "F32Trunk: hidden layer {i} consumes {} columns, predecessor emits {width}",
+                    layer.cols()
+                ));
+            }
+            width = layer.rows();
+        }
+        Ok(F32Trunk { input, hidden })
+    }
 }
 
 impl ShardTrunk for F32Trunk {
@@ -471,6 +493,45 @@ impl F32Shard {
                 }
             })
             .collect()
+    }
+
+    /// Assemble shard `s` of `plan` from an already-built row-subset layer
+    /// and the shard's table partition — the snapshot load path (the loader
+    /// reconstructs the *global* selector from its CSR sections, partitions
+    /// it exactly as the internal `F32Shard::build_all` does, and pairs each partition
+    /// with its decoded arena).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `s` is out of range or `layer` does not own
+    /// exactly the rows `plan` assigns to shard `s`.
+    pub fn from_parts(
+        plan: &ShardPlan,
+        s: usize,
+        layer: FrozenLayer,
+        selector: ShardSelector,
+    ) -> Result<Self, String> {
+        if s >= plan.shards() {
+            return Err(format!(
+                "F32Shard: shard {s} out of range ({} shards)",
+                plan.shards()
+            ));
+        }
+        let rows = plan.shard_rows(s);
+        if layer.rows() != rows.len() {
+            return Err(format!(
+                "F32Shard: layer holds {} rows, plan assigns {} to shard {s}",
+                layer.rows(),
+                rows.len()
+            ));
+        }
+        Ok(F32Shard {
+            layer,
+            rows,
+            indexer: plan.indexer(s),
+            total_rows: plan.rows(),
+            selector,
+        })
     }
 }
 
@@ -662,10 +723,12 @@ impl ShardedFrozenModel {
     ///
     /// # Errors
     ///
-    /// Returns a message if the plan does not match the network's output
-    /// dimensionality or the network configures `max_active` (a global
-    /// encounter-order cap a scatter–gather merge cannot reproduce).
-    pub fn shard_f32(net: &Network, plan: ShardPlan) -> Result<Self, String> {
+    /// [`ServeBuildError::PlanRowsMismatch`] if the plan does not match the
+    /// network's output dimensionality;
+    /// [`ServeBuildError::MaxActiveUnsupported`] if the network configures
+    /// `max_active` (a global encounter-order cap a scatter–gather merge
+    /// cannot reproduce).
+    pub fn shard_f32(net: &Network, plan: ShardPlan) -> Result<Self, ServeBuildError> {
         let global = build_global_selector(net)?;
         check_plan(net, &plan, &global)?;
         let trunk = Box::new(F32Trunk::from_network(net));
@@ -686,7 +749,7 @@ impl ShardedFrozenModel {
     pub fn f32_engines(
         net: &Network,
         plan: &ShardPlan,
-    ) -> Result<Vec<Arc<dyn ShardEngine>>, String> {
+    ) -> Result<Vec<Arc<dyn ShardEngine>>, ServeBuildError> {
         let global = build_global_selector(net)?;
         check_plan(net, plan, &global)?;
         Ok(F32Shard::build_all(net, &global, plan)
@@ -703,32 +766,34 @@ impl ShardedFrozenModel {
     ///
     /// # Errors
     ///
-    /// Returns a message if the engine count or any engine's row ownership
-    /// disagrees with `plan`, or if `global` caps `max_active`.
+    /// [`ServeBuildError::ShardCount`] / [`ServeBuildError::ShardRows`] /
+    /// [`ServeBuildError::ShardCols`] if the engine count or any engine's
+    /// row ownership or width disagrees with `plan` and `trunk`;
+    /// [`ServeBuildError::MaxActiveUnsupported`] if `global` caps
+    /// `max_active`.
     pub fn from_parts(
         trunk: Box<dyn ShardTrunk>,
         shards: Vec<Arc<dyn ShardEngine>>,
         plan: ShardPlan,
         global: &ActiveSetSelector,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, ServeBuildError> {
         if global.max_active().is_some() {
-            return Err(max_active_error());
+            return Err(ServeBuildError::MaxActiveUnsupported);
         }
         if shards.len() != plan.shards() {
-            return Err(format!(
-                "ShardedFrozenModel: {} engines for a {}-shard plan",
-                shards.len(),
-                plan.shards()
-            ));
+            return Err(ServeBuildError::ShardCount {
+                engines: shards.len(),
+                shards: plan.shards(),
+            });
         }
         for (s, engine) in shards.iter().enumerate() {
             check_engine(&plan, s, engine.as_ref())?;
             if engine.cols() != trunk.hidden_dim() {
-                return Err(format!(
-                    "ShardedFrozenModel: shard {s} scores {} columns, trunk produces {}",
-                    engine.cols(),
-                    trunk.hidden_dim()
-                ));
+                return Err(ServeBuildError::ShardCols {
+                    shard: s,
+                    cols: engine.cols(),
+                    trunk_cols: trunk.hidden_dim(),
+                });
             }
         }
         let shards = shards.into_iter().map(RwLock::new).collect();
@@ -796,22 +861,27 @@ impl ShardedFrozenModel {
     ///
     /// # Errors
     ///
-    /// Returns a message if `s` is out of range or the engine's rows/width
-    /// disagree with the plan.
-    pub fn publish_shard(&self, s: usize, engine: Arc<dyn ShardEngine>) -> Result<(), String> {
+    /// [`ServeBuildError::ShardOutOfRange`] if `s` is out of range;
+    /// [`ServeBuildError::ShardRows`] / [`ServeBuildError::ShardCols`] if
+    /// the engine's rows/width disagree with the plan.
+    pub fn publish_shard(
+        &self,
+        s: usize,
+        engine: Arc<dyn ShardEngine>,
+    ) -> Result<(), ServeBuildError> {
         if s >= self.shards.len() {
-            return Err(format!(
-                "publish_shard: shard {s} out of range ({} shards)",
-                self.shards.len()
-            ));
+            return Err(ServeBuildError::ShardOutOfRange {
+                shard: s,
+                shards: self.shards.len(),
+            });
         }
         check_engine(&self.plan, s, engine.as_ref())?;
         if engine.cols() != self.trunk.hidden_dim() {
-            return Err(format!(
-                "publish_shard: engine scores {} columns, trunk produces {}",
-                engine.cols(),
-                self.trunk.hidden_dim()
-            ));
+            return Err(ServeBuildError::ShardCols {
+                shard: s,
+                cols: engine.cols(),
+                trunk_cols: self.trunk.hidden_dim(),
+            });
         }
         *self.shards[s].write() = engine;
         Ok(())
@@ -1096,12 +1166,12 @@ impl FrozenModel for ShardedFrozenModel {
 ///
 /// # Errors
 ///
-/// Returns a message if the network configures `max_active` (see the
-/// module docs).
-pub fn build_global_selector(net: &Network) -> Result<ActiveSetSelector, String> {
+/// [`ServeBuildError::MaxActiveUnsupported`] if the network configures
+/// `max_active` (see the module docs).
+pub fn build_global_selector(net: &Network) -> Result<ActiveSetSelector, ServeBuildError> {
     let config = net.config();
     if config.lsh.max_active.is_some() {
-        return Err(max_active_error());
+        return Err(ServeBuildError::MaxActiveUnsupported);
     }
     let out = net.output().params();
     let mut selector = ActiveSetSelector::new(
@@ -1119,40 +1189,41 @@ pub fn build_global_selector(net: &Network) -> Result<ActiveSetSelector, String>
     Ok(selector)
 }
 
-fn check_plan(net: &Network, plan: &ShardPlan, global: &ActiveSetSelector) -> Result<(), String> {
+fn check_plan(
+    net: &Network,
+    plan: &ShardPlan,
+    global: &ActiveSetSelector,
+) -> Result<(), ServeBuildError> {
     if plan.rows() != global.rows() || plan.rows() != net.config().output_dim {
-        return Err(format!(
-            "ShardPlan covers {} rows, network outputs {}",
-            plan.rows(),
-            net.config().output_dim
-        ));
+        return Err(ServeBuildError::PlanRowsMismatch {
+            plan_rows: plan.rows(),
+            output_dim: net.config().output_dim,
+        });
     }
     Ok(())
 }
 
-fn check_engine(plan: &ShardPlan, s: usize, engine: &dyn ShardEngine) -> Result<(), String> {
+fn check_engine(
+    plan: &ShardPlan,
+    s: usize,
+    engine: &dyn ShardEngine,
+) -> Result<(), ServeBuildError> {
     if engine.total_rows() != plan.rows() {
-        return Err(format!(
-            "shard {s}: engine cut from a {}-row model, plan covers {}",
-            engine.total_rows(),
-            plan.rows()
-        ));
+        return Err(ServeBuildError::ShardUniverse {
+            shard: s,
+            engine_rows: engine.total_rows(),
+            plan_rows: plan.rows(),
+        });
     }
     let expect = plan.shard_rows(s);
     if engine.global_rows() != expect.as_slice() {
-        return Err(format!(
-            "shard {s}: engine owns {} rows, plan assigns {}",
-            engine.global_rows().len(),
-            expect.len()
-        ));
+        return Err(ServeBuildError::ShardRows {
+            shard: s,
+            owned: engine.global_rows().len(),
+            assigned: expect.len(),
+        });
     }
     Ok(())
-}
-
-fn max_active_error() -> String {
-    "sharded serving requires lsh.max_active = None: the global cap truncates in \
-     table-encounter order, which a scatter-gather merge cannot reproduce"
-        .into()
 }
 
 #[cfg(test)]
@@ -1346,6 +1417,7 @@ mod tests {
         let net = Network::new(cfg).unwrap();
         let err =
             ShardedFrozenModel::shard_f32(&net, ShardPlan::contiguous(2, 64).unwrap()).unwrap_err();
-        assert!(err.contains("max_active"), "{err}");
+        assert_eq!(err, ServeBuildError::MaxActiveUnsupported);
+        assert!(err.to_string().contains("max_active"), "{err}");
     }
 }

@@ -281,8 +281,8 @@ fn per_shard_precision_hot_swap_under_load_never_errors() {
     let i8_shards = i8_engines(net, &plan).unwrap();
 
     let server = Arc::new(
-        BatchingServer::start_dyn(
-            model.clone(),
+        BatchingServer::start(
+            model.clone() as Arc<dyn FrozenModel>,
             BatchConfig {
                 max_batch: 32,
                 max_wait: Duration::from_micros(300),

@@ -5,8 +5,8 @@
 
 use crate::{
     load_checkpoint, parse_xc, save_checkpoint, write_xc, BatchConfig, BatchingServer, Dataset,
-    EvalMode, FrozenNetwork, HashFamilyKind, Network, NetworkConfig, Precision, SynthConfig,
-    TextConfig, Trainer, TrainerConfig,
+    EvalMode, HashFamilyKind, Network, NetworkConfig, Precision, SynthConfig, TextConfig, Trainer,
+    TrainerConfig,
 };
 use std::collections::BTreeMap;
 use std::fmt;
@@ -157,6 +157,8 @@ USAGE:
   slide_cli serve-bench [--clients N] [--duration-ms N] [--max-batch N]
                   [--max-wait-us N] [--threads N] [--k N] [--train-epochs N]
                   [--precision f32|i8] [--shards N] [--json FILE]
+  slide_cli snapshot --registry DIR [--precision f32|i8] [--shards N]
+                  [--seed N] [--train-epochs N] [--rollback] [--retain N]
 
 Datasets use the XC repository format (`parse_xc`/`write_xc`).
 `serve-bench` trains a small synthetic model, serves it through the
@@ -166,7 +168,12 @@ mid-run, and writes throughput + p50/p99 latency to FILE
 post-training int8-quantized (slide-quant) and scored through the integer
 kernels; with `--shards N` the output layer is split row-wise across N
 independently-tabled shards (slide-serve's scatter-gather engine). The
-report meta records the precision and shard count."
+report meta records the precision and shard count.
+`snapshot` trains the deterministic fleet fixture, cuts a `.slsnap` image
+under the chosen precision/shard spec, and publishes it atomically to a
+versioned registry directory; `slide_netd --snapshot DIR` then cold-starts
+from it (mmap, no retraining). `--rollback` repoints the registry at the
+previous version; `--retain N` prunes all but the N newest versions."
 }
 
 fn build_network_config(args: &CliArgs, ds: &Dataset) -> Result<NetworkConfig, CliError> {
@@ -365,25 +372,25 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
     }
 
     // Snapshot factory for the chosen precision × shard axes (also used
-    // for the mid-run hot-swap, so the swap stays configuration-consistent).
+    // for the mid-run hot-swap, so the swap stays configuration-consistent):
+    // one SnapshotSpec, one build call, whatever the axes.
     let freeze = |net: &Network| -> Result<Arc<dyn crate::FrozenModel>, CliError> {
+        let mut spec = if precision == "i8" {
+            crate::SnapshotSpec::i8()
+        } else {
+            crate::SnapshotSpec::f32()
+        };
         if shards > 1 {
             let plan = crate::serve::ShardPlan::contiguous(shards, net.config().output_dim)
-                .map_err(CliError)?;
-            return Ok(if precision == "i8" {
-                Arc::new(crate::quant::shard_i8(net, plan).map_err(CliError)?)
-            } else {
-                Arc::new(crate::serve::ShardedFrozenModel::shard_f32(net, plan).map_err(CliError)?)
-            });
+                .map_err(|e| CliError(e.to_string()))?;
+            spec = spec.sharded(plan);
         }
-        Ok(if precision == "i8" {
-            Arc::new(crate::QuantizedFrozenNetwork::quantize(net))
-        } else {
-            Arc::new(FrozenNetwork::freeze(net))
-        })
+        crate::Snapshot::build(net, &spec)
+            .and_then(|snap| snap.model())
+            .map_err(|e| CliError(e.to_string()))
     };
     let server = Arc::new(
-        BatchingServer::start_dyn(
+        BatchingServer::start(
             freeze(trainer.network())?,
             BatchConfig {
                 max_batch,
@@ -392,7 +399,7 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
                 threads,
             },
         )
-        .map_err(CliError)?,
+        .map_err(|e| CliError(e.to_string()))?,
     );
 
     // Closed-loop clients querying the test split (hash-scrambled order),
@@ -425,7 +432,7 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
         // shard plan was already validated by the startup freeze, so a
         // mid-run snapshot of the same network cannot fail to build.
         trainer.train_epoch(&data.train, train_epochs);
-        server.publish_dyn(freeze(trainer.network()).expect("same plan froze at startup"));
+        server.publish(freeze(trainer.network()).expect("same plan froze at startup"));
         std::thread::sleep(Duration::from_millis(
             duration_ms as u64 - duration_ms as u64 / 2,
         ));
@@ -482,6 +489,55 @@ pub fn cmd_serve_bench(args: &CliArgs) -> Result<String, CliError> {
     ))
 }
 
+/// `snapshot`: manage a versioned model registry — publish a freshly
+/// trained fleet-fixture snapshot (the artifact `slide_netd --snapshot`
+/// cold-starts from), roll the live pointer back, or prune old versions.
+///
+/// # Errors
+///
+/// Propagates flag, registry, and snapshot errors.
+pub fn cmd_snapshot(args: &CliArgs) -> Result<String, CliError> {
+    let registry_dir = args.require_str("registry")?;
+    let registry =
+        crate::ModelRegistry::open(&registry_dir).map_err(|e| CliError(e.to_string()))?;
+
+    if args.get_flag("rollback") {
+        let v = registry.rollback().map_err(|e| CliError(e.to_string()))?;
+        return Ok(format!(
+            "rolled back: registry {registry_dir} now serves v{v:06}\n"
+        ));
+    }
+    if let Some(keep) = args.options.get("retain") {
+        let keep: usize = keep
+            .parse()
+            .map_err(|_| CliError(format!("--retain expects an integer, got '{keep}'")))?;
+        let removed = registry.retain(keep).map_err(|e| CliError(e.to_string()))?;
+        return Ok(format!(
+            "retained {keep} newest version(s) in {registry_dir}; removed {removed:?}\n"
+        ));
+    }
+
+    let spec = crate::net::FleetSpec {
+        seed: args.get_usize("seed", crate::net::FleetSpec::default().seed as usize)? as u64,
+        precision: crate::net::FleetPrecision::parse(&args.get_str("precision", "f32"))
+            .map_err(CliError)?,
+        shards: args.get_usize("shards", 0)?,
+        epochs: args.get_usize("train-epochs", 1)?,
+    };
+    let (net, _test) = spec.train();
+    let snapshot = spec.snapshot(&net);
+    let version = registry
+        .publish(snapshot.bytes())
+        .map_err(|e| CliError(e.to_string()))?;
+    Ok(format!(
+        "published v{version:06} to {registry_dir} ({} bytes, precision {}, {} shard(s))\n\
+         cold-start it with: slide_netd --snapshot {registry_dir}\n",
+        snapshot.bytes().len(),
+        snapshot.spec().precision.label(),
+        snapshot.spec().shards(),
+    ))
+}
+
 /// Dispatch a parsed command line.
 ///
 /// # Errors
@@ -493,6 +549,7 @@ pub fn run(args: &CliArgs) -> Result<String, CliError> {
         "train" => cmd_train(args),
         "eval" => cmd_eval(args),
         "serve-bench" => cmd_serve_bench(args),
+        "snapshot" => cmd_snapshot(args),
         "help" | "--help" => Ok(usage().to_string()),
         other => Err(CliError(format!(
             "unknown subcommand '{other}'\n\n{}",

@@ -65,10 +65,11 @@ pub use slide_data::{
 pub use slide_net::{
     FleetSpec, Frame, NetClient, NetConfig, NetServer, RoutePolicy, Router, RouterConfig, WireError,
 };
-pub use slide_quant::{shard_i8, QuantReport, QuantizedFrozenNetwork};
+pub use slide_quant::{shard_i8, QuantReport, QuantizedFrozenNetwork, Snapshot};
 pub use slide_serve::{
-    BatchConfig, BatchingServer, FrozenModel, FrozenNetwork, ServeError, ServeStats, ShardPlan,
-    ShardedFrozenModel,
+    BatchConfig, BatchingServer, FrozenModel, FrozenNetwork, IntoFrozenModel, ModelRegistry,
+    ServeBuildError, ServeError, ServeStats, ShardPlan, ShardedFrozenModel, SnapshotError,
+    SnapshotImage, SnapshotPrecision, SnapshotSpec,
 };
 pub use slide_simd::{
     set_kernel_variant, set_policy, Int8Isa, KernelSet, KernelVariant, SimdLevel, SimdPolicy,
