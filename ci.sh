@@ -11,8 +11,10 @@
 #
 # Both gate modes leave a BENCH_train.json at the repo root and smoke leaves
 # BENCH_serve.json + BENCH_serve_shard.json + BENCH_serve_i8.json +
-# BENCH_net.json (the loopback 1-router+2-replica fleet leg) +
-# BENCH_snapshot.json (registry cold-start vs rebuild); CI
+# BENCH_net.json (the loopback 1-router+2-replica fleet leg, incl. the
+# fault-injection phase with hedge/breaker/deadline counters) +
+# BENCH_snapshot.json (registry cold-start vs rebuild); smoke also runs
+# the chaos suite under forced SLIDE_SIMD=scalar; CI
 # uploads all BENCH_*.json as per-leg artifacts. Gate modes also enforce a
 # test-count ratchet: `cargo test -q` must report at least MIN_TIER1_TESTS
 # passing tests (see below).
@@ -125,8 +127,10 @@ if [[ "$MODE" == "smoke" ]]; then
 
     step "smoke: net_bench loopback fleet (1 router + 2 replicas, open loop)"
     # The whole network tier end to end on loopback sockets: in-process
-    # baseline, single-socket, and router-fronted fleet phases, each with
-    # socket-measured percentiles and an explicit shed-rate column.
+    # baseline, single-socket, router-fronted fleet, and fault-injected
+    # fleet phases, each with socket-measured percentiles and an explicit
+    # shed-rate column; the fault phase additionally reports hedge,
+    # breaker, and deadline-shed counters (EXPERIMENTS.md §11).
     SLIDE_NET_MS=400 SLIDE_NET_QPS=300 SLIDE_NET_REPLICAS=2 SLIDE_NET_CLIENTS=4 \
         SLIDE_JSON_OUT=BENCH_net.json ./target/release/net_bench > /dev/null
     grep -q '"bench":"net"' BENCH_net.json || {
@@ -145,6 +149,30 @@ if [[ "$MODE" == "smoke" ]]; then
         echo "net_bench smoke: BENCH_net.json missing the fleet phase" >&2
         exit 1
     }
+    grep -q '"mode":"fault"' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing the fault phase" >&2
+        exit 1
+    }
+    grep -q '"deadline_exceeded"' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing the deadline_exceeded column" >&2
+        exit 1
+    }
+    grep -q '"fault_router":{.*"hedges":' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing fault_router hedge/breaker counters" >&2
+        exit 1
+    }
+    grep -q '"fault_proxies":{"stalled":' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing fault_proxies injection counters" >&2
+        exit 1
+    }
+
+    step "smoke: chaos suite under forced SLIDE_SIMD=scalar"
+    # The fault-injection acceptance run and the per-hop deadline tests on
+    # the scalar dispatch path: robustness machinery (hedging, breakers,
+    # deadline shedding) must behave identically when the kernels
+    # underneath are at their slowest.
+    SLIDE_SIMD=scalar cargo test --release -q -p slide-net \
+        --test fault_injection --test deadline_hops
 
     step "smoke: snapshot_bench (cold-start vs rebuild, emits BENCH_snapshot.json)"
     # The registry cold-start benchmark: mmap-load time must be reported
@@ -214,7 +242,7 @@ fi
 # previous PR's count; bump it (never lower it) when landing new tests. A
 # drop below the baseline means tests were deleted or silently stopped
 # being discovered (e.g. a [[test]] target fell out of the manifest).
-MIN_TIER1_TESTS=551
+MIN_TIER1_TESTS=569
 
 step "cargo test -q (ratchet: >= $MIN_TIER1_TESTS tests)"
 TEST_LOG="$(mktemp)"

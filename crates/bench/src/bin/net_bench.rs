@@ -1,7 +1,7 @@
 //! Network-tier benchmark: the socket and fleet overhead on top of the
 //! in-process serving engine, measured open-loop (see EXPERIMENTS.md §9).
 //!
-//! Three phases, identical offered load, identical deterministic model
+//! Four phases, identical offered load, identical deterministic model
 //! (`slide_net::FleetSpec`), identical open-loop generator — so the deltas
 //! isolate each layer:
 //!
@@ -12,9 +12,16 @@
 //! * **fleet** — N replicas (each its own batching server + `NetServer`)
 //!   behind a `Router`; the delta over `socket1` is the extra proxy hop
 //!   plus replica selection.
+//! * **fault** — the same fleet with seeded faults injected in front of
+//!   two replicas (one stalls every third reply mid-write, one drops 10%
+//!   of request frames) and a deadline budget on every request; the tail
+//!   here is what the paper-scale fleet looks like on a bad day, with
+//!   hedging, circuit breakers, and deadline shedding absorbing the
+//!   damage (EXPERIMENTS.md §11).
 //!
 //! Every phase reports socket-measured p50/p99 and the shed rate (explicit
-//! `RetryLater` fraction — admission control shedding, not failure).
+//! `RetryLater` fraction — admission control shedding, not failure); the
+//! fault phase additionally reports hedge/breaker/deadline counters.
 //! Writes `BENCH_net.json` (env `SLIDE_JSON_OUT` overrides the path).
 //!
 //! ```sh
@@ -24,8 +31,9 @@
 //! ```
 
 use slide_net::{
-    FleetPrecision, FleetSpec, LoadReport, LoadgenConfig, NetClient, NetConfig, NetServer,
-    RoutePolicy, Router, RouterConfig, SubmitOutcome,
+    FaultAction, FaultPlan, FaultProxy, FaultRule, FleetPrecision, FleetSpec, LoadReport,
+    LoadgenConfig, NetClient, NetConfig, NetServer, RoutePolicy, Router, RouterConfig,
+    SubmitOutcome, Trigger,
 };
 use slide_serve::{BatchConfig, BatchingServer, FrozenModel, ServeError};
 use std::sync::Arc;
@@ -180,10 +188,91 @@ fn main() {
     let fleet = slide_net::run_open_loop(&queries, &cfg, |_| socket_submitter(router_addr));
     print_phase(&fleet, "fleet");
 
-    for report in [&inproc, &socket1, &fleet] {
+    // Phase 4: the same fleet on a bad day. Fresh replicas, two of them
+    // behind deterministic fault proxies; every request carries a deadline
+    // budget so the tail is bounded by shedding, not by timeouts.
+    let fault_replicas: Vec<(Arc<BatchingServer>, NetServer)> = (0..replicas.max(2))
+        .map(|_| start_replica(Arc::clone(&model), threads))
+        .collect();
+    let stall_proxy = FaultProxy::start(
+        fault_replicas[0].1.local_addr(),
+        FaultPlan {
+            seed: 0xC4A05,
+            client_to_server: Vec::new(),
+            server_to_client: vec![FaultRule {
+                trigger: Trigger::EveryNth(3),
+                action: FaultAction::Stall(Duration::from_millis(400)),
+            }],
+        },
+    )
+    .expect("stalling proxy");
+    let drop_proxy = FaultProxy::start(
+        fault_replicas[1].1.local_addr(),
+        FaultPlan {
+            seed: 0xD20B,
+            client_to_server: vec![FaultRule {
+                trigger: Trigger::Probability(0.10),
+                action: FaultAction::Drop,
+            }],
+            server_to_client: Vec::new(),
+        },
+    )
+    .expect("dropping proxy");
+    let mut fault_addrs = vec![stall_proxy.local_addr(), drop_proxy.local_addr()];
+    fault_addrs.extend(fault_replicas.iter().skip(2).map(|(_, n)| n.local_addr()));
+    let fault_router = Router::start(
+        "127.0.0.1:0",
+        &fault_addrs,
+        RouterConfig {
+            policy: RoutePolicy::LeastLoad,
+            health_interval: Duration::from_millis(50),
+            request_timeout: Duration::from_millis(250),
+            eject_after: 1,
+            breaker_backoff: Duration::from_millis(100),
+            breaker_max_backoff: Duration::from_secs(1),
+            ..Default::default()
+        },
+    )
+    .expect("bind fault router");
+    let fault_router_addr = fault_router.local_addr();
+    let deadline_us = env_usize("SLIDE_NET_DEADLINE_US", 100_000) as u64;
+    let fault = slide_net::run_open_loop(&queries, &cfg, |_| {
+        let mut client =
+            NetClient::connect(fault_router_addr, Duration::from_secs(5)).expect("connect");
+        move |idx: &[u32], val: &[f32], k: usize| match client.predict_within(
+            idx,
+            val,
+            k,
+            deadline_us,
+        ) {
+            Ok(ids) => SubmitOutcome::Ok(ids),
+            Err(slide_net::ClientError::RetryLater { .. }) => SubmitOutcome::RetryLater,
+            Err(slide_net::ClientError::DeadlineExceeded) => SubmitOutcome::DeadlineExceeded,
+            Err(e) => match NetClient::connect(fault_router_addr, Duration::from_secs(5)) {
+                Ok(c) => {
+                    client = c;
+                    let _ = e;
+                    SubmitOutcome::Reconnected
+                }
+                Err(_) => SubmitOutcome::HardError(e.to_string()),
+            },
+        }
+    });
+    print_phase(&fault, "fault");
+    let fault_router_stats = fault_router.stats_json();
+    let stall_stats = stall_proxy.stats();
+    let drop_stats = drop_proxy.stats();
+    println!(
+        "  fault injected: {} stalled, {} dropped ({} frames forwarded)",
+        stall_stats.stalled,
+        drop_stats.dropped,
+        stall_stats.forwarded + drop_stats.forwarded,
+    );
+
+    for report in [&inproc, &socket1, &fleet, &fault] {
         assert_eq!(
             report.hard_errors, 0,
-            "hard errors in a healthy-fleet bench"
+            "hard errors in a router-fronted bench"
         );
     }
 
@@ -192,12 +281,23 @@ fn main() {
          \"policy\":\"least_load\",\"clients\":{clients},\"threads\":{threads},\
          \"precision\":\"{precision_label}\",\"shards\":{shards},\
          \"simd_level\":\"{}\",\"kernel_variant\":\"{}\",\"k\":{K},\
-         \"offered_qps\":{offered_qps:.1},\"phases\":[{},{},{}]}}\n",
+         \"offered_qps\":{offered_qps:.1},\"deadline_us\":{deadline_us},\
+         \"phases\":[{},{},{},{}],\
+         \"fault_router\":{fault_router_stats},\
+         \"fault_proxies\":{{\"stalled\":{},\"dropped\":{},\"delayed\":{},\
+         \"corrupted\":{},\"closed\":{},\"forwarded\":{}}}}}\n",
         slide_simd::effective_level(),
         slide_simd::kernel_variant(),
         inproc.to_json("inproc"),
         socket1.to_json("socket1"),
         fleet.to_json("fleet"),
+        fault.to_json("fault"),
+        stall_stats.stalled + drop_stats.stalled,
+        stall_stats.dropped + drop_stats.dropped,
+        stall_stats.delayed + drop_stats.delayed,
+        stall_stats.corrupted + drop_stats.corrupted,
+        stall_stats.closed + drop_stats.closed,
+        stall_stats.forwarded + drop_stats.forwarded,
     );
     let path = std::env::var("SLIDE_JSON_OUT").unwrap_or_else(|_| "BENCH_net.json".into());
     std::fs::write(&path, &json).expect("write BENCH_net.json");

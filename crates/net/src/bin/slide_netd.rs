@@ -83,17 +83,34 @@ fn load_registry_model(dir: &std::path::Path) -> Result<Arc<dyn FrozenModel>, St
 
 /// Bind with retries: a restarted replica reclaiming its old port can race
 /// the kernel's release of the previous socket (no `SO_REUSEADDR` in plain
-/// `std::net` binds on all platforms), so keep trying for a few seconds.
-fn bind_retrying(addr: &str, patience: Duration) -> std::io::Result<()> {
+/// `std::net` binds on all platforms). Retries back off exponentially
+/// (50 ms doubling, capped at 1 s) with a deterministic per-attempt jitter
+/// so a herd of restarting replicas doesn't hammer the kernel in lockstep
+/// the way the old fixed 100 ms cadence did. Returns how many retries it
+/// took.
+fn bind_retrying(addr: &str, patience: Duration) -> std::io::Result<u32> {
     let start = Instant::now();
+    let mut retries = 0u32;
     loop {
         match TcpListener::bind(addr) {
             Ok(probe) => {
                 drop(probe);
-                return Ok(());
+                return Ok(retries);
             }
             Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && start.elapsed() < patience => {
-                std::thread::sleep(Duration::from_millis(100));
+                let base = Duration::from_millis(50)
+                    .saturating_mul(1u32 << retries.min(5))
+                    .min(Duration::from_secs(1));
+                // splitmix64-style mix of (pid, attempt) → ±25% jitter,
+                // deterministic for a given process so restarts are
+                // reproducible but distinct replicas desynchronize.
+                let mut h = (u64::from(std::process::id()) << 32) ^ u64::from(retries);
+                h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let frac = 0.75 + ((h >> 11) as f64 / (1u64 << 53) as f64) * 0.5;
+                std::thread::sleep(base.mul_f64(frac));
+                retries += 1;
             }
             Err(e) => return Err(e),
         }
@@ -146,9 +163,17 @@ fn main() {
     // A fixed (non-:0) address may still be in TIME_WAIT from the replica
     // we are replacing; wait it out before the real bind.
     if !args.addr.ends_with(":0") {
-        if let Err(e) = bind_retrying(&args.addr, Duration::from_secs(10)) {
-            eprintln!("slide_netd: bind {}: {e}", args.addr);
-            std::process::exit(1);
+        match bind_retrying(&args.addr, Duration::from_secs(10)) {
+            // On its own line: parents parse the LISTENING line's tail as
+            // the address, so retry counts must never ride on it.
+            Ok(retries) if retries > 0 => {
+                println!("SLIDE_NETD BIND_RETRIES {retries}");
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("slide_netd: bind {}: {e}", args.addr);
+                std::process::exit(1);
+            }
         }
     }
     let mut net = match NetServer::start(Arc::clone(&batching), &args.addr, NetConfig::default()) {

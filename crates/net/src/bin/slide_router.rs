@@ -1,6 +1,6 @@
 //! `slide_router` — the fleet front door: speaks the wire protocol to
-//! clients and spreads predicts across replica daemons with health checks,
-//! ejection/readmission, and one-retry failover.
+//! clients and spreads predicts across replica daemons with per-replica
+//! circuit breakers, hedged requests, and deadline-aware shedding.
 //!
 //! Prints `SLIDE_ROUTER LISTENING <addr>` once ready. Shuts down on stdin
 //! EOF (the portable SIGTERM-equivalent) or a client `Drain` frame.
@@ -59,6 +59,39 @@ fn parse_args() -> Result<Args, String> {
                     val()?
                         .parse()
                         .map_err(|e| format!("--request-timeout-ms: {e}"))?,
+                );
+            }
+            "--hedge" => {
+                args.cfg.hedge = match val()?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--hedge: want on or off, got '{other}'")),
+                };
+            }
+            "--hedge-fraction" => {
+                args.cfg.hedge_fraction = val()?
+                    .parse()
+                    .map_err(|e| format!("--hedge-fraction: {e}"))?;
+            }
+            "--hedge-delay-ms" => {
+                args.cfg.hedge_delay = Duration::from_millis(
+                    val()?
+                        .parse()
+                        .map_err(|e| format!("--hedge-delay-ms: {e}"))?,
+                );
+            }
+            "--breaker-backoff-ms" => {
+                args.cfg.breaker_backoff = Duration::from_millis(
+                    val()?
+                        .parse()
+                        .map_err(|e| format!("--breaker-backoff-ms: {e}"))?,
+                );
+            }
+            "--breaker-max-backoff-ms" => {
+                args.cfg.breaker_max_backoff = Duration::from_millis(
+                    val()?
+                        .parse()
+                        .map_err(|e| format!("--breaker-max-backoff-ms: {e}"))?,
                 );
             }
             other => return Err(format!("unknown flag {other}")),

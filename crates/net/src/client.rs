@@ -10,7 +10,7 @@
 use crate::stream::{read_frame_timeout, write_frame};
 use crate::wire::{ErrorCode, Frame, PongInfo, PredictRequest, WireError, DEFAULT_MAX_PAYLOAD};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What a request can come back as, beyond a plain answer.
 #[derive(Debug)]
@@ -32,6 +32,9 @@ pub enum ClientError {
         /// Human-readable detail.
         message: String,
     },
+    /// The request's deadline budget ran out before an answer was produced
+    /// (the server or router shed it with a typed `DeadlineExceeded` frame).
+    DeadlineExceeded,
     /// The peer answered with a well-formed frame that makes no sense here
     /// (wrong `req_id`, wrong frame kind).
     Protocol(String),
@@ -48,6 +51,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
             }
+            ClientError::DeadlineExceeded => f.write_str("deadline exceeded"),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
         }
     }
@@ -74,7 +78,9 @@ impl ClientError {
             ClientError::Server { code, .. } => {
                 matches!(code, ErrorCode::Unavailable | ErrorCode::Internal)
             }
-            ClientError::RetryLater { .. } => false,
+            // A shed or an exhausted budget says nothing bad about the
+            // replica — it answered promptly and honestly.
+            ClientError::RetryLater { .. } | ClientError::DeadlineExceeded => false,
         }
     }
 }
@@ -150,29 +156,80 @@ impl NetClient {
         values: &[f32],
         k: usize,
     ) -> Result<Vec<u32>, ClientError> {
+        self.predict_within(indices, values, k, 0)
+    }
+
+    /// [`NetClient::predict`] with a deadline budget: `deadline_us` is the
+    /// remaining time (µs) the caller will wait for an answer; `0` means no
+    /// deadline (and sends a v1 frame). Every hop downstream decrements the
+    /// budget and sheds the request with a typed `DeadlineExceeded` frame
+    /// once it runs out.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::DeadlineExceeded`] when a hop shed the request;
+    /// otherwise as [`NetClient::predict`].
+    pub fn predict_within(
+        &mut self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+        deadline_us: u64,
+    ) -> Result<Vec<u32>, ClientError> {
         let req_id = self.next_req_id;
         self.next_req_id += 1;
-        let reply = self.exchange(&Frame::Predict(PredictRequest {
-            req_id,
-            k: k as u32,
-            indices: indices.to_vec(),
-            values: values.to_vec(),
-        }))?;
-        match reply {
-            Frame::TopK { req_id: rid, ids } if rid == req_id => Ok(ids),
-            Frame::RetryLater {
-                req_id: rid,
-                queue_depth,
-            } if rid == req_id => Err(ClientError::RetryLater { queue_depth }),
-            Frame::Error {
-                req_id: rid,
-                code,
-                message,
-            } if rid == req_id || rid == 0 => Err(ClientError::Server { code, message }),
-            other => Err(ClientError::Protocol(format!(
-                "unexpected reply to predict #{req_id}: type {}",
-                other.type_byte()
-            ))),
+        write_frame(
+            &mut self.stream,
+            &Frame::Predict(PredictRequest {
+                req_id,
+                k: k as u32,
+                deadline_us,
+                indices: indices.to_vec(),
+                values: values.to_vec(),
+            }),
+        )?;
+        let started = Instant::now();
+        loop {
+            let remaining = self
+                .timeout
+                .checked_sub(started.elapsed())
+                .filter(|d| !d.is_zero())
+                .ok_or_else(|| {
+                    ClientError::Io(format!("TimedOut: no reply to predict #{req_id}"))
+                })?;
+            let reply = read_frame_timeout(&mut self.stream, self.max_payload, remaining)?;
+            // Replies to an *earlier* request on this connection (one the
+            // caller already gave up on) are stale: skip them and keep
+            // waiting for ours — the req-id is the dedup key.
+            let stale = match &reply {
+                Frame::TopK { req_id: rid, .. }
+                | Frame::RetryLater { req_id: rid, .. }
+                | Frame::DeadlineExceeded { req_id: rid }
+                | Frame::Error { req_id: rid, .. } => *rid != 0 && *rid < req_id,
+                _ => false,
+            };
+            if stale {
+                continue;
+            }
+            return match reply {
+                Frame::TopK { req_id: rid, ids } if rid == req_id => Ok(ids),
+                Frame::RetryLater {
+                    req_id: rid,
+                    queue_depth,
+                } if rid == req_id => Err(ClientError::RetryLater { queue_depth }),
+                Frame::DeadlineExceeded { req_id: rid } if rid == req_id => {
+                    Err(ClientError::DeadlineExceeded)
+                }
+                Frame::Error {
+                    req_id: rid,
+                    code,
+                    message,
+                } if rid == req_id || rid == 0 => Err(ClientError::Server { code, message }),
+                other => Err(ClientError::Protocol(format!(
+                    "unexpected reply to predict #{req_id}: type {}",
+                    other.type_byte()
+                ))),
+            };
         }
     }
 

@@ -21,8 +21,12 @@
 //!   [`Frame::RetryLater`] shedding, per-client stats, graceful drain.
 //! * [`client`] — [`NetClient`], a blocking request/response client.
 //! * [`router`] — [`Router`], a fleet proxy: consistent-hash or
-//!   least-load replica selection, periodic health pings with ejection
-//!   and readmission, one-retry failover on replica faults.
+//!   least-load replica selection, per-replica three-state circuit
+//!   breakers (exponential backoff + jittered half-open probes), hedged
+//!   requests, deadline-aware shedding, and failover on replica faults.
+//! * [`fault`] — [`FaultProxy`], a deterministic frame-granular fault
+//!   injector (delay/drop/corrupt/stall/close under a seeded
+//!   [`FaultPlan`]) for the chaos suites and `net_bench`'s fault phase.
 //! * [`loadgen`] — open-loop (coordinated-omission-free) load generation
 //!   shared by `net_bench` and the chaos tests.
 //! * [`model`] — [`FleetSpec`], deterministic train+freeze fixtures so
@@ -30,9 +34,11 @@
 //!
 //! Two binaries ship with the crate: `slide_netd` (one replica daemon) and
 //! `slide_router` (the fleet front door). See DESIGN.md §9 for the frame
-//! layout and the drain/failover state machines.
+//! layout and the drain/failover state machines, and §11 for deadline
+//! budget arithmetic, the breaker state machine, and the hedging policy.
 
 pub mod client;
+pub mod fault;
 pub mod loadgen;
 pub mod model;
 pub mod router;
@@ -41,6 +47,7 @@ pub mod stream;
 pub mod wire;
 
 pub use client::{ClientError, NetClient};
+pub use fault::{Direction, FaultAction, FaultPlan, FaultProxy, FaultRule, FaultStats, Trigger};
 pub use loadgen::{query_battery, run_open_loop, LoadReport, LoadgenConfig, SubmitOutcome};
 pub use model::{FleetPrecision, FleetSpec};
 pub use router::{RoutePolicy, Router, RouterConfig};
@@ -48,5 +55,5 @@ pub use server::{ClientCounters, NetConfig, NetServer, NetStats};
 pub use stream::{read_frame, read_frame_timeout, write_frame, ReadOutcome};
 pub use wire::{
     crc32, decode_frame, decode_payload, encode_frame, frame_bytes, ErrorCode, Frame, FrameHeader,
-    PongInfo, PredictRequest, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION,
+    PongInfo, PredictRequest, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION, VERSION2,
 };

@@ -26,6 +26,9 @@ pub enum SubmitOutcome {
     Ok(Vec<u32>),
     /// Shed by admission control (server or router backpressure).
     RetryLater,
+    /// Shed because the request's deadline budget ran out at some hop
+    /// (typed `DeadlineExceeded`, distinct from backpressure).
+    DeadlineExceeded,
     /// A hard failure: typed server error, transport fault, bad reply.
     HardError(String),
     /// The submitter lost its connection and rebuilt it; the request was
@@ -73,6 +76,8 @@ pub struct LoadReport {
     pub ok: u64,
     /// Shed with retry-later.
     pub retry_later: u64,
+    /// Shed with a typed deadline-exceeded.
+    pub deadline_exceeded: u64,
     /// Hard failures (typed errors, transport faults, bad replies).
     pub hard_errors: u64,
     /// Connection rebuilds observed by submitters.
@@ -102,12 +107,13 @@ impl LoadReport {
     pub fn to_json(&self, mode: &str) -> String {
         format!(
             "{{\"mode\":\"{mode}\",\"sent\":{},\"ok\":{},\"retry_later\":{},\
-             \"hard_errors\":{},\"reconnects\":{},\"shed_rate\":{:.4},\
+             \"deadline_exceeded\":{},\"hard_errors\":{},\"reconnects\":{},\"shed_rate\":{:.4},\
              \"offered_qps\":{:.1},\"achieved_qps\":{:.1},\"elapsed_ms\":{},\
              \"latency_us\":{{\"p50\":{},\"p99\":{},\"mean\":{:.1},\"max\":{},\"samples\":{}}}}}",
             self.sent,
             self.ok,
             self.retry_later,
+            self.deadline_exceeded,
             self.hard_errors,
             self.reconnects,
             self.shed_rate(),
@@ -127,6 +133,7 @@ struct ClientTally {
     sent: u64,
     ok: u64,
     retry_later: u64,
+    deadline_exceeded: u64,
     hard_errors: u64,
     reconnects: u64,
     latencies_us: Vec<u64>,
@@ -168,6 +175,7 @@ where
                         sent: 0,
                         ok: 0,
                         retry_later: 0,
+                        deadline_exceeded: 0,
                         hard_errors: 0,
                         reconnects: 0,
                         latencies_us: Vec::new(),
@@ -194,6 +202,7 @@ where
                                 tally.latencies_us.push(t0.elapsed().as_micros() as u64);
                             }
                             SubmitOutcome::RetryLater => tally.retry_later += 1,
+                            SubmitOutcome::DeadlineExceeded => tally.deadline_exceeded += 1,
                             SubmitOutcome::HardError(_) => tally.hard_errors += 1,
                             SubmitOutcome::Reconnected => tally.reconnects += 1,
                         }
@@ -213,6 +222,7 @@ where
         sent: 0,
         ok: 0,
         retry_later: 0,
+        deadline_exceeded: 0,
         hard_errors: 0,
         reconnects: 0,
         latency: LatencySummary::from_unsorted(Vec::new()),
@@ -224,6 +234,7 @@ where
         report.sent += t.sent;
         report.ok += t.ok;
         report.retry_later += t.retry_later;
+        report.deadline_exceeded += t.deadline_exceeded;
         report.hard_errors += t.hard_errors;
         report.reconnects += t.reconnects;
         latencies.append(&mut t.latencies_us);

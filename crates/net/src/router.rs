@@ -1,34 +1,52 @@
 //! `slide_router`: a wire-protocol proxy that spreads predict traffic
-//! across N replica daemons with health checks, ejection, and
-//! one-retry failover.
+//! across N replica daemons with circuit breakers, hedged failover, and
+//! end-to-end deadline propagation.
 //!
 //! The router speaks the same frame protocol on both sides: clients connect
 //! to it exactly as they would to a single `slide_netd`, and it forwards
 //! each predict to a replica over a per-connection cached [`NetClient`].
 //! Because the serving salt is content-derived (`slide_serve::query_salt`),
 //! any replica of the same snapshot returns a bit-identical answer — which
-//! is what makes transparent failover sound.
+//! is what makes transparent failover *and hedging* sound: whichever
+//! attempt answers first, the bytes are the same.
 //!
-//! **Health:** a background thread pings every replica each
-//! `health_interval`. `eject_after` consecutive failures mark a replica
-//! unhealthy (ejected from routing); a single successful ping readmits it.
-//! Request-path replica faults also count toward ejection.
+//! **Circuit breakers:** each replica has a three-state breaker.
+//! *Closed* routes traffic; `eject_after` consecutive failures (pings or
+//! forwards) trip it *Open*, which suppresses both traffic and pings for
+//! an exponentially growing, jittered backoff (`breaker_backoff` doubling
+//! per consecutive open, capped at `breaker_max_backoff`); when the
+//! backoff elapses the breaker goes *HalfOpen* and the next health ping is
+//! the probe — success closes the breaker, failure reopens it with a
+//! longer backoff. The backoff keeps a dead replica from eating a
+//! connect-timeout per health cycle; the jitter keeps many routers from
+//! probing in lockstep.
 //!
-//! **Failover:** a replica fault on the request path (socket death, wire
-//! garbage, `Unavailable`) triggers exactly one retry on a *different*
-//! healthy replica. `RetryLater` and `Invalid` pass through untouched —
-//! they are verdicts about load and about the request, not about the
-//! replica. No healthy replica ⇒ the client gets `RetryLater`.
+//! **Hedging:** once a forward has been in flight for a fraction of its
+//! remaining deadline budget (`hedge_fraction`, or a fixed `hedge_delay`
+//! for deadline-free requests), the router issues the same request to a
+//! second closed-breaker replica and takes whichever answer lands first,
+//! deduplicating by req-id. Tail latency becomes the *minimum* of two
+//! samples instead of one. Replica faults still trigger immediate
+//! failover; `RetryLater` and request errors pass through untouched —
+//! they are verdicts about load and about the request, not the replica.
+//!
+//! **Deadlines:** a v2 predict carries `deadline_us`, the remaining budget
+//! granted by the client. The router anchors it to its own receive clock,
+//! sheds already-expired requests with a typed `DeadlineExceeded` frame
+//! before touching any replica, forwards the *decremented* budget on each
+//! attempt, and abandons all in-flight attempts the moment the budget runs
+//! out — the forwarded budgets make the replicas shed the stragglers
+//! themselves, so a hedged pair dies as a pair.
 
 use crate::client::{ClientError, NetClient};
 use crate::server::NetConfig;
 use crate::stream::{read_frame, write_frame, ReadOutcome};
-use crate::wire::{ErrorCode, Frame, PongInfo, WireError};
+use crate::wire::{ErrorCode, Frame, PongInfo, PredictRequest, WireError};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// How the router picks a replica for a predict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,12 +68,24 @@ pub struct RouterConfig {
     pub policy: RoutePolicy,
     /// Health-ping period.
     pub health_interval: Duration,
-    /// Per-forward request timeout (each of the two attempts gets one).
+    /// Per-attempt request timeout.
     pub request_timeout: Duration,
     /// TCP connect timeout toward replicas.
     pub connect_timeout: Duration,
-    /// Consecutive failures (pings or forwards) before ejection.
+    /// Consecutive failures (pings or forwards) before the breaker opens.
     pub eject_after: u32,
+    /// Whether to hedge slow forwards onto a second replica.
+    pub hedge: bool,
+    /// With a deadline: hedge once this fraction of the remaining budget
+    /// has elapsed without an answer.
+    pub hedge_fraction: f64,
+    /// Without a deadline: hedge after this fixed delay.
+    pub hedge_delay: Duration,
+    /// Base backoff for a freshly opened breaker (doubles per consecutive
+    /// open).
+    pub breaker_backoff: Duration,
+    /// Ceiling on the exponential breaker backoff.
+    pub breaker_max_backoff: Duration,
     /// Listener-side socket knobs.
     pub net: NetConfig,
 }
@@ -68,38 +98,147 @@ impl Default for RouterConfig {
             request_timeout: Duration::from_secs(2),
             connect_timeout: Duration::from_millis(500),
             eject_after: 2,
+            hedge: true,
+            hedge_fraction: 0.5,
+            hedge_delay: Duration::from_millis(50),
+            breaker_backoff: Duration::from_millis(200),
+            breaker_max_backoff: Duration::from_secs(5),
             net: NetConfig::default(),
         }
     }
 }
 
+/// Most attempts one predict may fan out to: primary + hedge + one
+/// failover.
+const MAX_ATTEMPTS: usize = 3;
+
+/// The three-state circuit breaker guarding one replica.
+#[derive(Debug, Clone, Copy)]
+enum Breaker {
+    /// Routing traffic; `fails` consecutive failures so far.
+    Closed { fails: u32 },
+    /// Ejected: no traffic, no pings until `until`.
+    Open { until: Instant, streak: u32 },
+    /// Backoff elapsed: the next ping is the probe.
+    HalfOpen { streak: u32 },
+}
+
+/// Exponential backoff for the `streak`-th consecutive open, with a
+/// deterministic ±25% jitter keyed on (replica, streak) so probes
+/// desynchronize without an RNG.
+fn breaker_backoff(cfg: &RouterConfig, idx: usize, streak: u32) -> Duration {
+    let exp = streak.saturating_sub(1).min(16);
+    let base = cfg
+        .breaker_backoff
+        .saturating_mul(1u32 << exp)
+        .min(cfg.breaker_max_backoff);
+    let h = splitmix64(((idx as u64) << 32) ^ u64::from(streak));
+    let frac = 0.75 + ((h >> 11) as f64 / (1u64 << 53) as f64) * 0.5;
+    base.mul_f64(frac)
+}
+
 /// One replica's live state, shared between the health thread and every
 /// connection thread.
 struct ReplicaState {
+    idx: usize,
     addr: SocketAddr,
-    healthy: AtomicBool,
-    consecutive_failures: AtomicU32,
+    breaker: Mutex<Breaker>,
     inflight: AtomicUsize,
     forwarded: AtomicU64,
     failed: AtomicU64,
-    ejections: AtomicU64,
-    readmissions: AtomicU64,
+    /// Closed/HalfOpen → Open transitions (the "ejections" of the
+    /// pre-breaker router).
+    opens: AtomicU64,
+    /// Open → HalfOpen probe admissions.
+    half_opens: AtomicU64,
+    /// → Closed recoveries (the "readmissions" of the pre-breaker router).
+    closes: AtomicU64,
 }
 
 impl ReplicaState {
-    fn mark_failure(&self, eject_after: u32) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
-        let fails = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
-        if fails >= eject_after && self.healthy.swap(false, Ordering::AcqRel) {
-            self.ejections.fetch_add(1, Ordering::Relaxed);
+    /// Closed-breaker replicas are the only ones that receive traffic.
+    fn available(&self) -> bool {
+        matches!(*self.breaker.lock(), Breaker::Closed { .. })
+    }
+
+    fn breaker_view(&self) -> (&'static str, bool) {
+        match *self.breaker.lock() {
+            Breaker::Closed { .. } => ("closed", true),
+            Breaker::Open { .. } => ("open", false),
+            Breaker::HalfOpen { .. } => ("half_open", false),
         }
     }
 
-    fn mark_ping_success(&self) {
-        self.consecutive_failures.store(0, Ordering::Release);
-        if !self.healthy.swap(true, Ordering::AcqRel) {
-            self.readmissions.fetch_add(1, Ordering::Relaxed);
+    /// Any successful exchange closes the breaker and clears the failure
+    /// run (a half-open probe succeeding is the canonical path).
+    fn record_success(&self) {
+        let mut b = self.breaker.lock();
+        if !matches!(*b, Breaker::Closed { .. }) {
+            self.closes.fetch_add(1, Ordering::Relaxed);
         }
+        *b = Breaker::Closed { fails: 0 };
+    }
+
+    fn record_failure(&self, cfg: &RouterConfig) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        let mut b = self.breaker.lock();
+        *b = match *b {
+            Breaker::Closed { fails } => {
+                let fails = fails + 1;
+                if fails >= cfg.eject_after {
+                    self.opens.fetch_add(1, Ordering::Relaxed);
+                    Breaker::Open {
+                        until: Instant::now() + breaker_backoff(cfg, self.idx, 1),
+                        streak: 1,
+                    }
+                } else {
+                    Breaker::Closed { fails }
+                }
+            }
+            // A failed probe reopens with a longer backoff.
+            Breaker::HalfOpen { streak } => {
+                let streak = streak.saturating_add(1);
+                self.opens.fetch_add(1, Ordering::Relaxed);
+                Breaker::Open {
+                    until: Instant::now() + breaker_backoff(cfg, self.idx, streak),
+                    streak,
+                }
+            }
+            // A straggling in-flight failure while already open changes
+            // nothing.
+            open @ Breaker::Open { .. } => open,
+        };
+    }
+
+    /// Whether the health loop should ping this replica now. An open
+    /// breaker suppresses pings until its backoff elapses; the first
+    /// ping after the transition to half-open *is* the probe.
+    fn probe_due(&self, now: Instant) -> bool {
+        let mut b = self.breaker.lock();
+        match *b {
+            Breaker::Closed { .. } | Breaker::HalfOpen { .. } => true,
+            Breaker::Open { until, streak } => {
+                if now >= until {
+                    self.half_opens.fetch_add(1, Ordering::Relaxed);
+                    *b = Breaker::HalfOpen { streak };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Open the breaker directly (startup probe failure).
+    fn force_open(&self, cfg: &RouterConfig) {
+        let mut b = self.breaker.lock();
+        if !matches!(*b, Breaker::Open { .. }) {
+            self.opens.fetch_add(1, Ordering::Relaxed);
+        }
+        *b = Breaker::Open {
+            until: Instant::now() + breaker_backoff(cfg, self.idx, 1),
+            streak: 1,
+        };
     }
 }
 
@@ -110,6 +249,14 @@ struct RouterShared {
     local_addr: SocketAddr,
     draining: AtomicBool,
     conn_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Hedged (backup) attempts launched.
+    hedges: AtomicU64,
+    /// Hedged attempts that produced the winning answer.
+    hedge_wins: AtomicU64,
+    /// Failover attempts launched after a replica fault.
+    failovers: AtomicU64,
+    /// Requests shed at the router with a typed `DeadlineExceeded`.
+    deadline_exceeded: AtomicU64,
 }
 
 const VNODES_PER_REPLICA: u64 = 64;
@@ -169,7 +316,10 @@ pub struct Router {
 }
 
 impl Router {
-    /// Bind `addr` and start routing to `replicas`.
+    /// Bind `addr`, probe every replica once (synchronously, bounded by
+    /// the connect timeout — a dead replica must not receive the first
+    /// wave of traffic on an optimistic default), and start routing to
+    /// `replicas`.
     ///
     /// # Errors
     ///
@@ -185,16 +335,17 @@ impl Router {
         let shared = Arc::new(RouterShared {
             replicas: replicas
                 .iter()
-                .map(|&addr| ReplicaState {
+                .enumerate()
+                .map(|(idx, &addr)| ReplicaState {
+                    idx,
                     addr,
-                    // Optimistic start: the first health cycle corrects it.
-                    healthy: AtomicBool::new(true),
-                    consecutive_failures: AtomicU32::new(0),
+                    breaker: Mutex::new(Breaker::Closed { fails: 0 }),
                     inflight: AtomicUsize::new(0),
                     forwarded: AtomicU64::new(0),
                     failed: AtomicU64::new(0),
-                    ejections: AtomicU64::new(0),
-                    readmissions: AtomicU64::new(0),
+                    opens: AtomicU64::new(0),
+                    half_opens: AtomicU64::new(0),
+                    closes: AtomicU64::new(0),
                 })
                 .collect(),
             ring: build_ring(replicas.len()),
@@ -202,6 +353,30 @@ impl Router {
             local_addr,
             draining: AtomicBool::new(false),
             conn_handles: Mutex::new(Vec::new()),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+        });
+        // Startup probes run concurrently so the slowest dead replica
+        // costs one connect timeout total, not one per replica.
+        std::thread::scope(|scope| {
+            for rep in &shared.replicas {
+                scope.spawn(|| {
+                    let ok = NetClient::connect(rep.addr, shared.cfg.connect_timeout)
+                        .and_then(|mut c| {
+                            c.set_timeout(shared.cfg.request_timeout);
+                            c.ping(u64::from(rep.idx as u32) + 1)
+                        })
+                        .map(|info| !info.draining)
+                        .unwrap_or(false);
+                    if ok {
+                        rep.record_success();
+                    } else {
+                        rep.force_open(&shared.cfg);
+                    }
+                });
+            }
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -233,12 +408,12 @@ impl Router {
         self.shared.draining.load(Ordering::Acquire)
     }
 
-    /// How many replicas currently pass health checks.
+    /// How many replicas currently have a closed breaker.
     pub fn healthy_replicas(&self) -> usize {
         self.shared
             .replicas
             .iter()
-            .filter(|r| r.healthy.load(Ordering::Acquire))
+            .filter(|r| r.available())
             .count()
     }
 
@@ -280,26 +455,27 @@ fn router_stats_json(shared: &RouterShared) -> String {
         .replicas
         .iter()
         .map(|r| {
+            let (breaker, healthy) = r.breaker_view();
             format!(
-                "{{\"addr\":\"{}\",\"healthy\":{},\"inflight\":{},\"forwarded\":{},\
-                 \"failed\":{},\"ejections\":{},\"readmissions\":{}}}",
+                "{{\"addr\":\"{}\",\"healthy\":{},\"breaker\":\"{}\",\"inflight\":{},\
+                 \"forwarded\":{},\"failed\":{},\"ejections\":{},\"half_opens\":{},\
+                 \"readmissions\":{}}}",
                 r.addr,
-                r.healthy.load(Ordering::Acquire),
+                healthy,
+                breaker,
                 r.inflight.load(Ordering::Relaxed),
                 r.forwarded.load(Ordering::Relaxed),
                 r.failed.load(Ordering::Relaxed),
-                r.ejections.load(Ordering::Relaxed),
-                r.readmissions.load(Ordering::Relaxed),
+                r.opens.load(Ordering::Relaxed),
+                r.half_opens.load(Ordering::Relaxed),
+                r.closes.load(Ordering::Relaxed),
             )
         })
         .collect();
-    let healthy = shared
-        .replicas
-        .iter()
-        .filter(|r| r.healthy.load(Ordering::Acquire))
-        .count();
+    let healthy = shared.replicas.iter().filter(|r| r.available()).count();
     format!(
         "{{\"role\":\"router\",\"policy\":\"{}\",\"replicas\":{},\"healthy\":{},\
+         \"hedges\":{},\"hedge_wins\":{},\"failovers\":{},\"deadline_exceeded\":{},\
          \"replica_stats\":[{}]}}",
         match shared.cfg.policy {
             RoutePolicy::LeastLoad => "least_load",
@@ -307,6 +483,10 @@ fn router_stats_json(shared: &RouterShared) -> String {
         },
         shared.replicas.len(),
         healthy,
+        shared.hedges.load(Ordering::Relaxed),
+        shared.hedge_wins.load(Ordering::Relaxed),
+        shared.failovers.load(Ordering::Relaxed),
+        shared.deadline_exceeded.load(Ordering::Relaxed),
         reps.join(",")
     )
 }
@@ -317,13 +497,16 @@ fn health_loop(shared: &Arc<RouterShared>) {
     let mut conns: Vec<Option<NetClient>> = shared.replicas.iter().map(|_| None).collect();
     while !shared.draining.load(Ordering::Acquire) {
         for (i, rep) in shared.replicas.iter().enumerate() {
+            if !rep.probe_due(Instant::now()) {
+                continue;
+            }
             nonce += 1;
             let ok = ping_replica(&mut conns[i], rep.addr, nonce, &shared.cfg);
             if ok {
-                rep.mark_ping_success();
+                rep.record_success();
             } else {
                 conns[i] = None;
-                rep.mark_failure(shared.cfg.eject_after);
+                rep.record_failure(&shared.cfg);
             }
         }
         std::thread::sleep(shared.cfg.health_interval);
@@ -378,7 +561,7 @@ fn router_accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
     }
 }
 
-fn router_connection_loop(mut stream: TcpStream, shared: &RouterShared) {
+fn router_connection_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
     let cfg = &shared.cfg;
     if stream
         .set_read_timeout(Some(cfg.net.poll_interval))
@@ -391,8 +574,10 @@ fn router_connection_loop(mut stream: TcpStream, shared: &RouterShared) {
         return;
     }
     // Replica connections are cached per client connection so a steady
-    // client reuses warm sockets end to end.
-    let mut replica_conns: Vec<Option<NetClient>> = shared.replicas.iter().map(|_| None).collect();
+    // client reuses warm sockets end to end. The pool is shared with this
+    // connection's attempt threads (hedges run concurrently).
+    let replica_conns: Arc<Mutex<Vec<Option<NetClient>>>> =
+        Arc::new(Mutex::new(shared.replicas.iter().map(|_| None).collect()));
     loop {
         if shared.draining.load(Ordering::Acquire) {
             let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -419,7 +604,7 @@ fn router_connection_loop(mut stream: TcpStream, shared: &RouterShared) {
         };
         let keep_going = match frame {
             Frame::Predict(req) => {
-                let reply = forward_predict(shared, &mut replica_conns, &req);
+                let reply = forward_predict(shared, &replica_conns, &req);
                 write_frame(&mut stream, &reply).is_ok()
             }
             Frame::Ping { nonce } => write_frame(
@@ -466,9 +651,10 @@ fn router_connection_loop(mut stream: TcpStream, shared: &RouterShared) {
     }
 }
 
-/// Pick a replica for `req`, excluding `avoid` (the failed first attempt).
-fn pick_replica(shared: &RouterShared, indices: &[u32], avoid: Option<usize>) -> Option<usize> {
-    let ok = |i: usize| Some(i) != avoid && shared.replicas[i].healthy.load(Ordering::Acquire);
+/// Pick a closed-breaker replica for `req`, excluding already-`attempted`
+/// replicas (failed, or still in flight from a hedge).
+fn pick_replica(shared: &RouterShared, indices: &[u32], attempted: &[usize]) -> Option<usize> {
+    let ok = |i: usize| !attempted.contains(&i) && shared.replicas[i].available();
     match shared.cfg.policy {
         RoutePolicy::LeastLoad => (0..shared.replicas.len())
             .filter(|&i| ok(i))
@@ -477,102 +663,241 @@ fn pick_replica(shared: &RouterShared, indices: &[u32], avoid: Option<usize>) ->
     }
 }
 
-/// Forward one predict with the failover policy: one retry on a different
-/// healthy replica for replica faults; soft verdicts pass through.
-fn forward_predict(
-    shared: &RouterShared,
-    conns: &mut [Option<NetClient>],
-    req: &crate::wire::PredictRequest,
-) -> Frame {
-    let mut avoid: Option<usize> = None;
-    for _attempt in 0..2 {
-        let Some(i) = pick_replica(shared, &req.indices, avoid) else {
-            break;
-        };
-        let rep = &shared.replicas[i];
-        rep.inflight.fetch_add(1, Ordering::Relaxed);
-        let result = forward_once(conns, i, rep.addr, &shared.cfg, req);
-        rep.inflight.fetch_sub(1, Ordering::Relaxed);
-        match result {
-            Ok(ids) => {
-                rep.forwarded.fetch_add(1, Ordering::Relaxed);
-                rep.consecutive_failures.store(0, Ordering::Release);
-                return Frame::TopK {
-                    req_id: req.req_id,
-                    ids,
-                };
+/// One resolved attempt, reported back to the forwarding loop.
+struct AttemptReport {
+    hedge: bool,
+    result: Result<Vec<u32>, ClientError>,
+}
+
+/// Launch one attempt on replica `i` in its own thread. Breaker and
+/// per-replica counters are recorded *in the thread* so attempts the
+/// forwarding loop abandoned (deadline ran out first) still count.
+fn spawn_attempt(
+    shared: &Arc<RouterShared>,
+    conns: &Arc<Mutex<Vec<Option<NetClient>>>>,
+    req: &Arc<PredictRequest>,
+    i: usize,
+    deadline: Option<Instant>,
+    hedge: bool,
+    tx: &mpsc::Sender<AttemptReport>,
+) {
+    let shared2 = Arc::clone(shared);
+    let conns = Arc::clone(conns);
+    let req = Arc::clone(req);
+    let tx2 = tx.clone();
+    shared.replicas[i].inflight.fetch_add(1, Ordering::Relaxed);
+    let spawned = std::thread::Builder::new()
+        .name("slide-router-attempt".into())
+        .spawn(move || {
+            let shared = shared2;
+            let tx = tx2;
+            let result = attempt_once(&shared, &conns, &req, i, deadline);
+            let rep = &shared.replicas[i];
+            rep.inflight.fetch_sub(1, Ordering::Relaxed);
+            match &result {
+                Ok(_)
+                | Err(ClientError::RetryLater { .. })
+                | Err(ClientError::DeadlineExceeded) => {
+                    // The replica answered promptly and honestly.
+                    rep.forwarded.fetch_add(1, Ordering::Relaxed);
+                    rep.record_success();
+                }
+                Err(e) if e.is_replica_fault() => rep.record_failure(&shared.cfg),
+                // A typed verdict about the request itself.
+                Err(_) => {
+                    rep.forwarded.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            Err(ClientError::RetryLater { queue_depth }) => {
-                // The replica is healthy but saturated — surface the
-                // backpressure to the client untouched.
-                rep.forwarded.fetch_add(1, Ordering::Relaxed);
-                return Frame::RetryLater {
-                    req_id: req.req_id,
-                    queue_depth,
-                };
-            }
-            Err(ClientError::Server { code, message })
-                if !matches!(code, ErrorCode::Unavailable | ErrorCode::Internal) =>
-            {
-                // The request itself is bad; no other replica would
-                // disagree.
-                rep.forwarded.fetch_add(1, Ordering::Relaxed);
-                return Frame::Error {
-                    req_id: req.req_id,
-                    code,
-                    message,
-                };
-            }
-            Err(_) => {
-                // Replica fault: penalize, drop the dead socket, retry
-                // once elsewhere.
-                conns[i] = None;
-                rep.mark_failure(shared.cfg.eject_after);
-                avoid = Some(i);
-            }
-        }
-    }
-    if avoid.is_some() && pick_replica(shared, &req.indices, avoid).is_none() {
-        // Both attempts failed and there is nowhere else to go.
-        return Frame::Error {
-            req_id: req.req_id,
-            code: ErrorCode::Unavailable,
-            message: "all healthy replicas failed".into(),
-        };
-    }
-    match avoid {
-        // Second pick failed too (or second attempt errored with peers
-        // remaining) — tell the client the fleet is unavailable for now.
-        Some(_) => Frame::Error {
-            req_id: req.req_id,
-            code: ErrorCode::Unavailable,
-            message: "failover exhausted".into(),
-        },
-        // No healthy replica at all: soft-shed so clients back off and
-        // retry once health returns.
-        None => Frame::RetryLater {
-            req_id: req.req_id,
-            queue_depth: 0,
-        },
+            let _ = tx.send(AttemptReport { hedge, result });
+        });
+    if spawned.is_err() {
+        shared.replicas[i].inflight.fetch_sub(1, Ordering::Relaxed);
+        let _ = tx.send(AttemptReport {
+            hedge,
+            result: Err(ClientError::Io("attempt thread spawn failed".into())),
+        });
     }
 }
 
-fn forward_once(
-    conns: &mut [Option<NetClient>],
+fn attempt_once(
+    shared: &Arc<RouterShared>,
+    conns: &Arc<Mutex<Vec<Option<NetClient>>>>,
+    req: &Arc<PredictRequest>,
     i: usize,
-    addr: SocketAddr,
-    cfg: &RouterConfig,
-    req: &crate::wire::PredictRequest,
+    deadline: Option<Instant>,
 ) -> Result<Vec<u32>, ClientError> {
-    if conns[i].is_none() {
-        let mut c = NetClient::connect(addr, cfg.connect_timeout)?;
+    let cfg = &shared.cfg;
+    // Decrement the budget at send time. A nonzero remaining budget must
+    // stay nonzero on the wire — 0 means "no deadline".
+    let budget_us = match deadline {
+        None => 0,
+        Some(d) => {
+            let rem = d.saturating_duration_since(Instant::now());
+            if rem.is_zero() {
+                return Err(ClientError::DeadlineExceeded);
+            }
+            (rem.as_micros() as u64).max(1)
+        }
+    };
+    let mut conn = conns.lock()[i].take();
+    if conn.is_none() {
+        let mut c = NetClient::connect(shared.replicas[i].addr, cfg.connect_timeout)?;
         c.set_timeout(cfg.request_timeout);
-        conns[i] = Some(c);
+        conn = Some(c);
     }
-    conns[i]
-        .as_mut()
-        .expect("just connected")
-        .predict(&req.indices, &req.values, req.k as usize)
+    let mut c = conn.expect("just connected");
+    let result = c.predict_within(&req.indices, &req.values, req.k as usize, budget_us);
+    // Return the socket to the pool unless it faulted (or a concurrent
+    // attempt already repopulated the slot).
+    if !matches!(&result, Err(e) if e.is_replica_fault()) {
+        let mut pool = conns.lock();
+        if pool[i].is_none() {
+            pool[i] = Some(c);
+        }
+    }
+    result
+}
+
+/// Forward one predict: deadline check, primary attempt, hedge after the
+/// hedge delay, failover on replica faults — first answer wins, dedup by
+/// req-id. Soft verdicts (`RetryLater`, `DeadlineExceeded` from a
+/// replica) are deferred while another attempt is still in flight and
+/// surfaced only if nothing wins.
+fn forward_predict(
+    shared: &Arc<RouterShared>,
+    conns: &Arc<Mutex<Vec<Option<NetClient>>>>,
+    req: &PredictRequest,
+) -> Frame {
+    let cfg = &shared.cfg;
+    let t_rx = Instant::now();
+    let req_id = req.req_id;
+    let deadline = (req.deadline_us > 0).then(|| t_rx + Duration::from_micros(req.deadline_us));
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        // Expired on arrival: shed before touching any replica.
+        shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        return Frame::DeadlineExceeded { req_id };
+    }
+    let req = Arc::new(req.clone());
+    let (tx, rx) = mpsc::channel();
+    let mut attempted: Vec<usize> = Vec::new();
+    let Some(first) = pick_replica(shared, &req.indices, &attempted) else {
+        // No closed breaker anywhere: soft-shed so clients back off and
+        // retry once health returns.
+        return Frame::RetryLater {
+            req_id,
+            queue_depth: 0,
+        };
+    };
+    spawn_attempt(shared, conns, &req, first, deadline, false, &tx);
+    attempted.push(first);
+    let mut in_flight = 1usize;
+    let mut hedge_at = (cfg.hedge && shared.replicas.len() > 1).then(|| match deadline {
+        Some(d) => {
+            t_rx + d
+                .saturating_duration_since(t_rx)
+                .mul_f64(cfg.hedge_fraction.clamp(0.0, 1.0))
+        }
+        None => t_rx + cfg.hedge_delay,
+    });
+    let mut soft: Option<Frame> = None;
+    loop {
+        if in_flight == 0 {
+            // Every attempt resolved without a winner.
+            return soft.unwrap_or(Frame::RetryLater {
+                req_id,
+                queue_depth: 0,
+            });
+        }
+        let now = Instant::now();
+        if deadline.is_some_and(|d| now >= d) {
+            // Budget gone: answer the client now and abandon the in-flight
+            // attempts — they carry decremented budgets, so the replicas
+            // shed the stragglers themselves (a hedged pair dies as a
+            // pair). Late replies land on pooled sockets and are skipped
+            // by req-id as stale.
+            shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            return Frame::DeadlineExceeded { req_id };
+        }
+        let mut wake = now + Duration::from_millis(20);
+        if let Some(d) = deadline {
+            wake = wake.min(d);
+        }
+        if let Some(h) = hedge_at {
+            wake = wake.min(h);
+        }
+        let wait = wake
+            .saturating_duration_since(now)
+            .max(Duration::from_millis(1));
+        match rx.recv_timeout(wait) {
+            Ok(report) => {
+                in_flight -= 1;
+                match report.result {
+                    Ok(ids) => {
+                        if report.hedge {
+                            shared.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Frame::TopK { req_id, ids };
+                    }
+                    Err(ClientError::RetryLater { queue_depth }) => {
+                        // Backpressure verdict: keep it, but give any
+                        // other attempt the chance to win outright.
+                        soft.get_or_insert(Frame::RetryLater {
+                            req_id,
+                            queue_depth,
+                        });
+                    }
+                    Err(ClientError::DeadlineExceeded) => {
+                        // A downstream hop already shed it; the budget
+                        // verdict beats a backpressure verdict.
+                        soft = Some(Frame::DeadlineExceeded { req_id });
+                    }
+                    Err(ClientError::Server { code, message })
+                        if !matches!(code, ErrorCode::Unavailable | ErrorCode::Internal) =>
+                    {
+                        // The request itself is bad; no other replica
+                        // would disagree.
+                        return Frame::Error {
+                            req_id,
+                            code,
+                            message,
+                        };
+                    }
+                    Err(_) => {
+                        // Replica fault (already penalized in the attempt
+                        // thread): fail over immediately if this was the
+                        // last attempt standing.
+                        if in_flight == 0 && attempted.len() < MAX_ATTEMPTS {
+                            if let Some(j) = pick_replica(shared, &req.indices, &attempted) {
+                                shared.failovers.fetch_add(1, Ordering::Relaxed);
+                                spawn_attempt(shared, conns, &req, j, deadline, false, &tx);
+                                attempted.push(j);
+                                in_flight += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            // Unreachable while we hold `tx`, but never hang on it.
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return soft.unwrap_or(Frame::RetryLater {
+                    req_id,
+                    queue_depth: 0,
+                });
+            }
+        }
+        if let Some(h) = hedge_at {
+            if Instant::now() >= h && in_flight >= 1 && attempted.len() < MAX_ATTEMPTS {
+                hedge_at = None;
+                if let Some(j) = pick_replica(shared, &req.indices, &attempted) {
+                    shared.hedges.fetch_add(1, Ordering::Relaxed);
+                    spawn_attempt(shared, conns, &req, j, deadline, true, &tx);
+                    attempted.push(j);
+                    in_flight += 1;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -609,5 +934,94 @@ mod tests {
         assert_eq!(query_ring_key(&[5, 9]), query_ring_key(&[5, 9]));
         assert_ne!(query_ring_key(&[5, 9]), query_ring_key(&[9, 5]));
         assert_ne!(query_ring_key(&[]), query_ring_key(&[0]));
+    }
+
+    fn test_cfg() -> RouterConfig {
+        RouterConfig {
+            breaker_backoff: Duration::from_millis(100),
+            breaker_max_backoff: Duration::from_secs(2),
+            ..Default::default()
+        }
+    }
+
+    fn replica(idx: usize) -> ReplicaState {
+        ReplicaState {
+            idx,
+            addr: "127.0.0.1:1".parse().unwrap(),
+            breaker: Mutex::new(Breaker::Closed { fails: 0 }),
+            inflight: AtomicUsize::new(0),
+            forwarded: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            opens: AtomicU64::new(0),
+            half_opens: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let cfg = test_cfg();
+        let rep = replica(0);
+        assert!(rep.available());
+        // One failure below the threshold: still closed.
+        rep.record_failure(&cfg);
+        assert!(rep.available());
+        // Threshold reached: open, traffic and pings suppressed.
+        rep.record_failure(&cfg);
+        assert!(!rep.available());
+        assert_eq!(rep.opens.load(Ordering::Relaxed), 1);
+        assert!(!rep.probe_due(Instant::now()));
+        // Backoff elapsed: half-open, the probe is admitted.
+        assert!(rep.probe_due(Instant::now() + Duration::from_secs(3)));
+        assert_eq!(rep.half_opens.load(Ordering::Relaxed), 1);
+        assert!(!rep.available(), "half-open must not take traffic");
+        // Probe succeeds: closed again.
+        rep.record_success();
+        assert!(rep.available());
+        assert_eq!(rep.closes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_longer_backoff() {
+        let cfg = test_cfg();
+        let rep = replica(0);
+        rep.record_failure(&cfg);
+        rep.record_failure(&cfg);
+        let until1 = match *rep.breaker.lock() {
+            Breaker::Open { until, streak } => {
+                assert_eq!(streak, 1);
+                until
+            }
+            ref other => panic!("expected open, got {other:?}"),
+        };
+        assert!(rep.probe_due(Instant::now() + Duration::from_secs(3)));
+        // The probe fails: streak 2, and the new deadline is further out
+        // than streak 1's was (exponential growth dominates the ±25%
+        // jitter at these sizes).
+        rep.record_failure(&cfg);
+        match *rep.breaker.lock() {
+            Breaker::Open { until, streak } => {
+                assert_eq!(streak, 2);
+                assert!(until > until1);
+            }
+            ref other => panic!("expected reopened, got {other:?}"),
+        }
+        assert_eq!(rep.opens.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn breaker_backoff_grows_then_caps() {
+        let cfg = test_cfg();
+        let b1 = breaker_backoff(&cfg, 0, 1);
+        let b4 = breaker_backoff(&cfg, 0, 4);
+        let b20 = breaker_backoff(&cfg, 0, 20);
+        assert!(b4 > b1, "backoff must grow with the open streak");
+        // Streak 20 is far past the cap: within jitter of max_backoff.
+        assert!(b20 <= cfg.breaker_max_backoff.mul_f64(1.25));
+        assert!(b20 >= cfg.breaker_max_backoff.mul_f64(0.75));
+        // Jitter is deterministic per (replica, streak)...
+        assert_eq!(breaker_backoff(&cfg, 0, 1), b1);
+        // ...and desynchronizes distinct replicas.
+        assert_ne!(breaker_backoff(&cfg, 1, 1), b1);
     }
 }

@@ -73,6 +73,9 @@ pub struct ClientCounters {
     pub invalid: u64,
     /// Shed with `RetryLater`.
     pub retry_later: u64,
+    /// Shed with `DeadlineExceeded` (budget ran out at admission or in the
+    /// batch queue).
+    pub deadline_exceeded: u64,
     /// Wire-level faults attributed to this peer (bad frames, stalls).
     pub protocol_errors: u64,
 }
@@ -134,15 +137,20 @@ impl NetStats {
             .map(|(peer, c)| {
                 format!(
                     "{{\"peer\":\"{peer}\",\"requests\":{},\"ok\":{},\"invalid\":{},\
-                     \"retry_later\":{},\"protocol_errors\":{}}}",
-                    c.requests, c.ok, c.invalid, c.retry_later, c.protocol_errors
+                     \"retry_later\":{},\"deadline_exceeded\":{},\"protocol_errors\":{}}}",
+                    c.requests,
+                    c.ok,
+                    c.invalid,
+                    c.retry_later,
+                    c.deadline_exceeded,
+                    c.protocol_errors
                 )
             })
             .collect();
         format!(
             "{{\"draining\":{},\"connections_opened\":{},\"connections_active\":{},\
              \"refused\":{},\"inflight\":{},\"requests\":{},\"ok\":{},\"invalid\":{},\
-             \"retry_later\":{},\"protocol_errors\":{},\
+             \"retry_later\":{},\"deadline_exceeded\":{},\"protocol_errors\":{},\
              \"latency_us\":{{\"p50\":{},\"p99\":{},\"mean\":{:.1},\"max\":{},\"samples\":{}}},\
              \"clients\":[{}]}}",
             self.draining,
@@ -154,6 +162,7 @@ impl NetStats {
             self.total(|c| c.ok),
             self.total(|c| c.invalid),
             self.total(|c| c.retry_later),
+            self.total(|c| c.deadline_exceeded),
             self.total(|c| c.protocol_errors),
             self.latency.p50_us,
             self.latency.p99_us,
@@ -414,10 +423,17 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
                 return false;
             }
             let t0 = Instant::now();
+            // Anchor the relative budget to our receive time: the frame was
+            // fully read microseconds ago, so `t0` is the admission instant.
+            let deadline =
+                (req.deadline_us > 0).then(|| t0 + Duration::from_micros(req.deadline_us));
             shared.inflight.fetch_add(1, Ordering::Relaxed);
-            let result = shared
-                .batching
-                .try_predict(&req.indices, &req.values, req.k as usize);
+            let result = shared.batching.try_predict_within(
+                &req.indices,
+                &req.values,
+                req.k as usize,
+                deadline,
+            );
             shared.inflight.fetch_sub(1, Ordering::Relaxed);
             let reply = match result {
                 Ok(ids) => {
@@ -434,6 +450,10 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
                         req_id: req.req_id,
                         queue_depth: depth as u32,
                     }
+                }
+                Err(ServeError::DeadlineExceeded) => {
+                    bump(shared, peer, |c| c.deadline_exceeded += 1);
+                    Frame::DeadlineExceeded { req_id: req.req_id }
                 }
                 Err(ServeError::Invalid(msg)) => {
                     bump(shared, peer, |c| c.invalid += 1);
@@ -486,7 +506,8 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
         | Frame::Error { .. }
         | Frame::RetryLater { .. }
         | Frame::Pong(_)
-        | Frame::StatsJson(_)) => {
+        | Frame::StatsJson(_)
+        | Frame::DeadlineExceeded { .. }) => {
             bump(shared, peer, |c| c.protocol_errors += 1);
             let _ = write_frame(
                 stream,

@@ -116,6 +116,7 @@ pub fn read_frame<R: Read>(
         });
     }
     Ok(ReadOutcome::Frame(decode_payload(
+        header.version,
         header.frame_type,
         &payload,
     )?))

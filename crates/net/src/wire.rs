@@ -7,13 +7,24 @@
 //! ```text
 //! offset  size  field         value
 //! 0       4     magic         0x31574C53 ("SLW1", little-endian)
-//! 4       1     version       1
+//! 4       1     version       1 or 2 (see below)
 //! 5       1     frame type    see [`Frame`]
 //! 6       2     reserved      must be 0
 //! 8       4     payload_len   LE; must be <= the receiver's max_payload
 //! 12      4     payload_crc   CRC-32 (IEEE) of the payload bytes, LE
 //! 16      n     payload       frame-type-specific, all integers LE
 //! ```
+//!
+//! **Versioning** is per-frame, not per-connection. Version 1 is the
+//! baseline protocol. Version 2 adds a `deadline_us` budget field to
+//! `Predict` and the `DeadlineExceeded` reply (frame type 10). The encoder
+//! always emits the *lowest* version that can carry the frame — a `Predict`
+//! with no deadline is bit-identical to what a v1 client sends — and the
+//! decoder accepts both, reading a v1 `Predict` as "no deadline". Old
+//! clients therefore keep working against new servers (their requests *are*
+//! v1 frames, and every reply they can trigger encodes as v1), and the
+//! canonical-encoding property (decode → encode is bit-identical) holds
+//! across versions.
 //!
 //! The header is validated *before* any payload byte is read, so a bad
 //! magic, an unknown version, or an oversized length prefix is rejected
@@ -33,8 +44,13 @@ use bytes::{Buf, BufMut};
 /// Frame magic: `b"SLW1"` read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"SLW1");
 
-/// Current protocol version.
+/// Baseline protocol version (no deadline support).
 pub const VERSION: u8 = 1;
+
+/// Deadline-aware protocol version: `Predict` carries a `deadline_us`
+/// budget and servers may reply [`Frame::DeadlineExceeded`]. Frames that
+/// need no v2 feature still encode as [`VERSION`] (lowest-version rule).
+pub const VERSION2: u8 = 2;
 
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 16;
@@ -175,6 +191,14 @@ pub struct PredictRequest {
     pub req_id: u64,
     /// Number of labels requested.
     pub k: u32,
+    /// Remaining deadline budget in microseconds; `0` means "no deadline"
+    /// (and encodes as a v1 frame). A *relative* budget rather than an
+    /// absolute timestamp because the hops live in different processes with
+    /// unsynchronized clocks: each hop anchors the budget to its own receive
+    /// time and re-encodes the remainder when forwarding, so the budget
+    /// shrinks monotonically across hops (network transit is the only time
+    /// the budget fails to account for).
+    pub deadline_us: u64,
     /// Sparse feature indices (may be empty).
     pub indices: Vec<u32>,
     /// Matching feature values (same length as `indices`).
@@ -237,6 +261,15 @@ pub enum Frame {
     /// Ask the server to drain gracefully (stop accepting, flush
     /// in-flight, close). Acknowledged by echoing `Drain` back.
     Drain,
+    /// Server → client: the request's deadline budget ran out before an
+    /// answer was produced (shed pre-compute at admission or in the batch
+    /// queue, or the budget expired mid-forward at the router). Distinct
+    /// from [`Frame::RetryLater`]: the *budget* was exhausted, not the
+    /// queue — an immediate retry carries the same doom. v2-only.
+    DeadlineExceeded {
+        /// Correlation id from the request.
+        req_id: u64,
+    },
 }
 
 impl Frame {
@@ -252,6 +285,19 @@ impl Frame {
             Frame::GetStats => 7,
             Frame::StatsJson(_) => 8,
             Frame::Drain => 9,
+            Frame::DeadlineExceeded { .. } => 10,
+        }
+    }
+
+    /// The lowest protocol version that can carry this frame — what the
+    /// encoder stamps in the header. Only a deadline-bearing `Predict` and
+    /// `DeadlineExceeded` need v2; everything else stays v1, so a frame
+    /// with no v2 feature is bit-identical to its v1 encoding.
+    pub fn wire_version(&self) -> u8 {
+        match self {
+            Frame::Predict(req) if req.deadline_us > 0 => VERSION2,
+            Frame::DeadlineExceeded { .. } => VERSION2,
+            _ => VERSION,
         }
     }
 }
@@ -260,11 +306,14 @@ impl Frame {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
+fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
     match frame {
         Frame::Predict(req) => {
             out.put_u64_le(req.req_id);
             out.put_u32_le(req.k);
+            if version >= VERSION2 {
+                out.put_u64_le(req.deadline_us);
+            }
             out.put_u32_le(req.indices.len() as u32);
             for &i in &req.indices {
                 out.put_u32_le(i);
@@ -307,15 +356,18 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
         }
         Frame::GetStats | Frame::Drain => {}
         Frame::StatsJson(json) => out.put_slice(json.as_bytes()),
+        Frame::DeadlineExceeded { req_id } => out.put_u64_le(*req_id),
     }
 }
 
-/// Append `frame` (header + payload) to `out`.
+/// Append `frame` (header + payload) to `out`, stamped with the lowest
+/// protocol version that can carry it (see [`Frame::wire_version`]).
 pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let version = frame.wire_version();
     let mut payload = Vec::new();
-    encode_payload(frame, &mut payload);
+    encode_payload(frame, version, &mut payload);
     out.put_u32_le(MAGIC);
-    out.put_u8(VERSION);
+    out.put_u8(version);
     out.put_u8(frame.type_byte());
     out.put_u8(0); // reserved
     out.put_u8(0); // reserved
@@ -394,7 +446,10 @@ impl Reader<'_> {
 /// first corrupt field is the one reported).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
-    /// Frame-type byte (validated against the known set).
+    /// Protocol version of this frame ([`VERSION`] or [`VERSION2`]);
+    /// payload layout for some frame types depends on it.
+    pub version: u8,
+    /// Frame-type byte (validated against the known set for `version`).
     pub frame_type: u8,
     /// Payload length in bytes.
     pub payload_len: u32,
@@ -418,11 +473,14 @@ impl FrameHeader {
             return Err(WireError::BadMagic(magic));
         }
         let version = r.get_u8();
-        if version != VERSION {
+        if !(VERSION..=VERSION2).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
+        // Frame type 10 (DeadlineExceeded) exists only in v2; a v1 frame
+        // claiming it is a protocol fault, not a forward-compat case.
+        let max_type = if version >= VERSION2 { 10 } else { 9 };
         let frame_type = r.get_u8();
-        if !(1..=9).contains(&frame_type) {
+        if !(1..=max_type).contains(&frame_type) {
             return Err(WireError::BadFrameType(frame_type));
         }
         let reserved = u16::from_le_bytes([r.get_u8(), r.get_u8()]);
@@ -438,6 +496,7 @@ impl FrameHeader {
         }
         let payload_crc = r.get_u32_le();
         Ok(FrameHeader {
+            version,
             frame_type,
             payload_len,
             payload_crc,
@@ -445,14 +504,20 @@ impl FrameHeader {
     }
 }
 
-/// Parse a payload whose header already validated. Total: returns a typed
-/// error for any byte sequence.
-pub fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
+/// Parse a payload whose header already validated, under the header's
+/// protocol `version` (a v1 `Predict` has no deadline field and decodes as
+/// `deadline_us == 0`). Total: returns a typed error for any byte sequence.
+pub fn decode_payload(version: u8, frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
     let mut r = Reader(payload);
     match frame_type {
         1 => {
             let req_id = r.u64("Predict.req_id")?;
             let k = r.u32("Predict.k")?;
+            let deadline_us = if version >= VERSION2 {
+                r.u64("Predict.deadline_us")?
+            } else {
+                0
+            };
             let nnz = r.u32("Predict.nnz")? as usize;
             // 8 bytes per non-zero (u32 index + f32 value) must fit in what
             // is actually present — reject absurd counts before allocating.
@@ -469,6 +534,7 @@ pub fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError
             Ok(Frame::Predict(PredictRequest {
                 req_id,
                 k,
+                deadline_us,
                 indices,
                 values,
             }))
@@ -537,6 +603,11 @@ pub fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError
             r.finish("Drain")?;
             Ok(Frame::Drain)
         }
+        10 if version >= VERSION2 => {
+            let req_id = r.u64("DeadlineExceeded.req_id")?;
+            r.finish("DeadlineExceeded")?;
+            Ok(Frame::DeadlineExceeded { req_id })
+        }
         other => Err(WireError::BadFrameType(other)),
     }
 }
@@ -564,7 +635,10 @@ pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<(Frame, usize), Wire
             actual,
         });
     }
-    Ok((decode_payload(header.frame_type, payload)?, total))
+    Ok((
+        decode_payload(header.version, header.frame_type, payload)?,
+        total,
+    ))
 }
 
 #[cfg(test)]
@@ -592,15 +666,25 @@ mod tests {
         roundtrip(Frame::Predict(PredictRequest {
             req_id: 42,
             k: 5,
+            deadline_us: 0,
             indices: vec![1, 17, 40],
             values: vec![1.0, -0.5, 0.25],
         }));
         roundtrip(Frame::Predict(PredictRequest {
             req_id: 0,
             k: 1,
+            deadline_us: 0,
             indices: vec![],
             values: vec![],
         }));
+        roundtrip(Frame::Predict(PredictRequest {
+            req_id: 7,
+            k: 3,
+            deadline_us: 250_000,
+            indices: vec![2, 5],
+            values: vec![0.5, -1.0],
+        }));
+        roundtrip(Frame::DeadlineExceeded { req_id: 99 });
         roundtrip(Frame::TopK {
             req_id: 42,
             ids: vec![3, 1, 4, 1, 5],
@@ -624,6 +708,103 @@ mod tests {
         roundtrip(Frame::GetStats);
         roundtrip(Frame::StatsJson("{\"served\":1}".into()));
         roundtrip(Frame::Drain);
+    }
+
+    #[test]
+    fn version_is_per_frame_and_lowest_that_fits() {
+        // No deadline -> v1 bytes, indistinguishable from an old client.
+        let plain = frame_bytes(&Frame::Predict(PredictRequest {
+            req_id: 1,
+            k: 2,
+            deadline_us: 0,
+            indices: vec![3],
+            values: vec![1.0],
+        }));
+        assert_eq!(plain[4], VERSION);
+        // A deadline forces v2 and an 8-byte-longer payload.
+        let budgeted = frame_bytes(&Frame::Predict(PredictRequest {
+            req_id: 1,
+            k: 2,
+            deadline_us: 1_000,
+            indices: vec![3],
+            values: vec![1.0],
+        }));
+        assert_eq!(budgeted[4], VERSION2);
+        assert_eq!(budgeted.len(), plain.len() + 8);
+        assert_eq!(
+            frame_bytes(&Frame::DeadlineExceeded { req_id: 1 })[4],
+            VERSION2
+        );
+        // Replies a v1 client can trigger all stay v1.
+        for frame in [
+            Frame::TopK {
+                req_id: 1,
+                ids: vec![0],
+            },
+            Frame::RetryLater {
+                req_id: 1,
+                queue_depth: 9,
+            },
+            Frame::Ping { nonce: 5 },
+            Frame::Drain,
+        ] {
+            assert_eq!(frame_bytes(&frame)[4], VERSION);
+        }
+    }
+
+    #[test]
+    fn v1_predict_layout_decodes_with_no_deadline() {
+        // Hand-built v1 Predict payload: req_id, k, nnz, indices, values —
+        // the exact bytes a pre-deadline client emits. Guards layout drift:
+        // the v2 field must not leak into v1 decoding.
+        let mut payload = Vec::new();
+        payload.put_u64_le(77);
+        payload.put_u32_le(4);
+        payload.put_u32_le(2);
+        payload.put_u32_le(10);
+        payload.put_u32_le(20);
+        payload.put_f32_le(1.5);
+        payload.put_f32_le(-0.5);
+        let decoded = decode_payload(VERSION, 1, &payload).expect("v1 predict decodes");
+        let expect = Frame::Predict(PredictRequest {
+            req_id: 77,
+            k: 4,
+            deadline_us: 0,
+            indices: vec![10, 20],
+            values: vec![1.5, -0.5],
+        });
+        assert_eq!(decoded, expect);
+        // And the canonical encoding of that frame IS the v1 byte stream.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u8(VERSION);
+        bytes.put_u8(1);
+        bytes.put_u8(0);
+        bytes.put_u8(0);
+        bytes.put_u32_le(payload.len() as u32);
+        bytes.put_u32_le(crc32(&payload));
+        bytes.put_slice(&payload);
+        assert_eq!(frame_bytes(&expect), bytes);
+    }
+
+    #[test]
+    fn deadline_exceeded_requires_v2() {
+        // A v1 header claiming frame type 10 is a typed rejection.
+        let mut payload = Vec::new();
+        payload.put_u64_le(1);
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(MAGIC);
+        bytes.put_u8(VERSION);
+        bytes.put_u8(10);
+        bytes.put_u8(0);
+        bytes.put_u8(0);
+        bytes.put_u32_le(payload.len() as u32);
+        bytes.put_u32_le(crc32(&payload));
+        bytes.put_slice(&payload);
+        assert_eq!(
+            decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadFrameType(10))
+        );
     }
 
     #[test]
@@ -694,7 +875,7 @@ mod tests {
         payload.put_u32_le(5);
         payload.put_u32_le(1000);
         assert!(matches!(
-            decode_payload(1, &payload),
+            decode_payload(VERSION, 1, &payload),
             Err(WireError::Malformed(_))
         ));
         // Ping with trailing junk.
@@ -702,7 +883,7 @@ mod tests {
         payload.put_u64_le(1);
         payload.put_u8(0);
         assert!(matches!(
-            decode_payload(5, &payload),
+            decode_payload(VERSION, 5, &payload),
             Err(WireError::Malformed(_))
         ));
         // Error frame with non-UTF-8 message bytes.
@@ -712,7 +893,16 @@ mod tests {
         payload.put_u32_le(2);
         payload.put_slice(&[0xFF, 0xFE]);
         assert!(matches!(
-            decode_payload(3, &payload),
+            decode_payload(VERSION, 3, &payload),
+            Err(WireError::Malformed(_))
+        ));
+        // v2 Predict whose payload stops inside the deadline field.
+        let mut payload = Vec::new();
+        payload.put_u64_le(1);
+        payload.put_u32_le(5);
+        payload.put_u32_le(0); // only 4 of the deadline's 8 bytes present
+        assert!(matches!(
+            decode_payload(VERSION2, 1, &payload),
             Err(WireError::Malformed(_))
         ));
     }

@@ -49,13 +49,65 @@ proptest! {
     fn predict_roundtrips_bit_identically(
         req_id in any::<u64>(),
         k in any::<u32>(),
+        deadline_us in any::<u64>(),
         pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..64),
     ) {
         // Values straight from arbitrary bit patterns: NaN, inf, subnormals
-        // all must survive the wire bit-for-bit.
+        // all must survive the wire bit-for-bit. deadline_us ranges over all
+        // of u64, so both the v1 (0) and v2 (>0) encodings are exercised.
         let (indices, values): (Vec<u32>, Vec<u32>) = pairs.into_iter().unzip();
         let values: Vec<f32> = values.into_iter().map(f32::from_bits).collect();
-        assert_roundtrip_bits(&Frame::Predict(PredictRequest { req_id, k, indices, values }));
+        assert_roundtrip_bits(&Frame::Predict(PredictRequest {
+            req_id, k, deadline_us, indices, values,
+        }));
+        assert_roundtrip_bits(&Frame::DeadlineExceeded { req_id });
+    }
+
+    #[test]
+    fn v1_predict_frames_still_roundtrip_and_decode(
+        req_id in any::<u64>(),
+        k in any::<u32>(),
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..64),
+    ) {
+        // Hand-encode the exact byte layout a pre-deadline (v1) client
+        // emits and demand (a) it decodes, (b) the deadline reads as "none",
+        // (c) re-encoding reproduces the v1 bytes — i.e. v1 *is* the
+        // canonical encoding of a deadline-free Predict, so old captures
+        // and old clients stay byte-compatible forever.
+        let (indices, values): (Vec<u32>, Vec<u32>) = pairs.into_iter().unzip();
+        let values: Vec<f32> = values.into_iter().map(f32::from_bits).collect();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&req_id.to_le_bytes());
+        payload.extend_from_slice(&k.to_le_bytes());
+        payload.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+        for &i in &indices {
+            payload.extend_from_slice(&i.to_le_bytes());
+        }
+        for &v in &values {
+            payload.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&slide_net::wire::MAGIC.to_le_bytes());
+        bytes.push(slide_net::wire::VERSION);
+        bytes.push(1); // Predict
+        bytes.extend_from_slice(&[0, 0]);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&slide_net::wire::crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let (decoded, consumed) =
+            decode_frame(&bytes, DEFAULT_MAX_PAYLOAD).expect("v1 frame must decode");
+        prop_assert_eq!(consumed, bytes.len());
+        // Byte-level comparison (as everywhere in this file) so NaN values
+        // don't trip derived float equality.
+        let expect = Frame::Predict(PredictRequest {
+            req_id, k, deadline_us: 0, indices, values,
+        });
+        prop_assert_eq!(frame_bytes(&expect), bytes.clone());
+        match &decoded {
+            Frame::Predict(p) => prop_assert_eq!(p.deadline_us, 0),
+            other => prop_assert!(false, "decoded wrong frame kind: {:?}", other),
+        }
+        prop_assert_eq!(frame_bytes(&decoded), bytes);
     }
 
     #[test]
@@ -140,6 +192,7 @@ fn empty_sparse_vector_is_a_legal_frame() {
     assert_roundtrip_bits(&Frame::Predict(PredictRequest {
         req_id: 7,
         k: 5,
+        deadline_us: 0,
         indices: Vec::new(),
         values: Vec::new(),
     }));

@@ -1,4 +1,4 @@
-//! Typed build/publish errors for the serving tier.
+//! Typed build/publish and request errors for the serving tier.
 //!
 //! Before the snapshot-persistence PR these were ad-hoc `Result<_, String>`s
 //! scattered across `BatchingServer::start`, the shard-plan constructors,
@@ -6,8 +6,46 @@
 //! one enum whose `Display` text preserves the old messages (they are
 //! asserted on in tests and surfaced to operators), while callers that care
 //! can now match on the variant instead of substring-sniffing.
+//!
+//! [`ServeError`] (per-request failures) lives here too so the request and
+//! build error surfaces share one module; it is re-exported at the crate
+//! root unchanged.
 
 use std::fmt;
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server was closed before (or while) handling the request.
+    Closed,
+    /// The query did not fit the model (bad index, length mismatch, k == 0).
+    Invalid(String),
+    /// The admission queue was full and the caller asked not to block
+    /// ([`crate::BatchingServer::try_predict`]): shed the request instead of
+    /// buffering it. Carries the queue depth observed at rejection.
+    Overloaded(usize),
+    /// The request's deadline expired before it reached compute — at
+    /// admission, or while queued (the dispatcher sheds stale requests from
+    /// the drain loop rather than scoring answers nobody is waiting for).
+    /// Distinct from [`ServeError::Overloaded`]: retrying immediately is
+    /// pointless, the *budget* was exhausted, not the queue.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Closed => f.write_str("server closed"),
+            ServeError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+            ServeError::Overloaded(depth) => {
+                write!(f, "server overloaded: {depth} requests queued")
+            }
+            ServeError::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Why a serving engine, shard plan, or batching server could not be built.
 #[derive(Debug, Clone, PartialEq, Eq)]

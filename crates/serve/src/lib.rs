@@ -56,14 +56,14 @@ mod server;
 pub mod shard;
 pub mod snapshot;
 
-pub use error::ServeBuildError;
+pub use error::{ServeBuildError, ServeError};
 pub use frozen::{FrozenLayer, FrozenNetwork, ServeScratch};
 pub use model::{FrozenModel, IntoFrozenModel};
 pub use registry::ModelRegistry;
 pub use retrieval::{ActiveSetSelector, SelectorScratch, ShardSelector, ShardSelectorScratch};
 pub use server::{
     bench_report_json, percentile_us, phase_json, query_salt, BatchConfig, BatchingServer,
-    BenchMeta, LatencySummary, ServeError, ServeStats,
+    BenchMeta, LatencySummary, ServeStats,
 };
 pub use shard::{
     F32Shard, F32Trunk, ShardEngine, ShardIndexer, ShardPlan, ShardPlanKind, ShardScratch,

@@ -19,7 +19,7 @@
 //! `Arc`, never inside the lock, and rebuild their engine-owned scratch at
 //! the first batch on a new snapshot).
 
-use crate::error::ServeBuildError;
+use crate::error::{ServeBuildError, ServeError};
 use crate::model::{FrozenModel, IntoFrozenModel};
 use parking_lot::{Condvar, Mutex, RwLock};
 use slide_core::ThreadPool;
@@ -84,33 +84,6 @@ impl BatchConfig {
     }
 }
 
-/// Why a request failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ServeError {
-    /// The server was closed before (or while) handling the request.
-    Closed,
-    /// The query did not fit the model (bad index, length mismatch, k == 0).
-    Invalid(String),
-    /// The admission queue was full and the caller asked not to block
-    /// ([`BatchingServer::try_predict`]): shed the request instead of
-    /// buffering it. Carries the queue depth observed at rejection.
-    Overloaded(usize),
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::Closed => f.write_str("server closed"),
-            ServeError::Invalid(msg) => write!(f, "invalid query: {msg}"),
-            ServeError::Overloaded(depth) => {
-                write!(f, "server overloaded: {depth} requests queued")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ServeError {}
-
 type Response = Result<Vec<u32>, ServeError>;
 
 struct Request {
@@ -118,7 +91,17 @@ struct Request {
     values: Vec<f32>,
     k: usize,
     enqueued: Instant,
+    /// Absolute point past which the answer is worthless to the caller;
+    /// `None` = wait forever. The dispatcher sheds expired requests from the
+    /// drain loop *before* they reach a worker.
+    deadline: Option<Instant>,
     tx: mpsc::SyncSender<Response>,
+}
+
+impl Request {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 struct Queue {
@@ -136,6 +119,11 @@ struct StatsInner {
     batch_counts: Vec<u64>,
     served: u64,
     errors: u64,
+    /// Requests shed because their deadline expired before compute
+    /// (at admission, in the drain loop, or at the worker's last check).
+    /// Kept separate from `served`/`errors`: a shed request was never
+    /// answered with a prediction or a validation verdict.
+    deadline_exceeded: u64,
     batches: u64,
     started: Instant,
 }
@@ -183,6 +171,9 @@ struct WorkerSlot {
     scratch: Box<dyn Any + Send>,
     latencies_us: Vec<u64>,
     errors: u64,
+    /// Requests whose deadline passed between batch assembly and this
+    /// worker picking them up.
+    deadline_exceeded: u64,
 }
 
 /// Summary of a latency distribution, in microseconds.
@@ -273,6 +264,8 @@ pub struct ServeStats {
     pub served: u64,
     /// Requests answered with an error.
     pub errors: u64,
+    /// Requests shed because their deadline expired before compute.
+    pub deadline_exceeded: u64,
     /// Micro-batches executed.
     pub batches: u64,
     /// Snapshots published over the server's lifetime.
@@ -299,13 +292,15 @@ impl ServeStats {
             .map(|(size, count)| format!("[{size},{count}]"))
             .collect();
         format!(
-            "{{\"precision\":\"{}\",\"served\":{},\"errors\":{},\"batches\":{},\"hot_swaps\":{},\
+            "{{\"precision\":\"{}\",\"served\":{},\"errors\":{},\"deadline_exceeded\":{},\
+             \"batches\":{},\"hot_swaps\":{},\
              \"elapsed_seconds\":{:.3},\"throughput_qps\":{:.1},\"mean_batch\":{:.2},\
              \"latency_us\":{{\"p50\":{},\"p99\":{},\"mean\":{:.1},\"max\":{},\"samples\":{}}},\
              \"batch_hist\":[{}]}}",
             self.precision,
             self.served,
             self.errors,
+            self.deadline_exceeded,
             self.batches,
             self.hot_swaps,
             self.elapsed_seconds,
@@ -378,6 +373,7 @@ impl BatchingServer {
                 batch_counts: vec![0; config.max_batch + 1],
                 served: 0,
                 errors: 0,
+                deadline_exceeded: 0,
                 batches: 0,
                 started: Instant::now(),
             }),
@@ -435,7 +431,30 @@ impl BatchingServer {
         values: &[f32],
         k: usize,
     ) -> Result<Vec<u32>, ServeError> {
-        self.submit(indices, values, k, true)
+        self.submit(indices, values, k, true, None)
+    }
+
+    /// [`BatchingServer::predict`] with a deadline: if `deadline` passes
+    /// before the request reaches compute it is shed with
+    /// [`ServeError::DeadlineExceeded`] — immediately at admission when it
+    /// arrives already expired (no compute, no queue slot), or from the
+    /// dispatcher's drain loop when it expires while queued. A request
+    /// already being scored runs to completion (compute is never cancelled
+    /// mid-batch); the deadline bounds *queueing*, which is where overload
+    /// latency lives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] when the budget runs out pre-compute;
+    /// otherwise as [`BatchingServer::predict`].
+    pub fn predict_within(
+        &self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<u32>, ServeError> {
+        self.submit(indices, values, k, true, deadline)
     }
 
     /// Non-blocking-admission variant of [`BatchingServer::predict`]: if the
@@ -456,7 +475,27 @@ impl BatchingServer {
         values: &[f32],
         k: usize,
     ) -> Result<Vec<u32>, ServeError> {
-        self.submit(indices, values, k, false)
+        self.submit(indices, values, k, false, None)
+    }
+
+    /// Non-blocking-admission variant of [`BatchingServer::predict_within`]:
+    /// sheds on a full queue ([`ServeError::Overloaded`]) *and* on an
+    /// exhausted deadline ([`ServeError::DeadlineExceeded`]) — the pair a
+    /// network front-end needs to map overload to `RETRY_LATER` and stale
+    /// requests to a typed deadline reply.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchingServer::try_predict`] plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn try_predict_within(
+        &self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<u32>, ServeError> {
+        self.submit(indices, values, k, false, deadline)
     }
 
     fn submit(
@@ -465,6 +504,7 @@ impl BatchingServer {
         values: &[f32],
         k: usize,
         block: bool,
+        deadline: Option<Instant>,
     ) -> Result<Vec<u32>, ServeError> {
         if k == 0 {
             return Err(ServeError::Invalid("k must be positive".into()));
@@ -476,12 +516,19 @@ impl BatchingServer {
                 values.len()
             )));
         }
+        // Already expired on arrival: reject before taking a queue slot —
+        // the caller's budget is gone, compute would be pure waste.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.shared.stats.lock().deadline_exceeded += 1;
+            return Err(ServeError::DeadlineExceeded);
+        }
         let (tx, rx) = mpsc::sync_channel(1);
         let request = Request {
             indices: indices.to_vec(),
             values: values.to_vec(),
             k,
             enqueued: Instant::now(),
+            deadline,
             tx,
         };
         {
@@ -528,6 +575,7 @@ impl BatchingServer {
             precision,
             served: stats.served,
             errors: stats.errors,
+            deadline_exceeded: stats.deadline_exceeded,
             batches: stats.batches,
             hot_swaps: self.shared.swap_epoch.load(Ordering::Acquire),
             elapsed_seconds: elapsed,
@@ -549,6 +597,7 @@ impl BatchingServer {
         stats.batch_counts.fill(0);
         stats.served = 0;
         stats.errors = 0;
+        stats.deadline_exceeded = 0;
         stats.batches = 0;
         stats.started = Instant::now();
     }
@@ -601,33 +650,43 @@ fn dispatcher_loop(shared: &ServerShared) {
     let mut slots_model: Option<Arc<dyn FrozenModel>> = None;
     let mut batch: Vec<Request> = Vec::with_capacity(config.max_batch);
 
+    let mut shed: Vec<Request> = Vec::new();
+
     loop {
         batch.clear();
+        shed.clear();
         {
             let mut q = shared.queue.lock();
-            // Wait for the first request (or shutdown).
+            // Wait for the first live request (or shutdown). Requests whose
+            // deadline already passed are shed here — before they occupy a
+            // batch slot or touch a worker — and answered after the lock
+            // drops.
             loop {
+                let now = Instant::now();
                 while batch.len() < config.max_batch {
                     match q.items.pop_front() {
+                        Some(r) if r.expired(now) => shed.push(r),
                         Some(r) => batch.push(r),
                         None => break,
                     }
                 }
-                if !batch.is_empty() || q.closed {
+                if !batch.is_empty() || !shed.is_empty() || q.closed {
                     break;
                 }
                 shared.not_empty.wait(&mut q);
             }
-            if batch.is_empty() {
+            if batch.is_empty() && shed.is_empty() {
                 return; // closed and fully drained
             }
             // Coalescing window: keep absorbing requests until the batch is
             // full or `max_wait` has elapsed since it opened.
-            if batch.len() < config.max_batch && !q.closed {
-                let deadline = batch[0].enqueued + config.max_wait;
+            if !batch.is_empty() && batch.len() < config.max_batch && !q.closed {
+                let window_closes = batch[0].enqueued + config.max_wait;
                 loop {
+                    let now = Instant::now();
                     while batch.len() < config.max_batch {
                         match q.items.pop_front() {
+                            Some(r) if r.expired(now) => shed.push(r),
                             Some(r) => batch.push(r),
                             None => break,
                         }
@@ -635,8 +694,7 @@ fn dispatcher_loop(shared: &ServerShared) {
                     if batch.len() >= config.max_batch || q.closed {
                         break;
                     }
-                    let now = Instant::now();
-                    let Some(remaining) = deadline
+                    let Some(remaining) = window_closes
                         .checked_duration_since(now)
                         .filter(|d| !d.is_zero())
                     else {
@@ -648,6 +706,17 @@ fn dispatcher_loop(shared: &ServerShared) {
         }
         shared.not_full.notify_all();
 
+        if !shed.is_empty() {
+            shared.stats.lock().deadline_exceeded += shed.len() as u64;
+            for req in shed.drain(..) {
+                // A disappeared client (dropped receiver) is not an error.
+                let _ = req.tx.send(Err(ServeError::DeadlineExceeded));
+            }
+        }
+        if batch.is_empty() {
+            continue; // this round only flushed expired requests
+        }
+
         // Pin the snapshot for this whole batch (hot-swaps land between
         // batches, never inside one).
         let model = shared.model.read().clone();
@@ -658,6 +727,7 @@ fn dispatcher_loop(shared: &ServerShared) {
                     scratch: model.make_scratch_any(),
                     latencies_us: Vec::new(),
                     errors: 0,
+                    deadline_exceeded: 0,
                 })
                 .collect();
             slots_model = Some(Arc::clone(&model));
@@ -665,6 +735,7 @@ fn dispatcher_loop(shared: &ServerShared) {
         for slot in &mut slots {
             slot.latencies_us.clear();
             slot.errors = 0;
+            slot.deadline_exceeded = 0;
         }
 
         let n = batch.len();
@@ -684,6 +755,13 @@ fn dispatcher_loop(shared: &ServerShared) {
                     break;
                 }
                 let req = &batch_ref[i];
+                if req.expired(Instant::now()) {
+                    // Expired between batch assembly and pickup (e.g. a slow
+                    // predecessor in this batch): shed without scoring.
+                    slot.deadline_exceeded += 1;
+                    let _ = req.tx.send(Err(ServeError::DeadlineExceeded));
+                    continue;
+                }
                 let response = match model_ref.validate_query(&req.indices, &req.values) {
                     Ok(()) => {
                         let x = SparseVecRef::new(&req.indices, &req.values);
@@ -714,6 +792,7 @@ fn dispatcher_loop(shared: &ServerShared) {
         for slot in &slots {
             stats.served += slot.latencies_us.len() as u64;
             stats.errors += slot.errors;
+            stats.deadline_exceeded += slot.deadline_exceeded;
             let room = MAX_LATENCY_SAMPLES.saturating_sub(stats.latencies_us.len());
             let take = slot.latencies_us.len().min(room);
             stats
@@ -1127,6 +1206,71 @@ mod tests {
         assert!(oks.load(Ordering::Relaxed) > 0, "nothing got through");
         // The server is still healthy after shedding.
         assert_eq!(server.predict(&[1], &[1.0], 3).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_at_admission_without_compute() {
+        let server = small_server(1, Duration::from_micros(100));
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            server.predict_within(&[1], &[1.0], 2, Some(past)),
+            Err(ServeError::DeadlineExceeded)
+        );
+        let stats = server.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.served, 0, "expired request must never reach compute");
+        assert_eq!(stats.errors, 0);
+        // A live deadline is honoured normally.
+        let topk = server
+            .predict_within(
+                &[1],
+                &[1.0],
+                2,
+                Some(Instant::now() + Duration::from_secs(5)),
+            )
+            .unwrap();
+        assert_eq!(topk.len(), 2);
+    }
+
+    #[test]
+    fn deadline_expiring_in_queue_is_shed_from_the_drain_loop() {
+        // One worker, 25ms per prediction, batches of 1: a request queued
+        // behind a slow one with a 2ms budget must be shed when the
+        // dispatcher pops it, not scored 25ms late.
+        let server = Arc::new(
+            BatchingServer::start(
+                SlowModel(tiny_frozen(4), Duration::from_millis(25)),
+                BatchConfig {
+                    max_batch: 1,
+                    max_wait: Duration::ZERO,
+                    queue_cap: 16,
+                    threads: 1,
+                },
+            )
+            .unwrap(),
+        );
+        std::thread::scope(|scope| {
+            let blocker = {
+                let server = Arc::clone(&server);
+                scope.spawn(move || server.predict(&[1], &[1.0], 2))
+            };
+            // Let the blocker reach the worker before queueing the doomed
+            // request behind it.
+            std::thread::sleep(Duration::from_millis(8));
+            let doomed = server.predict_within(
+                &[2],
+                &[1.0],
+                2,
+                Some(Instant::now() + Duration::from_millis(2)),
+            );
+            assert_eq!(doomed, Err(ServeError::DeadlineExceeded));
+            assert_eq!(blocker.join().unwrap().unwrap().len(), 2);
+        });
+        let stats = stats_when_served(&server, 1);
+        assert_eq!(stats.served, 1, "only the undeadlined request was scored");
+        assert!(stats.deadline_exceeded >= 1);
+        // The server is still healthy after shedding.
+        assert_eq!(server.predict(&[3], &[1.0], 2).unwrap().len(), 2);
     }
 
     #[test]
