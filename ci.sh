@@ -12,7 +12,8 @@
 # Both gate modes leave a BENCH_train.json at the repo root and smoke leaves
 # BENCH_serve.json + BENCH_serve_shard.json + BENCH_serve_i8.json +
 # BENCH_net.json (the loopback 1-router+2-replica fleet leg, incl. the
-# fault-injection phase with hedge/breaker/deadline counters) +
+# fault-injection phase with hedge/breaker/deadline counters and the
+# scrape-overhead phase with its per-stage latency breakdown) +
 # BENCH_snapshot.json (registry cold-start vs rebuild); smoke also runs
 # the chaos suite under forced SLIDE_SIMD=scalar; CI
 # uploads all BENCH_*.json as per-leg artifacts. Gate modes also enforce a
@@ -165,6 +166,22 @@ if [[ "$MODE" == "smoke" ]]; then
         echo "net_bench smoke: BENCH_net.json missing fault_proxies injection counters" >&2
         exit 1
     }
+    grep -q '"mode":"scrape"' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing the scrape-overhead phase" >&2
+        exit 1
+    }
+    grep -q '"scrape_overhead":{"scrapes":' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing scrape_overhead meta" >&2
+        exit 1
+    }
+    grep -q '"stage_breakdown_us":{"admission":' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json missing the per-stage latency breakdown" >&2
+        exit 1
+    }
+    grep -q '"kernel":{"p50_us":' BENCH_net.json || {
+        echo "net_bench smoke: BENCH_net.json stage breakdown missing the kernel stage" >&2
+        exit 1
+    }
 
     step "smoke: chaos suite under forced SLIDE_SIMD=scalar"
     # The fault-injection acceptance run and the per-hop deadline tests on
@@ -192,14 +209,17 @@ if [[ "$MODE" == "smoke" ]]; then
         exit 1
     }
 
-    step "smoke: registry cold start (slide_cli snapshot -> slide_netd --snapshot)"
-    # Publish a snapshot through the CLI, then cold-start a replica daemon
-    # from the registry — no training flags — and drain it gracefully via
-    # stdin EOF (a FIFO stands in for the parent's pipe).
+    step "smoke: registry cold start + fleet scrape (slide_cli obs scrape)"
+    # Publish a snapshot through the CLI, cold-start a replica daemon from
+    # the registry, front it with slide_router, scrape BOTH tiers over the
+    # wire via `slide_cli obs scrape` (the v3 GetMetrics frame), and gate on
+    # the metric families the observability contract promises; then drain
+    # everything gracefully via stdin EOF (FIFOs stand in for parent pipes).
     cargo build --release -q -p slide --bin slide_cli
-    cargo build --release -q -p slide-net --bin slide_netd
+    cargo build --release -q -p slide-net --bin slide_netd --bin slide_router
     REG_DIR="$(mktemp -d)"
     NETD_OUT="$(mktemp)"
+    ROUTER_OUT="$(mktemp)"
     ./target/release/slide_cli snapshot --registry "$REG_DIR" --train-epochs 0 > /dev/null
     mkfifo "$REG_DIR/stdin.fifo"
     ./target/release/slide_netd --addr 127.0.0.1:0 --snapshot "$REG_DIR" \
@@ -215,13 +235,64 @@ if [[ "$MODE" == "smoke" ]]; then
         kill "$NETD_PID" 2> /dev/null || true
         exit 1
     }
-    exec 9>&- # stdin EOF = graceful drain
+    NETD_ADDR="$(grep 'SLIDE_NETD LISTENING' "$NETD_OUT" | awk '{print $3}')"
+
+    mkfifo "$REG_DIR/router.fifo"
+    ./target/release/slide_router --addr 127.0.0.1:0 --replica "$NETD_ADDR" \
+        > "$ROUTER_OUT" < "$REG_DIR/router.fifo" &
+    ROUTER_PID=$!
+    exec 8> "$REG_DIR/router.fifo"
+    for _ in $(seq 1 100); do
+        grep -q 'SLIDE_ROUTER LISTENING' "$ROUTER_OUT" && break
+        sleep 0.1
+    done
+    grep -q 'SLIDE_ROUTER LISTENING' "$ROUTER_OUT" || {
+        echo "fleet scrape smoke: slide_router did not start" >&2
+        kill "$NETD_PID" "$ROUTER_PID" 2> /dev/null || true
+        exit 1
+    }
+    ROUTER_ADDR="$(grep 'SLIDE_ROUTER LISTENING' "$ROUTER_OUT" | awk '{print $3}')"
+
+    DAEMON_SCRAPE="$(./target/release/slide_cli obs scrape --addr "$NETD_ADDR")"
+    for family in \
+        slide_net_requests_total \
+        slide_net_latency_us \
+        slide_serve_requests_total \
+        slide_serve_batches_total \
+        'slide_stage_us_count{stage="kernel"}' \
+        'slide_stage_us_count{stage="encode"}'; do
+        grep -qF "$family" <<< "$DAEMON_SCRAPE" || {
+            echo "fleet scrape smoke: daemon scrape missing family $family" >&2
+            kill "$NETD_PID" "$ROUTER_PID" 2> /dev/null || true
+            exit 1
+        }
+    done
+    ROUTER_SCRAPE="$(./target/release/slide_cli obs scrape --addr "$ROUTER_ADDR")"
+    for family in \
+        slide_router_forwarded_total \
+        slide_router_breaker_state \
+        slide_router_hedges_total \
+        slide_router_deadline_exceeded_total; do
+        grep -qF "$family" <<< "$ROUTER_SCRAPE" || {
+            echo "fleet scrape smoke: router scrape missing family $family" >&2
+            kill "$NETD_PID" "$ROUTER_PID" 2> /dev/null || true
+            exit 1
+        }
+    done
+
+    exec 8>&- # router stdin EOF = graceful drain
+    wait "$ROUTER_PID"
+    grep -q 'SLIDE_ROUTER DRAINED' "$ROUTER_OUT" || {
+        echo "fleet scrape smoke: slide_router did not drain gracefully" >&2
+        exit 1
+    }
+    exec 9>&- # daemon stdin EOF = graceful drain
     wait "$NETD_PID"
     grep -q 'SLIDE_NETD DRAINED' "$NETD_OUT" || {
         echo "registry smoke: slide_netd did not drain gracefully" >&2
         exit 1
     }
-    rm -rf "$REG_DIR" "$NETD_OUT"
+    rm -rf "$REG_DIR" "$NETD_OUT" "$ROUTER_OUT"
 
     step "OK — smoke gates passed"
     exit 0
@@ -242,7 +313,7 @@ fi
 # previous PR's count; bump it (never lower it) when landing new tests. A
 # drop below the baseline means tests were deleted or silently stopped
 # being discovered (e.g. a [[test]] target fell out of the manifest).
-MIN_TIER1_TESTS=569
+MIN_TIER1_TESTS=608
 
 step "cargo test -q (ratchet: >= $MIN_TIER1_TESTS tests)"
 TEST_LOG="$(mktemp)"

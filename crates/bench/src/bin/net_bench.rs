@@ -1,7 +1,7 @@
 //! Network-tier benchmark: the socket and fleet overhead on top of the
 //! in-process serving engine, measured open-loop (see EXPERIMENTS.md §9).
 //!
-//! Four phases, identical offered load, identical deterministic model
+//! Five phases, identical offered load, identical deterministic model
 //! (`slide_net::FleetSpec`), identical open-loop generator — so the deltas
 //! isolate each layer:
 //!
@@ -9,6 +9,12 @@
 //!   `BatchingServer::try_predict` directly: the no-network baseline.
 //! * **socket1** — the same batching server behind one `NetServer`; the
 //!   delta over `inproc` is the wire codec + loopback TCP round trip.
+//! * **scrape** — `socket1` again, with a background scraper hammering the
+//!   daemon's v3 `GetMetrics` endpoint for the whole run; the delta over
+//!   `socket1` is the cost of observation, asserted to stay in the noise
+//!   (p50 under `SCRAPE_OVERHEAD_LIMIT`× the unscraped phase). This phase
+//!   also yields the per-stage latency breakdown (admission → encode) from
+//!   the replica's `slide-obs` stage histograms (EXPERIMENTS.md §12).
 //! * **fleet** — N replicas (each its own batching server + `NetServer`)
 //!   behind a `Router`; the delta over `socket1` is the extra proxy hop
 //!   plus replica selection.
@@ -35,9 +41,16 @@ use slide_net::{
     LoadgenConfig, NetClient, NetConfig, NetServer, RoutePolicy, Router, RouterConfig,
     SubmitOutcome, Trigger,
 };
-use slide_serve::{BatchConfig, BatchingServer, FrozenModel, ServeError};
+use slide_obs::Stage;
+use slide_serve::{stage_histogram, BatchConfig, BatchingServer, FrozenModel, ServeError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The scrape phase's p50 may not exceed this multiple of the unscraped
+/// socket phase's p50 — "observation stays in the noise", with generous
+/// headroom for CI jitter.
+const SCRAPE_OVERHEAD_LIMIT: f64 = 3.0;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -168,7 +181,99 @@ fn main() {
     let socket1 = slide_net::run_open_loop(&queries, &cfg, |_| socket_submitter(s1_addr));
     print_phase(&socket1, "socket1");
 
-    // Phase 3: the fleet — N replicas behind the router.
+    // Phase 3: the same single-replica socket load with a background
+    // scraper hitting GetMetrics for the whole run. A fresh replica keeps
+    // its stage histograms (and the overhead comparison) uncontaminated.
+    let (scr_batching, scr_net) = start_replica(Arc::clone(&model), threads);
+    let scr_addr = scr_net.local_addr();
+    let stop_scraper = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop_scraper);
+        std::thread::spawn(move || {
+            let mut client = NetClient::connect(scr_addr, Duration::from_secs(5));
+            let (mut scrapes, mut total_us, mut bytes) = (0u64, 0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                match &mut client {
+                    Ok(c) => {
+                        let t0 = Instant::now();
+                        match c.metrics_text() {
+                            Ok(text) => {
+                                scrapes += 1;
+                                total_us += t0.elapsed().as_micros() as u64;
+                                bytes += text.len() as u64;
+                            }
+                            Err(_) => client = NetClient::connect(scr_addr, Duration::from_secs(5)),
+                        }
+                    }
+                    Err(_) => client = NetClient::connect(scr_addr, Duration::from_secs(5)),
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            (scrapes, total_us, bytes)
+        })
+    };
+    let scrape = slide_net::run_open_loop(&queries, &cfg, |_| socket_submitter(scr_addr));
+    stop_scraper.store(true, Ordering::Relaxed);
+    let (scrapes, scrape_total_us, scrape_bytes) = scraper.join().expect("scraper thread");
+    print_phase(&scrape, "scrape");
+    let mean_scrape_us = scrape_total_us / scrapes.max(1);
+    let overhead_p50 = scrape.latency.p50_us as f64 / socket1.latency.p50_us.max(1) as f64;
+    println!(
+        "  scrape overhead: {scrapes} scrapes (mean {mean_scrape_us} us, {} B each), \
+         p50 {:.2}x of unscraped socket1",
+        scrape_bytes / scrapes.max(1),
+        overhead_p50,
+    );
+    assert!(scrapes > 0, "scraper never completed a scrape");
+    assert!(
+        overhead_p50 < SCRAPE_OVERHEAD_LIMIT,
+        "continuous scraping moved request p50 by {overhead_p50:.2}x \
+         (limit {SCRAPE_OVERHEAD_LIMIT}x): observation must stay in the noise"
+    );
+
+    // Per-stage latency breakdown from the scraped replica's live stage
+    // histograms (the registry dedups by series key, so this reads the
+    // very instruments the serve/net tiers recorded into).
+    let scr_hub = scr_batching.obs();
+    let stages = [
+        Stage::Admission,
+        Stage::BatchWait,
+        Stage::Retrieval,
+        Stage::Kernel,
+        Stage::Merge,
+        Stage::Encode,
+    ];
+    let stage_breakdown = stages
+        .iter()
+        .map(|&st| {
+            let h = stage_histogram(&scr_hub, st);
+            format!(
+                "\"{}\":{{\"p50_us\":{},\"p99_us\":{},\"count\":{}}}",
+                st.as_str(),
+                h.quantile(50.0),
+                h.quantile(99.0),
+                h.snapshot().count,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    for &st in &stages {
+        let h = stage_histogram(&scr_hub, st);
+        println!(
+            "  stage {:<11} p50 {:>6} us  p99 {:>6} us  ({} samples)",
+            st.as_str(),
+            h.quantile(50.0),
+            h.quantile(99.0),
+            h.snapshot().count,
+        );
+        assert!(
+            h.snapshot().count > 0,
+            "stage {} recorded no samples under load",
+            st.as_str()
+        );
+    }
+
+    // Phase 4: the fleet — N replicas behind the router.
     let fleet_replicas: Vec<(Arc<BatchingServer>, NetServer)> = (0..replicas)
         .map(|_| start_replica(Arc::clone(&model), threads))
         .collect();
@@ -188,7 +293,7 @@ fn main() {
     let fleet = slide_net::run_open_loop(&queries, &cfg, |_| socket_submitter(router_addr));
     print_phase(&fleet, "fleet");
 
-    // Phase 4: the same fleet on a bad day. Fresh replicas, two of them
+    // Phase 5: the same fleet on a bad day. Fresh replicas, two of them
     // behind deterministic fault proxies; every request carries a deadline
     // budget so the tail is bounded by shedding, not by timeouts.
     let fault_replicas: Vec<(Arc<BatchingServer>, NetServer)> = (0..replicas.max(2))
@@ -269,7 +374,7 @@ fn main() {
         stall_stats.forwarded + drop_stats.forwarded,
     );
 
-    for report in [&inproc, &socket1, &fleet, &fault] {
+    for report in [&inproc, &socket1, &scrape, &fleet, &fault] {
         assert_eq!(
             report.hard_errors, 0,
             "hard errors in a router-fronted bench"
@@ -282,7 +387,10 @@ fn main() {
          \"precision\":\"{precision_label}\",\"shards\":{shards},\
          \"simd_level\":\"{}\",\"kernel_variant\":\"{}\",\"k\":{K},\
          \"offered_qps\":{offered_qps:.1},\"deadline_us\":{deadline_us},\
-         \"phases\":[{},{},{},{}],\
+         \"phases\":[{},{},{},{},{}],\
+         \"scrape_overhead\":{{\"scrapes\":{scrapes},\"mean_scrape_us\":{mean_scrape_us},\
+         \"p50_ratio\":{overhead_p50:.3}}},\
+         \"stage_breakdown_us\":{{{stage_breakdown}}},\
          \"fault_router\":{fault_router_stats},\
          \"fault_proxies\":{{\"stalled\":{},\"dropped\":{},\"delayed\":{},\
          \"corrupted\":{},\"closed\":{},\"forwarded\":{}}}}}\n",
@@ -290,6 +398,7 @@ fn main() {
         slide_simd::kernel_variant(),
         inproc.to_json("inproc"),
         socket1.to_json("socket1"),
+        scrape.to_json("scrape"),
         fleet.to_json("fleet"),
         fault.to_json("fault"),
         stall_stats.stalled + drop_stats.stalled,

@@ -176,6 +176,26 @@ impl NetClient {
         k: usize,
         deadline_us: u64,
     ) -> Result<Vec<u32>, ClientError> {
+        self.predict_traced_within(indices, values, k, deadline_us, 0)
+    }
+
+    /// [`NetClient::predict_within`] for a traced request: a nonzero
+    /// `trace_id` rides a v3 frame and is propagated unchanged through every
+    /// hop (router → replica), where each hop records its per-stage spans
+    /// under that id. `0` traces nothing and encodes byte-identically to
+    /// [`NetClient::predict_within`].
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::predict_within`].
+    pub fn predict_traced_within(
+        &mut self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+        deadline_us: u64,
+        trace_id: u64,
+    ) -> Result<Vec<u32>, ClientError> {
         let req_id = self.next_req_id;
         self.next_req_id += 1;
         write_frame(
@@ -184,6 +204,7 @@ impl NetClient {
                 req_id,
                 k: k as u32,
                 deadline_us,
+                trace_id,
                 indices: indices.to_vec(),
                 values: values.to_vec(),
             }),
@@ -261,6 +282,23 @@ impl NetClient {
             Frame::Error { code, message, .. } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "unexpected reply to get-stats: type {}",
+                other.type_byte()
+            ))),
+        }
+    }
+
+    /// Fetch the server's metrics exposition (Prometheus-style text plus
+    /// trace-span comment lines) via a v3 `GetMetrics` frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport faults, or [`ClientError::Protocol`] on a nonsense reply.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.exchange(&Frame::GetMetrics)? {
+            Frame::MetricsText(text) => Ok(text),
+            Frame::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to get-metrics: type {}",
                 other.type_byte()
             ))),
         }

@@ -18,9 +18,10 @@
 //! ```
 
 use crate::wire::{FrameHeader, DEFAULT_MAX_PAYLOAD, HEADER_LEN};
+use slide_obs::{Counter, ObsHub};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -156,14 +157,31 @@ pub struct FaultStats {
     pub closed: u64,
 }
 
-#[derive(Default)]
+/// Registry-backed fault counters: each proxy owns a hub, so chaos runs can
+/// be scraped like any serving tier (`slide_fault_*_total` families).
 struct StatsInner {
-    forwarded: AtomicU64,
-    delayed: AtomicU64,
-    dropped: AtomicU64,
-    corrupted: AtomicU64,
-    stalled: AtomicU64,
-    closed: AtomicU64,
+    hub: Arc<ObsHub>,
+    forwarded: Arc<Counter>,
+    delayed: Arc<Counter>,
+    dropped: Arc<Counter>,
+    corrupted: Arc<Counter>,
+    stalled: Arc<Counter>,
+    closed: Arc<Counter>,
+}
+
+impl StatsInner {
+    fn new(hub: Arc<ObsHub>) -> Self {
+        let r = hub.registry();
+        StatsInner {
+            forwarded: r.counter("slide_fault_forwarded_total"),
+            delayed: r.counter("slide_fault_delayed_total"),
+            dropped: r.counter("slide_fault_dropped_total"),
+            corrupted: r.counter("slide_fault_corrupted_total"),
+            stalled: r.counter("slide_fault_stalled_total"),
+            closed: r.counter("slide_fault_closed_total"),
+            hub,
+        }
+    }
 }
 
 struct ProxyShared {
@@ -197,7 +215,7 @@ impl FaultProxy {
             plan,
             upstream,
             stop: AtomicBool::new(false),
-            stats: StatsInner::default(),
+            stats: StatsInner::new(ObsHub::shared()),
             pumps: parking_lot::Mutex::new(Vec::new()),
         });
         let accept = {
@@ -222,13 +240,18 @@ impl FaultProxy {
     pub fn stats(&self) -> FaultStats {
         let s = &self.shared.stats;
         FaultStats {
-            forwarded: s.forwarded.load(Ordering::Relaxed),
-            delayed: s.delayed.load(Ordering::Relaxed),
-            dropped: s.dropped.load(Ordering::Relaxed),
-            corrupted: s.corrupted.load(Ordering::Relaxed),
-            stalled: s.stalled.load(Ordering::Relaxed),
-            closed: s.closed.load(Ordering::Relaxed),
+            forwarded: s.forwarded.get(),
+            delayed: s.delayed.get(),
+            dropped: s.dropped.get(),
+            corrupted: s.corrupted.get(),
+            stalled: s.stalled.get(),
+            closed: s.closed.get(),
         }
+    }
+
+    /// The proxy's observability hub (for scraping `slide_fault_*` series).
+    pub fn obs(&self) -> Arc<ObsHub> {
+        Arc::clone(&self.shared.stats.hub)
     }
 }
 
@@ -377,26 +400,26 @@ fn pump(
         let stats = &shared.stats;
         let wrote = match action {
             None => {
-                stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                stats.forwarded.inc();
                 to.write_all(&frame)
             }
             Some(FaultAction::Delay(d)) => {
-                stats.delayed.fetch_add(1, Ordering::Relaxed);
+                stats.delayed.inc();
                 std::thread::sleep(d);
                 to.write_all(&frame)
             }
             Some(FaultAction::Drop) => {
-                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                stats.dropped.inc();
                 Ok(())
             }
             Some(FaultAction::Corrupt) => {
-                stats.corrupted.fetch_add(1, Ordering::Relaxed);
+                stats.corrupted.inc();
                 let pos = shared.plan.corrupt_pos(conn_seed, frame_n, payload_len);
                 frame[pos] ^= 0xFF;
                 to.write_all(&frame)
             }
             Some(FaultAction::Stall(d)) => {
-                stats.stalled.fetch_add(1, Ordering::Relaxed);
+                stats.stalled.inc();
                 let half = frame.len() / 2;
                 to.write_all(&frame[..half])
                     .and_then(|()| to.flush())
@@ -404,7 +427,7 @@ fn pump(
                     .and_then(|()| to.write_all(&frame[half..]))
             }
             Some(FaultAction::Close) => {
-                stats.closed.fetch_add(1, Ordering::Relaxed);
+                stats.closed.inc();
                 close_both(&from, &to);
                 return;
             }

@@ -8,10 +8,11 @@
 //! scales them out to a replicated fleet:
 //!
 //! * [`wire`] — the frame codec: 16-byte header (magic `SLW1`, version,
-//!   frame type, length, CRC-32 of the payload), nine frame kinds
-//!   ([`Frame`]), and a **total** decoder — arbitrary bytes produce a typed
-//!   [`WireError`], never a panic (property-tested against garbage and
-//!   mutation fuzzing).
+//!   frame type, length, CRC-32 of the payload), twelve frame kinds
+//!   ([`Frame`], including the v3 `GetMetrics`/`MetricsText` scrape pair
+//!   and a per-request trace id on `Predict`), and a **total** decoder —
+//!   arbitrary bytes produce a typed [`WireError`], never a panic
+//!   (property-tested against garbage and mutation fuzzing).
 //! * [`stream`] — deadline-aware framed I/O: idle polls, slow-loris
 //!   cutoffs ([`WireError::Stalled`]), clean-close vs mid-frame-EOF
 //!   distinction.
@@ -51,9 +52,10 @@ pub use fault::{Direction, FaultAction, FaultPlan, FaultProxy, FaultRule, FaultS
 pub use loadgen::{query_battery, run_open_loop, LoadReport, LoadgenConfig, SubmitOutcome};
 pub use model::{FleetPrecision, FleetSpec};
 pub use router::{RoutePolicy, Router, RouterConfig};
-pub use server::{ClientCounters, NetConfig, NetServer, NetStats};
+pub use server::{ClientCounters, NetConfig, NetServer, NetStats, MAX_TRACKED_PEERS};
 pub use stream::{read_frame, read_frame_timeout, write_frame, ReadOutcome};
 pub use wire::{
     crc32, decode_frame, decode_payload, encode_frame, frame_bytes, ErrorCode, Frame, FrameHeader,
     PongInfo, PredictRequest, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION, VERSION2,
+    VERSION3,
 };

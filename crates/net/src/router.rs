@@ -43,8 +43,10 @@ use crate::server::NetConfig;
 use crate::stream::{read_frame, write_frame, ReadOutcome};
 use crate::wire::{ErrorCode, Frame, PongInfo, PredictRequest, WireError};
 use parking_lot::Mutex;
+use slide_obs::{Counter, Gauge, Histogram, ObsHub, Stage};
+use slide_serve::stage_histogram;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -137,25 +139,53 @@ fn breaker_backoff(cfg: &RouterConfig, idx: usize, streak: u32) -> Duration {
     base.mul_f64(frac)
 }
 
+/// Breaker states as gauge values for `slide_router_breaker_state`.
+const BREAKER_CLOSED: u64 = 0;
+const BREAKER_HALF_OPEN: u64 = 1;
+const BREAKER_OPEN: u64 = 2;
+
 /// One replica's live state, shared between the health thread and every
-/// connection thread.
+/// connection thread. The lifetime counters are registry instruments
+/// labeled `{replica="ip:port"}`, so one scrape shows the whole fleet's
+/// breaker history; the JSON stats view reads the same instruments.
 struct ReplicaState {
     idx: usize,
     addr: SocketAddr,
     breaker: Mutex<Breaker>,
     inflight: AtomicUsize,
-    forwarded: AtomicU64,
-    failed: AtomicU64,
+    forwarded: Arc<Counter>,
+    failed: Arc<Counter>,
     /// Closed/HalfOpen → Open transitions (the "ejections" of the
     /// pre-breaker router).
-    opens: AtomicU64,
+    opens: Arc<Counter>,
     /// Open → HalfOpen probe admissions.
-    half_opens: AtomicU64,
+    half_opens: Arc<Counter>,
     /// → Closed recoveries (the "readmissions" of the pre-breaker router).
-    closes: AtomicU64,
+    closes: Arc<Counter>,
+    /// Live breaker state (0 closed, 1 half-open, 2 open), updated at every
+    /// transition.
+    breaker_state: Arc<Gauge>,
 }
 
 impl ReplicaState {
+    fn new(idx: usize, addr: SocketAddr, hub: &ObsHub) -> ReplicaState {
+        let label = addr.to_string();
+        let labels: &[(&str, &str)] = &[("replica", &label)];
+        let r = hub.registry();
+        ReplicaState {
+            idx,
+            addr,
+            breaker: Mutex::new(Breaker::Closed { fails: 0 }),
+            inflight: AtomicUsize::new(0),
+            forwarded: r.counter_with("slide_router_forwarded_total", labels),
+            failed: r.counter_with("slide_router_failed_total", labels),
+            opens: r.counter_with("slide_router_breaker_opens_total", labels),
+            half_opens: r.counter_with("slide_router_breaker_half_opens_total", labels),
+            closes: r.counter_with("slide_router_breaker_closes_total", labels),
+            breaker_state: r.gauge_with("slide_router_breaker_state", labels),
+        }
+    }
+
     /// Closed-breaker replicas are the only ones that receive traffic.
     fn available(&self) -> bool {
         matches!(*self.breaker.lock(), Breaker::Closed { .. })
@@ -174,19 +204,21 @@ impl ReplicaState {
     fn record_success(&self) {
         let mut b = self.breaker.lock();
         if !matches!(*b, Breaker::Closed { .. }) {
-            self.closes.fetch_add(1, Ordering::Relaxed);
+            self.closes.inc();
         }
         *b = Breaker::Closed { fails: 0 };
+        self.breaker_state.set(BREAKER_CLOSED);
     }
 
     fn record_failure(&self, cfg: &RouterConfig) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.inc();
         let mut b = self.breaker.lock();
         *b = match *b {
             Breaker::Closed { fails } => {
                 let fails = fails + 1;
                 if fails >= cfg.eject_after {
-                    self.opens.fetch_add(1, Ordering::Relaxed);
+                    self.opens.inc();
+                    self.breaker_state.set(BREAKER_OPEN);
                     Breaker::Open {
                         until: Instant::now() + breaker_backoff(cfg, self.idx, 1),
                         streak: 1,
@@ -198,7 +230,8 @@ impl ReplicaState {
             // A failed probe reopens with a longer backoff.
             Breaker::HalfOpen { streak } => {
                 let streak = streak.saturating_add(1);
-                self.opens.fetch_add(1, Ordering::Relaxed);
+                self.opens.inc();
+                self.breaker_state.set(BREAKER_OPEN);
                 Breaker::Open {
                     until: Instant::now() + breaker_backoff(cfg, self.idx, streak),
                     streak,
@@ -219,7 +252,8 @@ impl ReplicaState {
             Breaker::Closed { .. } | Breaker::HalfOpen { .. } => true,
             Breaker::Open { until, streak } => {
                 if now >= until {
-                    self.half_opens.fetch_add(1, Ordering::Relaxed);
+                    self.half_opens.inc();
+                    self.breaker_state.set(BREAKER_HALF_OPEN);
                     *b = Breaker::HalfOpen { streak };
                     true
                 } else {
@@ -233,8 +267,9 @@ impl ReplicaState {
     fn force_open(&self, cfg: &RouterConfig) {
         let mut b = self.breaker.lock();
         if !matches!(*b, Breaker::Open { .. }) {
-            self.opens.fetch_add(1, Ordering::Relaxed);
+            self.opens.inc();
         }
+        self.breaker_state.set(BREAKER_OPEN);
         *b = Breaker::Open {
             until: Instant::now() + breaker_backoff(cfg, self.idx, 1),
             streak: 1,
@@ -242,21 +277,46 @@ impl ReplicaState {
     }
 }
 
+/// Router-level instruments plus the router's own trace ring.
+struct RouterObs {
+    hub: Arc<ObsHub>,
+    /// Hedged (backup) attempts launched.
+    hedges: Arc<Counter>,
+    /// Hedged attempts that produced the winning answer.
+    hedge_wins: Arc<Counter>,
+    /// Failover attempts launched after a replica fault.
+    failovers: Arc<Counter>,
+    /// Requests shed at the router with a typed `DeadlineExceeded`.
+    deadline_exceeded: Arc<Counter>,
+    /// Time from frame receipt to the first replica attempt launching.
+    stage_router_queue: Arc<Histogram>,
+    /// Time a to-be-hedged request waited before its hedge launched.
+    stage_hedge_wait: Arc<Histogram>,
+}
+
+impl RouterObs {
+    fn new(hub: Arc<ObsHub>) -> Self {
+        let r = hub.registry();
+        RouterObs {
+            hedges: r.counter("slide_router_hedges_total"),
+            hedge_wins: r.counter("slide_router_hedge_wins_total"),
+            failovers: r.counter("slide_router_failovers_total"),
+            deadline_exceeded: r.counter("slide_router_deadline_exceeded_total"),
+            stage_router_queue: stage_histogram(&hub, Stage::RouterQueue),
+            stage_hedge_wait: stage_histogram(&hub, Stage::HedgeWait),
+            hub,
+        }
+    }
+}
+
 struct RouterShared {
     cfg: RouterConfig,
+    obs: RouterObs,
     replicas: Vec<ReplicaState>,
     ring: Vec<(u64, usize)>,
     local_addr: SocketAddr,
     draining: AtomicBool,
     conn_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    /// Hedged (backup) attempts launched.
-    hedges: AtomicU64,
-    /// Hedged attempts that produced the winning answer.
-    hedge_wins: AtomicU64,
-    /// Failover attempts launched after a replica fault.
-    failovers: AtomicU64,
-    /// Requests shed at the router with a typed `DeadlineExceeded`.
-    deadline_exceeded: AtomicU64,
 }
 
 const VNODES_PER_REPLICA: u64 = 64;
@@ -332,31 +392,19 @@ impl Router {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let obs = RouterObs::new(ObsHub::shared());
         let shared = Arc::new(RouterShared {
             replicas: replicas
                 .iter()
                 .enumerate()
-                .map(|(idx, &addr)| ReplicaState {
-                    idx,
-                    addr,
-                    breaker: Mutex::new(Breaker::Closed { fails: 0 }),
-                    inflight: AtomicUsize::new(0),
-                    forwarded: AtomicU64::new(0),
-                    failed: AtomicU64::new(0),
-                    opens: AtomicU64::new(0),
-                    half_opens: AtomicU64::new(0),
-                    closes: AtomicU64::new(0),
-                })
+                .map(|(idx, &addr)| ReplicaState::new(idx, addr, &obs.hub))
                 .collect(),
+            obs,
             ring: build_ring(replicas.len()),
             cfg,
             local_addr,
             draining: AtomicBool::new(false),
             conn_handles: Mutex::new(Vec::new()),
-            hedges: AtomicU64::new(0),
-            hedge_wins: AtomicU64::new(0),
-            failovers: AtomicU64::new(0),
-            deadline_exceeded: AtomicU64::new(0),
         });
         // Startup probes run concurrently so the slowest dead replica
         // costs one connect timeout total, not one per replica.
@@ -423,6 +471,17 @@ impl Router {
         router_stats_json(&self.shared)
     }
 
+    /// The router's observability hub (registry + trace ring) — the same
+    /// one a wire `GetMetrics` renders.
+    pub fn obs(&self) -> Arc<ObsHub> {
+        Arc::clone(&self.shared.obs.hub)
+    }
+
+    /// The router's metrics exposition (the `GetMetrics` response body).
+    pub fn metrics_text(&self) -> String {
+        router_metrics_text(&self.shared)
+    }
+
     /// Stop accepting and join every thread.
     pub fn drain(&mut self) {
         self.shared.draining.store(true, Ordering::Release);
@@ -464,11 +523,11 @@ fn router_stats_json(shared: &RouterShared) -> String {
                 healthy,
                 breaker,
                 r.inflight.load(Ordering::Relaxed),
-                r.forwarded.load(Ordering::Relaxed),
-                r.failed.load(Ordering::Relaxed),
-                r.opens.load(Ordering::Relaxed),
-                r.half_opens.load(Ordering::Relaxed),
-                r.closes.load(Ordering::Relaxed),
+                r.forwarded.get(),
+                r.failed.get(),
+                r.opens.get(),
+                r.half_opens.get(),
+                r.closes.get(),
             )
         })
         .collect();
@@ -483,12 +542,27 @@ fn router_stats_json(shared: &RouterShared) -> String {
         },
         shared.replicas.len(),
         healthy,
-        shared.hedges.load(Ordering::Relaxed),
-        shared.hedge_wins.load(Ordering::Relaxed),
-        shared.failovers.load(Ordering::Relaxed),
-        shared.deadline_exceeded.load(Ordering::Relaxed),
+        shared.obs.hedges.get(),
+        shared.obs.hedge_wins.get(),
+        shared.obs.failovers.get(),
+        shared.obs.deadline_exceeded.get(),
         reps.join(",")
     )
+}
+
+/// Render the router's exposition. Breaker-state gauges are refreshed from
+/// the live breakers first, so a scrape never shows a stale state for a
+/// breaker that transitioned without traffic.
+fn router_metrics_text(shared: &RouterShared) -> String {
+    for r in &shared.replicas {
+        let state = match *r.breaker.lock() {
+            Breaker::Closed { .. } => BREAKER_CLOSED,
+            Breaker::HalfOpen { .. } => BREAKER_HALF_OPEN,
+            Breaker::Open { .. } => BREAKER_OPEN,
+        };
+        r.breaker_state.set(state);
+    }
+    shared.obs.hub.render()
 }
 
 fn health_loop(shared: &Arc<RouterShared>) {
@@ -624,6 +698,11 @@ fn router_connection_loop(mut stream: TcpStream, shared: &Arc<RouterShared>) {
             Frame::GetStats => {
                 write_frame(&mut stream, &Frame::StatsJson(router_stats_json(shared))).is_ok()
             }
+            Frame::GetMetrics => write_frame(
+                &mut stream,
+                &Frame::MetricsText(router_metrics_text(shared)),
+            )
+            .is_ok(),
             Frame::Drain => {
                 shared.draining.store(true, Ordering::Release);
                 let _ = write_frame(&mut stream, &Frame::Drain);
@@ -699,13 +778,13 @@ fn spawn_attempt(
                 | Err(ClientError::RetryLater { .. })
                 | Err(ClientError::DeadlineExceeded) => {
                     // The replica answered promptly and honestly.
-                    rep.forwarded.fetch_add(1, Ordering::Relaxed);
+                    rep.forwarded.inc();
                     rep.record_success();
                 }
                 Err(e) if e.is_replica_fault() => rep.record_failure(&shared.cfg),
                 // A typed verdict about the request itself.
                 Err(_) => {
-                    rep.forwarded.fetch_add(1, Ordering::Relaxed);
+                    rep.forwarded.inc();
                 }
             }
             let _ = tx.send(AttemptReport { hedge, result });
@@ -746,7 +825,15 @@ fn attempt_once(
         conn = Some(c);
     }
     let mut c = conn.expect("just connected");
-    let result = c.predict_within(&req.indices, &req.values, req.k as usize, budget_us);
+    // The trace id rides the forwarded frame unchanged, so the replica's
+    // spans land under the same id the client chose.
+    let result = c.predict_traced_within(
+        &req.indices,
+        &req.values,
+        req.k as usize,
+        budget_us,
+        req.trace_id,
+    );
     // Return the socket to the pool unless it faulted (or a concurrent
     // attempt already repopulated the slot).
     if !matches!(&result, Err(e) if e.is_replica_fault()) {
@@ -770,11 +857,13 @@ fn forward_predict(
 ) -> Frame {
     let cfg = &shared.cfg;
     let t_rx = Instant::now();
+    let ring = shared.obs.hub.ring();
+    let q_start = ring.now_us();
     let req_id = req.req_id;
     let deadline = (req.deadline_us > 0).then(|| t_rx + Duration::from_micros(req.deadline_us));
     if deadline.is_some_and(|d| Instant::now() >= d) {
         // Expired on arrival: shed before touching any replica.
-        shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        shared.obs.deadline_exceeded.inc();
         return Frame::DeadlineExceeded { req_id };
     }
     let req = Arc::new(req.clone());
@@ -790,6 +879,10 @@ fn forward_predict(
     };
     spawn_attempt(shared, conns, &req, first, deadline, false, &tx);
     attempted.push(first);
+    // Frame receipt → first attempt launched: the router's queueing hop.
+    let q_dur = ring.now_us().saturating_sub(q_start);
+    shared.obs.stage_router_queue.record(q_dur);
+    ring.record(req.trace_id, Stage::RouterQueue, q_start, q_dur);
     let mut in_flight = 1usize;
     let mut hedge_at = (cfg.hedge && shared.replicas.len() > 1).then(|| match deadline {
         Some(d) => {
@@ -815,7 +908,7 @@ fn forward_predict(
             // shed the stragglers themselves (a hedged pair dies as a
             // pair). Late replies land on pooled sockets and are skipped
             // by req-id as stale.
-            shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            shared.obs.deadline_exceeded.inc();
             return Frame::DeadlineExceeded { req_id };
         }
         let mut wake = now + Duration::from_millis(20);
@@ -834,7 +927,7 @@ fn forward_predict(
                 match report.result {
                     Ok(ids) => {
                         if report.hedge {
-                            shared.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                            shared.obs.hedge_wins.inc();
                         }
                         return Frame::TopK { req_id, ids };
                     }
@@ -868,7 +961,7 @@ fn forward_predict(
                         // last attempt standing.
                         if in_flight == 0 && attempted.len() < MAX_ATTEMPTS {
                             if let Some(j) = pick_replica(shared, &req.indices, &attempted) {
-                                shared.failovers.fetch_add(1, Ordering::Relaxed);
+                                shared.obs.failovers.inc();
                                 spawn_attempt(shared, conns, &req, j, deadline, false, &tx);
                                 attempted.push(j);
                                 in_flight += 1;
@@ -890,7 +983,12 @@ fn forward_predict(
             if Instant::now() >= h && in_flight >= 1 && attempted.len() < MAX_ATTEMPTS {
                 hedge_at = None;
                 if let Some(j) = pick_replica(shared, &req.indices, &attempted) {
-                    shared.hedges.fetch_add(1, Ordering::Relaxed);
+                    shared.obs.hedges.inc();
+                    // Receipt → hedge launch: how long the primary was
+                    // given before we paid for a backup attempt.
+                    let h_dur = ring.now_us().saturating_sub(q_start);
+                    shared.obs.stage_hedge_wait.record(h_dur);
+                    ring.record(req.trace_id, Stage::HedgeWait, q_start, h_dur);
                     spawn_attempt(shared, conns, &req, j, deadline, true, &tx);
                     attempted.push(j);
                     in_flight += 1;
@@ -945,17 +1043,8 @@ mod tests {
     }
 
     fn replica(idx: usize) -> ReplicaState {
-        ReplicaState {
-            idx,
-            addr: "127.0.0.1:1".parse().unwrap(),
-            breaker: Mutex::new(Breaker::Closed { fails: 0 }),
-            inflight: AtomicUsize::new(0),
-            forwarded: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            opens: AtomicU64::new(0),
-            half_opens: AtomicU64::new(0),
-            closes: AtomicU64::new(0),
-        }
+        // Each call gets its own hub so counters never collide across tests.
+        ReplicaState::new(idx, "127.0.0.1:1".parse().unwrap(), &ObsHub::new())
     }
 
     #[test]
@@ -969,16 +1058,16 @@ mod tests {
         // Threshold reached: open, traffic and pings suppressed.
         rep.record_failure(&cfg);
         assert!(!rep.available());
-        assert_eq!(rep.opens.load(Ordering::Relaxed), 1);
+        assert_eq!(rep.opens.get(), 1);
         assert!(!rep.probe_due(Instant::now()));
         // Backoff elapsed: half-open, the probe is admitted.
         assert!(rep.probe_due(Instant::now() + Duration::from_secs(3)));
-        assert_eq!(rep.half_opens.load(Ordering::Relaxed), 1);
+        assert_eq!(rep.half_opens.get(), 1);
         assert!(!rep.available(), "half-open must not take traffic");
         // Probe succeeds: closed again.
         rep.record_success();
         assert!(rep.available());
-        assert_eq!(rep.closes.load(Ordering::Relaxed), 1);
+        assert_eq!(rep.closes.get(), 1);
     }
 
     #[test]
@@ -1006,7 +1095,7 @@ mod tests {
             }
             ref other => panic!("expected reopened, got {other:?}"),
         }
-        assert_eq!(rep.opens.load(Ordering::Relaxed), 2);
+        assert_eq!(rep.opens.get(), 2);
     }
 
     #[test]

@@ -25,7 +25,8 @@
 use crate::stream::{read_frame, write_frame, ReadOutcome};
 use crate::wire::{ErrorCode, Frame, PongInfo, WireError};
 use parking_lot::Mutex;
-use slide_serve::{BatchingServer, LatencySummary, ServeError};
+use slide_obs::{Counter, Histogram, ObsHub, Stage};
+use slide_serve::{stage_histogram, BatchingServer, LatencySummary, ServeError};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -80,15 +81,60 @@ pub struct ClientCounters {
     pub protocol_errors: u64,
 }
 
-#[derive(Default)]
-struct NetStatsInner {
-    per_client: HashMap<String, ClientCounters>,
-    latencies_us: Vec<u64>,
+/// A tracked peer: counters plus a last-touch clock for LRU eviction.
+#[derive(Default, Clone, Copy)]
+struct PeerEntry {
+    touched: u64,
+    counters: ClientCounters,
 }
 
-/// Keep at most this many socket-level latency samples (same bound
-/// discipline as the batching server's).
-const MAX_NET_LATENCY_SAMPLES: usize = 1 << 20;
+#[derive(Default)]
+struct NetStatsInner {
+    per_client: HashMap<String, PeerEntry>,
+    /// Monotone touch clock driving LRU eviction of `per_client`.
+    touch_seq: u64,
+}
+
+/// Track at most this many distinct peers. A port-churning loadgen (every
+/// reconnect is a fresh `ip:port` key) previously grew the map without
+/// bound; beyond the cap the least-recently-touched peer is evicted and
+/// `slide_net_evicted_peers_total` counts the loss. Fleet totals are immune:
+/// they come from registry counters, not per-peer sums.
+pub const MAX_TRACKED_PEERS: usize = 64;
+
+/// Network-tier instruments, registered in the **batching server's** hub so
+/// one `GetMetrics` scrape exposes socket-, serve-, and stage-level series
+/// from a single rendering pass.
+struct NetObs {
+    hub: Arc<ObsHub>,
+    requests: Arc<Counter>,
+    ok: Arc<Counter>,
+    invalid: Arc<Counter>,
+    retry_later: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    evicted_peers: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    stage_encode: Arc<Histogram>,
+}
+
+impl NetObs {
+    fn new(hub: Arc<ObsHub>) -> Self {
+        let r = hub.registry();
+        NetObs {
+            requests: r.counter("slide_net_requests_total"),
+            ok: r.counter("slide_net_ok_total"),
+            invalid: r.counter("slide_net_invalid_total"),
+            retry_later: r.counter("slide_net_retry_later_total"),
+            deadline_exceeded: r.counter("slide_net_deadline_exceeded_total"),
+            protocol_errors: r.counter("slide_net_protocol_errors_total"),
+            evicted_peers: r.counter("slide_net_evicted_peers_total"),
+            latency_us: r.histogram("slide_net_latency_us"),
+            stage_encode: stage_histogram(&hub, Stage::Encode),
+            hub,
+        }
+    }
+}
 
 struct NetShared {
     batching: Arc<BatchingServer>,
@@ -100,6 +146,7 @@ struct NetShared {
     conns_active: AtomicUsize,
     conns_opened: AtomicU64,
     refused: AtomicU64,
+    obs: NetObs,
     stats: Mutex<NetStatsInner>,
     conn_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -117,18 +164,19 @@ pub struct NetStats {
     pub refused: u64,
     /// Predict requests currently in flight.
     pub inflight: usize,
-    /// Per-peer counters, sorted by peer address.
+    /// Fleet totals since start. Registry-backed, so they keep counting
+    /// across per-peer evictions (summing `per_client` would not).
+    pub totals: ClientCounters,
+    /// Peers dropped from the tracked set at the [`MAX_TRACKED_PEERS`] cap.
+    pub evicted_peers: u64,
+    /// Per-peer counters (at most [`MAX_TRACKED_PEERS`] entries, most
+    /// recently active peers win), sorted by peer address.
     pub per_client: Vec<(String, ClientCounters)>,
     /// Socket-measured request latency (frame decoded → response written).
     pub latency: LatencySummary,
 }
 
 impl NetStats {
-    /// Sum a field across peers.
-    fn total(&self, f: impl Fn(&ClientCounters) -> u64) -> u64 {
-        self.per_client.iter().map(|(_, c)| f(c)).sum()
-    }
-
     /// Render as a JSON object (the `GetStats` response body).
     pub fn to_json(&self) -> String {
         let clients: Vec<String> = self
@@ -151,6 +199,7 @@ impl NetStats {
             "{{\"draining\":{},\"connections_opened\":{},\"connections_active\":{},\
              \"refused\":{},\"inflight\":{},\"requests\":{},\"ok\":{},\"invalid\":{},\
              \"retry_later\":{},\"deadline_exceeded\":{},\"protocol_errors\":{},\
+             \"evicted_peers\":{},\
              \"latency_us\":{{\"p50\":{},\"p99\":{},\"mean\":{:.1},\"max\":{},\"samples\":{}}},\
              \"clients\":[{}]}}",
             self.draining,
@@ -158,12 +207,13 @@ impl NetStats {
             self.connections_active,
             self.refused,
             self.inflight,
-            self.total(|c| c.requests),
-            self.total(|c| c.ok),
-            self.total(|c| c.invalid),
-            self.total(|c| c.retry_later),
-            self.total(|c| c.deadline_exceeded),
-            self.total(|c| c.protocol_errors),
+            self.totals.requests,
+            self.totals.ok,
+            self.totals.invalid,
+            self.totals.retry_later,
+            self.totals.deadline_exceeded,
+            self.totals.protocol_errors,
+            self.evicted_peers,
             self.latency.p50_us,
             self.latency.p99_us,
             self.latency.mean_us,
@@ -200,10 +250,12 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let obs = NetObs::new(batching.obs());
         let shared = Arc::new(NetShared {
             batching,
             cfg,
             local_addr,
+            obs,
             draining: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             conns_active: AtomicUsize::new(0),
@@ -273,16 +325,34 @@ fn snapshot_stats(shared: &NetShared) -> NetStats {
     let mut per_client: Vec<(String, ClientCounters)> = inner
         .per_client
         .iter()
-        .map(|(k, v)| (k.clone(), *v))
+        .map(|(k, v)| (k.clone(), v.counters))
         .collect();
     per_client.sort_by(|a, b| a.0.cmp(&b.0));
+    drop(inner);
+    let o = &shared.obs;
+    let lat = o.latency_us.snapshot();
     NetStats {
         draining: shared.draining.load(Ordering::Acquire),
         connections_opened: shared.conns_opened.load(Ordering::Relaxed),
         connections_active: shared.conns_active.load(Ordering::Relaxed),
         refused: shared.refused.load(Ordering::Relaxed),
         inflight: shared.inflight.load(Ordering::Relaxed),
-        latency: LatencySummary::from_unsorted(inner.latencies_us.clone()),
+        totals: ClientCounters {
+            requests: o.requests.get(),
+            ok: o.ok.get(),
+            invalid: o.invalid.get(),
+            retry_later: o.retry_later.get(),
+            deadline_exceeded: o.deadline_exceeded.get(),
+            protocol_errors: o.protocol_errors.get(),
+        },
+        evicted_peers: o.evicted_peers.get(),
+        latency: LatencySummary {
+            p50_us: lat.quantile(50.0),
+            p99_us: lat.quantile(99.0),
+            mean_us: lat.mean(),
+            max_us: lat.max,
+            samples: lat.count,
+        },
         per_client,
     }
 }
@@ -348,14 +418,25 @@ fn refuse(mut stream: TcpStream, cfg: NetConfig) {
 
 fn bump(shared: &NetShared, peer: &str, f: impl Fn(&mut ClientCounters)) {
     let mut inner = shared.stats.lock();
-    f(inner.per_client.entry(peer.to_string()).or_default());
-}
-
-fn record_latency(shared: &NetShared, us: u64) {
-    let mut inner = shared.stats.lock();
-    if inner.latencies_us.len() < MAX_NET_LATENCY_SAMPLES {
-        inner.latencies_us.push(us);
+    inner.touch_seq += 1;
+    let now = inner.touch_seq;
+    if !inner.per_client.contains_key(peer) && inner.per_client.len() >= MAX_TRACKED_PEERS {
+        // Evict the least-recently-touched peer to admit this one. O(n)
+        // scan, but n is capped at MAX_TRACKED_PEERS and eviction only
+        // fires on first contact from a new peer past the cap.
+        if let Some(victim) = inner
+            .per_client
+            .iter()
+            .min_by_key(|(_, e)| e.touched)
+            .map(|(k, _)| k.clone())
+        {
+            inner.per_client.remove(&victim);
+            shared.obs.evicted_peers.inc();
+        }
     }
+    let entry = inner.per_client.entry(peer.to_string()).or_default();
+    entry.touched = now;
+    f(&mut entry.counters);
 }
 
 fn connection_loop(mut stream: TcpStream, peer: SocketAddr, shared: &NetShared) {
@@ -380,6 +461,7 @@ fn connection_loop(mut stream: TcpStream, peer: SocketAddr, shared: &NetShared) 
             Ok(ReadOutcome::Frame(f)) => f,
             Err(e) => {
                 bump(shared, &peer, |c| c.protocol_errors += 1);
+                shared.obs.protocol_errors.inc();
                 // Name the fault for the peer when the stream is still
                 // usable, then close. Stalls and IO faults skip the
                 // courtesy reply.
@@ -410,9 +492,11 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
     match frame {
         Frame::Predict(req) => {
             bump(shared, peer, |c| c.requests += 1);
+            shared.obs.requests.inc();
             if shared.draining.load(Ordering::Acquire) {
                 // Drain started between frames: shed softly and close.
                 bump(shared, peer, |c| c.retry_later += 1);
+                shared.obs.retry_later.inc();
                 let _ = write_frame(
                     stream,
                     &Frame::RetryLater {
@@ -428,17 +512,22 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
             let deadline =
                 (req.deadline_us > 0).then(|| t0 + Duration::from_micros(req.deadline_us));
             shared.inflight.fetch_add(1, Ordering::Relaxed);
-            let result = shared.batching.try_predict_within(
+            let result = shared.batching.try_predict_traced(
                 &req.indices,
                 &req.values,
                 req.k as usize,
                 deadline,
+                req.trace_id,
             );
             shared.inflight.fetch_sub(1, Ordering::Relaxed);
             let reply = match result {
                 Ok(ids) => {
                     bump(shared, peer, |c| c.ok += 1);
-                    record_latency(shared, t0.elapsed().as_micros() as u64);
+                    shared.obs.ok.inc();
+                    shared
+                        .obs
+                        .latency_us
+                        .record(t0.elapsed().as_micros() as u64);
                     Frame::TopK {
                         req_id: req.req_id,
                         ids,
@@ -446,6 +535,7 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
                 }
                 Err(ServeError::Overloaded(depth)) => {
                     bump(shared, peer, |c| c.retry_later += 1);
+                    shared.obs.retry_later.inc();
                     Frame::RetryLater {
                         req_id: req.req_id,
                         queue_depth: depth as u32,
@@ -453,10 +543,12 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
                 }
                 Err(ServeError::DeadlineExceeded) => {
                     bump(shared, peer, |c| c.deadline_exceeded += 1);
+                    shared.obs.deadline_exceeded.inc();
                     Frame::DeadlineExceeded { req_id: req.req_id }
                 }
                 Err(ServeError::Invalid(msg)) => {
                     bump(shared, peer, |c| c.invalid += 1);
+                    shared.obs.invalid.inc();
                     Frame::Error {
                         req_id: req.req_id,
                         code: ErrorCode::Invalid,
@@ -475,7 +567,15 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
                     return false;
                 }
             };
-            write_frame(stream, &reply).is_ok()
+            // Encode + flush is the last hop a request spends inside this
+            // process; time it like any other stage.
+            let ring = shared.obs.hub.ring();
+            let enc_start = ring.now_us();
+            let sent = write_frame(stream, &reply).is_ok();
+            let enc_dur = ring.now_us().saturating_sub(enc_start);
+            shared.obs.stage_encode.record(enc_dur);
+            ring.record(req.trace_id, Stage::Encode, enc_start, enc_dur);
+            sent
         }
         Frame::Ping { nonce } => {
             let precision = shared.batching.current().precision().to_string();
@@ -494,6 +594,12 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
             let json = snapshot_stats(shared).to_json();
             write_frame(stream, &Frame::StatsJson(json)).is_ok()
         }
+        Frame::GetMetrics => {
+            // One hub serves both tiers: socket counters, serve counters,
+            // stage histograms, and the trace ring render together.
+            let text = shared.obs.hub.render();
+            write_frame(stream, &Frame::MetricsText(text)).is_ok()
+        }
         Frame::Drain => {
             shared.draining.store(true, Ordering::Release);
             let _ = write_frame(stream, &Frame::Drain);
@@ -507,8 +613,10 @@ fn handle_frame(stream: &mut TcpStream, peer: &str, shared: &NetShared, frame: F
         | Frame::RetryLater { .. }
         | Frame::Pong(_)
         | Frame::StatsJson(_)
+        | Frame::MetricsText(_)
         | Frame::DeadlineExceeded { .. }) => {
             bump(shared, peer, |c| c.protocol_errors += 1);
+            shared.obs.protocol_errors.inc();
             let _ = write_frame(
                 stream,
                 &Frame::Error {

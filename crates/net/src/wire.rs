@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field         value
 //! 0       4     magic         0x31574C53 ("SLW1", little-endian)
-//! 4       1     version       1 or 2 (see below)
+//! 4       1     version       1, 2, or 3 (see below)
 //! 5       1     frame type    see [`Frame`]
 //! 6       2     reserved      must be 0
 //! 8       4     payload_len   LE; must be <= the receiver's max_payload
@@ -17,12 +17,16 @@
 //!
 //! **Versioning** is per-frame, not per-connection. Version 1 is the
 //! baseline protocol. Version 2 adds a `deadline_us` budget field to
-//! `Predict` and the `DeadlineExceeded` reply (frame type 10). The encoder
-//! always emits the *lowest* version that can carry the frame — a `Predict`
-//! with no deadline is bit-identical to what a v1 client sends — and the
-//! decoder accepts both, reading a v1 `Predict` as "no deadline". Old
-//! clients therefore keep working against new servers (their requests *are*
-//! v1 frames, and every reply they can trigger encodes as v1), and the
+//! `Predict` and the `DeadlineExceeded` reply (frame type 10). Version 3
+//! adds a `trace_id` field to `Predict` (after `deadline_us`) and the
+//! `GetMetrics`/`MetricsText` observability pair (frame types 11/12). The
+//! encoder always emits the *lowest* version that can carry the frame — a
+//! `Predict` with no deadline and no trace id is bit-identical to what a
+//! v1 client sends, and one with a deadline but a zero trace id is
+//! bit-identical to v2 — and the decoder accepts all versions, reading a
+//! v1/v2 `Predict` as "no trace". Old clients therefore keep working
+//! against new servers (their requests *are* v1/v2 frames, and every reply
+//! they can trigger encodes at their version or lower), and the
 //! canonical-encoding property (decode → encode is bit-identical) holds
 //! across versions.
 //!
@@ -51,6 +55,13 @@ pub const VERSION: u8 = 1;
 /// budget and servers may reply [`Frame::DeadlineExceeded`]. Frames that
 /// need no v2 feature still encode as [`VERSION`] (lowest-version rule).
 pub const VERSION2: u8 = 2;
+
+/// Observability protocol version: `Predict` carries a `trace_id` (after
+/// `deadline_us`) and [`Frame::GetMetrics`] / [`Frame::MetricsText`] expose
+/// a process's metrics registry and trace ring. Frames that need no v3
+/// feature encode at the lowest version that fits, so a zero trace id is
+/// byte-invisible on the wire.
+pub const VERSION3: u8 = 3;
 
 /// Bytes in the fixed frame header.
 pub const HEADER_LEN: usize = 16;
@@ -199,6 +210,11 @@ pub struct PredictRequest {
     /// shrinks monotonically across hops (network transit is the only time
     /// the budget fails to account for).
     pub deadline_us: u64,
+    /// Distributed trace id; `0` means "untraced" (and never forces a v3
+    /// encoding, so untraced requests are byte-identical to their v2/v1
+    /// forms). A nonzero id is propagated unchanged client → router →
+    /// replica, and every hop records its stage spans under it.
+    pub trace_id: u64,
     /// Sparse feature indices (may be empty).
     pub indices: Vec<u32>,
     /// Matching feature values (same length as `indices`).
@@ -270,6 +286,11 @@ pub enum Frame {
         /// Correlation id from the request.
         req_id: u64,
     },
+    /// Ask the server for its Prometheus-style metrics exposition
+    /// (counters, histograms, breaker states, recent trace spans). v3-only.
+    GetMetrics,
+    /// Metrics exposition text response. v3-only.
+    MetricsText(String),
 }
 
 impl Frame {
@@ -286,15 +307,20 @@ impl Frame {
             Frame::StatsJson(_) => 8,
             Frame::Drain => 9,
             Frame::DeadlineExceeded { .. } => 10,
+            Frame::GetMetrics => 11,
+            Frame::MetricsText(_) => 12,
         }
     }
 
     /// The lowest protocol version that can carry this frame — what the
-    /// encoder stamps in the header. Only a deadline-bearing `Predict` and
-    /// `DeadlineExceeded` need v2; everything else stays v1, so a frame
-    /// with no v2 feature is bit-identical to its v1 encoding.
+    /// encoder stamps in the header. A traced `Predict` and the metrics
+    /// pair need v3; a deadline-bearing `Predict` and `DeadlineExceeded`
+    /// need v2; everything else stays v1, so a frame with no newer-version
+    /// feature is bit-identical to its oldest encoding.
     pub fn wire_version(&self) -> u8 {
         match self {
+            Frame::Predict(req) if req.trace_id > 0 => VERSION3,
+            Frame::GetMetrics | Frame::MetricsText(_) => VERSION3,
             Frame::Predict(req) if req.deadline_us > 0 => VERSION2,
             Frame::DeadlineExceeded { .. } => VERSION2,
             _ => VERSION,
@@ -313,6 +339,9 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
             out.put_u32_le(req.k);
             if version >= VERSION2 {
                 out.put_u64_le(req.deadline_us);
+            }
+            if version >= VERSION3 {
+                out.put_u64_le(req.trace_id);
             }
             out.put_u32_le(req.indices.len() as u32);
             for &i in &req.indices {
@@ -354,9 +383,10 @@ fn encode_payload(frame: &Frame, version: u8, out: &mut Vec<u8>) {
             out.put_u32_le(info.precision.len() as u32);
             out.put_slice(info.precision.as_bytes());
         }
-        Frame::GetStats | Frame::Drain => {}
+        Frame::GetStats | Frame::Drain | Frame::GetMetrics => {}
         Frame::StatsJson(json) => out.put_slice(json.as_bytes()),
         Frame::DeadlineExceeded { req_id } => out.put_u64_le(*req_id),
+        Frame::MetricsText(text) => out.put_slice(text.as_bytes()),
     }
 }
 
@@ -446,8 +476,8 @@ impl Reader<'_> {
 /// first corrupt field is the one reported).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
-    /// Protocol version of this frame ([`VERSION`] or [`VERSION2`]);
-    /// payload layout for some frame types depends on it.
+    /// Protocol version of this frame ([`VERSION`], [`VERSION2`], or
+    /// [`VERSION3`]); payload layout for some frame types depends on it.
     pub version: u8,
     /// Frame-type byte (validated against the known set for `version`).
     pub frame_type: u8,
@@ -473,12 +503,18 @@ impl FrameHeader {
             return Err(WireError::BadMagic(magic));
         }
         let version = r.get_u8();
-        if !(VERSION..=VERSION2).contains(&version) {
+        if !(VERSION..=VERSION3).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
-        // Frame type 10 (DeadlineExceeded) exists only in v2; a v1 frame
-        // claiming it is a protocol fault, not a forward-compat case.
-        let max_type = if version >= VERSION2 { 10 } else { 9 };
+        // Frame types exist only at the version that introduced them (10 =
+        // DeadlineExceeded in v2; 11/12 = GetMetrics/MetricsText in v3); an
+        // older frame claiming a newer type is a protocol fault, not a
+        // forward-compat case.
+        let max_type = match version {
+            v if v >= VERSION3 => 12,
+            v if v >= VERSION2 => 10,
+            _ => 9,
+        };
         let frame_type = r.get_u8();
         if !(1..=max_type).contains(&frame_type) {
             return Err(WireError::BadFrameType(frame_type));
@@ -518,6 +554,11 @@ pub fn decode_payload(version: u8, frame_type: u8, payload: &[u8]) -> Result<Fra
             } else {
                 0
             };
+            let trace_id = if version >= VERSION3 {
+                r.u64("Predict.trace_id")?
+            } else {
+                0
+            };
             let nnz = r.u32("Predict.nnz")? as usize;
             // 8 bytes per non-zero (u32 index + f32 value) must fit in what
             // is actually present — reject absurd counts before allocating.
@@ -535,6 +576,7 @@ pub fn decode_payload(version: u8, frame_type: u8, payload: &[u8]) -> Result<Fra
                 req_id,
                 k,
                 deadline_us,
+                trace_id,
                 indices,
                 values,
             }))
@@ -608,6 +650,15 @@ pub fn decode_payload(version: u8, frame_type: u8, payload: &[u8]) -> Result<Fra
             r.finish("DeadlineExceeded")?;
             Ok(Frame::DeadlineExceeded { req_id })
         }
+        11 if version >= VERSION3 => {
+            r.finish("GetMetrics")?;
+            Ok(Frame::GetMetrics)
+        }
+        12 if version >= VERSION3 => {
+            let len = payload.len();
+            let text = r.utf8(len, "MetricsText.body")?;
+            Ok(Frame::MetricsText(text))
+        }
         other => Err(WireError::BadFrameType(other)),
     }
 }
@@ -667,6 +718,7 @@ mod tests {
             req_id: 42,
             k: 5,
             deadline_us: 0,
+            trace_id: 0,
             indices: vec![1, 17, 40],
             values: vec![1.0, -0.5, 0.25],
         }));
@@ -674,6 +726,7 @@ mod tests {
             req_id: 0,
             k: 1,
             deadline_us: 0,
+            trace_id: 0,
             indices: vec![],
             values: vec![],
         }));
@@ -681,6 +734,7 @@ mod tests {
             req_id: 7,
             k: 3,
             deadline_us: 250_000,
+            trace_id: 0,
             indices: vec![2, 5],
             values: vec![0.5, -1.0],
         }));
@@ -708,6 +762,18 @@ mod tests {
         roundtrip(Frame::GetStats);
         roundtrip(Frame::StatsJson("{\"served\":1}".into()));
         roundtrip(Frame::Drain);
+        roundtrip(Frame::Predict(PredictRequest {
+            req_id: 11,
+            k: 2,
+            deadline_us: 5_000,
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            indices: vec![1],
+            values: vec![2.0],
+        }));
+        roundtrip(Frame::GetMetrics);
+        roundtrip(Frame::MetricsText(
+            "# TYPE slide_serve_requests_total counter\n".into(),
+        ));
     }
 
     #[test]
@@ -717,6 +783,7 @@ mod tests {
             req_id: 1,
             k: 2,
             deadline_us: 0,
+            trace_id: 0,
             indices: vec![3],
             values: vec![1.0],
         }));
@@ -726,6 +793,7 @@ mod tests {
             req_id: 1,
             k: 2,
             deadline_us: 1_000,
+            trace_id: 0,
             indices: vec![3],
             values: vec![1.0],
         }));
@@ -770,6 +838,7 @@ mod tests {
             req_id: 77,
             k: 4,
             deadline_us: 0,
+            trace_id: 0,
             indices: vec![10, 20],
             values: vec![1.5, -0.5],
         });
@@ -805,6 +874,64 @@ mod tests {
             decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
             Err(WireError::BadFrameType(10))
         );
+    }
+
+    #[test]
+    fn trace_id_forces_v3_and_adds_eight_bytes() {
+        // The v2 deadline form is the baseline...
+        let v2 = frame_bytes(&Frame::Predict(PredictRequest {
+            req_id: 3,
+            k: 2,
+            deadline_us: 9_000,
+            trace_id: 0,
+            indices: vec![4],
+            values: vec![0.5],
+        }));
+        assert_eq!(v2[4], VERSION2);
+        // ...and a non-zero trace id widens it by exactly the 8-byte id.
+        let v3 = frame_bytes(&Frame::Predict(PredictRequest {
+            req_id: 3,
+            k: 2,
+            deadline_us: 9_000,
+            trace_id: 0x1234_5678_9ABC_DEF0,
+            indices: vec![4],
+            values: vec![0.5],
+        }));
+        assert_eq!(v3[4], VERSION3);
+        assert_eq!(v3.len(), v2.len() + 8);
+        // A zero trace id never forces v3: the encoding above IS the v2
+        // byte stream an un-instrumented client emits, bit for bit.
+        assert_eq!(&v2[..4], &v3[..4]);
+        // Metrics frames are v3-only by construction.
+        assert_eq!(frame_bytes(&Frame::GetMetrics)[4], VERSION3);
+        assert_eq!(frame_bytes(&Frame::MetricsText("x".into()))[4], VERSION3);
+    }
+
+    #[test]
+    fn metrics_frames_require_v3() {
+        // Pre-v3 headers claiming frame types 11/12 are typed rejections,
+        // exactly like type 10 on a v1 header.
+        for (version, ftype, payload) in [
+            (VERSION, 11u8, Vec::new()),
+            (VERSION2, 11u8, Vec::new()),
+            (VERSION, 12u8, b"text".to_vec()),
+            (VERSION2, 12u8, b"text".to_vec()),
+        ] {
+            let mut bytes = Vec::new();
+            bytes.put_u32_le(MAGIC);
+            bytes.put_u8(version);
+            bytes.put_u8(ftype);
+            bytes.put_u8(0);
+            bytes.put_u8(0);
+            bytes.put_u32_le(payload.len() as u32);
+            bytes.put_u32_le(crc32(&payload));
+            bytes.put_slice(&payload);
+            assert_eq!(
+                decode_frame(&bytes, DEFAULT_MAX_PAYLOAD),
+                Err(WireError::BadFrameType(ftype)),
+                "type {ftype} must be rejected at v{version}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Named instrument families with Prometheus-style text rendering.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Quantiles rendered for every histogram family.
+const RENDERED_QUANTILES: [(f64, &str); 3] = [(50.0, "0.5"), (90.0, "0.9"), (99.0, "0.99")];
+
+#[derive(Debug)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn type_str(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            // Histograms render as Prometheus summaries (precomputed
+            // quantiles + _sum/_count) — the bucket layout is an internal
+            // representation, not the exposition format.
+            Instrument::Histogram(_) => "summary",
+        }
+    }
+}
+
+/// Canonical key: family name plus a rendered `{label="value",...}` suffix
+/// (empty for unlabeled series). BTreeMap keeps render order deterministic.
+fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        // Escape per the Prometheus text format.
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splice extra content before a series' label suffix (or append when
+/// unlabeled): `name{a="b"}` + `quantile="0.5"` → `name{a="b",quantile="0.5"}`.
+fn with_extra_label(series: &str, extra: &str) -> String {
+    match series.strip_suffix('}') {
+        Some(head) => format!("{head},{extra}}}"),
+        None => format!("{series}{{{extra}}}"),
+    }
+}
+
+/// A registry of named metric families. Get-or-create is mutex-guarded
+/// (cold path: instruments are fetched once and cached as `Arc`s by their
+/// owners); the instruments themselves are lock-free.
+///
+/// ```
+/// let r = slide_obs::Registry::new();
+/// let ok = r.counter_with("req_total", &[("code", "ok")]);
+/// ok.add(2);
+/// r.gauge("queue_depth").set(7);
+/// let text = r.render();
+/// assert!(text.contains("req_total{code=\"ok\"} 2"));
+/// assert!(text.contains("queue_depth 7"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    // name → (type line emitted once per family) is derived at render time;
+    // the map is keyed by full series (name + labels).
+    series: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or create a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = series_key(name, labels);
+        let mut map = self.series.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            other => panic!("series {name} already registered as {}", other.type_str()),
+        }
+    }
+
+    /// Get or create an unlabeled gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or create a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = series_key(name, labels);
+        let mut map = self.series.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            other => panic!("series {name} already registered as {}", other.type_str()),
+        }
+    }
+
+    /// Get or create an unlabeled histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get or create a labeled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = series_key(name, labels);
+        let mut map = self.series.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::default())))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            other => panic!("series {name} already registered as {}", other.type_str()),
+        }
+    }
+
+    /// Render every family as Prometheus text-format exposition: one
+    /// `# TYPE` line per family, then its series. Histograms render as
+    /// summaries: `{quantile="0.5"|"0.9"|"0.99"}`, `_sum`, `_count`.
+    pub fn render(&self) -> String {
+        let map = self.series.lock();
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (series, inst) in map.iter() {
+            let family = series.split('{').next().unwrap_or(series);
+            if family != last_family {
+                out.push_str("# TYPE ");
+                out.push_str(family);
+                out.push(' ');
+                out.push_str(inst.type_str());
+                out.push('\n');
+                last_family = family.to_string();
+            }
+            match inst {
+                Instrument::Counter(c) => {
+                    out.push_str(series);
+                    out.push(' ');
+                    out.push_str(&c.get().to_string());
+                    out.push('\n');
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(series);
+                    out.push(' ');
+                    out.push_str(&g.get().to_string());
+                    out.push('\n');
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    for (q, qlabel) in RENDERED_QUANTILES {
+                        let labeled = with_extra_label(series, &format!("quantile=\"{qlabel}\""));
+                        out.push_str(&labeled);
+                        out.push(' ');
+                        out.push_str(&snap.quantile(q).to_string());
+                        out.push('\n');
+                    }
+                    let (fam, suffix) = match series.find('{') {
+                        Some(i) => (&series[..i], &series[i..]),
+                        None => (series.as_str(), ""),
+                    };
+                    out.push_str(&format!("{fam}_sum{suffix} {}\n", snap.sum));
+                    out.push_str(&format!("{fam}_count{suffix} {}\n", snap.count));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("c_total");
+        let b = r.counter("c_total");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn labels_create_distinct_series() {
+        let r = Registry::new();
+        let ok = r.counter_with("req_total", &[("code", "ok")]);
+        let err = r.counter_with("req_total", &[("code", "err")]);
+        ok.add(5);
+        err.add(2);
+        let text = r.render();
+        assert!(text.contains("req_total{code=\"err\"} 2"));
+        assert!(text.contains("req_total{code=\"ok\"} 5"));
+        // One TYPE line per family even with multiple series.
+        assert_eq!(text.matches("# TYPE req_total counter").count(), 1);
+    }
+
+    #[test]
+    fn histogram_renders_summary_quantiles_sum_count() {
+        let r = Registry::new();
+        let h = r.histogram_with("lat_us", &[("tier", "serve")]);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let text = r.render();
+        assert!(text.contains("# TYPE lat_us summary"));
+        assert!(text.contains("lat_us{tier=\"serve\",quantile=\"0.5\"}"));
+        assert!(text.contains("lat_us{tier=\"serve\",quantile=\"0.99\"}"));
+        assert!(text.contains("lat_us_sum{tier=\"serve\"} 5050"));
+        assert!(text.contains("lat_us_count{tier=\"serve\"} 100"));
+    }
+
+    #[test]
+    fn unlabeled_histogram_renders_bare_suffixes() {
+        let r = Registry::new();
+        r.histogram("h_us").record(10);
+        let text = r.render();
+        assert!(text.contains("h_us{quantile=\"0.5\"} 10"));
+        assert!(text.contains("h_us_sum 10"));
+        assert!(text.contains("h_us_count 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("c_total", &[("peer", "a\"b\\c")]).inc();
+        let text = r.render();
+        assert!(text.contains("c_total{peer=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    #[test]
+    fn render_order_is_deterministic() {
+        let r = Registry::new();
+        r.counter("zzz_total").inc();
+        r.gauge("aaa_depth").set(1);
+        let text = r.render();
+        let a = text.find("aaa_depth").unwrap();
+        let z = text.find("zzz_total").unwrap();
+        assert!(a < z);
+        assert_eq!(text, r.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("same_name");
+        r.gauge("same_name");
+    }
+}

@@ -21,8 +21,10 @@ use slide_core::{relu, Network, NetworkConfig, Precision};
 use slide_data::{top_k_indices, Dataset};
 use slide_hash::TableStats;
 use slide_mem::{AlignedVec, ArenaView, SparseVecRef};
+use slide_obs::StageSample;
 use slide_serve::{ActiveSetSelector, FrozenLayer, FrozenModel, FrozenNetwork, SelectorScratch};
 use slide_simd::{quantize_acts_u8, quantize_row_i8, KernelSet, RowGather};
+use std::time::Instant;
 
 /// i8 elements per 64-byte cache line; quantized row strides round up to
 /// this (a full line of codes per stride step — the i8 sibling of the f32
@@ -575,6 +577,24 @@ impl QuantizedFrozenNetwork {
         scratch: &mut QuantScratch,
         salt: u64,
     ) -> Vec<u32> {
+        let mut stages = StageSample::default();
+        self.predict_sparse_timed(x, k, scratch, salt, &mut stages)
+    }
+
+    /// [`QuantizedFrozenNetwork::predict_sparse`] with per-stage
+    /// attribution for the observability trace path: hidden forward,
+    /// activation quantization, and i8 scoring count as kernel time, LSH
+    /// active-set selection as retrieval time (`merge_us` stays 0 — a
+    /// single engine has no cross-shard merge).
+    pub fn predict_sparse_timed(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut QuantScratch,
+        salt: u64,
+        stages: &mut StageSample,
+    ) -> Vec<u32> {
+        let t0 = Instant::now();
         self.forward_hidden(x, scratch);
         let QuantScratch {
             acts,
@@ -586,7 +606,9 @@ impl QuantizedFrozenNetwork {
             kernels,
         } = scratch;
         let last = acts.last().expect("at least one hidden layer").as_slice();
+        let t1 = Instant::now();
         self.selector.select_into(last, sel, active, salt);
+        let t2 = Instant::now();
         let xq = qacts.last_mut().expect("scratch widths").as_mut_slice();
         let x_scale = quantize_acts_u8(last, xq);
         gather.w_i8.clear();
@@ -608,10 +630,16 @@ impl QuantizedFrozenNetwork {
         for (z, &r) in logits.iter_mut().zip(active.iter()) {
             *z += bias[r as usize];
         }
-        top_k_indices(logits, k.min(active.len().max(1)))
+        let out: Vec<u32> = top_k_indices(logits, k.min(active.len().max(1)))
             .into_iter()
             .map(|i| active[i as usize])
-            .collect()
+            .collect();
+        *stages = StageSample {
+            retrieval_us: (t2 - t1).as_micros() as u64,
+            kernel_us: ((t1 - t0) + t2.elapsed()).as_micros() as u64,
+            merge_us: 0,
+        };
+        out
     }
 
     /// Predict the top-`k` labels scoring *every* output unit with one
@@ -685,6 +713,20 @@ impl FrozenModel for QuantizedFrozenNetwork {
             .downcast_mut::<QuantScratch>()
             .expect("QuantizedFrozenNetwork handed scratch built by a different engine");
         self.predict_sparse(x, k, scratch, salt)
+    }
+
+    fn predict_any_timed(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut (dyn std::any::Any + Send),
+        salt: u64,
+        stages: &mut StageSample,
+    ) -> Vec<u32> {
+        let scratch = scratch
+            .downcast_mut::<QuantScratch>()
+            .expect("QuantizedFrozenNetwork handed scratch built by a different engine");
+        self.predict_sparse_timed(x, k, scratch, salt, stages)
     }
 }
 

@@ -14,7 +14,9 @@ use slide_core::{relu, Network, NetworkConfig, Precision};
 use slide_data::top_k_indices;
 use slide_hash::TableStats;
 use slide_mem::{AlignedVec, ArenaView, SparseVecRef};
+use slide_obs::StageSample;
 use slide_simd::{KernelSet, RowGather};
+use std::time::Instant;
 
 /// One layer's frozen weights: a contiguous arena whose rows are padded to
 /// a 64-byte stride so every row starts on a cache-line boundary (whole-line
@@ -456,9 +458,28 @@ impl FrozenNetwork {
         scratch: &mut ServeScratch,
         salt: u64,
     ) -> Vec<u32> {
+        let mut stages = StageSample::default();
+        self.predict_sparse_timed(x, k, scratch, salt, &mut stages)
+    }
+
+    /// [`FrozenNetwork::predict_sparse`] with per-stage attribution for the
+    /// observability trace path: hidden forward + output scoring count as
+    /// kernel time, LSH active-set selection as retrieval time. A single
+    /// engine has no cross-shard merge, so `merge_us` stays 0.
+    pub fn predict_sparse_timed(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut ServeScratch,
+        salt: u64,
+        stages: &mut StageSample,
+    ) -> Vec<u32> {
+        let t0 = Instant::now();
         self.forward_hidden(x, scratch);
         let (head, last) = split_acts(scratch);
+        let t1 = Instant::now();
         self.selector.select_into(last, head.sel, head.active, salt);
+        let t2 = Instant::now();
         head.gather.w_f32.clear();
         for &r in head.active.iter() {
             head.gather.w_f32.push(self.output.row(r as usize).as_ptr());
@@ -476,10 +497,16 @@ impl FrozenNetwork {
         for (z, &r) in head.logits.iter_mut().zip(head.active.iter()) {
             *z += bias[r as usize];
         }
-        top_k_indices(head.logits, k.min(head.active.len().max(1)))
+        let out = top_k_indices(head.logits, k.min(head.active.len().max(1)))
             .into_iter()
             .map(|i| head.active[i as usize])
-            .collect()
+            .collect();
+        *stages = StageSample {
+            retrieval_us: (t2 - t1).as_micros() as u64,
+            kernel_us: ((t1 - t0) + t2.elapsed()).as_micros() as u64,
+            merge_us: 0,
+        };
+        out
     }
 
     /// Predict the top-`k` labels scoring *every* output unit (exact

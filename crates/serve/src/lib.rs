@@ -62,8 +62,8 @@ pub use model::{FrozenModel, IntoFrozenModel};
 pub use registry::ModelRegistry;
 pub use retrieval::{ActiveSetSelector, SelectorScratch, ShardSelector, ShardSelectorScratch};
 pub use server::{
-    bench_report_json, percentile_us, phase_json, query_salt, BatchConfig, BatchingServer,
-    BenchMeta, LatencySummary, ServeStats,
+    bench_report_json, percentile_us, phase_json, query_salt, stage_histogram, BatchConfig,
+    BatchingServer, BenchMeta, LatencySummary, ServeStats,
 };
 pub use shard::{
     F32Shard, F32Trunk, ShardEngine, ShardIndexer, ShardPlan, ShardPlanKind, ShardScratch,

@@ -12,6 +12,7 @@
 
 use crate::frozen::{FrozenNetwork, ServeScratch};
 use slide_mem::SparseVecRef;
+use slide_obs::StageSample;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -63,6 +64,28 @@ pub trait FrozenModel: Send + Sync + std::fmt::Debug + 'static {
         scratch: &mut (dyn Any + Send),
         salt: u64,
     ) -> Vec<u32>;
+
+    /// [`FrozenModel::predict_any`] with per-stage attribution: fills
+    /// `stages` with the retrieval / kernel / merge split of the call.
+    /// The default implementation cannot see inside the engine, so it
+    /// attributes the whole call to the kernel stage; the engines in this
+    /// workspace override it with real per-stage timers.
+    fn predict_any_timed(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut (dyn Any + Send),
+        salt: u64,
+        stages: &mut StageSample,
+    ) -> Vec<u32> {
+        let t0 = std::time::Instant::now();
+        let out = self.predict_any(x, k, scratch, salt);
+        *stages = StageSample {
+            kernel_us: t0.elapsed().as_micros() as u64,
+            ..StageSample::default()
+        };
+        out
+    }
 }
 
 /// Anything the batching server accepts where a model is expected: either a
@@ -128,6 +151,20 @@ impl FrozenModel for FrozenNetwork {
             .downcast_mut::<ServeScratch>()
             .expect("FrozenNetwork handed scratch built by a different engine");
         self.predict_sparse(x, k, scratch, salt)
+    }
+
+    fn predict_any_timed(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut (dyn Any + Send),
+        salt: u64,
+        stages: &mut StageSample,
+    ) -> Vec<u32> {
+        let scratch = scratch
+            .downcast_mut::<ServeScratch>()
+            .expect("FrozenNetwork handed scratch built by a different engine");
+        self.predict_sparse_timed(x, k, scratch, salt, stages)
     }
 }
 

@@ -24,6 +24,7 @@ use crate::model::{FrozenModel, IntoFrozenModel};
 use parking_lot::{Condvar, Mutex, RwLock};
 use slide_core::ThreadPool;
 use slide_mem::SparseVecRef;
+use slide_obs::{Counter, Gauge, Histogram, ObsHub, Stage, StageSample};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -95,6 +96,9 @@ struct Request {
     /// `None` = wait forever. The dispatcher sheds expired requests from the
     /// drain loop *before* they reach a worker.
     deadline: Option<Instant>,
+    /// Nonzero for traced requests: per-stage spans land in the server's
+    /// trace ring under this id (0 = untraced, spans skipped).
+    trace_id: u64,
     tx: mpsc::SyncSender<Response>,
 }
 
@@ -109,23 +113,77 @@ struct Queue {
     closed: bool,
 }
 
-/// Keep at most this many latency samples for percentile estimation; beyond
-/// it only counters advance (bounds server memory on unbounded runs).
-const MAX_LATENCY_SAMPLES: usize = 4 << 20;
-
 struct StatsInner {
-    latencies_us: Vec<u64>,
     /// `batch_counts[s]` = number of executed batches of size `s`.
     batch_counts: Vec<u64>,
-    served: u64,
-    errors: u64,
+    started: Instant,
+}
+
+/// The server's registry-backed instruments, `Arc`s cached at start so the
+/// hot path never touches the registry's name map. The latency histogram —
+/// not a capped sample vector — is the source of truth for percentiles:
+/// bounded memory at any traffic volume, with tail accuracy bounded by
+/// [`Histogram::RELATIVE_ERROR_BOUND`] instead of silently degrading once
+/// a sample cap is hit.
+struct ServeObs {
+    hub: Arc<ObsHub>,
+    /// Requests answered (including error responses).
+    served: Arc<Counter>,
+    errors: Arc<Counter>,
     /// Requests shed because their deadline expired before compute
     /// (at admission, in the drain loop, or at the worker's last check).
     /// Kept separate from `served`/`errors`: a shed request was never
     /// answered with a prediction or a validation verdict.
-    deadline_exceeded: u64,
-    batches: u64,
-    started: Instant,
+    deadline_exceeded: Arc<Counter>,
+    batches: Arc<Counter>,
+    hot_swaps: Arc<Gauge>,
+    latency_us: Arc<Histogram>,
+    stage_admission: Arc<Histogram>,
+    stage_batch_wait: Arc<Histogram>,
+    stage_retrieval: Arc<Histogram>,
+    stage_kernel: Arc<Histogram>,
+    stage_merge: Arc<Histogram>,
+}
+
+/// Get-or-create the shared `slide_stage_us{stage=...}` histogram for one
+/// pipeline stage on a hub — the family every tier (serve, net, router)
+/// records its per-hop stage times into.
+pub fn stage_histogram(hub: &ObsHub, stage: Stage) -> Arc<Histogram> {
+    hub.registry()
+        .histogram_with("slide_stage_us", &[("stage", stage.as_str())])
+}
+
+impl ServeObs {
+    fn new(hub: Arc<ObsHub>) -> Self {
+        let r = hub.registry();
+        ServeObs {
+            served: r.counter("slide_serve_requests_total"),
+            errors: r.counter("slide_serve_errors_total"),
+            deadline_exceeded: r.counter("slide_serve_deadline_exceeded_total"),
+            batches: r.counter("slide_serve_batches_total"),
+            hot_swaps: r.gauge("slide_serve_hot_swaps"),
+            latency_us: r.histogram("slide_serve_latency_us"),
+            stage_admission: stage_histogram(&hub, Stage::Admission),
+            stage_batch_wait: stage_histogram(&hub, Stage::BatchWait),
+            stage_retrieval: stage_histogram(&hub, Stage::Retrieval),
+            stage_kernel: stage_histogram(&hub, Stage::Kernel),
+            stage_merge: stage_histogram(&hub, Stage::Merge),
+            hub,
+        }
+    }
+
+    fn reset(&self) {
+        self.served.reset();
+        self.errors.reset();
+        self.deadline_exceeded.reset();
+        self.batches.reset();
+        self.latency_us.reset();
+        self.stage_admission.reset();
+        self.stage_batch_wait.reset();
+        self.stage_retrieval.reset();
+        self.stage_kernel.reset();
+        self.stage_merge.reset();
+    }
 }
 
 struct ServerShared {
@@ -134,6 +192,7 @@ struct ServerShared {
     not_full: Condvar,
     model: RwLock<Arc<dyn FrozenModel>>,
     stats: Mutex<StatsInner>,
+    obs: ServeObs,
     swap_epoch: AtomicU64,
     config: BatchConfig,
     threads: usize,
@@ -167,13 +226,10 @@ impl SlotPtr {
 
 struct WorkerSlot {
     /// Engine-owned query scratch, opaque to the server (built by —
-    /// and downcast inside — the snapshot that created it).
+    /// and downcast inside — the snapshot that created it). Counters and
+    /// latencies no longer live here: workers record straight into the
+    /// lock-free registry instruments, so there is no batch-boundary merge.
     scratch: Box<dyn Any + Send>,
-    latencies_us: Vec<u64>,
-    errors: u64,
-    /// Requests whose deadline passed between batch assembly and this
-    /// worker picking them up.
-    deadline_exceeded: u64,
 }
 
 /// Summary of a latency distribution, in microseconds.
@@ -369,14 +425,10 @@ impl BatchingServer {
             not_full: Condvar::new(),
             model: RwLock::new(model),
             stats: Mutex::new(StatsInner {
-                latencies_us: Vec::new(),
                 batch_counts: vec![0; config.max_batch + 1],
-                served: 0,
-                errors: 0,
-                deadline_exceeded: 0,
-                batches: 0,
                 started: Instant::now(),
             }),
+            obs: ServeObs::new(ObsHub::shared()),
             swap_epoch: AtomicU64::new(0),
             config,
             threads,
@@ -399,6 +451,14 @@ impl BatchingServer {
         self.shared.threads
     }
 
+    /// This server's observability hub: the registry its counters and
+    /// latency/stage histograms live in, plus the trace ring its per-request
+    /// spans land in. A network front-end shares this hub (encode spans,
+    /// wire counters) and serves its rendered text over `GetMetrics`.
+    pub fn obs(&self) -> Arc<ObsHub> {
+        Arc::clone(&self.shared.obs.hub)
+    }
+
     /// The snapshot currently serving traffic.
     pub fn current(&self) -> Arc<dyn FrozenModel> {
         self.shared.model.read().clone()
@@ -414,7 +474,8 @@ impl BatchingServer {
     /// already-erased `Arc<dyn FrozenModel>`.
     pub fn publish(&self, model: impl IntoFrozenModel) {
         *self.shared.model.write() = model.into_frozen();
-        self.shared.swap_epoch.fetch_add(1, Ordering::AcqRel);
+        let epoch = self.shared.swap_epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.shared.obs.hot_swaps.set(epoch);
     }
 
     /// Submit one query and block until its top-`k` prediction is ready.
@@ -431,7 +492,7 @@ impl BatchingServer {
         values: &[f32],
         k: usize,
     ) -> Result<Vec<u32>, ServeError> {
-        self.submit(indices, values, k, true, None)
+        self.submit(indices, values, k, true, None, 0)
     }
 
     /// [`BatchingServer::predict`] with a deadline: if `deadline` passes
@@ -454,7 +515,7 @@ impl BatchingServer {
         k: usize,
         deadline: Option<Instant>,
     ) -> Result<Vec<u32>, ServeError> {
-        self.submit(indices, values, k, true, deadline)
+        self.submit(indices, values, k, true, deadline, 0)
     }
 
     /// Non-blocking-admission variant of [`BatchingServer::predict`]: if the
@@ -475,7 +536,7 @@ impl BatchingServer {
         values: &[f32],
         k: usize,
     ) -> Result<Vec<u32>, ServeError> {
-        self.submit(indices, values, k, false, None)
+        self.submit(indices, values, k, false, None, 0)
     }
 
     /// Non-blocking-admission variant of [`BatchingServer::predict_within`]:
@@ -495,9 +556,30 @@ impl BatchingServer {
         k: usize,
         deadline: Option<Instant>,
     ) -> Result<Vec<u32>, ServeError> {
-        self.submit(indices, values, k, false, deadline)
+        self.submit(indices, values, k, false, deadline, 0)
     }
 
+    /// [`BatchingServer::try_predict_within`] for a traced request: a
+    /// nonzero `trace_id` makes every stage this request passes through
+    /// (admission, batch wait, retrieval, kernel, merge) record a span in
+    /// the server's trace ring under that id. `trace_id == 0` is exactly
+    /// `try_predict_within`.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchingServer::try_predict_within`].
+    pub fn try_predict_traced(
+        &self,
+        indices: &[u32],
+        values: &[f32],
+        k: usize,
+        deadline: Option<Instant>,
+        trace_id: u64,
+    ) -> Result<Vec<u32>, ServeError> {
+        self.submit(indices, values, k, false, deadline, trace_id)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn submit(
         &self,
         indices: &[u32],
@@ -505,6 +587,7 @@ impl BatchingServer {
         k: usize,
         block: bool,
         deadline: Option<Instant>,
+        trace_id: u64,
     ) -> Result<Vec<u32>, ServeError> {
         if k == 0 {
             return Err(ServeError::Invalid("k must be positive".into()));
@@ -516,10 +599,12 @@ impl BatchingServer {
                 values.len()
             )));
         }
+        let obs = &self.shared.obs;
+        let admit_start_us = obs.hub.ring().now_us();
         // Already expired on arrival: reject before taking a queue slot —
         // the caller's budget is gone, compute would be pure waste.
         if deadline.is_some_and(|d| Instant::now() >= d) {
-            self.shared.stats.lock().deadline_exceeded += 1;
+            obs.deadline_exceeded.inc();
             return Err(ServeError::DeadlineExceeded);
         }
         let (tx, rx) = mpsc::sync_channel(1);
@@ -529,6 +614,7 @@ impl BatchingServer {
             k,
             enqueued: Instant::now(),
             deadline,
+            trace_id,
             tx,
         };
         {
@@ -545,6 +631,15 @@ impl BatchingServer {
             q.items.push_back(request);
             self.shared.not_empty.notify_one();
         }
+        // Admission: validation + queue hand-off (ends when the request is
+        // enqueued; waiting for the batch is the BatchWait stage).
+        let admit_us = obs.hub.ring().now_us().saturating_sub(admit_start_us);
+        obs.stage_admission.record(admit_us);
+        if trace_id != 0 {
+            obs.hub
+                .ring()
+                .record(trace_id, Stage::Admission, admit_start_us, admit_us);
+        }
         rx.recv().unwrap_or(Err(ServeError::Closed))
     }
 
@@ -556,50 +651,61 @@ impl BatchingServer {
 
     /// Snapshot the throughput/latency counters.
     ///
-    /// Counters are merged at batch boundaries, so a response a client just
-    /// received may precede its own appearance in the counters by one
-    /// batch-merge window (microseconds). Quiesce traffic before comparing
-    /// exact counts.
+    /// Counters are lock-free and workers record them as each response is
+    /// sent, so a response a client just received may precede its own
+    /// appearance here by nanoseconds. Quiesce traffic before comparing
+    /// exact counts. Latency percentiles come from the bounded-memory
+    /// registry histogram (p50/p99 within its 1/32 bucket error bound;
+    /// mean/max exact).
     pub fn stats(&self) -> ServeStats {
         let precision = self.shared.model.read().precision().to_string();
-        let stats = self.shared.stats.lock();
-        let elapsed = stats.started.elapsed().as_secs_f64().max(1e-9);
-        let batch_hist: Vec<(usize, u64)> = stats
-            .batch_counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(s, &c)| (s, c))
-            .collect();
+        let obs = &self.shared.obs;
+        let served = obs.served.get();
+        let batches = obs.batches.get();
+        let lat = obs.latency_us.snapshot();
+        let (started, batch_hist) = {
+            let stats = self.shared.stats.lock();
+            let hist: Vec<(usize, u64)> = stats
+                .batch_counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(s, &c)| (s, c))
+                .collect();
+            (stats.started, hist)
+        };
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
         ServeStats {
             precision,
-            served: stats.served,
-            errors: stats.errors,
-            deadline_exceeded: stats.deadline_exceeded,
-            batches: stats.batches,
+            served,
+            errors: obs.errors.get(),
+            deadline_exceeded: obs.deadline_exceeded.get(),
+            batches,
             hot_swaps: self.shared.swap_epoch.load(Ordering::Acquire),
             elapsed_seconds: elapsed,
-            throughput_qps: stats.served as f64 / elapsed,
-            mean_batch: if stats.batches == 0 {
+            throughput_qps: served as f64 / elapsed,
+            mean_batch: if batches == 0 {
                 0.0
             } else {
-                stats.served as f64 / stats.batches as f64
+                served as f64 / batches as f64
             },
             batch_hist,
-            latency: LatencySummary::from_unsorted(stats.latencies_us.clone()),
+            latency: LatencySummary {
+                p50_us: lat.quantile(50.0),
+                p99_us: lat.quantile(99.0),
+                mean_us: lat.mean(),
+                max_us: lat.max,
+                samples: lat.count,
+            },
         }
     }
 
     /// Zero the counters and restart the stats clock (e.g. after warmup).
     pub fn reset_stats(&self) {
         let mut stats = self.shared.stats.lock();
-        stats.latencies_us.clear();
         stats.batch_counts.fill(0);
-        stats.served = 0;
-        stats.errors = 0;
-        stats.deadline_exceeded = 0;
-        stats.batches = 0;
         stats.started = Instant::now();
+        self.shared.obs.reset();
     }
 
     /// Stop accepting new requests. Requests already queued are still served
@@ -707,7 +813,7 @@ fn dispatcher_loop(shared: &ServerShared) {
         shared.not_full.notify_all();
 
         if !shed.is_empty() {
-            shared.stats.lock().deadline_exceeded += shed.len() as u64;
+            shared.obs.deadline_exceeded.add(shed.len() as u64);
             for req in shed.drain(..) {
                 // A disappeared client (dropped receiver) is not an error.
                 let _ = req.tx.send(Err(ServeError::DeadlineExceeded));
@@ -725,17 +831,9 @@ fn dispatcher_loop(shared: &ServerShared) {
             slots = (0..shared.threads)
                 .map(|_| WorkerSlot {
                     scratch: model.make_scratch_any(),
-                    latencies_us: Vec::new(),
-                    errors: 0,
-                    deadline_exceeded: 0,
                 })
                 .collect();
             slots_model = Some(Arc::clone(&model));
-        }
-        for slot in &mut slots {
-            slot.latencies_us.clear();
-            slot.errors = 0;
-            slot.deadline_exceeded = 0;
         }
 
         let n = batch.len();
@@ -746,6 +844,11 @@ fn dispatcher_loop(shared: &ServerShared) {
         };
         let batch_ref: &[Request] = &batch;
         let model_ref: &dyn FrozenModel = &*model;
+        let obs = &shared.obs;
+        // Count the batch before fan-out so a client that just got its
+        // response never observes served > 0 with batches == 0.
+        obs.batches.inc();
+        shared.stats.lock().batch_counts[n] += 1;
         pool.run(&|worker| {
             // SAFETY: worker ids are distinct; `slots` outlives `run`.
             let slot = unsafe { slot_ptr.get(worker) };
@@ -758,10 +861,15 @@ fn dispatcher_loop(shared: &ServerShared) {
                 if req.expired(Instant::now()) {
                     // Expired between batch assembly and pickup (e.g. a slow
                     // predecessor in this batch): shed without scoring.
-                    slot.deadline_exceeded += 1;
+                    obs.deadline_exceeded.inc();
                     let _ = req.tx.send(Err(ServeError::DeadlineExceeded));
                     continue;
                 }
+                // BatchWait: enqueue → this worker picking the request up.
+                let pickup_us = obs.hub.ring().now_us();
+                let wait_us = req.enqueued.elapsed().as_micros() as u64;
+                obs.stage_batch_wait.record(wait_us);
+                let mut stages = StageSample::default();
                 let response = match model_ref.validate_query(&req.indices, &req.values) {
                     Ok(()) => {
                         let x = SparseVecRef::new(&req.indices, &req.values);
@@ -772,33 +880,61 @@ fn dispatcher_loop(shared: &ServerShared) {
                         // that for failover answer-consistency; parity tests
                         // need it to compare socket vs in-process paths.
                         let salt = query_salt(&req.indices, &req.values, req.k);
-                        Ok(model_ref.predict_any(x, req.k, slot.scratch.as_mut(), salt))
+                        Ok(model_ref.predict_any_timed(
+                            x,
+                            req.k,
+                            slot.scratch.as_mut(),
+                            salt,
+                            &mut stages,
+                        ))
                     }
                     Err(msg) => {
-                        slot.errors += 1;
+                        obs.errors.inc();
                         Err(ServeError::Invalid(msg))
                     }
                 };
-                slot.latencies_us
-                    .push(req.enqueued.elapsed().as_micros() as u64);
+                obs.stage_retrieval.record(stages.retrieval_us);
+                obs.stage_kernel.record(stages.kernel_us);
+                obs.stage_merge.record(stages.merge_us);
+                if req.trace_id != 0 {
+                    // Spans in canonical pipeline order with synthesized
+                    // sequential starts from pickup — monotone by
+                    // construction (the engine interleaves kernel work
+                    // around retrieval; attribution is by stage, not by
+                    // wall-clock interleaving).
+                    let ring = obs.hub.ring();
+                    ring.record(
+                        req.trace_id,
+                        Stage::BatchWait,
+                        pickup_us.saturating_sub(wait_us),
+                        wait_us,
+                    );
+                    ring.record(
+                        req.trace_id,
+                        Stage::Retrieval,
+                        pickup_us,
+                        stages.retrieval_us,
+                    );
+                    ring.record(
+                        req.trace_id,
+                        Stage::Kernel,
+                        pickup_us + stages.retrieval_us,
+                        stages.kernel_us,
+                    );
+                    ring.record(
+                        req.trace_id,
+                        Stage::Merge,
+                        pickup_us + stages.retrieval_us + stages.kernel_us,
+                        stages.merge_us,
+                    );
+                }
+                obs.latency_us
+                    .record(req.enqueued.elapsed().as_micros() as u64);
+                obs.served.inc();
                 // A disappeared client (dropped receiver) is not an error.
                 let _ = req.tx.send(response);
             }
         });
-
-        let mut stats = shared.stats.lock();
-        stats.batches += 1;
-        stats.batch_counts[n] += 1;
-        for slot in &slots {
-            stats.served += slot.latencies_us.len() as u64;
-            stats.errors += slot.errors;
-            stats.deadline_exceeded += slot.deadline_exceeded;
-            let room = MAX_LATENCY_SAMPLES.saturating_sub(stats.latencies_us.len());
-            let take = slot.latencies_us.len().min(room);
-            stats
-                .latencies_us
-                .extend_from_slice(&slot.latencies_us[..take]);
-        }
     }
 }
 
@@ -1312,6 +1448,98 @@ mod tests {
         assert_ne!(a, query_salt(&[1, 2, 3], &[1.0, 2.0, 3.5], 5));
         assert_ne!(a, query_salt(&[1, 2, 3], &[1.0, 2.0, 3.0], 6));
         assert_ne!(query_salt(&[], &[], 1), query_salt(&[], &[], 2));
+    }
+
+    #[test]
+    fn histogram_p99_stays_within_bucket_error_under_overflow() {
+        // Regression for the capped-sample-vector bias this histogram path
+        // replaced: the old ring kept the FIRST `cap` samples, so a
+        // workload whose tail arrives late reported a p99 blind to it.
+        // Feed 10× a notional cap with the heavy tail in the late 90%, and
+        // require the histogram p99 to track exact `percentile_us` within
+        // the bucket error bound.
+        let notional_cap = 10_000usize;
+        let total = 10 * notional_cap;
+        let hist = Histogram::default();
+        let mut samples = Vec::with_capacity(total);
+        let mut state = 0xFEED_FACE_CAFE_BEEFu64;
+        for i in 0..total {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // First 10% (what a first-N cap would keep): tight 100–300µs.
+            // Remaining 90%: same body plus a 2% tail out to ~50ms.
+            let v = if i < notional_cap {
+                100 + state % 200
+            } else if state.is_multiple_of(50) {
+                10_000 + (state >> 32) % 40_000
+            } else {
+                100 + state % 200
+            };
+            hist.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        let exact_p99 = percentile_us(&samples, 99.0);
+        assert!(exact_p99 >= 10_000, "workload tail not heavy enough");
+        // A first-N-capped estimate would sit in the 100–300µs body.
+        let capped_estimate = percentile_us(&samples[..notional_cap], 99.0);
+        assert!(capped_estimate < 400, "cap bias precondition broken");
+        for q in [50.0, 99.0] {
+            let est = hist.quantile(q);
+            let exact = percentile_us(&samples, q);
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            let allowed = (exact as f64 * Histogram::RELATIVE_ERROR_BOUND).ceil() as u64 + 1;
+            assert!(
+                est - exact <= allowed,
+                "q={q}: est {est} off exact {exact} by more than {allowed}"
+            );
+        }
+        assert_eq!(hist.count(), total as u64);
+        assert_eq!(hist.max(), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn traced_request_records_replica_stage_spans() {
+        let server = small_server(1, Duration::from_micros(100));
+        let trace = slide_obs::derive_trace_id(0xA5A5, 1);
+        let topk = server
+            .try_predict_traced(&[1, 17], &[1.0, 0.5], 3, None, trace)
+            .unwrap();
+        assert_eq!(topk.len(), 3);
+        let spans = server.obs().ring().spans_for(trace);
+        // One span per replica-side stage the batching server owns.
+        for stage in [
+            Stage::Admission,
+            Stage::BatchWait,
+            Stage::Retrieval,
+            Stage::Kernel,
+            Stage::Merge,
+        ] {
+            assert_eq!(
+                spans.iter().filter(|s| s.stage == stage).count(),
+                1,
+                "stage {} not recorded exactly once: {spans:?}",
+                stage.as_str()
+            );
+        }
+        // Untraced requests leave the ring untouched.
+        server.predict(&[2], &[1.0], 2).unwrap();
+        assert_eq!(server.obs().ring().snapshot().len(), spans.len());
+    }
+
+    #[test]
+    fn stage_histograms_fill_for_untraced_traffic() {
+        let server = small_server(1, Duration::from_micros(100));
+        server.predict(&[1], &[1.0], 2).unwrap();
+        stats_when_served(&server, 1);
+        let text = server.obs().render();
+        assert!(text.contains("slide_stage_us{stage=\"kernel\""), "{text}");
+        assert!(
+            text.contains("slide_stage_us_count{stage=\"batch_wait\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("slide_serve_requests_total 1"), "{text}");
     }
 
     #[test]

@@ -61,9 +61,11 @@ use slide_data::top_k_indices;
 use slide_hash::mix::mix3;
 use slide_hash::TableStats;
 use slide_mem::{AlignedVec, SparseVecRef};
+use slide_obs::StageSample;
 use slide_simd::{KernelSet, RowGather};
 use std::any::Any;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How the output layer's rows are assigned to shards. Both policies are
 /// snapshot-time: the plan is fixed when the model is built and every
@@ -1021,15 +1023,34 @@ impl ShardedFrozenModel {
         scratch: &mut ShardedScratch,
         salt: u64,
     ) -> Vec<u32> {
+        let mut stages = StageSample::default();
+        self.predict_sparse_timed(x, k, scratch, salt, &mut stages)
+    }
+
+    /// [`ShardedFrozenModel::predict_sparse`] with per-stage attribution:
+    /// trunk forward + shard scoring count as kernel time, the per-shard
+    /// retrieval scatter as retrieval time, and the dedup/pad plus global
+    /// top-k gather as merge time.
+    pub fn predict_sparse_timed(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut ShardedScratch,
+        salt: u64,
+        stages: &mut StageSample,
+    ) -> Vec<u32> {
+        let t0 = Instant::now();
         self.begin_query(x, scratch);
         let engines = std::mem::take(&mut scratch.engines);
         let h = std::mem::take(&mut scratch.h);
+        let t1 = Instant::now();
 
         // Scatter: per-shard raw retrieval.
         self.for_each_shard(&engines, scratch, &|_s, engine, slot| {
             slot.raw.clear();
             engine.retrieve(h.as_slice(), slot);
         });
+        let t2 = Instant::now();
 
         // Merge: global dedup in shard order, then the unsharded selector's
         // deterministic pad stream against global membership.
@@ -1057,9 +1078,11 @@ impl ShardedFrozenModel {
         }
 
         // Scatter: per-shard scoring of its assigned active rows.
+        let t3 = Instant::now();
         self.for_each_shard(&engines, scratch, &|_s, engine, slot| {
             engine.score_active(h.as_slice(), slot);
         });
+        let t4 = Instant::now();
 
         // Gather: global top-k over the per-shard (id, score) streams.
         scratch.merged_ids.clear();
@@ -1070,10 +1093,16 @@ impl ShardedFrozenModel {
         }
         scratch.h = h;
         scratch.engines = engines;
-        top_k_indices(&scratch.merged_scores, k.min(total.max(1)))
+        let out: Vec<u32> = top_k_indices(&scratch.merged_scores, k.min(total.max(1)))
             .into_iter()
             .map(|i| scratch.merged_ids[i as usize])
-            .collect()
+            .collect();
+        *stages = StageSample {
+            retrieval_us: (t2 - t1).as_micros() as u64,
+            kernel_us: ((t1 - t0) + (t4 - t3)).as_micros() as u64,
+            merge_us: ((t3 - t2) + t4.elapsed()).as_micros() as u64,
+        };
+        out
     }
 
     /// Predict the top-`k` labels scoring *every* output row (exact
@@ -1155,6 +1184,20 @@ impl FrozenModel for ShardedFrozenModel {
             .downcast_mut::<ShardedScratch>()
             .expect("ShardedFrozenModel handed scratch built by a different engine");
         self.predict_sparse(x, k, scratch, salt)
+    }
+
+    fn predict_any_timed(
+        &self,
+        x: SparseVecRef<'_>,
+        k: usize,
+        scratch: &mut (dyn Any + Send),
+        salt: u64,
+        stages: &mut StageSample,
+    ) -> Vec<u32> {
+        let scratch = scratch
+            .downcast_mut::<ShardedScratch>()
+            .expect("ShardedFrozenModel handed scratch built by a different engine");
+        self.predict_sparse_timed(x, k, scratch, salt, stages)
     }
 }
 

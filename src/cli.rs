@@ -65,13 +65,23 @@ impl CliArgs {
         S: Into<String>,
     {
         let mut iter = args.into_iter().map(Into::into).peekable();
-        let command = iter
+        let mut command = iter
             .next()
             .ok_or_else(|| CliError("missing subcommand (gen | train | eval)".into()))?;
         if command.starts_with("--") {
             return Err(CliError(format!(
                 "expected a subcommand before flags, got '{command}'"
             )));
+        }
+        // `obs` is a command namespace (`obs scrape`): fold its action word
+        // into the command so dispatch stays a flat string match.
+        if command == "obs" {
+            match iter.peek() {
+                Some(action) if !action.starts_with("--") => {
+                    command = format!("obs {}", iter.next().expect("peeked"));
+                }
+                _ => return Err(CliError("obs expects an action (obs scrape)".into())),
+            }
         }
         let mut options = BTreeMap::new();
         while let Some(arg) = iter.next() {
@@ -159,6 +169,7 @@ USAGE:
                   [--precision f32|i8] [--shards N] [--json FILE]
   slide_cli snapshot --registry DIR [--precision f32|i8] [--shards N]
                   [--seed N] [--train-epochs N] [--rollback] [--retain N]
+  slide_cli obs scrape --addr HOST:PORT [--timeout-ms N]
 
 Datasets use the XC repository format (`parse_xc`/`write_xc`).
 `serve-bench` trains a small synthetic model, serves it through the
@@ -173,7 +184,11 @@ report meta records the precision and shard count.
 under the chosen precision/shard spec, and publishes it atomically to a
 versioned registry directory; `slide_netd --snapshot DIR` then cold-starts
 from it (mmap, no retraining). `--rollback` repoints the registry at the
-previous version; `--retain N` prunes all but the N newest versions."
+previous version; `--retain N` prunes all but the N newest versions.
+`obs scrape` connects to a running `slide_netd` or `slide_router`, sends a
+v3 `GetMetrics` frame, and prints the Prometheus-style exposition text
+(counters, gauges, latency/stage summaries, breaker states, and recent
+trace-span comment lines)."
 }
 
 fn build_network_config(args: &CliArgs, ds: &Dataset) -> Result<NetworkConfig, CliError> {
@@ -538,6 +553,22 @@ pub fn cmd_snapshot(args: &CliArgs) -> Result<String, CliError> {
     ))
 }
 
+/// `obs scrape`: fetch and print the metrics exposition of a running
+/// `slide_netd` daemon or `slide_router` front-end over the wire.
+///
+/// # Errors
+///
+/// Propagates flag errors and connection/scrape failures.
+pub fn cmd_obs_scrape(args: &CliArgs) -> Result<String, CliError> {
+    let addr = args.require_str("addr")?;
+    let timeout = Duration::from_millis(args.get_usize("timeout-ms", 5000)?.max(1) as u64);
+    let mut client = crate::net::NetClient::connect(addr.as_str(), timeout)
+        .map_err(|e| CliError(format!("connect {addr}: {e}")))?;
+    client
+        .metrics_text()
+        .map_err(|e| CliError(format!("scrape {addr}: {e}")))
+}
+
 /// Dispatch a parsed command line.
 ///
 /// # Errors
@@ -550,6 +581,7 @@ pub fn run(args: &CliArgs) -> Result<String, CliError> {
         "eval" => cmd_eval(args),
         "serve-bench" => cmd_serve_bench(args),
         "snapshot" => cmd_snapshot(args),
+        "obs scrape" => cmd_obs_scrape(args),
         "help" | "--help" => Ok(usage().to_string()),
         other => Err(CliError(format!(
             "unknown subcommand '{other}'\n\n{}",
@@ -579,6 +611,75 @@ mod tests {
         assert!(CliArgs::parse(Vec::<String>::new()).is_err());
         assert!(CliArgs::parse(["--flag-first"]).is_err());
         assert!(CliArgs::parse(["gen", "stray"]).is_err());
+    }
+
+    #[test]
+    fn parse_obs_namespace() {
+        let args = CliArgs::parse(["obs", "scrape", "--addr", "127.0.0.1:9"]).unwrap();
+        assert_eq!(args.command, "obs scrape");
+        assert_eq!(args.require_str("addr").unwrap(), "127.0.0.1:9");
+        // A bare `obs` (or `obs --flag`) has no action and is rejected.
+        assert!(CliArgs::parse(["obs"]).is_err());
+        assert!(CliArgs::parse(["obs", "--addr", "x"]).is_err());
+        // Unknown actions fall through to the usage error at dispatch.
+        let args = CliArgs::parse(["obs", "emit"]).unwrap();
+        assert!(run(&args).unwrap_err().to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn obs_scrape_prints_exposition_from_a_live_daemon() {
+        let spec = crate::net::FleetSpec {
+            seed: 11,
+            epochs: 0,
+            ..Default::default()
+        };
+        let (model, test) = spec.build();
+        let batching = Arc::new(
+            BatchingServer::start(
+                model,
+                BatchConfig {
+                    max_batch: 8,
+                    max_wait: Duration::from_millis(1),
+                    queue_cap: 64,
+                    threads: 1,
+                },
+            )
+            .unwrap(),
+        );
+        let net = crate::net::NetServer::start(
+            Arc::clone(&batching),
+            "127.0.0.1:0",
+            crate::net::NetConfig::default(),
+        )
+        .unwrap();
+        let queries = crate::net::query_battery(&test, 1);
+        let mut client =
+            crate::net::NetClient::connect(net.local_addr(), Duration::from_secs(5)).unwrap();
+        client.predict(&queries[0].0, &queries[0].1, 3).unwrap();
+
+        let args = CliArgs::parse([
+            "obs",
+            "scrape",
+            "--addr",
+            &net.local_addr().to_string(),
+            "--timeout-ms",
+            "5000",
+        ])
+        .unwrap();
+        let text = run(&args).unwrap();
+        for family in [
+            "slide_net_requests_total",
+            "slide_serve_requests_total",
+            "slide_stage_us_count{stage=\"kernel\"}",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+
+        // And a dead address reports a connect error, not a panic.
+        drop(client);
+        drop(net);
+        let args = CliArgs::parse(["obs", "scrape", "--addr", "127.0.0.1:1"]).unwrap();
+        assert!(run(&args).unwrap_err().to_string().contains("connect"));
     }
 
     #[test]
