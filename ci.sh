@@ -14,8 +14,11 @@
 # BENCH_net.json (the loopback 1-router+2-replica fleet leg, incl. the
 # fault-injection phase with hedge/breaker/deadline counters and the
 # scrape-overhead phase with its per-stage latency breakdown) +
-# BENCH_snapshot.json (registry cold-start vs rebuild); smoke also runs
-# the chaos suite under forced SLIDE_SIMD=scalar; CI
+# BENCH_snapshot.json (registry cold-start vs rebuild) +
+# BENCH_deploy.json (the continuous train→serve loop: staleness, swap-window
+# p99, P@1-over-time under drift, gate counters); smoke also runs
+# the chaos suite under forced SLIDE_SIMD=scalar and a live deploy leg
+# (slide_trainerd publishing gated versions into a followed slide_netd); CI
 # uploads all BENCH_*.json as per-leg artifacts. Gate modes also enforce a
 # test-count ratchet: `cargo test -q` must report at least MIN_TIER1_TESTS
 # passing tests (see below).
@@ -216,7 +219,8 @@ if [[ "$MODE" == "smoke" ]]; then
     # the metric families the observability contract promises; then drain
     # everything gracefully via stdin EOF (FIFOs stand in for parent pipes).
     cargo build --release -q -p slide --bin slide_cli
-    cargo build --release -q -p slide-net --bin slide_netd --bin slide_router
+    cargo build --release -q -p slide-net \
+        --bin slide_netd --bin slide_router --bin slide_trainerd
     REG_DIR="$(mktemp -d)"
     NETD_OUT="$(mktemp)"
     ROUTER_OUT="$(mktemp)"
@@ -294,6 +298,120 @@ if [[ "$MODE" == "smoke" ]]; then
     }
     rm -rf "$REG_DIR" "$NETD_OUT" "$ROUTER_OUT"
 
+    step "smoke: deploy_bench (continuous train→serve loop, emits BENCH_deploy.json)"
+    # The deployment loop benchmark: a TrainerLoop publishes gated versions
+    # while a followed BatchingServer hot-swaps under drifting Zipf load;
+    # the report must carry staleness percentiles, the swap-window p99
+    # comparison, the P@1-over-time windows, and the gate counters
+    # (EXPERIMENTS.md §13).
+    SLIDE_DEPLOY_MS=2000 SLIDE_DEPLOY_QPS=200 SLIDE_DEPLOY_ROUNDS=3 \
+        SLIDE_EPOCHS=2 SLIDE_JSON_OUT=BENCH_deploy.json \
+        ./target/release/deploy_bench > /dev/null
+    grep -q '"bench":"deploy"' BENCH_deploy.json || {
+        echo "deploy_bench smoke: BENCH_deploy.json missing bench meta" >&2
+        exit 1
+    }
+    grep -q '"staleness_us":{"p50":' BENCH_deploy.json || {
+        echo "deploy_bench smoke: BENCH_deploy.json missing staleness percentiles" >&2
+        exit 1
+    }
+    grep -q '"accepted":' BENCH_deploy.json || {
+        echo "deploy_bench smoke: BENCH_deploy.json missing the gate accepted counter" >&2
+        exit 1
+    }
+    grep -q '"rejected":' BENCH_deploy.json || {
+        echo "deploy_bench smoke: BENCH_deploy.json missing the gate rejected counter" >&2
+        exit 1
+    }
+    grep -q '"swap_window"' BENCH_deploy.json || {
+        echo "deploy_bench smoke: BENCH_deploy.json missing the swap-window p99 split" >&2
+        exit 1
+    }
+    grep -q '"p_at_1_windows"' BENCH_deploy.json || {
+        echo "deploy_bench smoke: BENCH_deploy.json missing P@1-over-time windows" >&2
+        exit 1
+    }
+
+    step "smoke: live deploy loop (slide_trainerd -> followed slide_netd)"
+    # The tentpole end to end as real processes: a follower starts against
+    # an EMPTY registry, a tiny trainer publishes >=2 gated versions into
+    # it (with one injected regression the gate must hold back), and the
+    # follower must hot-swap onto every accepted version and report the
+    # swaps in its scrape. Same FIFO idiom as above: daemon backgrounded
+    # with the FIFO as stdin FIRST, then the writer end opened.
+    DEPLOY_DIR="$(mktemp -d)"
+    FNETD_OUT="$(mktemp)"
+    TRAINERD_OUT="$(mktemp)"
+    mkfifo "$DEPLOY_DIR/netd.fifo" "$DEPLOY_DIR/trainerd.fifo"
+    ./target/release/slide_netd --addr 127.0.0.1:0 --snapshot "$DEPLOY_DIR" \
+        --follow --poll-ms 20 \
+        > "$FNETD_OUT" < "$DEPLOY_DIR/netd.fifo" &
+    FNETD_PID=$!
+    exec 9> "$DEPLOY_DIR/netd.fifo"
+    # --period-ms keeps each version live long enough that the follower's
+    # 20 ms poller observes every pointer flip (back-to-back publishes can
+    # legitimately be skipped; the strict swap-count gate below needs each
+    # one seen).
+    ./target/release/slide_trainerd --registry "$DEPLOY_DIR" \
+        --rounds 3 --epochs-per-round 2 --period-ms 500 --inject-regression-at 3 \
+        > "$TRAINERD_OUT" < "$DEPLOY_DIR/trainerd.fifo" &
+    TRAINERD_PID=$!
+    exec 8> "$DEPLOY_DIR/trainerd.fifo"
+    for _ in $(seq 1 600); do
+        grep -q 'SLIDE_TRAINERD DONE' "$TRAINERD_OUT" && break
+        sleep 0.1
+    done
+    grep -q 'SLIDE_TRAINERD DONE' "$TRAINERD_OUT" || {
+        echo "deploy smoke: slide_trainerd did not finish its rounds" >&2
+        kill "$FNETD_PID" "$TRAINERD_PID" 2> /dev/null || true
+        exit 1
+    }
+    PUBLISHED="$(grep -c 'SLIDE_TRAINERD PUBLISHED' "$TRAINERD_OUT" || true)"
+    if [[ "$PUBLISHED" -lt 2 ]]; then
+        echo "deploy smoke: want >=2 published versions, got $PUBLISHED" >&2
+        kill "$FNETD_PID" "$TRAINERD_PID" 2> /dev/null || true
+        exit 1
+    fi
+    grep -q 'SLIDE_TRAINERD REJECTED' "$TRAINERD_OUT" || {
+        echo "deploy smoke: the injected regression was not gate-rejected" >&2
+        kill "$FNETD_PID" "$TRAINERD_PID" 2> /dev/null || true
+        exit 1
+    }
+    # The follower cold-starts on v1 and must swap onto each later accepted
+    # version (PUBLISHED-1 swaps); give the 20 ms poller a moment to catch
+    # the last publish.
+    for _ in $(seq 1 100); do
+        [[ "$(grep -c 'SLIDE_NETD SWAPPED' "$FNETD_OUT" || true)" -ge $((PUBLISHED - 1)) ]] && break
+        sleep 0.1
+    done
+    SWAPS="$(grep -c 'SLIDE_NETD SWAPPED' "$FNETD_OUT" || true)"
+    if [[ "$SWAPS" -ne $((PUBLISHED - 1)) ]]; then
+        echo "deploy smoke: want $((PUBLISHED - 1)) hot-swaps for $PUBLISHED publishes, got $SWAPS" >&2
+        kill "$FNETD_PID" "$TRAINERD_PID" 2> /dev/null || true
+        exit 1
+    fi
+    FNETD_ADDR="$(grep 'SLIDE_NETD LISTENING' "$FNETD_OUT" | awk '{print $3}')"
+    DEPLOY_SCRAPE="$(./target/release/slide_cli obs scrape --addr "$FNETD_ADDR")"
+    for family in \
+        slide_deploy_swaps_total \
+        slide_deploy_staleness_us \
+        slide_deploy_current_version; do
+        grep -qF "$family" <<< "$DEPLOY_SCRAPE" || {
+            echo "deploy smoke: follower scrape missing family $family" >&2
+            kill "$FNETD_PID" "$TRAINERD_PID" 2> /dev/null || true
+            exit 1
+        }
+    done
+    exec 8>&- # trainer stdin EOF (already DONE; reaps the process)
+    wait "$TRAINERD_PID"
+    exec 9>&- # follower stdin EOF = graceful drain
+    wait "$FNETD_PID"
+    grep -q 'SLIDE_NETD DRAINED' "$FNETD_OUT" || {
+        echo "deploy smoke: followed slide_netd did not drain gracefully" >&2
+        exit 1
+    }
+    rm -rf "$DEPLOY_DIR" "$FNETD_OUT" "$TRAINERD_OUT"
+
     step "OK — smoke gates passed"
     exit 0
 fi
@@ -313,7 +431,7 @@ fi
 # previous PR's count; bump it (never lower it) when landing new tests. A
 # drop below the baseline means tests were deleted or silently stopped
 # being discovered (e.g. a [[test]] target fell out of the manifest).
-MIN_TIER1_TESTS=608
+MIN_TIER1_TESTS=627
 
 step "cargo test -q (ratchet: >= $MIN_TIER1_TESTS tests)"
 TEST_LOG="$(mktemp)"

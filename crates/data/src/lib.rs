@@ -16,7 +16,8 @@
 //! * [`precision_at_k`] / [`MeanMetric`] / [`top_k_indices`] — the paper's
 //!   P@1 evaluation,
 //! * [`DatasetStats`] — Table 1 rows,
-//! * [`Zipf`] — the shared power-law sampler.
+//! * [`Zipf`] / [`ZipfDrift`] — the shared power-law sampler and its
+//!   head-rotating variant for drifting workloads.
 //!
 //! # Examples
 //!
@@ -51,4 +52,4 @@ pub use svm::{parse_xc, write_xc, ParseDatasetError};
 pub use synth::{generate_synthetic, prototype_feature, SynthConfig, SynthDataset};
 pub use text::{collocate, generate_text, TextConfig, TextDataset};
 pub use transform::{document_frequencies, l2_normalize, tf_idf};
-pub use zipf::Zipf;
+pub use zipf::{Zipf, ZipfDrift};

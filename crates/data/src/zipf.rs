@@ -75,6 +75,93 @@ impl Zipf {
     }
 }
 
+/// A Zipf distribution whose *head rotates over time* — the drifting
+/// workload used to measure accuracy-over-time in the continuous
+/// deployment loop: recommendation-style traffic where the popular items
+/// change faster than any one snapshot can stay fresh.
+///
+/// At logical time `t` the distribution is the base [`Zipf`] with every
+/// outcome shifted by `offset_at(t) = (t / period) * stride (mod n)`: the
+/// rank-0 head sits at outcome `offset_at(t)`, rank 1 at the next index,
+/// and so on, wrapping around. Within one period the distribution is
+/// static; each period boundary rotates the head by `stride` outcomes.
+/// The marginal popularity profile (sorted PMF) never changes — only
+/// *which* outcomes are popular — so drift isolates staleness effects
+/// from load effects.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use slide_data::ZipfDrift;
+///
+/// let drift = ZipfDrift::new(100, 1.2, 1_000, 7);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// assert_eq!(drift.offset_at(0), 0);      // first period: identical to Zipf
+/// assert_eq!(drift.offset_at(1_000), 7);  // second period: head moved by 7
+/// assert!(drift.sample_at(&mut rng, 2_500) < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfDrift {
+    base: Zipf,
+    period: u64,
+    stride: usize,
+}
+
+impl ZipfDrift {
+    /// Base distribution of `n` outcomes with exponent `s`, head rotating
+    /// by `stride` outcomes every `period` ticks of logical time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `s` is negative or non-finite, or
+    /// `period == 0` (a zero period would divide by zero; for a static
+    /// distribution use [`Zipf`] or `stride == 0`).
+    pub fn new(n: usize, s: f64, period: u64, stride: usize) -> Self {
+        assert!(period > 0, "ZipfDrift: period must be positive");
+        ZipfDrift {
+            base: Zipf::new(n, s),
+            period,
+            stride,
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// Ticks of logical time between head rotations.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Head rotation at logical time `t`: the outcome that currently holds
+    /// rank 0.
+    pub fn offset_at(&self, t: u64) -> usize {
+        let steps = (t / self.period) as usize;
+        steps.wrapping_mul(self.stride) % self.base.n()
+    }
+
+    /// Draw one outcome from the distribution as it stands at time `t`.
+    pub fn sample_at<R: Rng + ?Sized>(&self, rng: &mut R, t: u64) -> usize {
+        (self.base.sample(rng) + self.offset_at(t)) % self.base.n()
+    }
+
+    /// Probability mass of outcome `k` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.n()`.
+    pub fn pmf_at(&self, k: usize, t: u64) -> f64 {
+        let n = self.base.n();
+        assert!(k < n, "ZipfDrift: outcome out of range");
+        // Rank of outcome k under the current rotation.
+        let rank = (k + n - self.offset_at(t)) % n;
+        self.base.pmf(rank)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +221,100 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         assert_eq!(zipf.sample(&mut rng), 0);
         assert!((zipf.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_first_period_matches_base() {
+        let zipf = Zipf::new(200, 1.1);
+        let drift = ZipfDrift::new(200, 1.1, 500, 13);
+        // Same rng seed, t inside the first period ⇒ identical draws.
+        let a: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(4);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = SmallRng::seed_from_u64(4);
+            (0..100u64)
+                .map(|t| drift.sample_at(&mut rng, t % 500))
+                .collect()
+        };
+        assert_eq!(a, b);
+        for k in 0..200 {
+            assert!((drift.pmf_at(k, 0) - zipf.pmf(k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn drift_head_tracks_offset() {
+        let drift = ZipfDrift::new(100, 1.5, 1_000, 7);
+        for (t, want) in [(0, 0), (999, 0), (1_000, 7), (2_000, 14), (15_000, 5)] {
+            assert_eq!(drift.offset_at(t), want, "t={t}");
+            // The head (rank 0) carries the largest mass at the offset.
+            let head = drift.pmf_at(want, t);
+            for k in 0..100 {
+                assert!(
+                    drift.pmf_at(k, t) <= head + 1e-15,
+                    "k={k} beats head at t={t}"
+                );
+            }
+        }
+        // Empirically: samples at a late t concentrate on the rotated head.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let t = 2_000; // offset 14
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[drift.sample_at(&mut rng, t)] += 1;
+        }
+        let argmax = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, _)| k)
+            .unwrap();
+        assert_eq!(
+            argmax, 14,
+            "most-sampled outcome should be the rotated head"
+        );
+    }
+
+    #[test]
+    fn drift_pmf_sums_to_one_at_any_time() {
+        let drift = ZipfDrift::new(57, 0.8, 10, 3);
+        for t in [0u64, 9, 10, 55, 10_000] {
+            let total: f64 = (0..57).map(|k| drift.pmf_at(k, t)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "t={t} total={total}");
+        }
+    }
+
+    #[test]
+    fn drift_full_rotation_wraps_to_identity() {
+        // n=12, stride=4 ⇒ offsets cycle 0,4,8,0,4,8,…
+        let drift = ZipfDrift::new(12, 1.0, 1, 4);
+        assert_eq!(drift.offset_at(0), 0);
+        assert_eq!(drift.offset_at(3), 0);
+        assert_eq!(drift.offset_at(4), 4);
+        for k in 0..12 {
+            assert!((drift.pmf_at(k, 0) - drift.pmf_at(k, 3)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn drift_deterministic_under_seed() {
+        let drift = ZipfDrift::new(1000, 1.0, 100, 17);
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..200u64)
+                .map(|t| drift.sample_at(&mut rng, t * 7))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn drift_zero_stride_is_static() {
+        let drift = ZipfDrift::new(50, 1.0, 10, 0);
+        for t in [0u64, 100, 10_000] {
+            assert_eq!(drift.offset_at(t), 0);
+        }
     }
 }

@@ -6,12 +6,21 @@
 //! [`slide_serve::BatchingServer`] and fronted with a [`NetServer`] on a
 //! TCP address.
 //!
+//! With `--follow` (requires `--snapshot`), the replica keeps watching the
+//! registry's `CURRENT` pointer after cold-start and hot-swaps onto every
+//! new version a `slide_trainerd` publishes — no restart, in-flight
+//! requests finish on the model they started on. Each swap prints
+//! `SLIDE_NETD SWAPPED v<version> staleness_us <n>`. A follower pointed at
+//! an *empty* registry waits (up to 120 s) for the first publish instead
+//! of exiting.
+//!
 //! Prints `SLIDE_NETD LISTENING <addr>` once ready (parents parse this to
 //! learn an OS-assigned port). Shuts down gracefully when stdin reaches
 //! EOF — the portable SIGTERM-equivalent: the parent holds our stdin pipe
 //! and dropping it (or the parent dying) drains us — or when a client
 //! sends a `Drain` frame.
 
+use slide_net::deploy::{wait_for_current, RegistryWatcher};
 use slide_net::{FleetPrecision, FleetSpec, NetConfig, NetServer, WireError};
 use slide_serve::{BatchConfig, BatchingServer, FrozenModel, ModelRegistry};
 use std::io::Read;
@@ -29,6 +38,8 @@ struct Args {
     max_batch: usize,
     queue_cap: usize,
     snapshot: Option<std::path::PathBuf>,
+    follow: bool,
+    poll_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
         max_batch: 8,
         queue_cap: 64,
         snapshot: None,
+        follow: false,
+        poll_ms: 50,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,22 +76,45 @@ fn parse_args() -> Result<Args, String> {
                 args.queue_cap = val()?.parse().map_err(|e| format!("--queue-cap: {e}"))?;
             }
             "--snapshot" => args.snapshot = Some(val()?.into()),
+            "--follow" => args.follow = true,
+            "--poll-ms" => args.poll_ms = val()?.parse().map_err(|e| format!("--poll-ms: {e}"))?,
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.follow && args.snapshot.is_none() {
+        return Err("--follow requires --snapshot <registry dir>".into());
     }
     Ok(args)
 }
 
 /// Cold-start path: mmap + verify the registry's current version. The
 /// `--precision`/`--shards`/`--epochs` axes are ignored — the snapshot
-/// header, not the command line, says what engine this is.
-fn load_registry_model(dir: &std::path::Path) -> Result<Arc<dyn FrozenModel>, String> {
+/// header, not the command line, says what engine this is. With `follow`,
+/// an empty registry is waited out (a follower may start before the
+/// trainer's first publish); without it, empty is fatal.
+fn load_registry_model(
+    dir: &std::path::Path,
+    follow: bool,
+) -> Result<(Arc<dyn FrozenModel>, ModelRegistry, u64), String> {
     let registry = ModelRegistry::open(dir).map_err(|e| format!("registry {dir:?}: {e}"))?;
-    let path = registry
-        .current_path()
+    let version = if follow {
+        wait_for_current(
+            &registry,
+            Duration::from_secs(120),
+            Duration::from_millis(50),
+        )
         .map_err(|e| format!("registry {dir:?}: {e}"))?
-        .ok_or_else(|| format!("registry {dir:?} has no published version"))?;
-    slide_quant::snapshot::load(&path).map_err(|e| format!("snapshot {path:?}: {e}"))
+        .ok_or_else(|| format!("registry {dir:?}: no version published within 120s"))?
+    } else {
+        registry
+            .current_version()
+            .map_err(|e| format!("registry {dir:?}: {e}"))?
+            .ok_or_else(|| format!("registry {dir:?} has no published version"))?
+    };
+    let path = registry.version_path(version);
+    let model =
+        slide_quant::snapshot::load(&path).map_err(|e| format!("snapshot {path:?}: {e}"))?;
+    Ok((model, registry, version))
 }
 
 /// Bind with retries: a restarted replica reclaiming its old port can race
@@ -125,9 +161,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mut registry_state: Option<(ModelRegistry, u64)> = None;
     let model: Arc<dyn FrozenModel> = match &args.snapshot {
-        Some(dir) => match load_registry_model(dir) {
-            Ok(m) => m,
+        Some(dir) => match load_registry_model(dir, args.follow) {
+            Ok((m, registry, version)) => {
+                registry_state = Some((registry, version));
+                m
+            }
             Err(msg) => {
                 eprintln!("slide_netd: {msg}");
                 std::process::exit(1);
@@ -176,6 +216,25 @@ fn main() {
             }
         }
     }
+    // --follow: keep tracking the registry pointer and hot-swap the
+    // batching server onto each new version. The watcher prints its swap
+    // line from the callback so parents can tail for it.
+    let mut watcher = match (args.follow, registry_state) {
+        (true, Some((registry, version))) => Some(RegistryWatcher::spawn(
+            registry,
+            Arc::clone(&batching),
+            Some(version),
+            Duration::from_millis(args.poll_ms.max(1)),
+            Some(Box::new(|event: &slide_net::deploy::SwapEvent| {
+                println!(
+                    "SLIDE_NETD SWAPPED v{:06} staleness_us {}",
+                    event.version,
+                    event.staleness.as_micros()
+                );
+            })),
+        )),
+        _ => None,
+    };
     let mut net = match NetServer::start(Arc::clone(&batching), &args.addr, NetConfig::default()) {
         Ok(n) => n,
         Err(e) => {
@@ -206,6 +265,11 @@ fn main() {
             Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
         }
+    }
+    // Stop swapping before draining: a drain must report the stats of the
+    // model mix it actually served, not race one last swap.
+    if let Some(w) = watcher.as_mut() {
+        w.stop();
     }
     net.drain();
     println!("SLIDE_NETD STATS {}", net.stats().to_json());

@@ -32,6 +32,10 @@
 //!   shared by `net_bench` and the chaos tests.
 //! * [`model`] — [`FleetSpec`], deterministic train+freeze fixtures so
 //!   every replica process serves bit-identical answers.
+//! * [`deploy`] — the continuous train→serve loop: [`TrainerLoop`]
+//!   (background trainer + [`ShadowGate`] P@k regression gate in front of
+//!   the registry) and [`RegistryWatcher`] (poll `CURRENT`, mmap-load,
+//!   hot-swap a live `BatchingServer` — `slide_netd --follow`).
 //!
 //! Two binaries ship with the crate: `slide_netd` (one replica daemon) and
 //! `slide_router` (the fleet front door). See DESIGN.md §9 for the frame
@@ -39,6 +43,7 @@
 //! budget arithmetic, the breaker state machine, and the hedging policy.
 
 pub mod client;
+pub mod deploy;
 pub mod fault;
 pub mod loadgen;
 pub mod model;
@@ -48,6 +53,10 @@ pub mod stream;
 pub mod wire;
 
 pub use client::{ClientError, NetClient};
+pub use deploy::{
+    wait_for_current, GateConfig, GateDecision, RegistryWatcher, RoundOutcome, ShadowGate,
+    SwapCallback, SwapEvent, TrainerLoop, TrainerLoopConfig,
+};
 pub use fault::{Direction, FaultAction, FaultPlan, FaultProxy, FaultRule, FaultStats, Trigger};
 pub use loadgen::{query_battery, run_open_loop, LoadReport, LoadgenConfig, SubmitOutcome};
 pub use model::{FleetPrecision, FleetSpec};

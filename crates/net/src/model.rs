@@ -82,7 +82,7 @@ impl FleetSpec {
         }
     }
 
-    fn network_config(&self) -> NetworkConfig {
+    pub(crate) fn network_config(&self) -> NetworkConfig {
         let synth = self.synth_config();
         let mut cfg = NetworkConfig::standard(synth.feature_dim, 32, synth.label_dim);
         cfg.seed = self.seed ^ 0x5EED;

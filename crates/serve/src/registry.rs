@@ -14,13 +14,25 @@
 //!
 //! Every mutation is crash-safe by construction: payloads and the
 //! `CURRENT` pointer are both written to a temporary sibling, `fsync`ed,
-//! then `rename`d into place — on POSIX filesystems rename is atomic, so
-//! a concurrent loader (or a loader racing a crash) observes either the
-//! old version or the new one, never a torn file. A version file is fully
-//! durable *before* `CURRENT` points at it, so following the pointer can
-//! never reach a half-written snapshot. Torn writes that sneak beneath
-//! the filesystem anyway (power loss between data and metadata) are the
-//! job of the snapshot CRCs to catch at load.
+//! then `rename`d into place, and finally the **parent directory** is
+//! `fsync`ed — on POSIX filesystems rename is atomic for concurrent
+//! *readers*, but the rename itself lives in directory metadata, which is
+//! not durable until the directory's own fsync completes. Without that
+//! last step a power loss after `rename` returns could resurface the old
+//! directory entry (or no entry at all) on reboot. With it, the sequence
+//! is: a loader racing the writer observes either the old version or the
+//! new one, never a torn file; a loader racing a *crash* observes, after
+//! reboot, a state no older than the last completed `write_atomic`. A
+//! version file is fully durable *before* `CURRENT` points at it, so
+//! following the pointer can never reach a half-written snapshot. Torn
+//! writes that sneak beneath the filesystem anyway (firmware lying about
+//! flush) are the job of the snapshot CRCs to catch at load.
+//!
+//! A publisher that crashes *between* temp-write and rename leaks its
+//! temp file; [`ModelRegistry::open`] sweeps such orphans (recognized by
+//! the exact `.<name>.tmp.<pid>.<seq>` pattern, and only when `<pid>` is
+//! no longer a live process) from the root and `versions/`, so crashed
+//! publishes cannot accumulate unbounded disk.
 //!
 //! The registry is single-writer / many-reader: one publisher process
 //! allocates version numbers; readers only ever follow `CURRENT`.
@@ -41,15 +53,22 @@ const VERSIONS_DIR: &str = "versions";
 /// process may write through [`write_atomic`] concurrently).
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Write `bytes` to `path` atomically: temp sibling + `fsync` + `rename`.
-/// Readers of `path` see the old contents or the new contents, never a
-/// prefix.
+/// Write `bytes` to `path` atomically: temp sibling, `fsync`, `rename`,
+/// then parent-directory `fsync`. Readers of `path` see the old contents
+/// or the new contents, never a prefix, and once this returns the rename
+/// is durable across power loss (the directory entry itself is flushed).
 ///
 /// # Errors
 ///
 /// Any I/O failure; the temp file is cleaned up on error.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    // `Path::parent` returns "" for bare file names; open "." instead.
+    let dir = if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    };
     let name = path
         .file_name()
         .ok_or_else(|| std::io::Error::other("write_atomic: path has no file name"))?;
@@ -64,12 +83,87 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         f.write_all(bytes)?;
         f.sync_all()?;
         drop(f);
-        fs::rename(&tmp, path)
+        fs::rename(&tmp, path)?;
+        sync_dir(dir)
     })();
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
     }
     result
+}
+
+/// Flush a directory's metadata so a just-completed `rename` inside it is
+/// durable. On Unix a directory can be opened read-only and `fsync`ed; on
+/// other platforms this is a no-op (NTFS journals renames on its own).
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        fs::File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Does `name` match the exact temp-file pattern [`write_atomic`] uses,
+/// `.<target>.tmp.<pid>.<seq>`? Returns the embedded pid when it does.
+/// Deliberately strict — a sweep must never match `v*.slsnap`, `CURRENT`,
+/// or arbitrary dotfiles a user parked in the registry.
+fn parse_write_atomic_temp(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix('.')?;
+    // From the right: <seq>, <pid>, then "<target>.tmp".
+    let mut it = rest.rsplitn(3, '.');
+    let seq = it.next()?;
+    let pid = it.next()?;
+    let head = it.next()?;
+    if seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    if pid.is_empty() || !pid.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    if !head.ends_with(".tmp") || head.len() == ".tmp".len() {
+        return None;
+    }
+    pid.parse::<u32>().ok()
+}
+
+/// Is the process that owns a temp file still alive? Only a dead owner's
+/// orphan may be swept — a live publisher's in-flight temp is about to be
+/// renamed. On Linux, check procfs; elsewhere be conservative and treat
+/// every foreign pid as live (our own pid is always live).
+fn temp_owner_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        true
+    }
+}
+
+/// Remove orphaned `write_atomic` temp files from `dir`. Best-effort:
+/// unreadable entries and failed removals are skipped, not errors (the
+/// sweep is hygiene, not correctness — a leftover temp is inert).
+fn sweep_stale_temps(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(pid) = parse_write_atomic_temp(name) {
+            if !temp_owner_alive(pid) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
 }
 
 /// A versioned snapshot directory with an atomically updated `CURRENT`
@@ -83,12 +177,21 @@ pub struct ModelRegistry {
 impl ModelRegistry {
     /// Open (creating directories as needed) the registry rooted at `root`.
     ///
+    /// Also sweeps temp files orphaned by a publisher that crashed between
+    /// temp-write and rename (recognized by the exact
+    /// `.<name>.tmp.<pid>.<seq>` pattern with a dead `<pid>`) from the
+    /// root and `versions/`; `v*.slsnap` payloads and `CURRENT` are never
+    /// touched, nor is a live process's in-flight temp.
+    ///
     /// # Errors
     ///
-    /// [`SnapshotError::Io`] if the directories cannot be created.
+    /// [`SnapshotError::Io`] if the directories cannot be created. Sweep
+    /// failures are ignored (an orphaned temp is inert).
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, SnapshotError> {
         let root = root.into();
         fs::create_dir_all(root.join(VERSIONS_DIR))?;
+        sweep_stale_temps(&root);
+        sweep_stale_temps(&root.join(VERSIONS_DIR));
         Ok(ModelRegistry { root })
     }
 
@@ -210,15 +313,20 @@ impl ModelRegistry {
         Ok(prev)
     }
 
-    /// Retention: delete all but the newest `keep` versions. The version
-    /// `CURRENT` points at is never deleted, even when it is older than
-    /// the cutoff (a rollback target must stay loadable). Returns the
+    /// Retention: delete all but the newest `keep` versions. `keep` is
+    /// clamped to a minimum of 1 — `retain(0)` would otherwise silently
+    /// delete every non-live version, and an empty registry is never what
+    /// retention means. Exactly one version is additionally exempt
+    /// regardless of age: the one `CURRENT` points at (a rollback target
+    /// must stay loadable), so up to `max(keep, 1) + 1` files can survive
+    /// when the live version is older than the cutoff. Returns the
     /// versions removed.
     ///
     /// # Errors
     ///
     /// [`SnapshotError::Io`] on delete failure.
     pub fn retain(&self, keep: usize) -> Result<Vec<u64>, SnapshotError> {
+        let keep = keep.max(1);
         let versions = self.versions()?;
         let live = self.current_version()?;
         let cut = versions.len().saturating_sub(keep);
@@ -328,6 +436,97 @@ mod tests {
         fs::write(root.join(VERSIONS_DIR).join("README.txt"), "hi").unwrap();
         fs::write(root.join(VERSIONS_DIR).join("vNaN.slsnap"), "junk").unwrap();
         assert_eq!(reg.versions().unwrap(), vec![1]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// A pid that cannot belong to a live process: pid_max on Linux tops
+    /// out at 2^22, and 32-bit pids never reach u32::MAX anywhere.
+    const DEAD_PID: u32 = u32::MAX;
+
+    #[test]
+    fn temp_name_parser_is_exact() {
+        assert_eq!(
+            parse_write_atomic_temp(".v000001.slsnap.tmp.1234.7"),
+            Some(1234)
+        );
+        assert_eq!(parse_write_atomic_temp(".CURRENT.tmp.1.0"), Some(1));
+        // Near misses must not match.
+        assert_eq!(parse_write_atomic_temp("v000001.slsnap"), None);
+        assert_eq!(parse_write_atomic_temp("CURRENT"), None);
+        assert_eq!(parse_write_atomic_temp(".tmp.12.3"), None); // no target name
+        assert_eq!(parse_write_atomic_temp(".x.tmp.12"), None); // missing seq
+        assert_eq!(parse_write_atomic_temp(".x.tmp.pid.3"), None); // non-numeric pid
+        assert_eq!(parse_write_atomic_temp(".x.tmp.12.seq"), None); // non-numeric seq
+        assert_eq!(parse_write_atomic_temp(".x.temp.12.3"), None); // wrong marker
+        assert_eq!(parse_write_atomic_temp(".gitignore"), None);
+    }
+
+    #[test]
+    fn open_sweeps_dead_publishers_temps_only() {
+        let root = tmp_root("sweep");
+        {
+            let reg = ModelRegistry::open(&root).unwrap();
+            reg.publish(b"a").unwrap();
+        }
+        let versions_dir = root.join(VERSIONS_DIR);
+        // Simulated crash between temp-write and rename: orphans from a
+        // dead pid in both the root (CURRENT temp) and versions/.
+        let dead_root = root.join(format!(".CURRENT.tmp.{DEAD_PID}.0"));
+        let dead_ver = versions_dir.join(format!(".v000002.slsnap.tmp.{DEAD_PID}.1"));
+        // In-flight temp of a live process (ours) must survive.
+        let live_ver = versions_dir.join(format!(".v000002.slsnap.tmp.{}.9", std::process::id()));
+        // Non-matching dotfile must survive.
+        let dotfile = root.join(".keep");
+        fs::write(&dead_root, b"torn").unwrap();
+        fs::write(&dead_ver, b"torn").unwrap();
+        fs::write(&live_ver, b"inflight").unwrap();
+        fs::write(&dotfile, b"").unwrap();
+
+        let reg = ModelRegistry::open(&root).unwrap();
+        assert!(!dead_root.exists(), "dead-pid temp in root not swept");
+        assert!(!dead_ver.exists(), "dead-pid temp in versions/ not swept");
+        assert!(live_ver.exists(), "live-pid temp wrongly swept");
+        assert!(dotfile.exists(), "unrelated dotfile wrongly swept");
+        // Payloads and the pointer are untouched; versions() unaffected.
+        assert_eq!(reg.versions().unwrap(), vec![1]);
+        assert_eq!(reg.current_version().unwrap(), Some(1));
+        assert_eq!(
+            fs::read(reg.current_path().unwrap().unwrap()).unwrap(),
+            b"a"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retain_zero_keeps_newest() {
+        let root = tmp_root("retain_zero");
+        let reg = ModelRegistry::open(&root).unwrap();
+        reg.publish(b"a").unwrap();
+        reg.publish(b"b").unwrap();
+        reg.publish(b"c").unwrap();
+        // retain(0) is clamped to retain(1): the newest version survives
+        // (here it is also live, so both exemptions coincide).
+        let removed = reg.retain(0).unwrap();
+        assert_eq!(removed, vec![1, 2]);
+        assert_eq!(reg.versions().unwrap(), vec![3]);
+        assert_eq!(reg.current_version().unwrap(), Some(3));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retain_zero_with_old_live_version_keeps_both() {
+        let root = tmp_root("retain_zero_live");
+        let reg = ModelRegistry::open(&root).unwrap();
+        reg.publish(b"a").unwrap();
+        reg.publish(b"b").unwrap();
+        reg.publish(b"c").unwrap();
+        reg.activate(1).unwrap();
+        // Clamped keep=1 protects v3 (newest); the live exemption
+        // protects v1; only v2 goes.
+        let removed = reg.retain(0).unwrap();
+        assert_eq!(removed, vec![2]);
+        assert_eq!(reg.versions().unwrap(), vec![1, 3]);
+        assert_eq!(reg.current_version().unwrap(), Some(1));
         let _ = fs::remove_dir_all(&root);
     }
 }

@@ -155,6 +155,40 @@ fn publish_is_atomic_under_a_concurrent_loader() {
 }
 
 #[test]
+fn crashed_publish_is_swept_on_open_and_registry_state_is_unaffected() {
+    let root = tmp_root("crash_sweep");
+    let registry = ModelRegistry::open(&root).expect("open registry");
+    let snap = Snapshot::build(&tiny_net(3), &SnapshotSpec::f32()).expect("snapshot");
+    let want = answers(&snap.model().expect("model"));
+    registry.publish(snap.bytes()).expect("publish v1");
+
+    // Simulate a publisher that died between temp-write and rename: a
+    // fully written temp for the never-published v2 (dead pid) plus a torn
+    // CURRENT temp in the root. u32::MAX can never be a live pid.
+    let versions_dir = root.join("versions");
+    let orphan_ver = versions_dir.join(format!(".v000002.slsnap.tmp.{}.0", u32::MAX));
+    let orphan_cur = root.join(format!(".CURRENT.tmp.{}.1", u32::MAX));
+    std::fs::write(&orphan_ver, snap.bytes()).expect("write orphan");
+    std::fs::write(&orphan_cur, b"2").expect("write orphan pointer");
+
+    // Re-open (a restarted publisher or a fresh loader): orphans gone,
+    // published state byte-identical.
+    let registry = ModelRegistry::open(&root).expect("re-open registry");
+    assert!(!orphan_ver.exists(), "orphaned version temp not swept");
+    assert!(!orphan_cur.exists(), "orphaned CURRENT temp not swept");
+    assert_eq!(registry.versions().expect("versions"), vec![1]);
+    assert_eq!(registry.current_version().expect("current"), Some(1));
+    let model =
+        slide_quant::snapshot::load(&registry.current_path().expect("path").expect("published"))
+            .expect("v1 still loads after sweep");
+    assert_eq!(answers(&model), want, "sweep must not disturb v1's bytes");
+
+    // The next publish after the crash allocates v2 cleanly.
+    assert_eq!(registry.publish(snap.bytes()).expect("publish v2"), 2);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn rollback_round_trips_to_the_previous_models_answers() {
     let root = tmp_root("rollback");
     let registry = ModelRegistry::open(&root).expect("open registry");

@@ -60,10 +60,11 @@ pub use slide_core::{
 };
 pub use slide_data::{
     generate_synthetic, generate_text, parse_xc, write_xc, Dataset, DatasetStats, SynthConfig,
-    TextConfig,
+    TextConfig, Zipf, ZipfDrift,
 };
 pub use slide_net::{
-    FleetSpec, Frame, NetClient, NetConfig, NetServer, RoutePolicy, Router, RouterConfig, WireError,
+    FleetSpec, Frame, GateConfig, GateDecision, NetClient, NetConfig, NetServer, RegistryWatcher,
+    RoutePolicy, Router, RouterConfig, ShadowGate, TrainerLoop, TrainerLoopConfig, WireError,
 };
 pub use slide_quant::{shard_i8, QuantReport, QuantizedFrozenNetwork, Snapshot};
 pub use slide_serve::{
